@@ -1,0 +1,82 @@
+// Beyond the paper: the benefit-vs-time frontier of rolling-window attacks.
+//
+// Table IV contrasts two synchronization disciplines — fully sequential
+// (M-AReST) and synchronous batches (PM-AReST). The event-driven rolling
+// attacker (core/async_attack.h) spans the whole frontier with one knob, the
+// outstanding-request window W: it matches sequential benefit at W = 1 and
+// batch-like throughput at W = k. At equal parallelism the benefit matches
+// the synchronous batch (average in-flight staleness is comparable), but
+// under stochastic delays the barrier makes the synchronous batch wait for
+// its slowest response every round — the rolling window never idles.
+//
+// Columns: mean benefit, makespan under exponential 5-minute response
+// delays, and seconds-per-benefit (the RT-RRS currency of Table IV).
+#include "bench/bench_common.h"
+#include "core/async_attack.h"
+#include "metrics/rrs.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  const auto cfg = bench::BenchConfig::from_args(util::Args(argc, argv));
+
+  const graph::Dataset ds =
+      graph::make_dataset(graph::DatasetId::kEnronEmail, cfg.scale, cfg.seed);
+  const sim::Problem problem = bench::make_bench_problem(ds, cfg.seed);
+  const double budget = bench::fig4_budget(ds);
+  const double delay = 300.0;
+
+  util::Table table(
+      {"Discipline", "E[benefit]", "E[makespan s]", "secs/benefit"});
+
+  // Synchronous batch rows (Table IV timing: one delay per batch).
+  for (int k : {1, 15}) {
+    const auto factory =
+        k == 1 ? bench::m_arest_factory(false) : bench::pm_arest_factory(k, false);
+    const auto mc = core::run_monte_carlo(problem, factory, cfg.runs, budget, cfg.seed);
+    util::RunningStat benefit, time;
+    for (std::size_t t = 0; t < mc.traces.size(); ++t) {
+      benefit.add(mc.traces[t].total_benefit());
+      // Same delay distribution as the rolling rows: a synchronous batch
+      // waits for its slowest response (E[max of k] ~ H_k * mean).
+      time.add(metrics::attack_time_stochastic(
+          mc.traces[t], delay, metrics::DelayModel::kExponential,
+          util::derive_seed(cfg.seed, 0xF1, t)));
+    }
+    table.add_row({k == 1 ? "sync sequential (M-AReST)" : "sync batch k=15",
+                   util::format_fixed(benefit.mean(), 1),
+                   util::format_fixed(time.mean(), 0),
+                   util::format_fixed(time.mean() / benefit.mean(), 1)});
+  }
+
+  // Rolling-window rows.
+  for (int w : {1, 5, 15}) {
+    util::RunningStat benefit, time;
+    for (int r = 0; r < cfg.runs; ++r) {
+      const sim::World world(problem, util::derive_seed(cfg.seed, r));
+      core::AsyncAttackOptions opts;
+      opts.window = w;
+      opts.mean_delay = delay;
+      opts.delay_model = core::ResponseDelayModel::kExponential;
+      opts.seed = util::derive_seed(cfg.seed, 0xA0 + static_cast<std::uint64_t>(r));
+      const auto result = core::run_async_attack(problem, world, opts, budget);
+      benefit.add(result.trace.total_benefit());
+      time.add(result.makespan_seconds);
+    }
+    table.add_row({"rolling W=" + std::to_string(w),
+                   util::format_fixed(benefit.mean(), 1),
+                   util::format_fixed(time.mean(), 0),
+                   util::format_fixed(time.mean() / benefit.mean(), 1)});
+  }
+
+  bench::emit(table, cfg,
+              "Beyond the paper: rolling-window frontier (Enron stand-in, "
+              "exp. 5-min delays)");
+  std::printf(
+      "At equal parallelism (k = W = 15) benefits are statistically similar,\n"
+      "but the synchronous batch waits for its slowest response every round\n"
+      "(~H_k x mean), while the rolling window never idles: same benefit,\n"
+      "a fraction of the wall time. The barrier, not the parallelism, is\n"
+      "what costs the synchronous attacker.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: attack detectability vs batch strategy (not a paper table; it
+// quantifies the evasion story the paper uses to motivate batch-size limits
+// and varying k — Sec. IV-C / Thm. 5 and the Boshmaf / Yang constraints of
+// Sec. V).
+//
+// Detectors: Yang et al. rate limit (20 requests/hour), a batch-uniformity
+// pattern detector, and simulation-placed honeypots (Paradise et al.).
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "defense/detector.h"
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  const util::Args args(argc, argv);
+  const auto cfg = bench::BenchConfig::from_args(args);
+  const double delay = args.get_double("delay", 3600.0);  // one batch per hour
+
+  const graph::Dataset ds =
+      graph::make_dataset(graph::DatasetId::kEnronEmail, cfg.scale, cfg.seed);
+  const sim::Problem problem = bench::make_bench_problem(ds, cfg.seed);
+  const double budget = bench::fig4_budget(ds);
+
+  const defense::RateLimitDetector rate(20, 3600.0);
+  const defense::PatternDetector pattern(4, 5);
+  const auto monitors = defense::choose_monitors_by_simulation(
+      problem, std::max<std::size_t>(5, problem.graph.num_nodes() / 100), cfg.runs,
+      budget, 10, util::derive_seed(cfg.seed, 0xDEF));
+  const defense::HoneypotMonitor honeypot(monitors, problem.graph.num_nodes());
+
+  struct Entry {
+    std::string label;
+    core::StrategyFactory factory;
+  };
+  std::vector<Entry> entries{
+      {"M-AReST (k=1)", bench::m_arest_factory(false)},
+      {"PM-AReST k=10", bench::pm_arest_factory(10, false)},
+      {"PM-AReST k=25", bench::pm_arest_factory(25, false)},
+      {"PM-AReST k~U[5,15]",
+       [&](int r) {
+         core::PmArestOptions o;
+         o.batch_size = 10;
+         o.vary_k_min = 5;
+         o.vary_k_max = 15;
+         o.seed = util::derive_seed(cfg.seed, 0xF00 + static_cast<std::uint64_t>(r));
+         return std::make_unique<core::PmArest>(o);
+       }},
+  };
+
+  util::Table table({"Strategy", "E[benefit]", "rate-det%", "pattern-det%",
+                     "honeypot-det%", "E[Q kept vs rate]"});
+  for (const auto& entry : entries) {
+    const auto mc =
+        core::run_monte_carlo(problem, entry.factory, cfg.runs, budget, cfg.seed);
+    const auto r = defense::summarize_detection(rate, mc.traces, delay);
+    const auto p = defense::summarize_detection(pattern, mc.traces, delay);
+    const auto h = defense::summarize_detection(honeypot, mc.traces, delay);
+    double mean_q = 0.0;
+    for (const auto& t : mc.traces) mean_q += t.total_benefit();
+    mean_q /= static_cast<double>(mc.traces.size());
+    table.add_row({entry.label, util::format_fixed(mean_q, 1),
+                   util::format_fixed(100 * r.detect_fraction, 0),
+                   util::format_fixed(100 * p.detect_fraction, 0),
+                   util::format_fixed(100 * h.detect_fraction, 0),
+                   util::format_fixed(r.mean_benefit_before, 1)});
+  }
+  bench::emit(table, cfg,
+              "Ablation: detectability vs batch strategy (delay between batches = " +
+                  util::format_fixed(delay, 0) + "s)");
+  std::printf(
+      "Rate limit (Yang et al.: >20 req/hour) catches k=25 instantly; varying\n"
+      "k defeats the uniformity detector that flags fixed-k PM-AReST.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Every bench binary prints the table/figure it regenerates in the paper's
+// layout, honors RECON_SCALE / RECON_RUNS / RECON_SEED (see util/env.h) and
+// the flags --scale, --runs, --seed, --csv PATH.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attack.h"
+#include "core/m_arest.h"
+#include "core/pm_arest.h"
+#include "graph/datasets.h"
+#include "sim/problem.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace recon::bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  int runs = 10;
+  std::uint64_t seed = 20170605;
+  std::string csv_path;  ///< empty = no CSV output
+
+  static BenchConfig from_args(const util::Args& args) {
+    BenchConfig cfg;
+    cfg.scale = args.get_double("scale", util::bench_scale());
+    cfg.runs = static_cast<int>(args.get_int("runs", util::bench_runs()));
+    cfg.seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<std::int64_t>(util::bench_seed())));
+    cfg.csv_path = args.get("csv", "");
+    return cfg;
+  }
+};
+
+/// The paper's experimental setup on one dataset stand-in: paper benefit
+/// model, constant base acceptance, BFS-ball targets sized relative to the
+/// network.
+inline sim::Problem make_bench_problem(const graph::Dataset& ds, std::uint64_t seed,
+                                       double base_acceptance = 0.3,
+                                       double mutual_boost = 0.1) {
+  sim::ProblemOptions opts;
+  opts.num_targets = std::max<std::size_t>(20, ds.graph.num_nodes() / 25);
+  opts.target_mode = sim::TargetMode::kBfsBall;
+  opts.base_acceptance = base_acceptance;
+  opts.mutual_boost = mutual_boost;
+  opts.seed = seed;
+  return sim::make_problem(ds.graph, opts);
+}
+
+/// Strategy factories shared across benches.
+inline core::StrategyFactory m_arest_factory(bool retries = false) {
+  return [retries](int) {
+    core::MArestOptions o;
+    o.allow_retries = retries;
+    return std::make_unique<core::MArest>(o);
+  };
+}
+
+inline core::StrategyFactory pm_arest_factory(int k, bool retries = false) {
+  return [k, retries](int) {
+    core::PmArestOptions o;
+    o.batch_size = k;
+    o.allow_retries = retries;
+    return std::make_unique<core::PmArest>(o);
+  };
+}
+
+/// Budget used by the Fig. 4 family, scaled down with the graphs so curves
+/// stay meaningful at small scale.
+inline double fig4_budget(const graph::Dataset& ds) {
+  return std::max(60.0, static_cast<double>(ds.graph.num_nodes()) / 25.0);
+}
+
+inline void emit(const util::Table& table, const BenchConfig& cfg,
+                 const std::string& title) {
+  std::printf("=== %s ===\n(scale=%.2g runs=%d seed=%llu)\n\n%s\n", title.c_str(),
+              cfg.scale, cfg.runs, static_cast<unsigned long long>(cfg.seed),
+              table.to_text().c_str());
+  if (!cfg.csv_path.empty()) {
+    table.write_csv(cfg.csv_path);
+    std::printf("csv written to %s\n", cfg.csv_path.c_str());
+  }
+}
+
+}  // namespace recon::bench

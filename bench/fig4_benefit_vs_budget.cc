@@ -1,0 +1,79 @@
+// Fig. 4: benefit Q as a function of friend requests sent K, for M-AReST vs
+// PM-AReST with k in {5, 10, 15}, on each of the four SNAP stand-ins
+// (subfigures a–d), plus the retries-allowed Twitter variant (subfigure e,
+// --retries or printed after the main sweep by default).
+//
+// The paper's qualitative claims this bench reproduces:
+//  * M-AReST (fully sequential) upper-bounds the batch curves;
+//  * the gap grows with k but stays small;
+//  * with retries allowed the gap all but vanishes (Fig. 4e).
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace recon;
+
+std::vector<double> mean_curve(const core::MonteCarloResult& mc) {
+  util::SeriesStat stat;
+  for (const auto& t : mc.traces) stat.add(t.benefit_by_request());
+  return stat.means();
+}
+
+void run_network(const graph::Dataset& ds, const bench::BenchConfig& cfg,
+                 bool retries, util::Table* table) {
+  const sim::Problem problem = bench::make_bench_problem(ds, cfg.seed);
+  const double budget = bench::fig4_budget(ds);
+
+  struct Series {
+    std::string label;
+    std::vector<double> curve;
+  };
+  std::vector<Series> series;
+  series.push_back(
+      {retries ? "M-AReST(retry)" : "M-AReST",
+       mean_curve(core::run_monte_carlo(problem, bench::m_arest_factory(retries),
+                                        cfg.runs, budget, cfg.seed))});
+  for (int k : {5, 10, 15}) {
+    series.push_back(
+        {"PM-AReST(k=" + std::to_string(k) + (retries ? ",retry)" : ")"),
+         mean_curve(core::run_monte_carlo(problem, bench::pm_arest_factory(k, retries),
+                                          cfg.runs, budget, cfg.seed))});
+  }
+
+  // Print Q at evenly spaced budget checkpoints (the figure's x-axis).
+  const std::size_t max_len = static_cast<std::size_t>(budget);
+  for (const auto& s : series) {
+    std::vector<std::string> row{ds.name + (retries ? " +retry" : ""), s.label};
+    for (int frac = 1; frac <= 5; ++frac) {
+      const std::size_t idx =
+          std::min(s.curve.size(), max_len * frac / 5) - 1;
+      row.push_back(idx < s.curve.size() ? util::format_fixed(s.curve[idx], 1) : "-");
+    }
+    table->add_row(std::move(row));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cfg = bench::BenchConfig::from_args(args);
+  const bool only_retries = args.has("retries");
+
+  util::Table table({"Network", "Strategy", "Q@20%K", "Q@40%K", "Q@60%K", "Q@80%K",
+                     "Q@K"});
+  if (!only_retries) {
+    for (graph::DatasetId id : graph::snap_dataset_ids()) {
+      run_network(graph::make_dataset(id, cfg.scale, cfg.seed), cfg, false, &table);
+    }
+  }
+  // Fig. 4e: Twitter with retries allowed.
+  run_network(graph::make_dataset(graph::DatasetId::kTwitter, cfg.scale, cfg.seed),
+              cfg, true, &table);
+  bench::emit(table, cfg,
+              "Fig. 4: benefit Q vs. friend requests K (a-d no retries; e retries)");
+  return 0;
+}

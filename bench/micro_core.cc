@@ -1,0 +1,125 @@
+// Microbenchmarks for the core selection algorithms (google-benchmark):
+// marginal gain, collapsed vs branch-tree BATCHSELECT (the DESIGN.md §2.3
+// ablation), lazy vs eager greedy, and full batch rounds.
+#include <benchmark/benchmark.h>
+
+#include "core/attack.h"
+#include "core/batch_select.h"
+#include "core/batch_state.h"
+#include "core/branch_tree.h"
+#include "core/marginal.h"
+#include "core/pm_arest.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/world.h"
+#include "sim/problem.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace recon;
+
+sim::Problem bench_problem(graph::NodeId n, graph::NodeId ba_m = 8) {
+  sim::ProblemOptions opts;
+  opts.num_targets = n / 20;
+  opts.base_acceptance = 0.3;
+  opts.seed = 99;
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(n, ba_m, 7),
+                               graph::EdgeProbModel::uniform(0.3, 0.9), 8),
+      opts);
+}
+
+void BM_MarginalGain(benchmark::State& state) {
+  const auto problem = bench_problem(static_cast<graph::NodeId>(state.range(0)));
+  sim::Observation obs(problem);
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::marginal_gain(obs, u, core::MarginalPolicy::kWeighted));
+    u = (u + 1) % problem.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_MarginalGain)->Arg(1000)->Arg(10000);
+
+void BM_BatchSelectCollapsed(benchmark::State& state) {
+  const auto problem = bench_problem(static_cast<graph::NodeId>(state.range(0)));
+  sim::Observation obs(problem);
+  core::BatchSelectOptions opts;
+  opts.batch_size = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::batch_select(obs, opts));
+  }
+  state.SetLabel("lazy greedy");
+}
+BENCHMARK(BM_BatchSelectCollapsed)
+    ->Args({1000, 5})
+    ->Args({1000, 15})
+    ->Args({5000, 15});
+
+void BM_BatchSelectBranchTree(benchmark::State& state) {
+  // Exponential in k: keep the graph small and k modest. This is the
+  // ablation showing why the collapsed form matters.
+  const auto problem = bench_problem(200, 4);
+  sim::Observation obs(problem);
+  core::BranchTreeOptions opts;
+  opts.batch_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::branch_tree_select(obs, opts));
+  }
+  state.SetLabel("2^k branches");
+}
+BENCHMARK(BM_BatchSelectBranchTree)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_BatchSelectEagerParallel(benchmark::State& state) {
+  const auto problem = bench_problem(2000);
+  sim::Observation obs(problem);
+  util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  core::BatchSelectOptions opts;
+  opts.batch_size = 15;
+  opts.pool = &pool;
+  opts.parallel_eager = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::batch_select(obs, opts));
+  }
+}
+BENCHMARK(BM_BatchSelectEagerParallel)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_FullAttackCachedVsUncached(benchmark::State& state) {
+  // End-to-end selection cost over a whole attack: the cross-batch cache
+  // (state.range(1)) rescores only dirty 2-hop regions.
+  const auto problem = bench_problem(static_cast<graph::NodeId>(state.range(0)));
+  const bool cached = state.range(1) != 0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::PmArestOptions o;
+    o.batch_size = 10;
+    o.use_cache = cached;
+    core::PmArest strategy(o);
+    const sim::World world(problem, seed++);
+    benchmark::DoNotOptimize(core::run_attack(problem, world, strategy, 100.0));
+  }
+  state.SetLabel(cached ? "cached" : "uncached");
+}
+BENCHMARK(BM_FullAttackCachedVsUncached)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1});
+
+void BM_BatchStateSelect(benchmark::State& state) {
+  const auto problem = bench_problem(5000);
+  sim::Observation obs(problem);
+  core::BatchState bs(problem.graph.num_nodes());
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    if (bs.size() >= 64) bs.reset();
+    if (!bs.is_selected(u)) bs.select(obs, u, 0.3);
+    u = (u + 17) % problem.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_BatchStateSelect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

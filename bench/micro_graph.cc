@@ -1,0 +1,91 @@
+// Microbenchmarks for the graph substrate: generators, CSR construction,
+// neighborhood iteration, link-prediction scoring, and world sampling.
+#include <benchmark/benchmark.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "linkpred/scores.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace recon;
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::barabasi_albert(n, 8, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GenerateBarabasiAlbert)->Arg(1000)->Arg(10000);
+
+void BM_GenerateWattsStrogatz(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::watts_strogatz(n, 11, 0.15, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GenerateWattsStrogatz)->Arg(1000)->Arg(10000);
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto base = graph::barabasi_albert(
+      static_cast<graph::NodeId>(state.range(0)), 8, 3);
+  for (auto _ : state) {
+    graph::GraphBuilder b(base.num_nodes());
+    for (graph::EdgeId e = 0; e < base.num_edges(); ++e) {
+      b.add_edge(base.edge_u(e), base.edge_v(e), 0.5);
+    }
+    benchmark::DoNotOptimize(b.build());
+  }
+  state.SetItemsProcessed(state.iterations() * base.num_edges());
+}
+BENCHMARK(BM_CsrBuild)->Arg(1000)->Arg(10000);
+
+void BM_NeighborhoodScan(benchmark::State& state) {
+  const auto g = graph::barabasi_albert(10000, 8, 3);
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (graph::EdgeId e : g.incident_edges(u)) sum += g.edge_prob(e);
+    benchmark::DoNotOptimize(sum);
+    u = (u + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_NeighborhoodScan);
+
+void BM_LinkPredScore(benchmark::State& state) {
+  const auto g = graph::watts_strogatz(5000, 8, 0.1, 3);
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linkpred::pair_score(
+        g, u, (u + 2) % g.num_nodes(), linkpred::ScoreKind::kAdamicAdar));
+    u = (u + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_LinkPredScore);
+
+void BM_WorldSampling(benchmark::State& state) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 100;
+  opts.seed = 5;
+  const auto problem = sim::make_problem(
+      graph::assign_edge_probs(
+          graph::barabasi_albert(static_cast<graph::NodeId>(state.range(0)), 8, 3),
+          graph::EdgeProbModel::uniform(0.2, 0.9), 4),
+      opts);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::World(problem, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * problem.graph.num_edges());
+}
+BENCHMARK(BM_WorldSampling)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Microbenchmarks for the stochastic-programming stack: simplex, SAA
+// sampling/evaluation, greedy vs exact FOB, and the LP-based MIP.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "solver/benders.h"
+#include "solver/fob.h"
+#include "solver/mip.h"
+#include "solver/saa.h"
+#include "solver/simplex.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace recon;
+
+sim::Problem solver_problem(graph::NodeId n) {
+  sim::ProblemOptions opts;
+  opts.num_targets = n / 4;
+  opts.base_acceptance = 0.4;
+  opts.seed = 21;
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, n * 3, 13),
+                               graph::EdgeProbModel::uniform(0.2, 0.9), 14),
+      opts);
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random dense LP: n vars, n rows.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  solver::LpProblem lp;
+  lp.objective.resize(n);
+  for (auto& c : lp.objective) c = rng.uniform(0.0, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<double> row(n);
+    for (auto& a : row) a = rng.uniform(0.0, 1.0);
+    lp.add_row(std::move(row), solver::RowType::kLe, rng.uniform(1.0, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_SaaSampling(benchmark::State& state) {
+  const auto problem = solver_problem(105);
+  sim::Observation obs(problem);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver::sample_scenarios(obs, static_cast<std::size_t>(state.range(0)), seed++));
+  }
+}
+BENCHMARK(BM_SaaSampling)->Arg(100)->Arg(1000);
+
+void BM_SaaObjective(benchmark::State& state) {
+  const auto problem = solver_problem(105);
+  sim::Observation obs(problem);
+  const auto scenarios =
+      solver::sample_scenarios(obs, static_cast<std::size_t>(state.range(0)), 3);
+  const std::vector<graph::NodeId> batch{1, 5, 9, 13};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::saa_objective(obs, scenarios, batch));
+  }
+}
+BENCHMARK(BM_SaaObjective)->Arg(100)->Arg(1000);
+
+void BM_FobGreedy(benchmark::State& state) {
+  const auto problem = solver_problem(105);
+  sim::Observation obs(problem);
+  const auto candidates = solver::fob_candidates(obs, false);
+  const auto scenarios = solver::sample_scenarios(obs, 200, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver::fob_greedy(obs, scenarios, static_cast<std::size_t>(state.range(0)),
+                           candidates));
+  }
+}
+BENCHMARK(BM_FobGreedy)->Arg(3)->Arg(6);
+
+void BM_FobExact(benchmark::State& state) {
+  const auto problem = solver_problem(105);
+  sim::Observation obs(problem);
+  const auto candidates = solver::fob_candidates(obs, false);
+  const auto scenarios = solver::sample_scenarios(obs, 100, 3);
+  solver::FobExactOptions opts;
+  opts.candidate_cap = 24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::fob_exact(
+        obs, scenarios, static_cast<std::size_t>(state.range(0)), candidates, opts));
+  }
+}
+BENCHMARK(BM_FobExact)->Arg(3)->Arg(4);
+
+void BM_FobBenders(benchmark::State& state) {
+  const auto problem = solver_problem(40);
+  sim::Observation obs(problem);
+  const auto candidates = solver::fob_candidates(obs, false);
+  const auto scenarios = solver::sample_scenarios(obs, 100, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_fob_benders(
+        obs, scenarios, static_cast<std::size_t>(state.range(0)), candidates));
+  }
+}
+BENCHMARK(BM_FobBenders)->Arg(3)->Arg(4);
+
+void BM_MipLpBnb(benchmark::State& state) {
+  const auto problem = solver_problem(14);
+  sim::Observation obs(problem);
+  const auto candidates = solver::fob_candidates(obs, false);
+  const auto scenarios = solver::sample_scenarios(obs, 6, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_fob_mip(obs, scenarios, 2, candidates));
+  }
+}
+BENCHMARK(BM_MipLpBnb);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table III: mean compute time of PM-AReST simulations with K = 300 (scaled
+// with the graphs) across batch sizes, with M-AReST as the first row.
+//
+// The paper's implementation materializes the 2^k-branch expectation tree,
+// so its cost grows superlinearly in k (Twitter: 900s -> 2069s -> 8630s for
+// k = 5/10/15). This repository's collapsed BATCHSELECT (DESIGN.md §2.3)
+// computes identical scores in O(k · deg) — cheaper per batch AND fewer
+// selection rounds than M-AReST — so the table has two blocks:
+//
+//   (A) full simulations with the collapsed selector: the trend inverts
+//       (larger k = fewer rounds = less compute) — the repo's improvement;
+//   (B) single-batch selection with the literal Alg. 2 branch tree: the
+//       paper's exponential-in-k cost, reproduced on a reduced setting.
+#include "bench/bench_common.h"
+#include "core/branch_tree.h"
+#include "sim/observation.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  const util::Args args(argc, argv);
+  const auto cfg = bench::BenchConfig::from_args(args);
+  const double budget = args.get_double("budget", 300.0 * cfg.scale / 10.0 + 60.0);
+
+  std::vector<std::pair<std::string, sim::Problem>> problems;
+  for (graph::DatasetId id : graph::snap_dataset_ids()) {
+    const graph::Dataset ds = graph::make_dataset(id, cfg.scale, cfg.seed);
+    problems.emplace_back(ds.name, bench::make_bench_problem(ds, cfg.seed));
+  }
+
+  std::vector<std::string> headers{"Batch Size"};
+  for (const auto& [name, p] : problems) headers.push_back(name);
+  util::Table table(std::move(headers));
+
+  auto separator = [&](const std::string& label) {
+    std::vector<std::string> sep{label};
+    sep.resize(problems.size() + 1);
+    table.add_row(std::move(sep));
+  };
+
+  // Block A: full simulations, collapsed selector.
+  separator("-- (A) full simulation, collapsed selector, K=" +
+            util::format_fixed(budget, 0) + " --");
+  auto add_sim_row = [&](const std::string& label, const core::StrategyFactory& factory) {
+    std::vector<std::string> row{label};
+    for (const auto& [name, problem] : problems) {
+      util::RunningStat stat;
+      for (int r = 0; r < cfg.runs; ++r) {
+        auto strategy = factory(r);
+        const sim::World world(problem, util::derive_seed(cfg.seed, r));
+        util::WallTimer wall;
+        (void)core::run_attack(problem, world, *strategy, budget);
+        stat.add(wall.seconds());
+      }
+      row.push_back(util::format_fixed(stat.mean(), 3));
+    }
+    table.add_row(std::move(row));
+  };
+  add_sim_row("M-AReST", bench::m_arest_factory(false));
+  for (int k : {5, 10, 15}) {
+    add_sim_row(std::to_string(k), bench::pm_arest_factory(k, false));
+  }
+
+  // Block B: a single BATCHSELECT call with the literal 2^k expectation tree
+  // (the paper's implementation strategy), on reduced-scale networks.
+  const double tree_scale = std::min(cfg.scale, 0.3);
+  std::vector<std::pair<std::string, sim::Problem>> small;
+  for (graph::DatasetId id : graph::snap_dataset_ids()) {
+    const graph::Dataset ds = graph::make_dataset(id, tree_scale, cfg.seed);
+    small.emplace_back(ds.name, bench::make_bench_problem(ds, cfg.seed));
+  }
+  separator("-- (B) one batch, literal Alg.2 branch tree, scale=" +
+            util::format_fixed(tree_scale, 2) + " --");
+  for (int k : {2, 4, 6, 8}) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& [name, problem] : small) {
+      const sim::Observation obs(problem);
+      core::BranchTreeOptions opts;
+      opts.batch_size = k;
+      util::WallTimer wall;
+      (void)core::branch_tree_select(obs, opts);
+      row.push_back(util::format_fixed(wall.seconds(), 3));
+    }
+    table.add_row(std::move(row));
+  }
+
+  bench::emit(table, cfg, "Table III: mean compute time in seconds");
+  std::printf(
+      "Block B reproduces the paper's superlinear growth in k (its Rust\n"
+      "implementation enumerates 2^k branches); block A shows the collapsed\n"
+      "selector removes that cost entirely (see tests: identical scores).\n");
+  return 0;
+}

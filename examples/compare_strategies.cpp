@@ -1,0 +1,96 @@
+// Strategy shoot-out: every attack strategy in the library on one network,
+// including the two-stage-stochastic-programming (exact FOB) strategy on a
+// small instance — a miniature of the paper's Figs. 4 & 6.
+//
+//   ./examples/compare_strategies [--runs N] [--budget K] [--seed S]
+#include <cstdio>
+#include <memory>
+
+#include "core/attack.h"
+#include "core/baselines.h"
+#include "core/m_arest.h"
+#include "core/pm_arest.h"
+#include "graph/datasets.h"
+#include "sim/problem.h"
+#include "solver/strategy_mip.h"
+#include "util/env.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  const util::Args args(argc, argv);
+  const std::uint64_t seed = args.get_int("seed", 11);
+  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const double budget = args.get_double("budget", 24.0);
+
+  // The small US-Political-Books stand-in keeps the exact MIP tractable.
+  const graph::Dataset ds = graph::make_dataset(graph::DatasetId::kUsPolBooks, 1.0, seed);
+  sim::ProblemOptions opts;
+  opts.num_targets = 25;
+  opts.base_acceptance = 0.4;
+  opts.seed = seed;
+  const sim::Problem problem = sim::make_problem(ds.graph, opts);
+  std::printf("network: %s (%u nodes, %u edges), %d runs, budget %.0f\n\n",
+              ds.name.c_str(), problem.graph.num_nodes(), problem.graph.num_edges(),
+              runs, budget);
+
+  struct Entry {
+    const char* label;
+    core::StrategyFactory factory;
+  };
+  const int k = 4;
+  const std::vector<Entry> entries{
+      {"M-AReST (sequential)",
+       [](int) { return std::make_unique<core::MArest>(); }},
+      {"PM-AReST",
+       [&](int) {
+         return std::make_unique<core::PmArest>(core::PmArestOptions{.batch_size = k});
+       }},
+      {"PM-AReST + retries",
+       [&](int) {
+         return std::make_unique<core::PmArest>(
+             core::PmArestOptions{.batch_size = k, .allow_retries = true});
+       }},
+      {"PM-AReST varying k in [2,6]",
+       [&](int) {
+         return std::make_unique<core::PmArest>(
+             core::PmArestOptions{.batch_size = k, .vary_k_min = 2, .vary_k_max = 6});
+       }},
+      {"Exact MIP (SAA, 300 scenarios)",
+       [&](int) {
+         solver::MipStrategyOptions o;
+         o.batch_size = k;
+         o.scenarios_per_batch = 300;
+         o.candidate_cap = 24;
+         return std::make_unique<solver::MipBatchStrategy>(o);
+       }},
+      {"HighDegree heuristic",
+       [&](int) { return std::make_unique<core::HighDegreeStrategy>(k); }},
+      {"TargetFirst (naive)",
+       [&](int) { return std::make_unique<core::TargetFirstStrategy>(k); }},
+      {"Random",
+       [&](int r) { return std::make_unique<core::RandomStrategy>(k, 900 + r); }},
+  };
+
+  util::Table table({"strategy", "E[benefit]", "E[accepts]", "batches", "sel time"});
+  for (const auto& entry : entries) {
+    const auto mc = core::run_monte_carlo(problem, entry.factory, runs, budget, seed);
+    double accepts = 0.0, batches = 0.0, sel = 0.0;
+    for (const auto& t : mc.traces) {
+      accepts += static_cast<double>(t.total_accepts());
+      batches += static_cast<double>(t.batches.size());
+      sel += t.total_select_seconds();
+    }
+    const double n = static_cast<double>(mc.traces.size());
+    table.add_row({entry.label, util::format_fixed(mc.mean_benefit(), 3),
+                   util::format_fixed(accepts / n, 1),
+                   util::format_fixed(batches / n, 1),
+                   util::format_sci(sel / n) + "s"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "Expected ordering: M-AReST >= Exact MIP ~ PM-AReST(+retries) > heuristics.\n"
+      "The exact two-stage solver buys only a sliver over greedy BATCHSELECT\n"
+      "(the paper's Fig. 6 conclusion), at orders of magnitude more compute.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Attacking a user-supplied network: load an edge list, estimate edge
+// probabilities with link prediction, attach homophily attributes, and run
+// an attribute-aware attack. Demonstrates the full data-in pipeline.
+//
+//   ./examples/custom_network [edge_list.txt] [--budget K] [--seed S]
+//
+// Without a file argument, a demo edge list is written to a temporary
+// location and used, so the example is always runnable.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/attack.h"
+#include "core/pm_arest.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "linkpred/calibration.h"
+#include "sim/problem.h"
+#include "util/env.h"
+
+namespace {
+
+std::string write_demo_edge_list() {
+  // Two communities bridged by a few edges — written via the library's own
+  // generator + IO so the file is a faithful sample of the format.
+  const auto g = recon::graph::stochastic_block_model(120, 2, 0.18, 0.01, 99);
+  const std::string path = "/tmp/recon_demo_edges.txt";
+  recon::graph::write_edge_list_file(path, g);
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  const util::Args args(argc, argv);
+  const std::uint64_t seed = args.get_int("seed", 5);
+  const double budget = args.get_double("budget", 50.0);
+
+  const std::string path = args.positional().empty() ? write_demo_edge_list()
+                                                     : args.positional().front();
+  std::printf("loading edge list: %s\n", path.c_str());
+  graph::Graph g = graph::read_edge_list_file(path);
+  const auto deg = graph::degree_stats(g);
+  std::printf("graph: %u nodes, %u edges, mean degree %.1f, %zu components\n",
+              g.num_nodes(), g.num_edges(), deg.mean, graph::connected_components(g));
+
+  // 1. Edge probabilities via Adamic-Adar scores calibrated with logistic
+  //    regression on the observed structure (Sec. II-A's link prediction).
+  g = linkpred::calibrate_edge_probs(g, linkpred::ScoreKind::kAdamicAdar, seed);
+  double mean_p = 0.0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) mean_p += g.edge_prob(e);
+  std::printf("link-prediction edge beliefs: mean p = %.3f\n",
+              mean_p / g.num_edges());
+
+  // 2. Synthetic profile attributes (location / employer / school) with
+  //    homophily, so the attacker's profile tuning matters.
+  g = graph::assign_attributes(g, 3, 12, 0.7, seed + 1);
+
+  // 3. Problem with attribute-similarity-boosted acceptance.
+  sim::ProblemOptions opts;
+  opts.num_targets = 20;
+  opts.target_mode = sim::TargetMode::kBfsBall;
+  opts.seed = seed;
+  sim::Problem problem = sim::make_problem(std::move(g), opts);
+  problem.acceptance = sim::make_attribute_acceptance(
+      problem.graph, /*base_q=*/0.15, /*attr_weight=*/0.35, /*mutual_boost=*/0.1,
+      seed + 2);
+  problem.validate();
+
+  // 4. Attack.
+  core::PmArestOptions strat_opts;
+  strat_opts.batch_size = 5;
+  strat_opts.allow_retries = true;
+  core::PmArest strategy(strat_opts);
+  const sim::World world(problem, util::derive_seed(seed, 9));
+  const auto trace = core::run_attack(problem, world, strategy, budget);
+
+  const auto b = trace.final_breakdown();
+  std::printf("\nattack result with %s:\n", strategy.name().c_str());
+  std::printf("  requests %zu, accepts %zu\n", trace.total_requests(),
+              trace.total_accepts());
+  std::printf("  benefit %.3f (friends %.2f, FoFs %.2f, edges %.2f)\n", b.total(),
+              b.friends, b.fofs, b.edges);
+  std::size_t targets_befriended = 0, targets_fof = 0;
+  sim::Observation replay(problem);  // reconstruct final state for reporting
+  for (const auto& batch : trace.batches) {
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      if (batch.accepted[i]) {
+        replay.record_accept(batch.requests[i],
+                             world.true_neighbors(batch.requests[i]));
+      } else {
+        replay.record_reject(batch.requests[i]);
+      }
+    }
+  }
+  for (graph::NodeId t : problem.targets) {
+    targets_befriended += replay.is_friend(t);
+    targets_fof += replay.is_fof(t);
+  }
+  std::printf("  targets befriended %zu / %zu, targets as FoF %zu\n",
+              targets_befriended, problem.targets.size(), targets_fof);
+  return 0;
+}

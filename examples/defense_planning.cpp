@@ -1,0 +1,107 @@
+// Defense planning: the full defender workflow built on this library.
+//
+//  1. Simulate the strongest attacker (PM-AReST with retries) against your
+//     network to collect attack traces.
+//  2. Optimize honeypot/monitor placement with greedy submodular coverage
+//     (maximizing attacker benefit *denied*), compared against the naive
+//     frequency ranking and random placement.
+//  3. Evaluate on held-out attack simulations: detection rate, benefit the
+//     attacker keeps, and how the rate-limit + pattern detectors stack.
+//
+//   ./examples/defense_planning [--monitors M] [--runs N] [--seed S]
+#include <cstdio>
+#include <memory>
+
+#include "core/attack.h"
+#include "core/pm_arest.h"
+#include "defense/detector.h"
+#include "defense/placement.h"
+#include "graph/centrality.h"
+#include "graph/datasets.h"
+#include "sim/problem.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  const util::Args args(argc, argv);
+  const std::uint64_t seed = args.get_int("seed", 13);
+  const int runs = static_cast<int>(args.get_int("runs", 12));
+  const auto monitors_budget = static_cast<std::size_t>(args.get_int("monitors", 8));
+
+  const graph::Dataset ds = graph::make_dataset(graph::DatasetId::kEnronEmail, 0.3, seed);
+  sim::ProblemOptions popts;
+  popts.num_targets = 40;
+  popts.target_mode = sim::TargetMode::kBfsBall;
+  popts.base_acceptance = 0.3;
+  popts.mutual_boost = 0.1;
+  popts.seed = seed;
+  const sim::Problem problem = sim::make_problem(ds.graph, popts);
+  const double budget = 120.0;
+  std::printf("planning defenses for the %s surrogate (%u nodes)\n\n",
+              ds.name.c_str(), problem.graph.num_nodes());
+
+  const core::StrategyFactory attacker = [](int) {
+    core::PmArestOptions o;
+    o.batch_size = 10;
+    o.allow_retries = true;
+    return std::make_unique<core::PmArest>(o);
+  };
+
+  // 1. Training traces (what the defender simulates in advance).
+  const auto train =
+      core::run_monte_carlo(problem, attacker, runs, budget, seed).traces;
+
+  // 2. Three placements of equal size.
+  defense::PlacementOptions place_opts;
+  place_opts.budget_monitors = monitors_budget;
+  place_opts.weight_by_denied_benefit = true;
+  const auto optimized = defense::greedy_monitor_placement(
+      train, problem.graph.num_nodes(), place_opts);
+  const auto frequency = defense::choose_monitors_by_simulation(
+      problem, monitors_budget, runs, budget, 10, seed);
+  util::Rng rng(util::derive_seed(seed, 0xDEF));
+  const auto random_ids = util::sample_without_replacement(
+      problem.graph.num_nodes(), static_cast<std::uint32_t>(monitors_budget), rng);
+  // Structural baseline: instrument the betweenness gatekeepers.
+  const auto gatekeepers = graph::top_nodes(
+      graph::betweenness_centrality(problem.graph), monitors_budget);
+
+  // 3. Held-out evaluation (fresh worlds).
+  const auto test =
+      core::run_monte_carlo(problem, attacker, runs, budget, seed + 1).traces;
+  double mean_q = 0.0;
+  for (const auto& t : test) mean_q += t.total_benefit();
+  mean_q /= static_cast<double>(test.size());
+  std::printf("undefended attacker benefit (held-out): %.1f\n\n", mean_q);
+
+  util::Table table({"placement", "detected", "E[Q kept by attacker]",
+                     "E[requests before det]"});
+  auto add = [&](const char* label, const std::vector<graph::NodeId>& monitors) {
+    const defense::HoneypotMonitor monitor(monitors, problem.graph.num_nodes());
+    const auto s = defense::summarize_detection(monitor, test, 3600.0);
+    table.add_row({label, util::format_fixed(100 * s.detect_fraction, 0) + "%",
+                   util::format_fixed(s.mean_benefit_before, 1),
+                   util::format_fixed(s.mean_requests_before, 1)});
+  };
+  add("greedy coverage (ours)", optimized);
+  add("frequency top-k", frequency);
+  add("betweenness top-k", gatekeepers);
+  add("random", {random_ids.begin(), random_ids.end()});
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("optimized monitors:");
+  for (graph::NodeId u : optimized) {
+    std::printf(" %u(deg %u)", u, problem.graph.degree(u));
+  }
+  std::printf("\n\nLayered with rate limiting (Yang et al., >20/hour):\n");
+  const defense::RateLimitDetector rate(20, 3600.0);
+  const auto rs = defense::summarize_detection(rate, test, 3600.0);
+  std::printf("  rate limit alone detects %.0f%% of k=10 hourly attacks;\n",
+              100 * rs.detect_fraction);
+  std::printf(
+      "  honeypots catch what rate limits miss — place them with coverage,\n"
+      "  not frequency: same budget, attacker keeps less.\n");
+  return 0;
+}

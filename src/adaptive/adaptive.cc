@@ -1,0 +1,278 @@
+#include "adaptive/adaptive.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace recon::adaptive {
+
+bool PartialRealization::contains(Item item) const noexcept {
+  return std::find(items.begin(), items.end(), item) != items.end();
+}
+
+std::vector<State> Instance::sample_consistent(const PartialRealization& psi,
+                                               std::uint64_t seed) const {
+  std::vector<State> realization = sample_realization(seed);
+  for (std::size_t i = 0; i < psi.items.size(); ++i) {
+    realization[psi.items[i]] = psi.states[i];
+  }
+  return realization;
+}
+
+std::vector<std::pair<State, double>> Instance::state_distribution(Item item) const {
+  // Empirical estimate from many realizations (instances with known
+  // marginals override this).
+  std::vector<std::pair<State, double>> dist;
+  const std::size_t samples = 20000;
+  std::vector<std::pair<State, std::size_t>> counts;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const State st = sample_realization(util::derive_seed(0x57A7E, s))[item];
+    bool found = false;
+    for (auto& [state, count] : counts) {
+      if (state == st) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(st, 1);
+  }
+  dist.reserve(counts.size());
+  for (const auto& [state, count] : counts) {
+    dist.emplace_back(state,
+                      static_cast<double>(count) / static_cast<double>(samples));
+  }
+  return dist;
+}
+
+namespace {
+
+double optimal_adaptive_rec(const Instance& instance, PartialRealization& psi,
+                            std::size_t remaining) {
+  if (remaining == 0) {
+    // Terminal: expected value given ψ — value() depends only on selected
+    // items' states, so any completion works as the realization argument.
+    std::vector<State> phi(instance.num_items(), 0);
+    for (std::size_t i = 0; i < psi.items.size(); ++i) {
+      phi[psi.items[i]] = psi.states[i];
+    }
+    return instance.value(psi.items, phi);
+  }
+  double best = 0.0;
+  bool any = false;
+  for (Item item = 0; item < instance.num_items(); ++item) {
+    if (psi.contains(item)) continue;
+    any = true;
+    double expect = 0.0;
+    for (const auto& [state, prob] : instance.state_distribution(item)) {
+      if (prob <= 0.0) continue;
+      psi.add(item, state);
+      expect += prob * optimal_adaptive_rec(instance, psi, remaining - 1);
+      psi.items.pop_back();
+      psi.states.pop_back();
+    }
+    best = std::max(best, expect);
+  }
+  if (!any) return optimal_adaptive_rec(instance, psi, 0);
+  return best;
+}
+
+}  // namespace
+
+double optimal_adaptive_value(const Instance& instance, std::size_t cardinality) {
+  if (instance.num_items() > 12) {
+    throw std::invalid_argument("optimal_adaptive_value: instance too large");
+  }
+  PartialRealization psi;
+  return optimal_adaptive_rec(instance, psi, std::min(cardinality, instance.num_items()));
+}
+
+double Instance::expected_marginal(Item item, const PartialRealization& psi,
+                                   std::uint64_t seed, std::size_t samples) const {
+  if (samples == 0) throw std::invalid_argument("expected_marginal: samples == 0");
+  double total = 0.0;
+  std::vector<Item> with = psi.items;
+  with.push_back(item);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto phi = sample_consistent(psi, util::derive_seed(seed, s));
+    total += value(with, phi) - value(psi.items, phi);
+  }
+  return total / static_cast<double>(samples);
+}
+
+Policy make_adaptive_greedy(const Instance& instance, std::uint64_t seed,
+                            std::size_t samples) {
+  return [&instance, seed, samples](const PartialRealization& psi) -> Item {
+    Item best = kNoItem;
+    double best_gain = 0.0;
+    for (Item item = 0; item < instance.num_items(); ++item) {
+      if (psi.contains(item)) continue;
+      const double gain = instance.expected_marginal(
+          item, psi, util::derive_seed(seed, item, psi.size()), samples);
+      if (gain > best_gain ||
+          (gain == best_gain && best != kNoItem && item < best)) {
+        best_gain = gain;
+        best = item;
+      }
+    }
+    return best_gain > 0.0 ? best : kNoItem;
+  };
+}
+
+double run_policy(const Instance& instance, const Policy& policy,
+                  std::size_t cardinality, std::uint64_t world_seed) {
+  const auto realization = instance.sample_realization(world_seed);
+  PartialRealization psi;
+  for (std::size_t step = 0; step < cardinality; ++step) {
+    const Item item = policy(psi);
+    if (item == kNoItem) break;
+    if (item >= instance.num_items() || psi.contains(item)) {
+      throw std::logic_error("run_policy: policy returned an invalid item");
+    }
+    psi.add(item, realization[item]);
+  }
+  return instance.value(psi.items, realization);
+}
+
+double evaluate_policy(const Instance& instance, const Policy& policy,
+                       std::size_t cardinality, int runs, std::uint64_t seed) {
+  if (runs <= 0) throw std::invalid_argument("evaluate_policy: runs must be positive");
+  double total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    total += run_policy(instance, policy, cardinality, util::derive_seed(seed, r));
+  }
+  return total / static_cast<double>(runs);
+}
+
+double best_nonadaptive_value(const Instance& instance, std::size_t cardinality,
+                              int runs, std::uint64_t seed) {
+  const std::size_t n = instance.num_items();
+  if (n > 24) throw std::invalid_argument("best_nonadaptive_value: too many items");
+  cardinality = std::min(cardinality, n);
+  // Pre-sample realizations once so subsets are compared on common worlds.
+  std::vector<std::vector<State>> worlds;
+  worlds.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    worlds.push_back(instance.sample_realization(util::derive_seed(seed, r)));
+  }
+  double best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != cardinality) continue;
+    std::vector<Item> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) items.push_back(static_cast<Item>(i));
+    }
+    double total = 0.0;
+    for (const auto& phi : worlds) total += instance.value(items, phi);
+    best = std::max(best, total / static_cast<double>(runs));
+  }
+  return best;
+}
+
+double empirical_submodularity_margin(const Instance& instance, std::size_t trials,
+                                      std::uint64_t seed, std::size_t samples) {
+  util::Rng rng(seed);
+  double worst = 1e300;
+  const std::size_t n = instance.num_items();
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Build nested ψ ⊆ ψ' from a shared sampled realization.
+    const auto phi = instance.sample_realization(util::derive_seed(seed, 1000 + t));
+    PartialRealization small, big;
+    for (Item i = 0; i < n; ++i) {
+      const double r = rng.uniform();
+      if (r < 0.15) {
+        small.add(i, phi[i]);
+        big.add(i, phi[i]);
+      } else if (r < 0.35) {
+        big.add(i, phi[i]);
+      }
+    }
+    Item probe;
+    do {
+      probe = static_cast<Item>(rng.below(n));
+    } while (big.contains(probe));
+    const double d_small = instance.expected_marginal(
+        probe, small, util::derive_seed(seed, t, 1), samples);
+    const double d_big = instance.expected_marginal(
+        probe, big, util::derive_seed(seed, t, 2), samples);
+    worst = std::min(worst, d_small - d_big);
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// StochasticCoverage
+// ---------------------------------------------------------------------------
+
+StochasticCoverage::StochasticCoverage(std::size_t num_elements,
+                                       std::vector<std::vector<std::uint32_t>> regions,
+                                       std::vector<double> work_probs)
+    : num_elements_(num_elements),
+      regions_(std::move(regions)),
+      work_probs_(std::move(work_probs)) {
+  if (regions_.size() != work_probs_.size()) {
+    throw std::invalid_argument("StochasticCoverage: size mismatch");
+  }
+  for (auto& region : regions_) {
+    for (auto e : region) {
+      if (e >= num_elements_) {
+        throw std::invalid_argument("StochasticCoverage: element out of range");
+      }
+    }
+    std::sort(region.begin(), region.end());
+    region.erase(std::unique(region.begin(), region.end()), region.end());
+  }
+  for (double p : work_probs_) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("StochasticCoverage: probability out of range");
+    }
+  }
+}
+
+std::vector<State> StochasticCoverage::sample_realization(std::uint64_t seed) const {
+  util::Rng rng(seed);
+  std::vector<State> states(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    states[i] = rng.bernoulli(work_probs_[i]) ? 1 : 0;
+  }
+  return states;
+}
+
+double StochasticCoverage::value(const std::vector<Item>& items,
+                                 const std::vector<State>& realization) const {
+  std::vector<std::uint8_t> covered(num_elements_, 0);
+  std::size_t count = 0;
+  for (Item i : items) {
+    if (realization[i] != 1) continue;
+    for (auto e : regions_[i]) {
+      if (!covered[e]) {
+        covered[e] = 1;
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(count);
+}
+
+std::vector<std::pair<State, double>> StochasticCoverage::state_distribution(
+    Item item) const {
+  return {{1, work_probs_[item]}, {0, 1.0 - work_probs_[item]}};
+}
+
+double StochasticCoverage::expected_marginal(Item item, const PartialRealization& psi,
+                                             std::uint64_t /*seed*/,
+                                             std::size_t /*samples*/) const {
+  // Closed form: Δ(item | ψ) = p_item * |region(item) \ covered(ψ)|, since
+  // unselected items' states do not affect what ψ already covers.
+  std::vector<std::uint8_t> covered(num_elements_, 0);
+  for (std::size_t i = 0; i < psi.items.size(); ++i) {
+    if (psi.states[i] != 1) continue;
+    for (auto e : regions_[psi.items[i]]) covered[e] = 1;
+  }
+  std::size_t fresh = 0;
+  for (auto e : regions_[item]) fresh += covered[e] == 0;
+  return work_probs_[item] * static_cast<double>(fresh);
+}
+
+}  // namespace recon::adaptive

@@ -1,0 +1,146 @@
+// Generic adaptive stochastic optimization (Golovin & Krause, JAIR 2011) —
+// the framework behind the paper's Theorems 2 and 4.
+//
+// An adaptive optimization instance has ground items whose random states are
+// revealed upon selection; a policy picks items one at a time as a function
+// of the partial realization observed so far. When the objective is
+// adaptive monotone and adaptive submodular, the adaptive greedy policy
+// (pick the item with the largest conditional expected marginal benefit) is
+// a (1 − 1/e)-approximation to the optimal policy of the same cardinality —
+// the result the paper invokes as "Thm. 5.2 [21]".
+//
+// This module provides the abstract interface, the adaptive greedy driver,
+// policy evaluation utilities, and empirical property checkers used by the
+// tests; recon's Max-Crawling is one instantiation (adaptive/crawling.h),
+// and adaptive stochastic coverage (a classic textbook instance) is another.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace recon::adaptive {
+
+using Item = std::uint32_t;
+/// Opaque per-item state (meaning is instance-defined); kUnknownState marks
+/// "not yet selected" inside partial realizations.
+using State = std::uint32_t;
+inline constexpr State kUnknownState = static_cast<State>(-1);
+
+/// A partial realization ψ: which items were selected and what they revealed.
+struct PartialRealization {
+  std::vector<Item> items;    ///< selection order
+  std::vector<State> states;  ///< aligned revealed states
+
+  std::size_t size() const noexcept { return items.size(); }
+  bool contains(Item item) const noexcept;
+  void add(Item item, State state) {
+    items.push_back(item);
+    states.push_back(state);
+  }
+};
+
+/// An adaptive optimization instance. Implementations must be deterministic
+/// given the seeds passed to sample_realization.
+class Instance {
+ public:
+  virtual ~Instance() = default;
+
+  virtual std::size_t num_items() const = 0;
+
+  /// Samples a full realization: the state every item would reveal.
+  virtual std::vector<State> sample_realization(std::uint64_t seed) const = 0;
+
+  /// Objective value f(items, φ) for the selected items under a full
+  /// realization (items' states are φ[item]).
+  virtual double value(const std::vector<Item>& items,
+                       const std::vector<State>& realization) const = 0;
+
+  /// Conditional expected marginal benefit Δ(item | ψ) =
+  /// E[f(ψ ∪ {item}) − f(ψ) | Φ ~ ψ]. The default estimates it by sampling
+  /// realizations consistent with ψ; instances with closed forms override.
+  virtual double expected_marginal(Item item, const PartialRealization& psi,
+                                   std::uint64_t seed,
+                                   std::size_t samples = 256) const;
+
+  /// Samples a full realization *consistent with* ψ (states of selected
+  /// items fixed, the rest resampled). Default: rejection-free resampling
+  /// assuming item states are independent — instances with correlated
+  /// states must override.
+  virtual std::vector<State> sample_consistent(const PartialRealization& psi,
+                                               std::uint64_t seed) const;
+
+  /// The marginal state distribution of an item (assumed independent across
+  /// items, matching sample_consistent's default). Required by the exact
+  /// adaptive-optimum solver; the default derives it empirically from
+  /// sample_realization, instances with known distributions override.
+  virtual std::vector<std::pair<State, double>> state_distribution(Item item) const;
+};
+
+/// A policy maps a partial realization to the next item (or kNoItem).
+inline constexpr Item kNoItem = static_cast<Item>(-1);
+using Policy = std::function<Item(const PartialRealization&)>;
+
+/// The adaptive greedy policy: argmax_item Δ(item | ψ) over unselected
+/// items, estimated with `samples` consistent realizations per item.
+Policy make_adaptive_greedy(const Instance& instance, std::uint64_t seed,
+                            std::size_t samples = 256);
+
+/// Runs a policy for `cardinality` steps against the realization drawn with
+/// `world_seed`; returns the achieved objective value.
+double run_policy(const Instance& instance, const Policy& policy,
+                  std::size_t cardinality, std::uint64_t world_seed);
+
+/// Mean objective of a policy over `runs` sampled realizations.
+double evaluate_policy(const Instance& instance, const Policy& policy,
+                       std::size_t cardinality, int runs, std::uint64_t seed);
+
+/// Exhaustive optimal *non-adaptive* set of size k (enumerates all subsets;
+/// small instances only), evaluated by averaging over `runs` realizations.
+double best_nonadaptive_value(const Instance& instance, std::size_t cardinality,
+                              int runs, std::uint64_t seed);
+
+/// Exact value of the OPTIMAL adaptive policy of cardinality k, computed by
+/// full enumeration over item choices and state outcomes (assumes item
+/// states are independent with Instance::state_distribution marginals).
+/// Exponential: intended for tiny instances (tests of the Golovin-Krause
+/// guarantee against the true adaptive optimum). Terminal values use
+/// Instance::value on the selected prefix, which must depend only on
+/// selected items' states.
+double optimal_adaptive_value(const Instance& instance, std::size_t cardinality);
+
+/// Empirical adaptive-submodularity check: estimates Δ(item | ψ) on random
+/// nested pairs ψ ⊆ ψ' and reports the worst violation margin
+/// (min over pairs of Δ(item|ψ) − Δ(item|ψ')); values >= -tolerance indicate
+/// the property holds within sampling noise.
+double empirical_submodularity_margin(const Instance& instance, std::size_t trials,
+                                      std::uint64_t seed, std::size_t samples = 512);
+
+// ---------------------------------------------------------------------------
+// Adaptive stochastic coverage: the classic instance. Items are sensors;
+// each covers its region only if it works (probability p_i); the objective
+// is the size of the union of working items' regions.
+// ---------------------------------------------------------------------------
+class StochasticCoverage : public Instance {
+ public:
+  /// regions[i] = elements covered by item i when it works.
+  StochasticCoverage(std::size_t num_elements,
+                     std::vector<std::vector<std::uint32_t>> regions,
+                     std::vector<double> work_probs);
+
+  std::size_t num_items() const override { return regions_.size(); }
+  std::vector<State> sample_realization(std::uint64_t seed) const override;
+  double value(const std::vector<Item>& items,
+               const std::vector<State>& realization) const override;
+  /// Closed-form conditional marginal (no sampling needed).
+  double expected_marginal(Item item, const PartialRealization& psi,
+                           std::uint64_t seed, std::size_t samples) const override;
+  std::vector<std::pair<State, double>> state_distribution(Item item) const override;
+
+ private:
+  std::size_t num_elements_;
+  std::vector<std::vector<std::uint32_t>> regions_;
+  std::vector<double> work_probs_;
+};
+
+}  // namespace recon::adaptive

@@ -1,0 +1,118 @@
+#include "adaptive/crawling.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace recon::adaptive {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+CrawlingInstance::CrawlingInstance(const sim::Problem& problem) : problem_(&problem) {}
+
+std::size_t CrawlingInstance::num_items() const {
+  return problem_->graph.num_nodes();
+}
+
+std::vector<State> CrawlingInstance::sample_realization(std::uint64_t seed) const {
+  util::Rng rng(seed);
+  const auto& g = problem_->graph;
+  std::vector<State> states(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    // Base acceptance rate; the marginalized formulation has no
+    // mutual-friend dynamics (acceptance states are independent).
+    states[u] = rng.bernoulli(problem_->acceptance.base(u)) ? 1 : 0;
+  }
+  return states;
+}
+
+double CrawlingInstance::value(const std::vector<Item>& items,
+                               const std::vector<State>& realization) const {
+  const auto& g = problem_->graph;
+  const auto& benefit = problem_->benefit;
+  std::vector<std::uint8_t> accepted(g.num_nodes(), 0);
+  for (Item u : items) {
+    if (realization[u] == 1) accepted[u] = 1;
+  }
+  double total = 0.0;
+  // Friend benefit.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (accepted[u]) total += benefit.bf[u];
+  }
+  // FoF benefit in expectation over edges: v not accepted collects Bfof(v)
+  // with probability 1 - Π_{accepted neighbors u} (1 - p_uv).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (accepted[v] || benefit.bfof[v] <= 0.0) continue;
+    double none = 1.0;
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (accepted[nbrs[i]]) none *= 1.0 - g.edge_prob(eids[i]);
+    }
+    total += benefit.bfof[v] * (1.0 - none);
+  }
+  // Edge benefit: an edge with at least one accepted endpoint is revealed
+  // iff it exists (probability p_e).
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (accepted[g.edge_u(e)] || accepted[g.edge_v(e)]) {
+      total += g.edge_prob(e) * benefit.bi[e];
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<State, double>> CrawlingInstance::state_distribution(
+    Item item) const {
+  const double q = problem_->acceptance.base(static_cast<graph::NodeId>(item));
+  return {{1, q}, {0, 1.0 - q}};
+}
+
+double CrawlingInstance::expected_marginal(Item item, const PartialRealization& psi,
+                                           std::uint64_t /*seed*/,
+                                           std::size_t /*samples*/) const {
+  // Closed form: the candidate contributes only if it accepts
+  // (probability q(item)); conditioned on accepting, its marginal depends
+  // only on ψ's accepted set.
+  const auto& g = problem_->graph;
+  const auto& benefit = problem_->benefit;
+  std::vector<std::uint8_t> accepted(g.num_nodes(), 0);
+  for (std::size_t i = 0; i < psi.items.size(); ++i) {
+    if (psi.states[i] == 1) accepted[psi.items[i]] = 1;
+  }
+  if (accepted[item]) return 0.0;  // defensive; item should be unselected
+
+  double inner = benefit.bf[item];
+  const auto nbrs = g.neighbors(item);
+  const auto eids = g.incident_edges(item);
+  // Losing item's own FoF benefit (it becomes a friend instead).
+  double none_self = 1.0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (accepted[nbrs[i]]) none_self *= 1.0 - g.edge_prob(eids[i]);
+  }
+  inner -= benefit.bfof[item] * (1.0 - none_self);
+
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const NodeId v = nbrs[i];
+    const EdgeId e = eids[i];
+    const double p = g.edge_prob(e);
+    if (!accepted[v]) {
+      // New FoF contribution: only the *increase* in v's coverage prob.
+      if (benefit.bfof[v] > 0.0) {
+        double none = 1.0;
+        const auto vn = g.neighbors(v);
+        const auto ve = g.incident_edges(v);
+        for (std::size_t j = 0; j < vn.size(); ++j) {
+          if (accepted[vn[j]]) none *= 1.0 - g.edge_prob(ve[j]);
+        }
+        inner += benefit.bfof[v] * none * p;
+      }
+      // Edge revealed only if no accepted endpoint already covered it.
+      inner += p * benefit.bi[e];
+    }
+    // v accepted: edge (item, v) already counted via v.
+  }
+  return problem_->acceptance.base(item) * inner;
+}
+
+}  // namespace recon::adaptive

@@ -1,0 +1,41 @@
+// Max-Crawling as an adaptive-optimization Instance.
+//
+// This is the *acceptance-marginalized* formulation used in the paper's
+// analysis (the mapping to (h, Z) in Lemmas 3–4): the random states are the
+// accept/reject outcomes, and the objective is the benefit in expectation
+// over the edge realization,
+//
+//   f(A) = Σ_{u∈A⁺} Bf(u)
+//        + Σ_{v∉A⁺} Bfof(v) · (1 − Π_{u∈A⁺∩N(v)} (1 − p_uv))
+//        + Σ_{e: e∩A⁺ ≠ ∅} p_e · Bi(e)
+//
+// where A⁺ is the set of selected nodes that accepted. This function is
+// monotone submodular in A⁺, so (f, P) is adaptive monotone submodular and
+// the generic adaptive greedy enjoys the (1 − 1/e) guarantee the paper
+// builds on. The closed-form conditional marginal avoids sampling entirely.
+#pragma once
+
+#include "adaptive/adaptive.h"
+#include "sim/problem.h"
+
+namespace recon::adaptive {
+
+class CrawlingInstance : public Instance {
+ public:
+  /// Binds to a problem (must outlive the instance). Node states: 1 accept,
+  /// 0 reject.
+  explicit CrawlingInstance(const sim::Problem& problem);
+
+  std::size_t num_items() const override;
+  std::vector<State> sample_realization(std::uint64_t seed) const override;
+  double value(const std::vector<Item>& items,
+               const std::vector<State>& realization) const override;
+  double expected_marginal(Item item, const PartialRealization& psi,
+                           std::uint64_t seed, std::size_t samples) const override;
+  std::vector<std::pair<State, double>> state_distribution(Item item) const override;
+
+ private:
+  const sim::Problem* problem_;
+};
+
+}  // namespace recon::adaptive

@@ -1,0 +1,300 @@
+#include "cli/commands.h"
+
+#include <exception>
+#include <memory>
+#include <ostream>
+
+#include "core/attack.h"
+#include "core/baselines.h"
+#include "core/m_arest.h"
+#include "core/pm_arest.h"
+#include "defense/detector.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "metrics/rrs.h"
+#include "sim/problem.h"
+#include "sim/problem_io.h"
+#include "sim/trace_io.h"
+#include "solver/strategy_mip.h"
+#include "util/table.h"
+
+namespace recon::cli {
+
+namespace {
+
+graph::Graph generate_graph(const util::Args& args) {
+  const std::string model = args.get("model", "ba");
+  const auto n = static_cast<graph::NodeId>(args.get_int("nodes", 1000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  graph::Graph g;
+  if (model == "ba") {
+    g = graph::barabasi_albert(n, static_cast<graph::NodeId>(args.get_int("m", 5)),
+                               seed);
+  } else if (model == "ws") {
+    g = graph::watts_strogatz(n, static_cast<graph::NodeId>(args.get_int("k", 5)),
+                              args.get_double("beta", 0.1), seed);
+  } else if (model == "er") {
+    g = graph::erdos_renyi_gnm(
+        n, static_cast<graph::EdgeId>(args.get_int("edges", 5 * n)), seed);
+  } else if (model == "sbm") {
+    g = graph::stochastic_block_model(
+        n, static_cast<unsigned>(args.get_int("blocks", 3)),
+        args.get_double("pin", 0.2), args.get_double("pout", 0.02), seed);
+  } else if (model == "powerlaw") {
+    g = graph::powerlaw_configuration(
+        n, args.get_double("exponent", 2.0),
+        static_cast<graph::NodeId>(args.get_int("min-degree", 3)),
+        static_cast<graph::NodeId>(args.get_int("max-degree", n / 10 + 10)), seed);
+  } else {
+    throw std::invalid_argument("unknown --model '" + model +
+                                "' (ba|ws|er|sbm|powerlaw)");
+  }
+  const std::string probs = args.get("probs", "structural");
+  if (probs == "structural") {
+    g = graph::assign_edge_probs(g, graph::EdgeProbModel::structural(0.4, 0.5),
+                                 util::derive_seed(seed, 0xB0));
+  } else if (probs == "uniform") {
+    g = graph::assign_edge_probs(
+        g,
+        graph::EdgeProbModel::uniform(args.get_double("plo", 0.2),
+                                      args.get_double("phi", 0.9)),
+        util::derive_seed(seed, 0xB0));
+  } else if (probs == "const") {
+    g = graph::assign_edge_probs(g,
+                                 graph::EdgeProbModel::constant(args.get_double("p", 1.0)),
+                                 util::derive_seed(seed, 0xB0));
+  } else {
+    throw std::invalid_argument("unknown --probs '" + probs +
+                                "' (structural|uniform|const)");
+  }
+  return g;
+}
+
+sim::Problem load_problem(const util::Args& args) {
+  // A saved problem file reproduces the full instance (targets + models);
+  // otherwise the instance is derived from an edge list plus flags.
+  const std::string problem_path = args.get("problem", "");
+  if (!problem_path.empty()) return sim::read_problem_file(problem_path);
+  const std::string path = args.get("graph", "");
+  if (path.empty()) {
+    throw std::invalid_argument("--graph FILE or --problem FILE is required");
+  }
+  graph::Graph g = graph::read_edge_list_file(path);
+  sim::ProblemOptions opts;
+  opts.num_targets = static_cast<std::size_t>(args.get_int("targets", 50));
+  const std::string mode = args.get("target-mode", "ball");
+  if (mode == "random") opts.target_mode = sim::TargetMode::kRandom;
+  else if (mode == "ball") opts.target_mode = sim::TargetMode::kBfsBall;
+  else if (mode == "degree") opts.target_mode = sim::TargetMode::kHighDegree;
+  else throw std::invalid_argument("unknown --target-mode (random|ball|degree)");
+  opts.base_acceptance = args.get_double("q", 0.3);
+  opts.mutual_boost = args.get_double("boost", 0.1);
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return sim::make_problem(std::move(g), opts);
+}
+
+core::StrategyFactory make_factory(const util::Args& args) {
+  const std::string name = args.get("strategy", "pm");
+  const int k = static_cast<int>(args.get_int("k", 10));
+  const bool retries = args.has("retries");
+  if (name == "pm") {
+    return [k, retries](int) {
+      core::PmArestOptions o;
+      o.batch_size = k;
+      o.allow_retries = retries;
+      return std::make_unique<core::PmArest>(o);
+    };
+  }
+  if (name == "m") {
+    return [retries](int) {
+      core::MArestOptions o;
+      o.allow_retries = retries;
+      return std::make_unique<core::MArest>(o);
+    };
+  }
+  if (name == "random") {
+    return [k](int r) {
+      return std::make_unique<core::RandomStrategy>(
+          k, 1000 + static_cast<std::uint64_t>(r));
+    };
+  }
+  if (name == "degree") {
+    return [k](int) { return std::make_unique<core::HighDegreeStrategy>(k); };
+  }
+  if (name == "mip" || name == "lshaped") {
+    const auto samples = static_cast<std::size_t>(args.get_int("samples", 300));
+    const bool benders = name == "lshaped";
+    return [k, retries, samples, benders](int) {
+      solver::MipStrategyOptions o;
+      o.batch_size = k;
+      o.allow_retries = retries;
+      o.scenarios_per_batch = samples;
+      o.candidate_cap = 30;
+      o.use_benders = benders;
+      return std::make_unique<solver::MipBatchStrategy>(o);
+    };
+  }
+  throw std::invalid_argument("unknown --strategy '" + name +
+                              "' (pm|m|random|degree|mip|lshaped)");
+}
+
+}  // namespace
+
+int cmd_generate(const util::Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const graph::Graph g = generate_graph(args);
+    const std::string out_path = args.get("out", "");
+    if (out_path.empty()) throw std::invalid_argument("--out FILE is required");
+    graph::write_edge_list_file(out_path, g);
+    const auto deg = graph::degree_stats(g);
+    out << "wrote " << out_path << ": " << g.num_nodes() << " nodes, "
+        << g.num_edges() << " edges, mean degree " << util::format_fixed(deg.mean, 1)
+        << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "generate: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const sim::Problem problem = load_problem(args);
+    const std::string save_path = args.get("save-problem", "");
+    if (!save_path.empty()) {
+      sim::write_problem_file(save_path, problem);
+      out << "problem saved    : " << save_path << "\n";
+    }
+    const auto factory = make_factory(args);
+    const int runs = static_cast<int>(args.get_int("runs", 10));
+    const double budget = args.get_double("budget", 100.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto mc = core::run_monte_carlo(problem, factory, runs, budget, seed);
+
+    out << "strategy " << factory(0)->name() << ", " << runs << " runs, budget "
+        << budget << "\n";
+    out << "mean benefit   : " << util::format_fixed(mc.mean_benefit(), 3) << "\n";
+    out << "mean requests  : " << util::format_fixed(mc.mean_requests(), 1) << "\n";
+    sim::BenefitBreakdown total;
+    for (const auto& t : mc.traces) total += t.final_breakdown();
+    const double n = static_cast<double>(mc.traces.size());
+    out << "mean breakdown : friends " << util::format_fixed(total.friends / n, 2)
+        << ", fofs " << util::format_fixed(total.fofs / n, 2) << ", edges "
+        << util::format_fixed(total.edges / n, 2) << "\n";
+    const std::string traces_path = args.get("traces", "");
+    if (!traces_path.empty()) {
+      sim::write_traces_file(traces_path, mc.traces);
+      out << "traces written : " << traces_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "attack: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_metrics(const util::Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const std::string path = args.get("traces", "");
+    if (path.empty()) throw std::invalid_argument("--traces FILE is required");
+    const auto traces = sim::read_traces_file(path);
+    if (traces.empty()) throw std::invalid_argument("no traces in file");
+    const double threshold = args.get_double("threshold", 20.0);
+    const double delay = args.get_double("delay", 300.0);
+    double benefit = 0.0;
+    for (const auto& t : traces) benefit += t.total_benefit();
+    out << "traces         : " << traces.size() << "\n";
+    out << "mean benefit   : "
+        << util::format_fixed(benefit / static_cast<double>(traces.size()), 3) << "\n";
+    const auto r = metrics::rrs(traces, threshold);
+    out << "RRS(Q=" << threshold << ")     : "
+        << util::format_fixed(r.expected_requests, 1) << " requests ("
+        << util::format_fixed(100.0 * r.reach_fraction, 0) << "% reached)\n";
+    out << "RT-RRS(d=" << delay
+        << "s): " << util::format_sci(metrics::rt_rrs(traces, delay))
+        << " seconds per unit benefit\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "metrics: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_audit(const util::Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    const sim::Problem problem = load_problem(args);
+    const int runs = static_cast<int>(args.get_int("runs", 10));
+    const double budget = args.get_double("budget", 100.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto monitors_n = static_cast<std::size_t>(args.get_int("monitors", 10));
+
+    const auto mc = core::run_monte_carlo(
+        problem,
+        [](int) {
+          core::PmArestOptions o;
+          o.batch_size = 10;
+          o.allow_retries = true;
+          return std::make_unique<core::PmArest>(o);
+        },
+        runs, budget, seed);
+    out << "simulated " << runs << " PM-AReST(k=10,retry) attacks, budget " << budget
+        << "\n";
+    out << "mean benefit harvested: " << util::format_fixed(mc.mean_benefit(), 2)
+        << "\n\n";
+    out << "recommended monitor placements (most-exploited users):\n";
+    util::Table table({"node", "attack freq", "degree", "target?"});
+    for (const auto& [node, freq] : metrics::vulnerable_users(mc.traces, monitors_n)) {
+      table.add_row({std::to_string(node),
+                     util::format_fixed(100.0 * freq, 0) + "%",
+                     std::to_string(problem.graph.degree(node)),
+                     problem.is_target[node] ? "yes" : "no"});
+    }
+    out << table.to_text();
+    return 0;
+  } catch (const std::exception& e) {
+    err << "audit: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+void print_usage(std::ostream& out) {
+  out << "recon — adaptive reconnaissance-attack toolkit (ICDCS'17 reproduction)\n"
+         "usage: recon <command> [--flags]\n\n"
+         "commands:\n"
+         "  generate  synthesize a probabilistic social graph -> edge list\n"
+         "            --model ba|ws|er|sbm|powerlaw --nodes N --out FILE\n"
+         "            [--probs structural|uniform|const] [--seed S] [model params]\n"
+         "  attack    run Monte-Carlo attacks against a graph\n"
+         "            --graph FILE | --problem FILE\n"
+         "            [--strategy pm|m|random|degree|mip|lshaped] [--k K]\n"
+         "            [--budget B] [--runs R] [--retries] [--targets N]\n"
+         "            [--target-mode random|ball|degree] [--traces OUT]\n"
+         "            [--save-problem OUT]  (persist the exact instance)\n"
+         "  metrics   compute RRS / RT-RRS from a saved trace file\n"
+         "            --traces FILE [--threshold Q] [--delay SECONDS]\n"
+         "  audit     recommend defender monitor placements\n"
+         "            --graph FILE [--monitors M] [--budget B] [--runs R]\n";
+}
+
+int dispatch(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    print_usage(err);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const util::Args args(argc - 1, argv + 1);
+  if (cmd == "generate") return cmd_generate(args, out, err);
+  if (cmd == "attack") return cmd_attack(args, out, err);
+  if (cmd == "metrics") return cmd_metrics(args, out, err);
+  if (cmd == "audit") return cmd_audit(args, out, err);
+  if (cmd == "help" || cmd == "--help") {
+    print_usage(out);
+    return 0;
+  }
+  err << "unknown command '" << cmd << "'\n";
+  print_usage(err);
+  return 2;
+}
+
+}  // namespace recon::cli

@@ -1,0 +1,32 @@
+// Command implementations behind the `recon` CLI (tools/recon_cli.cc).
+//
+// Each command takes parsed arguments and an output stream and returns a
+// process exit code; the CLI binary is a thin dispatcher so tests can drive
+// commands directly.
+//
+//   recon generate --model ba --nodes 1000 --out g.txt [--probs structural]
+//   recon attack   --graph g.txt --strategy pm --k 10 --budget 100 --runs 10
+//                  [--targets 50] [--retries] [--traces out.traces]
+//   recon metrics  --traces out.traces [--threshold 20] [--delay 300]
+//   recon audit    --graph g.txt [--monitors 10] [--budget 100]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/env.h"
+
+namespace recon::cli {
+
+int cmd_generate(const util::Args& args, std::ostream& out, std::ostream& err);
+int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err);
+int cmd_metrics(const util::Args& args, std::ostream& out, std::ostream& err);
+int cmd_audit(const util::Args& args, std::ostream& out, std::ostream& err);
+
+/// Prints usage for all commands.
+void print_usage(std::ostream& out);
+
+/// Dispatches on argv[1]; returns the command's exit code (2 on usage error).
+int dispatch(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace recon::cli

@@ -1,0 +1,161 @@
+#include "core/async_attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "core/batch_select.h"
+#include "core/batch_state.h"
+#include "util/rng.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+namespace {
+
+double draw_delay(double mean, ResponseDelayModel model, util::Rng& rng) {
+  switch (model) {
+    case ResponseDelayModel::kFixed:
+      return mean;
+    case ResponseDelayModel::kExponential:
+      return -mean * std::log(std::max(1e-300, 1.0 - rng.uniform()));
+  }
+  return mean;
+}
+
+/// An in-flight request.
+struct Outstanding {
+  double completion_time;
+  NodeId node;
+  double q_at_send;
+  std::uint32_t attempt;
+
+  bool operator>(const Outstanding& o) const noexcept {
+    if (completion_time != o.completion_time) {
+      return completion_time > o.completion_time;
+    }
+    return node > o.node;
+  }
+};
+
+/// Best next request given the observation and the in-flight set (linear
+/// scan with the collapsed batch-state correction).
+NodeId best_candidate(const sim::Observation& obs, const BatchState& state,
+                      const AsyncAttackOptions& options, std::uint32_t attempt_cap) {
+  const auto candidates = batch_candidates(obs, options.allow_retries, attempt_cap,
+                                           /*max_cost=*/1e18);
+  NodeId best = graph::kInvalidNode;
+  double best_score = 0.0;
+  for (NodeId u : candidates) {
+    if (state.is_selected(u)) continue;  // already in flight
+    const double s = state.gamma(obs, u, options.policy);
+    if (s > best_score || (s == best_score && best != graph::kInvalidNode && u < best)) {
+      best_score = s;
+      best = u;
+    }
+  }
+  return best_score > 0.0 ? best : graph::kInvalidNode;
+}
+
+}  // namespace
+
+AsyncAttackResult run_async_attack(const sim::Problem& problem,
+                                   const sim::World& world,
+                                   const AsyncAttackOptions& options, double budget) {
+  if (budget <= 0.0) {
+    throw std::invalid_argument("run_async_attack: budget must be positive");
+  }
+  if (options.window <= 0) {
+    throw std::invalid_argument("run_async_attack: window must be positive");
+  }
+  if (options.mean_delay < 0.0) {
+    throw std::invalid_argument("run_async_attack: negative delay");
+  }
+  std::uint32_t attempt_cap = options.max_attempts_per_node;
+  if (attempt_cap == 0) {
+    attempt_cap = options.allow_retries
+                      ? static_cast<std::uint32_t>(std::max(1.0, std::ceil(budget)))
+                      : 1;
+  }
+
+  sim::Observation obs(problem);
+  util::Rng delay_rng(options.seed);
+  AsyncAttackResult result;
+  std::priority_queue<Outstanding, std::vector<Outstanding>, std::greater<>> in_flight;
+
+  double now = 0.0;
+  double spent = 0.0;
+  // The in-flight set as a collapsed batch state; priority_queue has no
+  // iteration, so a mirror list backs the rebuilds after each resolution.
+  BatchState state(problem.graph.num_nodes());
+  std::vector<Outstanding> mirror;
+
+  auto rebuild = [&] {
+    state.reset();
+    for (const auto& o : mirror) state.select(obs, o.node, o.q_at_send);
+  };
+
+  auto send_one = [&]() -> bool {
+    const NodeId u = best_candidate(obs, state, options, attempt_cap);
+    if (u == graph::kInvalidNode) return false;
+    const double cost = problem.cost_of(u);
+    if (spent + cost > budget + 1e-9) return false;
+    spent += cost;
+    Outstanding o;
+    o.node = u;
+    o.q_at_send = obs.acceptance_prob(u);
+    o.attempt = obs.attempts(u);
+    o.completion_time = now + draw_delay(options.mean_delay, options.delay_model,
+                                         delay_rng);
+    state.select(obs, u, o.q_at_send);
+    mirror.push_back(o);
+    in_flight.push(o);
+    ++result.requests_sent;
+    return true;
+  };
+
+  for (;;) {
+    // Fill the window.
+    while (static_cast<int>(in_flight.size()) < options.window && send_one()) {
+    }
+    if (in_flight.empty()) break;  // nothing outstanding and nothing to send
+    // Advance time to the next response.
+    const Outstanding done = in_flight.top();
+    in_flight.pop();
+    mirror.erase(std::find_if(mirror.begin(), mirror.end(), [&](const Outstanding& o) {
+      return o.node == done.node && o.completion_time == done.completion_time;
+    }));
+    now = done.completion_time;
+    result.makespan_seconds = now;
+
+    sim::BatchRecord record;
+    record.requests = {done.node};
+    const sim::BenefitBreakdown before = obs.benefit();
+    // NOTE: the attempt index was frozen at send time; the acceptance
+    // probability too (the user decides based on the state when they saw
+    // the request).
+    const bool accepted = world.attempt_accept(done.node, done.attempt, done.q_at_send);
+    record.accepted = {static_cast<std::uint8_t>(accepted ? 1 : 0)};
+    if (accepted) {
+      ++result.accepts;
+      obs.record_accept(done.node, world.true_neighbors(done.node));
+    } else {
+      obs.record_reject(done.node);
+    }
+    record.delta = obs.benefit() - before;
+    record.cumulative = obs.benefit();
+    record.cost = problem.cost_of(done.node);
+    record.cumulative_cost =
+        result.trace.batches.empty()
+            ? record.cost
+            : result.trace.batches.back().cumulative_cost + record.cost;
+    result.trace.batches.push_back(std::move(record));
+    // The observation changed: rebuild the in-flight expectation state.
+    rebuild();
+  }
+  return result;
+}
+
+}  // namespace recon::core

@@ -1,0 +1,107 @@
+#include "core/attack.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world,
+                            Strategy& strategy, double budget) {
+  if (budget <= 0.0) throw std::invalid_argument("run_attack: budget must be positive");
+  sim::AttackTrace trace;
+  sim::Observation obs(problem);
+  strategy.begin(problem, budget);
+  double spent = 0.0;
+
+  while (spent < budget) {
+    util::WallTimer timer;
+    std::vector<NodeId> batch = strategy.next_batch(obs, budget - spent);
+    const double select_seconds = timer.seconds();
+    if (batch.empty()) break;
+
+    // Truncate to the affordable prefix.
+    std::size_t take = 0;
+    double batch_cost = 0.0;
+    for (NodeId u : batch) {
+      const double c = problem.cost_of(u);
+      if (spent + batch_cost + c > budget + 1e-9) break;
+      batch_cost += c;
+      ++take;
+    }
+    if (take == 0) break;
+    batch.resize(take);
+
+    // Parallel send: acceptance probabilities are frozen at batch start
+    // (responses cannot influence one another within a batch).
+    std::vector<double> probs(batch.size());
+    std::vector<std::uint32_t> attempt_idx(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      probs[i] = obs.acceptance_prob(batch[i]);
+      attempt_idx[i] = obs.attempts(batch[i]);
+    }
+
+    sim::BatchRecord record;
+    record.requests = batch;
+    record.accepted.resize(batch.size());
+    const sim::BenefitBreakdown before = obs.benefit();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const NodeId u = batch[i];
+      const bool accepted = world.attempt_accept(u, attempt_idx[i], probs[i]);
+      record.accepted[i] = accepted ? 1 : 0;
+      if (accepted) {
+        const auto true_nbrs = world.true_neighbors(u);
+        obs.record_accept(u, true_nbrs);
+      } else {
+        obs.record_reject(u);
+      }
+    }
+    spent += batch_cost;
+    record.delta = obs.benefit() - before;
+    record.cumulative = obs.benefit();
+    record.cost = batch_cost;
+    record.cumulative_cost = spent;
+    record.select_seconds = select_seconds;
+    trace.batches.push_back(std::move(record));
+  }
+  return trace;
+}
+
+double MonteCarloResult::mean_benefit() const {
+  if (traces.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& t : traces) total += t.total_benefit();
+  return total / static_cast<double>(traces.size());
+}
+
+double MonteCarloResult::mean_requests() const {
+  if (traces.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& t : traces) total += static_cast<double>(t.total_requests());
+  return total / static_cast<double>(traces.size());
+}
+
+MonteCarloResult run_monte_carlo(const sim::Problem& problem,
+                                 const StrategyFactory& factory, int runs,
+                                 double budget, std::uint64_t seed,
+                                 util::ThreadPool* pool) {
+  if (runs <= 0) throw std::invalid_argument("run_monte_carlo: runs must be positive");
+  MonteCarloResult result;
+  result.traces.resize(static_cast<std::size_t>(runs));
+  auto run_one = [&](std::size_t r) {
+    const sim::World world(problem, util::derive_seed(seed, r));
+    auto strategy = factory(static_cast<int>(r));
+    result.traces[r] = run_attack(problem, world, *strategy, budget);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, static_cast<std::size_t>(runs), run_one, /*grain=*/1);
+  } else {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(runs); ++r) run_one(r);
+  }
+  return result;
+}
+
+}  // namespace recon::core

@@ -1,0 +1,47 @@
+// Attack runner — the send/observe loop of Alg. 1 and its Monte-Carlo
+// harness.
+//
+// One attack: repeatedly ask the strategy for a batch, send every request in
+// the batch "in parallel" (all acceptance decisions are evaluated against
+// the observation as it stood when the batch was chosen), then run the
+// observation phase, until the budget K is exhausted or the strategy yields
+// an empty batch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/strategy.h"
+#include "sim/trace.h"
+#include "sim/world.h"
+#include "util/thread_pool.h"
+
+namespace recon::core {
+
+/// Runs a single attack of total budget `budget` (the paper's K).
+sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world,
+                            Strategy& strategy, double budget);
+
+/// Factory producing a fresh strategy per Monte-Carlo run (strategies are
+/// stateful). The argument is the run index.
+using StrategyFactory = std::function<std::unique_ptr<Strategy>(int run)>;
+
+struct MonteCarloResult {
+  std::vector<sim::AttackTrace> traces;
+
+  double mean_benefit() const;
+  double mean_requests() const;
+};
+
+/// Runs `runs` independent attacks with worlds seeded from `seed` (run r
+/// uses derive_seed(seed, r)). When `pool` is non-null runs execute in
+/// parallel (the factory must produce strategies that do not share state and
+/// do not use the same pool internally).
+MonteCarloResult run_monte_carlo(const sim::Problem& problem,
+                                 const StrategyFactory& factory, int runs,
+                                 double budget, std::uint64_t seed,
+                                 util::ThreadPool* pool = nullptr);
+
+}  // namespace recon::core

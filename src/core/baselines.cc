@@ -1,0 +1,86 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/batch_select.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+namespace {
+
+int check_batch_size(int k) {
+  if (k <= 0) throw std::invalid_argument("baseline: batch_size must be positive");
+  return k;
+}
+
+}  // namespace
+
+RandomStrategy::RandomStrategy(int batch_size, std::uint64_t seed)
+    : batch_size_(check_batch_size(batch_size)), seed_(seed), rng_(seed) {}
+
+void RandomStrategy::begin(const sim::Problem& problem, double budget) {
+  (void)problem;
+  (void)budget;
+  rng_ = util::Rng(seed_);
+}
+
+std::vector<NodeId> RandomStrategy::next_batch(const sim::Observation& obs,
+                                               double remaining_budget) {
+  std::vector<NodeId> candidates =
+      batch_candidates(obs, /*allow_retries=*/false, /*max_attempts=*/1,
+                       remaining_budget);
+  if (candidates.empty()) return {};
+  util::shuffle(candidates, rng_);
+  const std::size_t take =
+      std::min<std::size_t>(candidates.size(), static_cast<std::size_t>(batch_size_));
+  candidates.resize(take);
+  return candidates;
+}
+
+HighDegreeStrategy::HighDegreeStrategy(int batch_size)
+    : batch_size_(check_batch_size(batch_size)) {}
+
+std::vector<NodeId> HighDegreeStrategy::next_batch(const sim::Observation& obs,
+                                                   double remaining_budget) {
+  std::vector<NodeId> candidates =
+      batch_candidates(obs, false, 1, remaining_budget);
+  const auto& g = obs.problem().graph;
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  const std::size_t take =
+      std::min<std::size_t>(candidates.size(), static_cast<std::size_t>(batch_size_));
+  candidates.resize(take);
+  return candidates;
+}
+
+TargetFirstStrategy::TargetFirstStrategy(int batch_size)
+    : batch_size_(check_batch_size(batch_size)) {}
+
+std::vector<NodeId> TargetFirstStrategy::next_batch(const sim::Observation& obs,
+                                                    double remaining_budget) {
+  std::vector<NodeId> candidates =
+      batch_candidates(obs, false, 1, remaining_budget);
+  const auto& benefit = obs.problem().benefit;
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    if (benefit.bf[a] != benefit.bf[b]) return benefit.bf[a] > benefit.bf[b];
+    return a < b;
+  });
+  // Drop zero-benefit nodes only if any target remains; otherwise fall back
+  // to arbitrary nodes so the attack can still finish its budget.
+  const auto first_zero =
+      std::find_if(candidates.begin(), candidates.end(),
+                   [&](NodeId u) { return benefit.bf[u] <= 0.0; });
+  if (first_zero != candidates.begin()) candidates.erase(first_zero, candidates.end());
+  const std::size_t take =
+      std::min<std::size_t>(candidates.size(), static_cast<std::size_t>(batch_size_));
+  candidates.resize(take);
+  return candidates;
+}
+
+}  // namespace recon::core

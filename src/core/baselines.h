@@ -1,0 +1,56 @@
+// Non-adaptive / heuristic baselines for comparison and sanity checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/strategy.h"
+#include "util/rng.h"
+
+namespace recon::core {
+
+/// Requests uniformly-random unrequested nodes in batches of k.
+class RandomStrategy : public Strategy {
+ public:
+  RandomStrategy(int batch_size, std::uint64_t seed);
+
+  std::string name() const override { return "Random"; }
+  void begin(const sim::Problem& problem, double budget) override;
+  std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                        double remaining_budget) override;
+
+ private:
+  int batch_size_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+/// Requests the highest-degree unrequested nodes (a strong non-adaptive
+/// heuristic: hubs reveal the most edges).
+class HighDegreeStrategy : public Strategy {
+ public:
+  explicit HighDegreeStrategy(int batch_size);
+
+  std::string name() const override { return "HighDegree"; }
+  std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                        double remaining_budget) override;
+
+ private:
+  int batch_size_;
+};
+
+/// Requests targets directly (highest Bf first), ignoring the social-circle
+/// route — the naive attacker the paper's introduction argues against.
+class TargetFirstStrategy : public Strategy {
+ public:
+  explicit TargetFirstStrategy(int batch_size);
+
+  std::string name() const override { return "TargetFirst"; }
+  std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                        double remaining_budget) override;
+
+ private:
+  int batch_size_;
+};
+
+}  // namespace recon::core

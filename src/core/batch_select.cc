@@ -1,0 +1,127 @@
+#include "core/batch_select.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace recon::core {
+
+using graph::NodeId;
+
+std::vector<NodeId> batch_candidates(const sim::Observation& obs, bool allow_retries,
+                                     std::uint32_t max_attempts_per_node,
+                                     double max_cost) {
+  const auto& problem = obs.problem();
+  std::vector<NodeId> out;
+  out.reserve(problem.graph.num_nodes());
+  for (NodeId u = 0; u < problem.graph.num_nodes(); ++u) {
+    if (!obs.requestable(u, allow_retries)) continue;
+    if (max_attempts_per_node != 0 && obs.attempts(u) >= max_attempts_per_node) continue;
+    if (problem.cost_of(u) > max_cost) continue;
+    out.push_back(u);
+  }
+  return out;
+}
+
+namespace {
+
+struct HeapEntry {
+  double score;
+  NodeId node;
+  std::uint32_t stamp;  ///< batch size when the score was computed
+
+  bool operator<(const HeapEntry& o) const noexcept {
+    if (score != o.score) return score < o.score;
+    return node > o.node;  // deterministic tie-break: lower id wins
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> batch_select(const sim::Observation& obs,
+                                 const BatchSelectOptions& options) {
+  const auto& problem = obs.problem();
+  BatchState state(problem.graph.num_nodes());
+
+  double budget = options.remaining_budget;
+  std::vector<NodeId> candidates = batch_candidates(
+      obs, options.allow_retries, options.max_attempts_per_node, budget);
+  if (candidates.empty() || options.batch_size <= 0) return {};
+
+  auto score_of = [&](NodeId u) {
+    double s = state.gamma(obs, u, options.policy);
+    if (options.cost_sensitive) s /= problem.cost_of(u);
+    return s;
+  };
+
+  std::vector<NodeId> batch;
+  batch.reserve(static_cast<std::size_t>(options.batch_size));
+
+  if (options.parallel_eager && options.pool != nullptr) {
+    // Eager mode: rescore the whole candidate set each round in parallel.
+    std::vector<double> scores(candidates.size());
+    std::vector<std::uint8_t> taken(candidates.size(), 0);
+    while (batch.size() < static_cast<std::size_t>(options.batch_size)) {
+      options.pool->parallel_for(0, candidates.size(), [&](std::size_t i) {
+        if (taken[i] || problem.cost_of(candidates[i]) > budget) {
+          scores[i] = -1.0;
+          return;
+        }
+        scores[i] = score_of(candidates[i]);
+      });
+      std::size_t best = candidates.size();
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (taken[i] || scores[i] <= 0.0) continue;
+        if (best == candidates.size() || scores[i] > scores[best] ||
+            (scores[i] == scores[best] && candidates[i] < candidates[best])) {
+          best = i;
+        }
+      }
+      if (best == candidates.size()) break;
+      const NodeId u = candidates[best];
+      taken[best] = 1;
+      state.select(obs, u, obs.acceptance_prob(u));
+      budget -= problem.cost_of(u);
+      batch.push_back(u);
+    }
+    return batch;
+  }
+
+  // Lazy greedy. Initial scores may be computed in parallel when a pool is
+  // provided; the selection loop itself is sequential.
+  std::vector<double> init(candidates.size());
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(0, candidates.size(),
+                               [&](std::size_t i) { init[i] = score_of(candidates[i]); });
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) init[i] = score_of(candidates[i]);
+  }
+
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (init[i] > 0.0) heap.push({init[i], candidates[i], 0});
+  }
+
+  while (batch.size() < static_cast<std::size_t>(options.batch_size) && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (problem.cost_of(top.node) > budget) continue;  // permanently unaffordable this batch
+    const auto cur = static_cast<std::uint32_t>(batch.size());
+    if (top.stamp != cur) {
+      top.score = score_of(top.node);
+      top.stamp = cur;
+      if (top.score <= 0.0) continue;
+      // Re-push unless it still (weakly) dominates the next-best entry.
+      if (!heap.empty() && top.score < heap.top().score) {
+        heap.push(top);
+        continue;
+      }
+    }
+    const NodeId u = top.node;
+    state.select(obs, u, obs.acceptance_prob(u));
+    budget -= problem.cost_of(u);
+    batch.push_back(u);
+  }
+  return batch;
+}
+
+}  // namespace recon::core

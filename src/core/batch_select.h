@@ -1,0 +1,57 @@
+// BATCHSELECT (paper Alg. 2) — greedy selection of one batch of k requests.
+//
+// Default implementation uses the collapsed expectation tree (BatchState)
+// with lazy greedy evaluation: adaptive submodularity guarantees scores only
+// decrease as the batch grows, so a stale heap entry whose recomputed score
+// still tops the heap can be selected without rescoring the rest (the CΔ
+// cache of Alg. 2, lines 3–11).
+//
+// A parallel-eager mode rescoring all candidates each round through a thread
+// pool reproduces the paper's massively-parallel row evaluation (used by the
+// Table II utilization experiment).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_state.h"
+#include "core/marginal.h"
+#include "sim/observation.h"
+#include "util/thread_pool.h"
+
+namespace recon::core {
+
+struct BatchSelectOptions {
+  int batch_size = 5;
+  MarginalPolicy policy = MarginalPolicy::kWeighted;
+  /// Divide scores by request cost (generalized cost function, Sec. IV-C).
+  bool cost_sensitive = false;
+  /// Retries: include previously-rejected nodes as candidates.
+  bool allow_retries = false;
+  /// Cap on requests per node (0 = unlimited); the paper's auxiliary-graph
+  /// analysis allows up to m = K/k attempts per node.
+  std::uint32_t max_attempts_per_node = 0;
+  /// Remaining budget; candidates costing more are skipped. Batch stops
+  /// early when nothing affordable remains.
+  double remaining_budget = 1e18;
+  /// Optional pool for parallel scoring (nullptr = sequential).
+  util::ThreadPool* pool = nullptr;
+  /// Rescore every candidate each round via the pool instead of lazy greedy.
+  bool parallel_eager = false;
+};
+
+/// Selects up to options.batch_size nodes to request, greedily maximizing
+/// the batch-aware marginal gain Γ. Returns fewer than k nodes when
+/// candidates are exhausted or nothing affordable has positive gain.
+std::vector<graph::NodeId> batch_select(const sim::Observation& obs,
+                                        const BatchSelectOptions& options);
+
+/// Enumerates the candidate set for a batch under the options (requestable
+/// nodes, attempt cap, affordability). Exposed for tests and the MIP
+/// strategy.
+std::vector<graph::NodeId> batch_candidates(const sim::Observation& obs,
+                                            bool allow_retries,
+                                            std::uint32_t max_attempts_per_node,
+                                            double max_cost);
+
+}  // namespace recon::core

@@ -1,0 +1,94 @@
+#include "core/batch_state.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace recon::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+BatchState::BatchState(NodeId num_nodes) {
+  factor_.assign(num_nodes, 1.0);
+  factor_epoch_.assign(num_nodes, 0);
+  sel_q_.assign(num_nodes, 0.0);
+  sel_epoch_.assign(num_nodes, 0);
+}
+
+void BatchState::reset() noexcept {
+  ++epoch_;
+  selected_.clear();
+}
+
+void BatchState::select(const sim::Observation& obs, NodeId u, double q_u) {
+  if (is_selected(u)) throw std::logic_error("BatchState::select: already selected");
+  sel_q_[u] = q_u;
+  sel_epoch_[u] = epoch_;
+  selected_.push_back(u);
+
+  const auto& g = obs.problem().graph;
+  const auto nbrs = g.neighbors(u);
+  const auto eids = g.incident_edges(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const NodeId v = nbrs[i];
+    const double p = obs.edge_belief(eids[i]);
+    if (p <= 0.0) continue;
+    if (!stamp_ok(factor_epoch_[v])) {
+      factor_[v] = 1.0;
+      factor_epoch_[v] = epoch_;
+    }
+    factor_[v] *= 1.0 - q_u * p;
+  }
+}
+
+double BatchState::gamma(const sim::Observation& obs, NodeId u,
+                         MarginalPolicy policy) const {
+  return gamma(obs, u, policy, obs.acceptance_prob(u));
+}
+
+double BatchState::gamma(const sim::Observation& obs, NodeId u, MarginalPolicy policy,
+                         double q_u) const {
+  assert(!obs.is_friend(u));
+  assert(!is_selected(u));
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const auto& benefit = problem.benefit;
+  const bool weighted = policy == MarginalPolicy::kWeighted;
+
+  double inner = benefit.bf[u];
+  if (weighted) {
+    if (obs.is_fof(u)) {
+      inner -= benefit.bfof[u];
+    } else {
+      // Probability the batch already made u a friend-of-friend, in which
+      // case friending u nets Bf − Bfof.
+      inner -= benefit.bfof[u] * (1.0 - fof_factor(u));
+    }
+  }
+
+  const auto nbrs = g.neighbors(u);
+  const auto eids = g.incident_edges(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const NodeId v = nbrs[i];
+    const EdgeId e = eids[i];
+    const double p = obs.edge_belief(e);
+    if (p <= 0.0) continue;
+    const bool v_selected = is_selected(v);
+    const double survive = v_selected ? 1.0 - sel_q_[v] : 1.0;
+    if (!obs.is_friend(v) && !obs.is_fof(v)) {
+      // v counts as a new FoF through u unless another batch member already
+      // claimed it (fof_factor) or v itself got accepted (survive — the
+      // paper-literal U bookkeeping does not model v's own acceptance).
+      const double own = weighted ? survive : 1.0;
+      inner += p * benefit.bfof[v] * fof_factor(v) * own;
+    }
+    if (obs.edge_state(e) == sim::EdgeState::kUnknown) {
+      // Edge (u, v) is newly revealed unless v was selected earlier in the
+      // batch and accepted (placing it in R_E).
+      inner += (weighted ? p : 1.0) * benefit.bi[e] * survive;
+    }
+  }
+  return q_u * inner;
+}
+
+}  // namespace recon::core

@@ -1,0 +1,77 @@
+// Collapsed expectation-tree state for BATCHSELECT (Sec. III-B).
+//
+// The paper's Alg. 2 carries, per branch β of the accept/reject tree, the
+// revealed-edge set R_E and the "unlikelihood" map U[v]. Because the
+// accept/reject events of distinct batch members are independent and the
+// batch marginal Δb is linear over branches, the γ-weighted sum over all 2^j
+// branches factorizes per node (DESIGN.md §2.3):
+//
+//   E_β[ U[v] ] = Π_{w ∈ F', v ∈ N(w)} (1 − q(w|ω) · p̂_wv)   (fof_factor)
+//   Pr[ (u,v) ∉ R_E ] = (1 − q(v|ω)) if v ∈ F' else 1
+//
+// BatchState maintains these products incrementally: selecting w multiplies
+// fof_factor[v] for every neighbor v of w. Epoch stamping makes reset O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/marginal.h"
+#include "sim/observation.h"
+
+namespace recon::core {
+
+class BatchState {
+ public:
+  explicit BatchState(graph::NodeId num_nodes);
+
+  /// Clears the batch (O(1) via epoch bump).
+  void reset() noexcept;
+
+  bool empty() const noexcept { return selected_.empty(); }
+  std::size_t size() const noexcept { return selected_.size(); }
+  const std::vector<graph::NodeId>& selected() const noexcept { return selected_; }
+
+  bool is_selected(graph::NodeId u) const noexcept {
+    return stamp_ok(sel_epoch_[u]);
+  }
+
+  /// q(u | ω) frozen at selection time (valid only for selected nodes).
+  double selected_q(graph::NodeId u) const noexcept { return sel_q_[u]; }
+
+  /// E[U[v]] — the probability v has not been made a friend-of-friend by the
+  /// batch members selected so far (1.0 for untouched nodes).
+  double fof_factor(graph::NodeId v) const noexcept {
+    return stamp_ok(factor_epoch_[v]) ? factor_[v] : 1.0;
+  }
+
+  /// Adds u to the batch with acceptance probability q_u, updating the
+  /// neighbors' fof factors using current edge beliefs.
+  void select(const sim::Observation& obs, graph::NodeId u, double q_u);
+
+  /// Γ(u | A): the batch-aware expected marginal gain of adding u, equal to
+  /// the γ-weighted sum of Δb over every branch of the expectation tree
+  /// (computed in closed form). For an empty batch this equals
+  /// marginal_gain(obs, u, policy). Requires u not a friend and not already
+  /// selected.
+  double gamma(const sim::Observation& obs, graph::NodeId u,
+               MarginalPolicy policy) const;
+
+  /// Γ(u | A) with an explicit acceptance probability for u (used by the
+  /// multi-attacker extension where q depends on which bot sends the
+  /// request); the selected batch members' frozen q values still apply.
+  double gamma(const sim::Observation& obs, graph::NodeId u, MarginalPolicy policy,
+               double q_u) const;
+
+ private:
+  bool stamp_ok(std::uint32_t stamp) const noexcept { return stamp == epoch_; }
+
+  std::uint32_t epoch_ = 1;
+  std::vector<double> factor_;
+  std::vector<std::uint32_t> factor_epoch_;
+  std::vector<double> sel_q_;
+  std::vector<std::uint32_t> sel_epoch_;
+  std::vector<graph::NodeId> selected_;
+};
+
+}  // namespace recon::core

@@ -1,0 +1,141 @@
+#include "core/branch_tree.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/batch_select.h"
+
+namespace recon::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+/// Δb(u | ω, R_E, U) for the branch encoded by `mask` over `batch`.
+/// Reconstructs U[v] (product over accepted batch members adjacent to v of
+/// 1 − p̂) and the R_E membership test from the mask.
+double branch_delta(const sim::Observation& obs, const std::vector<NodeId>& batch,
+                    std::uint32_t mask, NodeId u, MarginalPolicy policy) {
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const auto& benefit = problem.benefit;
+  const bool weighted = policy == MarginalPolicy::kWeighted;
+
+  // Which batch members accepted in this branch, by node id.
+  auto accepted_index = [&](NodeId v) -> int {
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      if (batch[j] == v) return static_cast<int>(j);
+    }
+    return -1;
+  };
+
+  // U[v]: unlikelihood that v became a FoF through an accepted batch member.
+  auto unlikelihood = [&](NodeId v) {
+    double uv = 1.0;
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const int j = accepted_index(nbrs[i]);
+      if (j < 0 || !(mask & (1u << j))) continue;
+      uv *= 1.0 - obs.edge_belief(eids[i]);
+    }
+    return uv;
+  };
+
+  double inner = benefit.bf[u];
+  if (weighted) {
+    if (obs.is_fof(u)) {
+      inner -= benefit.bfof[u];
+    } else {
+      inner -= benefit.bfof[u] * (1.0 - unlikelihood(u));
+    }
+  }
+
+  const auto nbrs = g.neighbors(u);
+  const auto eids = g.incident_edges(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const NodeId v = nbrs[i];
+    const EdgeId e = eids[i];
+    const double p = obs.edge_belief(e);
+    if (p <= 0.0) continue;
+    const int j = accepted_index(v);
+    const bool v_accepted_in_branch = j >= 0 && (mask & (1u << j));
+    if (!obs.is_friend(v) && !obs.is_fof(v)) {
+      // In the weighted policy a batch member that accepted is a friend,
+      // not a FoF candidate; the paper-literal U bookkeeping ignores this.
+      const bool skip_own = weighted && v_accepted_in_branch;
+      if (!skip_own) inner += p * benefit.bfof[v] * unlikelihood(v);
+    }
+    if (obs.edge_state(e) == sim::EdgeState::kUnknown) {
+      // Edge already in R_E iff v accepted earlier in the batch.
+      if (!v_accepted_in_branch) {
+        inner += (weighted ? p : 1.0) * benefit.bi[e];
+      }
+    }
+  }
+  return obs.acceptance_prob(u) * inner;
+}
+
+}  // namespace
+
+double branch_tree_gamma(const sim::Observation& obs, const std::vector<NodeId>& batch,
+                         NodeId u, MarginalPolicy policy) {
+  if (batch.size() > 24) {
+    throw std::invalid_argument("branch_tree_gamma: batch too large to enumerate");
+  }
+  std::vector<double> batch_q(batch.size());
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    batch_q[j] = obs.acceptance_prob(batch[j]);
+  }
+  const std::uint32_t num_branches = 1u << batch.size();
+  double total = 0.0;
+  for (std::uint32_t mask = 0; mask < num_branches; ++mask) {
+    double gamma_branch = 1.0;
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      gamma_branch *= (mask & (1u << j)) ? batch_q[j] : 1.0 - batch_q[j];
+    }
+    if (gamma_branch <= 0.0) continue;
+    total += gamma_branch * branch_delta(obs, batch, mask, u, policy);
+  }
+  return total;
+}
+
+std::vector<NodeId> branch_tree_select(const sim::Observation& obs,
+                                       const BranchTreeOptions& options) {
+  if (options.batch_size > 20) {
+    throw std::invalid_argument("branch_tree_select: batch size too large");
+  }
+  const std::vector<NodeId> candidates = batch_candidates(
+      obs, options.allow_retries, options.max_attempts_per_node, 1e18);
+  std::vector<NodeId> batch;
+  std::vector<std::uint8_t> taken(obs.problem().graph.num_nodes(), 0);
+  std::vector<double> scores(candidates.size());
+  while (batch.size() < static_cast<std::size_t>(options.batch_size)) {
+    auto score_one = [&](std::size_t i) {
+      scores[i] = taken[candidates[i]]
+                      ? -1.0
+                      : branch_tree_gamma(obs, batch, candidates[i], options.policy);
+    };
+    if (options.pool != nullptr) {
+      options.pool->parallel_for(0, candidates.size(), score_one);
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
+    }
+    std::size_t best = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[candidates[i]] || scores[i] <= 0.0) continue;
+      if (best == candidates.size() || scores[i] > scores[best] ||
+          (scores[i] == scores[best] && candidates[i] < candidates[best])) {
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;
+    taken[candidates[best]] = 1;
+    batch.push_back(candidates[best]);
+  }
+  return batch;
+}
+
+}  // namespace recon::core

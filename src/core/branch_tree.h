@@ -1,0 +1,43 @@
+// Literal expectation-tree BATCHSELECT (paper Alg. 2 / Fig. 2).
+//
+// Materializes every branch of the accept/reject tree: after j selections
+// there are 2^j branch states β = (γ, R_E, U). Because branches correspond
+// to accept/reject bitmasks over the selected prefix, a branch is encoded as
+// a mask; γ(mask) = Π_j (mask_j ? q_j : 1 − q_j), and the per-branch R_E / U
+// are reconstructed from the mask on the fly.
+//
+// Exponential in the batch size — intended for validation (the property
+// tests check it agrees with the collapsed BatchState to FP tolerance) and
+// for the branch-parallelism microbenchmarks. Practical attacks use
+// core/batch_select.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/marginal.h"
+#include "sim/observation.h"
+#include "util/thread_pool.h"
+
+namespace recon::core {
+
+/// Γ(u | A) computed by explicit enumeration of all 2^|batch| branches.
+/// `batch` is the ordered list of already-selected nodes. Requires
+/// |batch| <= 24.
+double branch_tree_gamma(const sim::Observation& obs,
+                         const std::vector<graph::NodeId>& batch, graph::NodeId u,
+                         MarginalPolicy policy);
+
+struct BranchTreeOptions {
+  int batch_size = 5;
+  MarginalPolicy policy = MarginalPolicy::kWeighted;
+  bool allow_retries = false;
+  std::uint32_t max_attempts_per_node = 0;
+  util::ThreadPool* pool = nullptr;  ///< parallelize across branches/candidates
+};
+
+/// Greedy batch selection evaluating Γ by explicit branch enumeration.
+std::vector<graph::NodeId> branch_tree_select(const sim::Observation& obs,
+                                              const BranchTreeOptions& options);
+
+}  // namespace recon::core

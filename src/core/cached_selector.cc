@@ -1,0 +1,99 @@
+#include "core/cached_selector.h"
+
+#include <queue>
+
+#include "core/batch_state.h"
+#include "core/marginal.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+CachedSelector::CachedSelector(const sim::Observation& obs, MarginalPolicy policy,
+                               bool cost_sensitive)
+    : obs_(&obs), policy_(policy), cost_sensitive_(cost_sensitive) {
+  const NodeId n = obs.problem().graph.num_nodes();
+  cached_.assign(n, 0.0);
+  dirty_.assign(n, 1);  // everything needs an initial score
+}
+
+double CachedSelector::base_score(NodeId u) {
+  if (dirty_[u]) {
+    double s = obs_->is_friend(u) ? 0.0 : marginal_gain(*obs_, u, policy_);
+    if (cost_sensitive_) s /= obs_->problem().cost_of(u);
+    cached_[u] = s;
+    dirty_[u] = 0;
+    ++rescores_;
+  }
+  return cached_[u];
+}
+
+void CachedSelector::mark_two_hop_dirty(NodeId u) {
+  const auto& g = obs_->problem().graph;
+  dirty_[u] = 1;
+  for (NodeId v : g.neighbors(u)) {
+    dirty_[v] = 1;
+    for (NodeId w : g.neighbors(v)) dirty_[w] = 1;
+  }
+}
+
+void CachedSelector::notify_accept(NodeId u) { mark_two_hop_dirty(u); }
+
+void CachedSelector::notify_reject(NodeId u) { dirty_[u] = 1; }
+
+std::vector<NodeId> CachedSelector::select_batch(int batch_size, bool allow_retries,
+                                                 std::uint32_t max_attempts_per_node,
+                                                 double remaining_budget) {
+  const auto& problem = obs_->problem();
+  const NodeId n = problem.graph.num_nodes();
+  if (batch_size <= 0) return {};
+
+  struct Entry {
+    double score;
+    NodeId node;
+    std::uint32_t stamp;
+    bool operator<(const Entry& o) const noexcept {
+      if (score != o.score) return score < o.score;
+      return node > o.node;
+    }
+  };
+
+  BatchState state(n);
+  double budget = remaining_budget;
+  std::priority_queue<Entry> heap;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!obs_->requestable(u, allow_retries)) continue;
+    if (max_attempts_per_node != 0 && obs_->attempts(u) >= max_attempts_per_node) {
+      continue;
+    }
+    if (problem.cost_of(u) > budget) continue;
+    const double s = base_score(u);  // exact at batch start (cache + dirty)
+    if (s > 0.0) heap.push({s, u, 0});
+  }
+
+  std::vector<NodeId> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size));
+  while (batch.size() < static_cast<std::size_t>(batch_size) && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (problem.cost_of(top.node) > budget) continue;
+    const auto cur = static_cast<std::uint32_t>(batch.size());
+    if (top.stamp != cur) {
+      double s = state.gamma(*obs_, top.node, policy_);
+      if (cost_sensitive_) s /= problem.cost_of(top.node);
+      top.score = s;
+      top.stamp = cur;
+      if (top.score <= 0.0) continue;
+      if (!heap.empty() && top.score < heap.top().score) {
+        heap.push(top);
+        continue;
+      }
+    }
+    state.select(*obs_, top.node, obs_->acceptance_prob(top.node));
+    budget -= problem.cost_of(top.node);
+    batch.push_back(top.node);
+  }
+  return batch;
+}
+
+}  // namespace recon::core

@@ -1,0 +1,58 @@
+// Cross-batch score caching (paper Alg. 2, lines 8–11, applied across the
+// whole attack).
+//
+// batch_select() recomputes every candidate's base score at the start of
+// each batch — O(n · deg) per batch. But an observation only changes the
+// marginal gain of nodes within two hops of what was observed: accepting u
+// reveals u's edges (touching u's neighbors' FoF terms and their neighbors'
+// edge/FoF sums) and bumps mutual counters of u's neighbors. CachedSelector
+// keeps the base marginal Δf(u | ω) of every candidate across batches and
+// re-scores only the dirty 2-hop region, exactly like the paper's CΔ cache.
+//
+// Equivalence contract (tested): CachedSelector::select_batch returns the
+// same batch as core::batch_select for every observation sequence, provided
+// the observation is only mutated through notify_accept / notify_reject.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_select.h"
+#include "sim/observation.h"
+
+namespace recon::core {
+
+class CachedSelector {
+ public:
+  /// Binds to an observation (must outlive the selector). `policy` and
+  /// `cost_sensitive` are fixed for the selector's lifetime; batch size,
+  /// retries, and budget vary per call.
+  CachedSelector(const sim::Observation& obs, MarginalPolicy policy,
+                 bool cost_sensitive = false);
+
+  /// Must be called after every observation mutation, with the same node.
+  void notify_accept(graph::NodeId u);
+  void notify_reject(graph::NodeId u);
+
+  /// Selects a batch using cached base scores + the collapsed batch state.
+  std::vector<graph::NodeId> select_batch(int batch_size, bool allow_retries,
+                                          std::uint32_t max_attempts_per_node,
+                                          double remaining_budget);
+
+  /// Number of base-score recomputations performed so far (for tests and
+  /// the cache-efficiency microbenchmark).
+  std::uint64_t rescore_count() const noexcept { return rescores_; }
+
+ private:
+  double base_score(graph::NodeId u);
+  void mark_two_hop_dirty(graph::NodeId u);
+
+  const sim::Observation* obs_;
+  MarginalPolicy policy_;
+  bool cost_sensitive_;
+  std::vector<double> cached_;        ///< base Δf (cost-adjusted) per node
+  std::vector<std::uint8_t> dirty_;   ///< cache invalid flags
+  std::uint64_t rescores_ = 0;
+};
+
+}  // namespace recon::core

@@ -1,0 +1,108 @@
+#include "core/lookahead.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/batch_select.h"
+
+namespace recon::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+/// Best myopic marginal over all requestable nodes of obs (0 if none).
+double best_followup(const sim::Observation& obs, MarginalPolicy policy) {
+  double best = 0.0;
+  const auto& g = obs.problem().graph;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!obs.requestable(v, /*allow_retries=*/false)) continue;
+    best = std::max(best, marginal_gain(obs, v, policy));
+  }
+  return best;
+}
+
+}  // namespace
+
+double lookahead_score(const sim::Observation& obs, NodeId u,
+                       const LookaheadOptions& options, std::uint64_t seed) {
+  if (options.samples == 0) {
+    throw std::invalid_argument("lookahead_score: samples must be positive");
+  }
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const double immediate = marginal_gain(obs, u, options.policy);
+  const double q = obs.acceptance_prob(u);
+
+  double followup = 0.0;
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    util::Rng rng(util::derive_seed(seed, s));
+    sim::Observation next = obs;  // value-semantics checkpoint
+    if (rng.bernoulli(q)) {
+      // Sample the neighborhood u would reveal from current edge beliefs.
+      std::vector<NodeId> revealed;
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (rng.bernoulli(next.edge_belief(eids[i]))) revealed.push_back(nbrs[i]);
+      }
+      next.record_accept(u, revealed);
+    } else {
+      next.record_reject(u);
+    }
+    followup += best_followup(next, options.policy);
+  }
+  return immediate + followup / static_cast<double>(options.samples);
+}
+
+LookaheadStrategy::LookaheadStrategy(LookaheadOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options_.pool == 0 || options_.samples == 0) {
+    throw std::invalid_argument("LookaheadStrategy: pool/samples must be positive");
+  }
+}
+
+void LookaheadStrategy::begin(const sim::Problem& problem, double budget) {
+  (void)problem;
+  (void)budget;
+  rng_ = util::Rng(options_.seed);
+}
+
+std::vector<NodeId> LookaheadStrategy::next_batch(const sim::Observation& obs,
+                                                  double remaining_budget) {
+  // Shortlist by myopic score.
+  const auto candidates =
+      batch_candidates(obs, /*allow_retries=*/false, 1, remaining_budget);
+  if (candidates.empty()) return {};
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(candidates.size());
+  for (NodeId u : candidates) {
+    const double s = marginal_gain(obs, u, options_.policy);
+    if (s > 0.0) ranked.emplace_back(s, u);
+  }
+  if (ranked.empty()) return {};
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > options_.pool) ranked.resize(options_.pool);
+
+  // With less than two requests of budget left, lookahead is pointless.
+  if (remaining_budget < 2.0) return {ranked.front().second};
+
+  NodeId best = ranked.front().second;
+  double best_v = -1.0;
+  const std::uint64_t round_seed = rng_();
+  for (const auto& [myopic, u] : ranked) {
+    const double v =
+        lookahead_score(obs, u, options_, util::derive_seed(round_seed, u));
+    if (v > best_v || (v == best_v && u < best)) {
+      best_v = v;
+      best = u;
+    }
+  }
+  return {best};
+}
+
+}  // namespace recon::core

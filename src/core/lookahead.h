@@ -1,0 +1,58 @@
+// Two-step lookahead selection — a non-myopic upgrade to adaptive greedy.
+//
+// Adaptive greedy (M-AReST / PM-AReST) maximizes the immediate conditional
+// marginal Δf(u | ω). Its (1 − 1/e) guarantee is worst-case; on instances
+// where *failures are informative* (e.g. a rejection frees the budget for a
+// backup target) a one-step policy can leave value on the table. The
+// lookahead strategy scores a candidate by
+//
+//   V(u) = Δf(u | ω) + E_{outcome of u, revealed edges} [ max_v Δf(v | ω') ]
+//
+// estimated by sampling the outcome of requesting u (acceptance plus the
+// neighborhood it would reveal) and re-running the myopic scorer on the
+// updated observation. This is the depth-2 expectimax of the adaptive
+// optimization tree that optimal_adaptive_value() (adaptive/adaptive.h)
+// expands fully on tiny instances.
+//
+// Cost: O(candidate_pool × samples × n·deg) per request — a research tool
+// for small/medium instances, not a replacement for the greedy hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "core/marginal.h"
+#include "core/strategy.h"
+#include "util/rng.h"
+
+namespace recon::core {
+
+struct LookaheadOptions {
+  /// Only the `pool` myopically-best candidates are scored with lookahead.
+  std::size_t pool = 8;
+  /// Outcome samples per candidate.
+  std::size_t samples = 24;
+  MarginalPolicy policy = MarginalPolicy::kWeighted;
+  std::uint64_t seed = 0x10A;
+};
+
+/// Sequential (k = 1) strategy with two-step lookahead scoring.
+class LookaheadStrategy : public Strategy {
+ public:
+  explicit LookaheadStrategy(LookaheadOptions options = {});
+
+  std::string name() const override { return "Lookahead(2)"; }
+  void begin(const sim::Problem& problem, double budget) override;
+  std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                        double remaining_budget) override;
+
+ private:
+  LookaheadOptions options_;
+  util::Rng rng_;
+};
+
+/// The lookahead score V(u) itself (exposed for tests): immediate marginal
+/// plus the sampled expectation of the best follow-up marginal.
+double lookahead_score(const sim::Observation& obs, graph::NodeId u,
+                       const LookaheadOptions& options, std::uint64_t seed);
+
+}  // namespace recon::core

@@ -1,0 +1,35 @@
+#include "core/m_arest.h"
+
+namespace recon::core {
+
+namespace {
+
+PmArestOptions to_pm_options(const MArestOptions& options) {
+  PmArestOptions pm;
+  pm.batch_size = 1;
+  pm.policy = options.policy;
+  pm.allow_retries = options.allow_retries;
+  pm.max_attempts_per_node = options.max_attempts_per_node;
+  pm.cost_sensitive = options.cost_sensitive;
+  return pm;
+}
+
+}  // namespace
+
+MArest::MArest(MArestOptions options)
+    : options_(options), inner_(to_pm_options(options)) {}
+
+std::string MArest::name() const {
+  return options_.allow_retries ? "M-AReST(retry)" : "M-AReST";
+}
+
+void MArest::begin(const sim::Problem& problem, double budget) {
+  inner_.begin(problem, budget);
+}
+
+std::vector<graph::NodeId> MArest::next_batch(const sim::Observation& obs,
+                                              double remaining_budget) {
+  return inner_.next_batch(obs, remaining_budget);
+}
+
+}  // namespace recon::core

@@ -1,0 +1,41 @@
+// M-AReST — the sequential baseline (Li et al. [3] extended to
+// Max-Crawling, paper Sec. V).
+//
+// Sends one request at a time, observing the response before choosing the
+// next node — the best possible adaptivity, at the cost of one round trip
+// per request. Equivalent to PM-AReST with k = 1 (the expectation tree
+// degenerates), implemented as its own strategy for clarity and for the
+// retry treatment of Fig. 4e ("M-AReST is treated as having a batch size of
+// 1 for this process").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pm_arest.h"
+#include "core/strategy.h"
+
+namespace recon::core {
+
+struct MArestOptions {
+  MarginalPolicy policy = MarginalPolicy::kWeighted;
+  bool allow_retries = false;
+  std::uint32_t max_attempts_per_node = 0;  ///< 0 = ceil(K) when retrying
+  bool cost_sensitive = false;
+};
+
+class MArest : public Strategy {
+ public:
+  explicit MArest(MArestOptions options = {});
+
+  std::string name() const override;
+  void begin(const sim::Problem& problem, double budget) override;
+  std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                        double remaining_budget) override;
+
+ private:
+  MArestOptions options_;
+  PmArest inner_;  ///< PM-AReST with k = 1 (shares the cross-batch cache)
+};
+
+}  // namespace recon::core

@@ -1,0 +1,38 @@
+#include "core/marginal.h"
+
+#include <cassert>
+
+namespace recon::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+double marginal_gain(const sim::Observation& obs, NodeId u, MarginalPolicy policy) {
+  assert(!obs.is_friend(u));
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const auto& benefit = problem.benefit;
+
+  double inner = benefit.bf[u];
+  if (policy == MarginalPolicy::kWeighted && obs.is_fof(u)) {
+    inner -= benefit.bfof[u];  // upgrade replaces the FoF benefit
+  }
+
+  const auto nbrs = g.neighbors(u);
+  const auto eids = g.incident_edges(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const NodeId v = nbrs[i];
+    const EdgeId e = eids[i];
+    const double p = obs.edge_belief(e);
+    if (p <= 0.0) continue;
+    if (!obs.is_friend(v) && !obs.is_fof(v)) {
+      inner += p * benefit.bfof[v];
+    }
+    if (obs.edge_state(e) == sim::EdgeState::kUnknown) {
+      inner += (policy == MarginalPolicy::kWeighted ? p : 1.0) * benefit.bi[e];
+    }
+  }
+  return obs.acceptance_prob(u) * inner;
+}
+
+}  // namespace recon::core

@@ -1,0 +1,30 @@
+// Expected marginal benefit Δf(u | ω) of a single friend request (Sec. III).
+//
+// Closed form (Lemma 1):
+//   Δf(u | ω) = q(u | ω) · ( Bf(u)
+//                          + Σ_{v ∈ N'(u)}  p̂_uv · Bfof(v)
+//                          + Σ_{e ∈ N''(u)} [p̂_e ·] Bi(e) )
+// where N'(u) excludes current friends and friends-of-friends, N''(u) are
+// u's unrevealed incident edges, and p̂ is the current edge belief.
+//
+// Two policies are supported (DESIGN.md §2.1–2.2):
+//  * kWeighted (default): weights the Bi term by p̂_e (an edge only yields
+//    benefit if it exists) and charges the friend term Bf(u) − Bfof(u) when
+//    u is already a friend-of-friend (a node produces one kind of benefit).
+//  * kPaperLiteral: reproduces the paper's formulas verbatim — unweighted
+//    Bi and unconditional Bf(u).
+#pragma once
+
+#include "graph/graph.h"
+#include "sim/observation.h"
+
+namespace recon::core {
+
+enum class MarginalPolicy { kWeighted, kPaperLiteral };
+
+/// Δf(u | ω): the expected gain of requesting u given the observation, with
+/// no batch context. Requires u not already a friend.
+double marginal_gain(const sim::Observation& obs, graph::NodeId u,
+                     MarginalPolicy policy = MarginalPolicy::kWeighted);
+
+}  // namespace recon::core

@@ -1,0 +1,233 @@
+#include "core/multi_attacker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "core/batch_state.h"
+#include "util/timer.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+MultiObservation::MultiObservation(const sim::Problem& problem, int num_attackers)
+    : shared_(problem), num_attackers_(num_attackers) {
+  if (num_attackers <= 0) {
+    throw std::invalid_argument("MultiObservation: need at least one attacker");
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>(num_attackers) * problem.graph.num_nodes();
+  mutual_.assign(cells, 0);
+  attempts_.assign(cells, 0);
+}
+
+double MultiObservation::acceptance_prob(int attacker, NodeId u) const {
+  const auto& p = shared_.problem();
+  return p.acceptance.probability(p.graph, u, mutual_[index(attacker, u)]);
+}
+
+sim::BenefitBreakdown MultiObservation::record_accept(
+    int attacker, NodeId u, std::span<const NodeId> true_neighbors) {
+  ++attempts_[index(attacker, u)];
+  const sim::BenefitBreakdown delta = shared_.record_accept(u, true_neighbors);
+  // Only the accepting bot gains mutual-friend leverage over u's neighbors.
+  for (NodeId v : true_neighbors) ++mutual_[index(attacker, v)];
+  return delta;
+}
+
+void MultiObservation::record_reject(int attacker, NodeId u) {
+  ++attempts_[index(attacker, u)];
+  // The shared node state records the latest outcome; a node rejected by one
+  // bot may still be approached by another (it stays requestable via
+  // retries semantics handled by the caller).
+  if (!shared_.is_friend(u) &&
+      shared_.node_state(u) != sim::NodeState::kAccepted) {
+    shared_.record_reject(u);
+  }
+}
+
+namespace {
+
+struct Pick {
+  NodeId node;
+  int attacker;
+  double q;
+};
+
+/// Jointly selects one fleet batch: greedy over (node, best-bot) pairs with
+/// the collapsed expectation tree. Returns picks in selection order.
+std::vector<Pick> select_fleet_batch(const MultiObservation& obs,
+                                     const MultiAttackOptions& options,
+                                     std::uint32_t attempt_cap, double remaining_budget) {
+  const auto& problem = obs.shared().problem();
+  const NodeId n = problem.graph.num_nodes();
+  const int fleet_k = options.num_attackers * options.batch_per_attacker;
+
+  // Per-round quota: each bot sends at most batch_per_attacker requests.
+  std::vector<int> quota(static_cast<std::size_t>(options.num_attackers),
+                         options.batch_per_attacker);
+
+  // For each candidate, the bot with the best leverage among those with
+  // remaining quota; quota ties break toward the less-loaded bot so the
+  // fleet spreads its leverage.
+  auto best_bot = [&](NodeId u) {
+    Pick p{u, -1, -1.0};
+    for (int a = 0; a < options.num_attackers; ++a) {
+      if (quota[static_cast<std::size_t>(a)] <= 0) continue;
+      if (attempt_cap != 0 && obs.attempts(a, u) >= attempt_cap) continue;
+      const double q = obs.acceptance_prob(a, u);
+      if (q > p.q + 1e-15 ||
+          (q > p.q - 1e-15 && p.attacker >= 0 &&
+           quota[static_cast<std::size_t>(a)] >
+               quota[static_cast<std::size_t>(p.attacker)])) {
+        p.q = q;
+        p.attacker = a;
+      }
+    }
+    return p;
+  };
+
+  BatchState state(n);
+  std::vector<Pick> picks;
+  double budget = remaining_budget;
+
+  struct Entry {
+    double score;
+    NodeId node;
+    std::uint32_t stamp;
+    bool operator<(const Entry& o) const noexcept {
+      if (score != o.score) return score < o.score;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!obs.requestable(u, options.allow_retries)) continue;
+    const Pick p = best_bot(u);
+    if (p.attacker < 0) continue;
+    const double s = state.gamma(obs.shared(), u, options.policy, p.q);
+    if (s > 0.0) heap.push({s, u, 0});
+  }
+  while (static_cast<int>(picks.size()) < fleet_k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (problem.cost_of(top.node) > budget) continue;
+    const auto cur = static_cast<std::uint32_t>(picks.size());
+    const Pick p = best_bot(top.node);
+    if (p.attacker < 0) continue;
+    if (top.stamp != cur) {
+      top.score = state.gamma(obs.shared(), top.node, options.policy, p.q);
+      top.stamp = cur;
+      if (top.score <= 0.0) continue;
+      if (!heap.empty() && top.score < heap.top().score) {
+        heap.push(top);
+        continue;
+      }
+    }
+    state.select(obs.shared(), top.node, p.q);
+    budget -= problem.cost_of(top.node);
+    --quota[static_cast<std::size_t>(p.attacker)];
+    picks.push_back(p);
+  }
+  return picks;
+}
+
+}  // namespace
+
+MultiAttackResult run_multi_attack(const sim::Problem& problem, const sim::World& world,
+                                   const MultiAttackOptions& options, double budget) {
+  if (budget <= 0.0) {
+    throw std::invalid_argument("run_multi_attack: budget must be positive");
+  }
+  if (options.num_attackers <= 0 || options.batch_per_attacker <= 0) {
+    throw std::invalid_argument("run_multi_attack: bad fleet shape");
+  }
+  std::uint32_t attempt_cap = options.max_attempts_per_node;
+  if (attempt_cap == 0) {
+    attempt_cap =
+        options.allow_retries
+            ? static_cast<std::uint32_t>(std::max(
+                  1.0, std::ceil(budget / std::max(1, options.batch_per_attacker))))
+            : 1;
+  }
+
+  MultiObservation obs(problem, options.num_attackers);
+  MultiAttackResult result;
+  result.per_bot.resize(static_cast<std::size_t>(options.num_attackers));
+  result.requests_per_bot.assign(static_cast<std::size_t>(options.num_attackers), 0);
+  result.accepts_per_bot.assign(static_cast<std::size_t>(options.num_attackers), 0);
+  double spent = 0.0;
+
+  while (spent < budget) {
+    util::WallTimer timer;
+    std::vector<Pick> picks =
+        select_fleet_batch(obs, options, attempt_cap, budget - spent);
+    const double select_seconds = timer.seconds();
+    if (picks.empty()) break;
+
+    // Affordable prefix.
+    std::size_t take = 0;
+    double batch_cost = 0.0;
+    for (const Pick& p : picks) {
+      const double c = problem.cost_of(p.node);
+      if (spent + batch_cost + c > budget + 1e-9) break;
+      batch_cost += c;
+      ++take;
+    }
+    if (take == 0) break;
+    picks.resize(take);
+
+    sim::BatchRecord record;
+    record.select_seconds = select_seconds;
+    std::vector<sim::BatchRecord> bot_records(
+        static_cast<std::size_t>(options.num_attackers));
+    for (auto& br : bot_records) br.select_seconds = select_seconds;
+    const sim::BenefitBreakdown before = obs.shared().benefit();
+    for (const Pick& p : picks) {
+      // Per-(bot, node, attempt) randomness: encode the bot in the attempt
+      // stream (bots are independent channels to the same user).
+      const std::uint32_t stream =
+          (static_cast<std::uint32_t>(p.attacker) << 20) |
+          obs.attempts(p.attacker, p.node);
+      const bool accepted = world.attempt_accept(p.node, stream, p.q);
+      record.requests.push_back(p.node);
+      record.accepted.push_back(accepted ? 1 : 0);
+      auto& bot_record = bot_records[static_cast<std::size_t>(p.attacker)];
+      bot_record.requests.push_back(p.node);
+      bot_record.accepted.push_back(accepted ? 1 : 0);
+      bot_record.cost += problem.cost_of(p.node);
+      ++result.requests_per_bot[static_cast<std::size_t>(p.attacker)];
+      if (accepted) {
+        ++result.accepts_per_bot[static_cast<std::size_t>(p.attacker)];
+        const sim::BenefitBreakdown delta =
+            obs.record_accept(p.attacker, p.node, world.true_neighbors(p.node));
+        bot_record.delta += delta;
+      } else {
+        obs.record_reject(p.attacker, p.node);
+      }
+    }
+    spent += batch_cost;
+    record.cost = batch_cost;
+    record.cumulative_cost = spent;
+    record.delta = obs.shared().benefit() - before;
+    record.cumulative = obs.shared().benefit();
+    result.combined.batches.push_back(std::move(record));
+    for (int a = 0; a < options.num_attackers; ++a) {
+      auto& bt = result.per_bot[static_cast<std::size_t>(a)];
+      auto& br = bot_records[static_cast<std::size_t>(a)];
+      const sim::BenefitBreakdown prev =
+          bt.batches.empty() ? sim::BenefitBreakdown{} : bt.batches.back().cumulative;
+      const double prev_cost =
+          bt.batches.empty() ? 0.0 : bt.batches.back().cumulative_cost;
+      br.cumulative = prev;
+      br.cumulative += br.delta;
+      br.cumulative_cost = prev_cost + br.cost;
+      bt.batches.push_back(std::move(br));
+    }
+  }
+  return result;
+}
+
+}  // namespace recon::core

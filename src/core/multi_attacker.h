@@ -1,0 +1,96 @@
+// Multi-attacker extension (paper Sec. II-B, footnote 1: "our solutions are
+// readily extended to the case of multiple attackers").
+//
+// A colluding fleet of A bot accounts shares all intelligence: revealed
+// edges, friend/FoF sets and harvested benefit are pooled (a node yields its
+// benefit once, to the fleet). What stays per-bot is the social leverage —
+// u's acceptance probability for bot a depends on u's mutual friends with
+// *that bot* — and the per-(bot, node) attempt history.
+//
+// Each round the fleet jointly greedily selects one batch of
+// A × k_per_attacker requests using the collapsed expectation tree: every
+// (candidate, bot) pair is scored with the bot-specific q, the best pair is
+// taken, and the batch state is updated with that q. A node is requested by
+// at most one bot per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/marginal.h"
+#include "sim/problem.h"
+#include "sim/trace.h"
+#include "sim/world.h"
+
+namespace recon::core {
+
+/// Pooled observation plus per-bot leverage state.
+class MultiObservation {
+ public:
+  MultiObservation(const sim::Problem& problem, int num_attackers);
+
+  const sim::Observation& shared() const noexcept { return shared_; }
+  int num_attackers() const noexcept { return num_attackers_; }
+
+  /// Acceptance probability of u for bot a (mutual friends with bot a).
+  double acceptance_prob(int attacker, graph::NodeId u) const;
+
+  std::uint32_t attempts(int attacker, graph::NodeId u) const {
+    return attempts_[index(attacker, u)];
+  }
+  std::uint32_t mutual_friends(int attacker, graph::NodeId u) const {
+    return mutual_[index(attacker, u)];
+  }
+
+  bool requestable(graph::NodeId u, bool allow_retries) const {
+    return shared_.requestable(u, allow_retries);
+  }
+
+  /// Bot `attacker` friended u; reveals u's neighborhood into the shared
+  /// observation (benefit counted once for the fleet) and credits the bot's
+  /// mutual-friend leverage.
+  sim::BenefitBreakdown record_accept(int attacker, graph::NodeId u,
+                                      std::span<const graph::NodeId> true_neighbors);
+  void record_reject(int attacker, graph::NodeId u);
+
+ private:
+  std::size_t index(int attacker, graph::NodeId u) const {
+    return static_cast<std::size_t>(attacker) *
+               shared_.problem().graph.num_nodes() +
+           u;
+  }
+
+  sim::Observation shared_;
+  int num_attackers_;
+  std::vector<std::uint32_t> mutual_;    ///< A × n
+  std::vector<std::uint32_t> attempts_;  ///< A × n
+};
+
+struct MultiAttackOptions {
+  int num_attackers = 3;
+  int batch_per_attacker = 5;
+  bool allow_retries = false;
+  std::uint32_t max_attempts_per_node = 0;  ///< per (bot, node); 0 = 1 / auto
+  MarginalPolicy policy = MarginalPolicy::kWeighted;
+};
+
+struct MultiAttackResult {
+  sim::AttackTrace combined;                 ///< fleet-level trace
+  /// Per-bot view of the same attack: bot a's trace contains, per fleet
+  /// round, only the requests that bot sent (empty rounds included so
+  /// timelines align across bots). Benefit deltas are attributed to the bot
+  /// whose accepted requests produced them; FoF/edge spillovers from other
+  /// bots' accepts appear only in `combined`. Used to evaluate per-account
+  /// defenses (rate limits are per-identity).
+  std::vector<sim::AttackTrace> per_bot;
+  std::vector<std::size_t> requests_per_bot; ///< request counts per attacker
+  std::vector<std::size_t> accepts_per_bot;
+};
+
+/// Runs a multi-attacker Max-Crawling attack with total budget `budget`
+/// (requests across the whole fleet). Each bot's acceptance randomness is an
+/// independent per-(bot, node, attempt) draw from the shared World seed.
+MultiAttackResult run_multi_attack(const sim::Problem& problem, const sim::World& world,
+                                   const MultiAttackOptions& options, double budget);
+
+}  // namespace recon::core

@@ -1,0 +1,113 @@
+#include "core/pm_arest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/branch_tree.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+PmArest::PmArest(PmArestOptions options) : options_(options), rng_(options.seed) {
+  if (options_.batch_size <= 0) {
+    throw std::invalid_argument("PmArest: batch_size must be positive");
+  }
+  if (options_.vary_k_max > 0 &&
+      (options_.vary_k_min <= 0 || options_.vary_k_min > options_.vary_k_max)) {
+    throw std::invalid_argument("PmArest: bad varying-k range");
+  }
+}
+
+std::string PmArest::name() const {
+  std::string n = "PM-AReST(k=";
+  if (options_.vary_k_max > 0) {
+    n += std::to_string(options_.vary_k_min) + ".." + std::to_string(options_.vary_k_max);
+  } else {
+    n += std::to_string(options_.batch_size);
+  }
+  if (options_.allow_retries) n += ",retry";
+  if (options_.use_branch_tree) n += ",tree";
+  n += ")";
+  return n;
+}
+
+void PmArest::begin(const sim::Problem& problem, double budget) {
+  (void)problem;
+  rng_ = util::Rng(options_.seed);
+  cache_.reset();
+  cache_obs_ = nullptr;
+  last_attempts_.clear();
+  if (options_.max_attempts_per_node != 0) {
+    attempt_cap_ = options_.max_attempts_per_node;
+  } else if (options_.allow_retries) {
+    // The paper's auxiliary-graph analysis allows m = K/k requests per node.
+    const double k = options_.vary_k_max > 0
+                         ? static_cast<double>(options_.vary_k_min)
+                         : static_cast<double>(options_.batch_size);
+    attempt_cap_ = static_cast<std::uint32_t>(
+        std::max(1.0, std::ceil(budget / std::max(1.0, k))));
+  } else {
+    attempt_cap_ = 1;
+  }
+}
+
+int PmArest::draw_batch_size() {
+  if (options_.vary_k_max <= 0) return options_.batch_size;
+  return static_cast<int>(
+      rng_.range(options_.vary_k_min, options_.vary_k_max));
+}
+
+void PmArest::sync_cache(const sim::Observation& obs) {
+  if (cache_ == nullptr || cache_obs_ != &obs) {
+    cache_ = std::make_unique<CachedSelector>(obs, options_.policy,
+                                              options_.cost_sensitive);
+    cache_obs_ = &obs;
+    last_attempts_.assign(obs.problem().graph.num_nodes(), 0);
+    // A fresh cache starts all-dirty, so pre-existing observation state is
+    // picked up on first scoring; only record current attempt counters.
+  }
+  const NodeId n = obs.problem().graph.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t a = obs.attempts(u);
+    if (a == last_attempts_[u]) continue;
+    last_attempts_[u] = a;
+    if (obs.is_friend(u)) {
+      cache_->notify_accept(u);
+    } else {
+      cache_->notify_reject(u);
+    }
+  }
+}
+
+std::vector<NodeId> PmArest::next_batch(const sim::Observation& obs,
+                                        double remaining_budget) {
+  const int k = draw_batch_size();
+  if (options_.use_branch_tree) {
+    BranchTreeOptions bt;
+    bt.batch_size = k;
+    bt.policy = options_.policy;
+    bt.allow_retries = options_.allow_retries;
+    bt.max_attempts_per_node = attempt_cap_;
+    bt.pool = options_.pool;
+    return branch_tree_select(obs, bt);
+  }
+  if (options_.use_cache && options_.pool == nullptr) {
+    sync_cache(obs);
+    return cache_->select_batch(k, options_.allow_retries, attempt_cap_,
+                                remaining_budget);
+  }
+  BatchSelectOptions bs;
+  bs.batch_size = k;
+  bs.policy = options_.policy;
+  bs.cost_sensitive = options_.cost_sensitive;
+  bs.allow_retries = options_.allow_retries;
+  bs.max_attempts_per_node = attempt_cap_;
+  bs.remaining_budget = remaining_budget;
+  bs.pool = options_.pool;
+  bs.parallel_eager = options_.parallel_eager;
+  return batch_select(obs, bs);
+}
+
+}  // namespace recon::core

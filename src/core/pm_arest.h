@@ -1,0 +1,77 @@
+// PM-AReST — the Parallel and adaptive Maximum-benefit Reconnaissance
+// Strategy (paper Alg. 1).
+//
+// Each round, BATCHSELECT greedily picks k nodes using the collapsed
+// expectation tree (or the literal branch tree), all k requests are sent in
+// parallel, and the observation phase reveals accept/reject states plus the
+// neighborhoods of accepting users. Variants implemented via options:
+//
+//  * retries (Sec. IV-C "Retrying Failed Requests"): rejected nodes return
+//    to the candidate pool, capped at m = K/k attempts per node;
+//  * varying batch sizes (Sec. IV-C, Thm. 5): k drawn uniformly from
+//    [vary_k_min, vary_k_max] each round to evade OSN rate monitors;
+//  * generalized costs: greedy ratio Δf(u|ω)/c(u);
+//  * paper-literal vs probability-weighted marginal policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch_select.h"
+#include "core/cached_selector.h"
+#include "core/strategy.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace recon::core {
+
+struct PmArestOptions {
+  int batch_size = 5;
+  MarginalPolicy policy = MarginalPolicy::kWeighted;
+  bool allow_retries = false;
+  /// 0 = default cap of max(1, ceil(K / k)) attempts per node (paper's m).
+  std::uint32_t max_attempts_per_node = 0;
+  bool cost_sensitive = false;
+  /// When vary_k_max > 0, each round's batch size is drawn uniformly from
+  /// [vary_k_min, vary_k_max].
+  int vary_k_min = 0;
+  int vary_k_max = 0;
+  /// Use the exponential branch-tree selector instead of the collapsed one.
+  bool use_branch_tree = false;
+  /// Keep base marginal scores cached across batches, re-scoring only the
+  /// 2-hop neighborhood of observed nodes (paper Alg. 2 lines 8-11). Exactly
+  /// equivalent to the uncached selector; large speedup on big graphs.
+  bool use_cache = true;
+  util::ThreadPool* pool = nullptr;
+  bool parallel_eager = false;
+  std::uint64_t seed = 0x9d5f;  ///< randomness for varying batch sizes
+};
+
+class PmArest : public Strategy {
+ public:
+  explicit PmArest(PmArestOptions options);
+
+  std::string name() const override;
+  void begin(const sim::Problem& problem, double budget) override;
+  std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                        double remaining_budget) override;
+
+  const PmArestOptions& options() const noexcept { return options_; }
+
+ private:
+  int draw_batch_size();
+  /// Diffs the observation against the last-seen attempt counters and feeds
+  /// accept/reject notifications into the cached selector.
+  void sync_cache(const sim::Observation& obs);
+
+  PmArestOptions options_;
+  std::uint32_t attempt_cap_ = 0;
+  util::Rng rng_;
+  std::unique_ptr<CachedSelector> cache_;
+  const sim::Observation* cache_obs_ = nullptr;
+  std::vector<std::uint32_t> last_attempts_;
+};
+
+}  // namespace recon::core

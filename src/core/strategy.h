@@ -1,0 +1,34 @@
+// Attack-strategy interface.
+//
+// A strategy is a policy mapping the current partial realization to the next
+// batch of friend requests. The attack runner (core/attack.h) owns the
+// send/observe loop; strategies never see the ground-truth World.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/observation.h"
+
+namespace recon::core {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before an attack begins (K is the total budget).
+  virtual void begin(const sim::Problem& problem, double budget) {
+    (void)problem;
+    (void)budget;
+  }
+
+  /// Returns the next batch of nodes to request (total cost should not
+  /// exceed remaining_budget; the runner truncates if it does). An empty
+  /// batch ends the attack.
+  virtual std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
+                                                double remaining_budget) = 0;
+};
+
+}  // namespace recon::core

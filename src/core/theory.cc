@@ -1,0 +1,201 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace recon::core {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+double ratio_one_minus_inv_e() { return 1.0 - std::exp(-1.0); }
+
+double ratio_pm_arest() { return 1.0 - std::exp(-(1.0 - std::exp(-1.0))); }
+
+double ratio_batch_vs_sequential() {
+  const double c = 1.0 - std::exp(-1.0);
+  return 1.0 - std::exp(-c * c);
+}
+
+void MaxCoverInstance::validate() const {
+  if (k > sets.size()) {
+    throw std::invalid_argument("MaxCoverInstance: k exceeds number of sets");
+  }
+  for (const auto& s : sets) {
+    for (auto e : s) {
+      if (e >= num_elements) {
+        throw std::invalid_argument("MaxCoverInstance: element id out of range");
+      }
+    }
+  }
+}
+
+MaxCoverReduction reduce_max_cover(const MaxCoverInstance& instance) {
+  instance.validate();
+  MaxCoverReduction red;
+  const auto num_sets = static_cast<NodeId>(instance.sets.size());
+  const auto num_elems = static_cast<NodeId>(instance.num_elements);
+  const NodeId n = num_sets + num_elems;
+
+  GraphBuilder builder(n);
+  red.set_nodes.resize(num_sets);
+  red.element_nodes.resize(num_elems);
+  for (NodeId i = 0; i < num_sets; ++i) red.set_nodes[i] = i;
+  for (NodeId j = 0; j < num_elems; ++j) red.element_nodes[j] = num_sets + j;
+  // Avoid duplicate edges when an element appears twice in one set.
+  std::unordered_set<std::uint64_t> seen;
+  for (NodeId i = 0; i < num_sets; ++i) {
+    for (auto e : instance.sets[i]) {
+      const NodeId v = red.element_nodes[e];
+      const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | v;
+      if (seen.insert(key).second) builder.add_edge(i, v, 1.0);
+    }
+  }
+
+  sim::Problem p;
+  p.graph = builder.build();
+  // Benefit per the reduction: Bf(u_i) = Bfof(u_i) = 0 for set nodes;
+  // Bf(v_j) = Bfof(v_j) = 1 for element nodes; Bi = 0; q = 1 everywhere.
+  p.benefit.bf.assign(n, 0.0);
+  p.benefit.bfof.assign(n, 0.0);
+  p.benefit.bi.assign(p.graph.num_edges(), 0.0);
+  p.targets.clear();
+  p.is_target.assign(n, 0);
+  for (NodeId j = 0; j < num_elems; ++j) {
+    const NodeId v = red.element_nodes[j];
+    p.benefit.bf[v] = 1.0;
+    p.benefit.bfof[v] = 1.0;
+    p.is_target[v] = 1;
+    p.targets.push_back(v);
+  }
+  p.acceptance = sim::make_constant_acceptance(1.0);
+  p.validate();
+  red.problem = std::move(p);
+  red.budget = static_cast<double>(instance.k);
+  return red;
+}
+
+std::size_t max_cover_brute_force(const MaxCoverInstance& instance) {
+  instance.validate();
+  const std::size_t m = instance.sets.size();
+  const std::size_t k = std::min(instance.k, m);
+  if (m > 24) throw std::invalid_argument("max_cover_brute_force: too many sets");
+  std::size_t best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
+    std::unordered_set<std::uint32_t> covered;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!(mask & (1u << i))) continue;
+      covered.insert(instance.sets[i].begin(), instance.sets[i].end());
+    }
+    best = std::max(best, covered.size());
+  }
+  return best;
+}
+
+std::vector<std::size_t> cover_from_friends(const MaxCoverReduction& red,
+                                            const std::vector<NodeId>& friends) {
+  const auto num_sets = red.set_nodes.size();
+  std::vector<std::size_t> cover;
+  for (NodeId f : friends) {
+    if (f < num_sets) {
+      cover.push_back(f);
+    } else {
+      // Element node picked directly: substitute any set covering it (the
+      // proof's exchange argument — this can only increase coverage).
+      const auto nbrs = red.problem.graph.neighbors(f);
+      if (!nbrs.empty()) cover.push_back(nbrs.front());
+    }
+  }
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  return cover;
+}
+
+AuxiliaryGraph build_auxiliary_graph(const sim::Problem& problem,
+                                     std::uint32_t attempts, std::uint64_t seed) {
+  if (attempts == 0) {
+    throw std::invalid_argument("build_auxiliary_graph: attempts must be positive");
+  }
+  AuxiliaryGraph ga;
+  ga.original_nodes = problem.graph.num_nodes();
+  ga.attempts = attempts;
+  ga.request_probs.resize(static_cast<std::size_t>(ga.original_nodes) * attempts);
+  for (NodeId i = 0; i < ga.original_nodes; ++i) {
+    for (std::uint32_t j = 0; j < attempts; ++j) {
+      // Attempt-level probability drawn from D_{u_i}: a jittered copy of the
+      // base rate (each attempt is its own independent Bernoulli edge).
+      const double base = problem.acceptance.base(i);
+      const double jitter =
+          0.1 * (util::counter_uniform(seed, i, j) - 0.5) * base;
+      ga.request_probs[static_cast<std::size_t>(i) * attempts + j] =
+          std::clamp(base + jitter, 0.0, 1.0);
+    }
+  }
+  // Hub-hub edges mirror G exactly (ids coincide with original node ids).
+  GraphBuilder builder(ga.original_nodes);
+  for (graph::EdgeId e = 0; e < problem.graph.num_edges(); ++e) {
+    builder.add_edge(problem.graph.edge_u(e), problem.graph.edge_v(e),
+                     problem.graph.edge_prob(e));
+  }
+  ga.hub_graph = builder.build();
+  return ga;
+}
+
+AuxiliaryRealization sample_auxiliary_realization(const AuxiliaryGraph& ga,
+                                                  std::uint64_t seed) {
+  AuxiliaryRealization real;
+  util::Rng rng(util::derive_seed(seed, 0xAA));
+  real.request_live.resize(ga.request_probs.size());
+  for (std::size_t i = 0; i < ga.request_probs.size(); ++i) {
+    real.request_live[i] = rng.bernoulli(ga.request_probs[i]) ? 1 : 0;
+  }
+  real.hub_edge_live.resize(ga.hub_graph.num_edges());
+  for (graph::EdgeId e = 0; e < ga.hub_graph.num_edges(); ++e) {
+    real.hub_edge_live[e] = rng.bernoulli(ga.hub_graph.edge_prob(e)) ? 1 : 0;
+  }
+  return real;
+}
+
+std::vector<std::uint8_t> auxiliary_friends(const AuxiliaryGraph& ga,
+                                            const AuxiliaryRealization& real,
+                                            const std::vector<std::uint32_t>& requested) {
+  if (requested.size() != ga.original_nodes) {
+    throw std::invalid_argument("auxiliary_friends: requested size mismatch");
+  }
+  std::vector<std::uint8_t> friends(ga.original_nodes, 0);
+  for (NodeId i = 0; i < ga.original_nodes; ++i) {
+    const std::uint32_t tries = std::min(requested[i], ga.attempts);
+    for (std::uint32_t j = 0; j < tries; ++j) {
+      if (real.request_live[static_cast<std::size_t>(i) * ga.attempts + j]) {
+        friends[i] = 1;
+        break;
+      }
+    }
+  }
+  return friends;
+}
+
+std::vector<std::uint8_t> auxiliary_fofs(const AuxiliaryGraph& ga,
+                                         const AuxiliaryRealization& real,
+                                         const std::vector<std::uint8_t>& friends) {
+  if (friends.size() != ga.original_nodes) {
+    throw std::invalid_argument("auxiliary_fofs: friends size mismatch");
+  }
+  std::vector<std::uint8_t> fofs(ga.original_nodes, 0);
+  for (graph::EdgeId e = 0; e < ga.hub_graph.num_edges(); ++e) {
+    if (!real.hub_edge_live[e]) continue;
+    const NodeId u = ga.hub_graph.edge_u(e);
+    const NodeId v = ga.hub_graph.edge_v(e);
+    if (friends[u] && !friends[v]) fofs[v] = 1;
+    if (friends[v] && !friends[u]) fofs[u] = 1;
+  }
+  return fofs;
+}
+
+}  // namespace recon::core

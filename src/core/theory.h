@@ -1,0 +1,132 @@
+// Constructions from the paper's theory sections, implemented as code:
+//
+//  * the Max-Cover -> Max-Crawling reduction of Theorem 1 (Fig. 1), used to
+//    validate the inapproximability argument and as a worst-case instance
+//    generator;
+//  * the auxiliary graph Ga of Sec. IV-C (Fig. 3) that models repeated
+//    friend requests as m parallel request-edges per user, used in the
+//    analysis of retrying failed requests;
+//  * the approximation-ratio constants of Theorems 1–5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/problem.h"
+
+namespace recon::core {
+
+// ---------------------------------------------------------------------------
+// Approximation constants (Theorems 1, 2, 3, 5).
+// ---------------------------------------------------------------------------
+
+/// (1 − 1/e): the inapproximability threshold (Thm. 1) and the ratio of the
+/// exact-FOB variant (Thm. 3).
+double ratio_one_minus_inv_e();
+
+/// (1 − e^{−(1−1/e)}): PM-AReST's guarantee (Thms. 2 and 4) ≈ 0.4685.
+double ratio_pm_arest();
+
+/// (1 − e^{−(1−1/e)^2}): the varying-batch vs optimal-sequential gap
+/// (Thm. 5) ≈ 0.3293.
+double ratio_batch_vs_sequential();
+
+// ---------------------------------------------------------------------------
+// Theorem 1: reduction from Max-Cover (Fig. 1).
+// ---------------------------------------------------------------------------
+
+/// A Max-Cover instance: `sets[i]` lists the elements covered by set i;
+/// elements are 0-based ids < num_elements.
+struct MaxCoverInstance {
+  std::size_t num_elements = 0;
+  std::vector<std::vector<std::uint32_t>> sets;
+  std::size_t k = 0;  ///< number of sets to pick
+
+  void validate() const;  ///< throws std::invalid_argument on bad ids
+};
+
+/// The reduction's output: a Max-Crawling problem plus the mapping back.
+struct MaxCoverReduction {
+  sim::Problem problem;
+  /// Node id of the crawling node u_i created for set i.
+  std::vector<graph::NodeId> set_nodes;
+  /// Node id of the crawling node v_j created for element j.
+  std::vector<graph::NodeId> element_nodes;
+  double budget = 0.0;  ///< K = k
+};
+
+/// Builds the Max-Crawling instance of Thm. 1: one node per set, one per
+/// element, directed edges set->element with p = 1, q(u) = 1, Bf(set) = 0,
+/// Bf(element) = Bfof(element) = 1, Bi = 0, K = k. Friending the k best set
+/// nodes yields exactly the optimal coverage as FoF benefit.
+MaxCoverReduction reduce_max_cover(const MaxCoverInstance& instance);
+
+/// Exact Max-Cover optimum by enumeration (for small instances / tests).
+std::size_t max_cover_brute_force(const MaxCoverInstance& instance);
+
+/// Recovers a cover (set indices) from a crawling strategy's friended set
+/// nodes; element-node picks are lifted to an arbitrary covering set,
+/// mirroring the proof's substitution argument.
+std::vector<std::size_t> cover_from_friends(const MaxCoverReduction& reduction,
+                                            const std::vector<graph::NodeId>& friends);
+
+// ---------------------------------------------------------------------------
+// Sec. IV-C: the auxiliary graph Ga for repeated requests (Fig. 3).
+// ---------------------------------------------------------------------------
+
+/// Ga = (Va, Ea): for each original node u_i, a hub u_{i0} plus m request
+/// nodes u_{ij} (j = 1..m) wired to the hub; hub-hub edges mirror G's edges.
+/// Request-edge j of node i carries that attempt's acceptance probability.
+struct AuxiliaryGraph {
+  graph::NodeId original_nodes = 0;
+  std::uint32_t attempts = 0;  ///< m
+
+  /// Hub node id for original node i (in Ga's own id space).
+  graph::NodeId hub(graph::NodeId i) const noexcept { return i; }
+  /// Request node id for original node i, attempt j in [0, m).
+  graph::NodeId request_node(graph::NodeId i, std::uint32_t j) const noexcept {
+    return original_nodes + i * attempts + j;
+  }
+  graph::NodeId num_nodes() const noexcept {
+    return original_nodes * (1 + attempts);
+  }
+
+  /// Acceptance probability attached to request edge (u_{ij}, u_{i0}).
+  double request_prob(graph::NodeId i, std::uint32_t j) const {
+    return request_probs[static_cast<std::size_t>(i) * attempts + j];
+  }
+
+  std::vector<double> request_probs;  ///< original_nodes * attempts
+  graph::Graph hub_graph;             ///< mirror of G (hub-hub edges, same p)
+};
+
+/// Builds Ga with m = `attempts` request nodes per user. Request-edge
+/// probabilities are drawn from the problem's acceptance distribution: base
+/// q(u) for attempt 0 and the mutual-boost-free base for later attempts
+/// (attempt-level variation enters through the boost at attack time; the
+/// draw seed makes each attempt's edge distinct, realizing the paper's
+/// "probability randomly drawn from distribution D_{u_i}").
+AuxiliaryGraph build_auxiliary_graph(const sim::Problem& problem,
+                                     std::uint32_t attempts, std::uint64_t seed);
+
+/// Live-edge semantics on a sampled realization of Ga: node i is a *friend*
+/// if any of its requested attempt edges is live; a *friend-of-friend* if a
+/// hub-hub live edge connects it to a friend. `requested[i]` = number of
+/// attempts issued to node i (first `requested[i]` request edges count).
+struct AuxiliaryRealization {
+  std::vector<std::uint8_t> request_live;  ///< original_nodes * attempts
+  std::vector<std::uint8_t> hub_edge_live; ///< per hub_graph edge
+};
+
+AuxiliaryRealization sample_auxiliary_realization(const AuxiliaryGraph& ga,
+                                                  std::uint64_t seed);
+
+std::vector<std::uint8_t> auxiliary_friends(const AuxiliaryGraph& ga,
+                                            const AuxiliaryRealization& real,
+                                            const std::vector<std::uint32_t>& requested);
+
+std::vector<std::uint8_t> auxiliary_fofs(const AuxiliaryGraph& ga,
+                                         const AuxiliaryRealization& real,
+                                         const std::vector<std::uint8_t>& friends);
+
+}  // namespace recon::core

@@ -1,0 +1,173 @@
+#include "defense/detector.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/attack.h"
+#include "core/pm_arest.h"
+#include "metrics/rrs.h"
+
+namespace recon::defense {
+
+std::vector<double> request_times(const sim::AttackTrace& trace, double delay_seconds) {
+  std::vector<double> times;
+  times.reserve(trace.total_requests());
+  double t = 0.0;
+  for (const auto& b : trace.batches) {
+    t += b.select_seconds;
+    // All of a batch's requests go out together at the batch send time.
+    for (std::size_t i = 0; i < b.requests.size(); ++i) times.push_back(t);
+    t += delay_seconds;  // wait for responses before the next batch
+  }
+  return times;
+}
+
+namespace {
+
+/// Benefit accrued strictly before batch `batch_idx` completed... detection
+/// interrupts the attack mid-flight, so the attacker keeps the benefit of
+/// fully-resolved earlier batches only.
+double benefit_before_batch(const sim::AttackTrace& trace, std::size_t batch_idx) {
+  if (batch_idx == 0) return 0.0;
+  return trace.batches[batch_idx - 1].cumulative.total();
+}
+
+std::size_t requests_through_batch(const sim::AttackTrace& trace, std::size_t batch_idx) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= batch_idx && i < trace.batches.size(); ++i) {
+    total += trace.batches[i].requests.size();
+  }
+  return total;
+}
+
+double batch_send_time(const sim::AttackTrace& trace, std::size_t batch_idx,
+                       double delay_seconds) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < batch_idx; ++i) {
+    t += trace.batches[i].select_seconds + delay_seconds;
+  }
+  return t + (batch_idx < trace.batches.size()
+                  ? trace.batches[batch_idx].select_seconds
+                  : 0.0);
+}
+
+}  // namespace
+
+RateLimitDetector::RateLimitDetector(std::size_t max_requests_per_window,
+                                     double window_seconds)
+    : max_requests_(max_requests_per_window), window_seconds_(window_seconds) {
+  if (window_seconds <= 0.0) {
+    throw std::invalid_argument("RateLimitDetector: window must be positive");
+  }
+}
+
+DetectionResult RateLimitDetector::evaluate(const sim::AttackTrace& trace,
+                                            double delay_seconds) const {
+  const auto times = request_times(trace, delay_seconds);
+  DetectionResult result;
+  // Two-pointer sliding window over the (sorted) request times.
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < times.size(); ++hi) {
+    while (times[hi] - times[lo] > window_seconds_) ++lo;
+    if (hi - lo + 1 > max_requests_) {
+      result.detected = true;
+      result.time_seconds = times[hi];
+      // Locate the batch containing request hi.
+      std::size_t seen = 0;
+      for (std::size_t b = 0; b < trace.batches.size(); ++b) {
+        seen += trace.batches[b].requests.size();
+        if (hi < seen) {
+          result.requests_sent = requests_through_batch(trace, b);
+          result.benefit_before = benefit_before_batch(trace, b);
+          break;
+        }
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+PatternDetector::PatternDetector(std::size_t suspicious_run_length,
+                                 std::size_t min_batch_size)
+    : run_length_(suspicious_run_length), min_batch_size_(min_batch_size) {
+  if (suspicious_run_length == 0) {
+    throw std::invalid_argument("PatternDetector: run length must be positive");
+  }
+}
+
+DetectionResult PatternDetector::evaluate(const sim::AttackTrace& trace,
+                                          double delay_seconds) const {
+  DetectionResult result;
+  std::size_t run = 0;
+  std::size_t last_size = 0;
+  for (std::size_t b = 0; b < trace.batches.size(); ++b) {
+    const std::size_t size = trace.batches[b].requests.size();
+    if (size >= min_batch_size_ && size == last_size) {
+      ++run;
+    } else {
+      run = size >= min_batch_size_ ? 1 : 0;
+    }
+    last_size = size;
+    if (run >= run_length_) {
+      result.detected = true;
+      result.time_seconds = batch_send_time(trace, b, delay_seconds);
+      result.requests_sent = requests_through_batch(trace, b);
+      result.benefit_before = benefit_before_batch(trace, b);
+      return result;
+    }
+  }
+  return result;
+}
+
+HoneypotMonitor::HoneypotMonitor(std::vector<graph::NodeId> monitored,
+                                 graph::NodeId num_nodes)
+    : is_monitored_(num_nodes, 0), count_(0) {
+  for (graph::NodeId u : monitored) {
+    if (u >= num_nodes) {
+      throw std::invalid_argument("HoneypotMonitor: node id out of range");
+    }
+    if (!is_monitored_[u]) {
+      is_monitored_[u] = 1;
+      ++count_;
+    }
+  }
+}
+
+DetectionResult HoneypotMonitor::evaluate(const sim::AttackTrace& trace,
+                                          double delay_seconds) const {
+  DetectionResult result;
+  for (std::size_t b = 0; b < trace.batches.size(); ++b) {
+    for (graph::NodeId u : trace.batches[b].requests) {
+      if (u < is_monitored_.size() && is_monitored_[u]) {
+        result.detected = true;
+        result.time_seconds = batch_send_time(trace, b, delay_seconds);
+        result.requests_sent = requests_through_batch(trace, b);
+        result.benefit_before = benefit_before_batch(trace, b);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<graph::NodeId> choose_monitors_by_simulation(
+    const sim::Problem& problem, std::size_t budget_monitors, int runs, double budget,
+    int batch_size, std::uint64_t seed) {
+  const auto mc = core::run_monte_carlo(
+      problem,
+      [batch_size](int) {
+        core::PmArestOptions o;
+        o.batch_size = batch_size;
+        return std::make_unique<core::PmArest>(o);
+      },
+      runs, budget, seed);
+  std::vector<graph::NodeId> monitors;
+  for (const auto& [node, freq] : metrics::vulnerable_users(mc.traces, budget_monitors)) {
+    monitors.push_back(node);
+  }
+  return monitors;
+}
+
+}  // namespace recon::defense

@@ -1,0 +1,120 @@
+// Defender-side detection models.
+//
+// The paper motivates batch-size limits and varying batch sizes by OSN
+// defenses: Boshmaf et al. kept under 25 requests/day, Yang et al. found
+// "accounts sending more than 20 invites per hour are Sybils" while the 95th
+// percentile normal user sends fewer than 5 (Sec. V). This module implements
+// those defenses so attacks can be scored on detectability:
+//
+//  * RateLimitDetector — sliding-window request-rate threshold;
+//  * PatternDetector  — flags robotic uniformity (many equal-size batches);
+//  * HoneypotMonitor  — Paradise-et-al.-style monitoring of a chosen user
+//    subset; detection fires when the attacker requests a monitored user.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/problem.h"
+#include "sim/trace.h"
+
+namespace recon::defense {
+
+/// Reconstructs the attack's request timeline: request r of batch i happens
+/// at the batch's send time t_i = Σ_{b<i} (select_seconds(b) + delay).
+std::vector<double> request_times(const sim::AttackTrace& trace, double delay_seconds);
+
+struct DetectionResult {
+  bool detected = false;
+  double time_seconds = 0.0;       ///< when detection fired (if detected)
+  std::size_t requests_sent = 0;   ///< requests issued before detection
+  double benefit_before = 0.0;     ///< benefit harvested before detection
+};
+
+/// Sliding-window rate limiter: detects as soon as more than
+/// `max_requests_per_window` requests fall inside any window of
+/// `window_seconds`. Yang et al.'s rule is (20, 3600).
+class RateLimitDetector {
+ public:
+  RateLimitDetector(std::size_t max_requests_per_window, double window_seconds);
+
+  DetectionResult evaluate(const sim::AttackTrace& trace, double delay_seconds) const;
+
+  std::size_t max_requests() const noexcept { return max_requests_; }
+  double window_seconds() const noexcept { return window_seconds_; }
+
+ private:
+  std::size_t max_requests_;
+  double window_seconds_;
+};
+
+/// Uniformity detector: flags an account once it has sent
+/// `suspicious_run_length` consecutive batches of identical size >=
+/// `min_batch_size` — the robotic pattern varying-k is designed to break.
+class PatternDetector {
+ public:
+  PatternDetector(std::size_t suspicious_run_length, std::size_t min_batch_size);
+
+  DetectionResult evaluate(const sim::AttackTrace& trace, double delay_seconds) const;
+
+ private:
+  std::size_t run_length_;
+  std::size_t min_batch_size_;
+};
+
+/// Honeypot monitoring: the defender instruments `monitored` accounts; the
+/// attack is detected the first time any of them receives a request.
+class HoneypotMonitor {
+ public:
+  explicit HoneypotMonitor(std::vector<graph::NodeId> monitored,
+                           graph::NodeId num_nodes);
+
+  DetectionResult evaluate(const sim::AttackTrace& trace, double delay_seconds) const;
+
+  std::size_t num_monitored() const noexcept { return count_; }
+
+ private:
+  std::vector<std::uint8_t> is_monitored_;
+  std::size_t count_;
+};
+
+/// Chooses monitor placements by simulating attacks (the Paradise et al.
+/// approach): runs `runs` Monte-Carlo PM-AReST attacks with batch size k and
+/// budget K against the problem and returns the `budget_monitors` most
+/// frequently requested nodes.
+std::vector<graph::NodeId> choose_monitors_by_simulation(
+    const sim::Problem& problem, std::size_t budget_monitors, int runs, double budget,
+    int batch_size, std::uint64_t seed);
+
+/// Fraction of traces detected plus mean benefit-before-detection, under a
+/// given detector (any of the above via std::function-free overloads).
+template <typename Detector>
+struct DetectionSummary {
+  double detect_fraction = 0.0;
+  double mean_benefit_before = 0.0;
+  double mean_requests_before = 0.0;
+};
+
+template <typename Detector>
+DetectionSummary<Detector> summarize_detection(
+    const Detector& detector, const std::vector<sim::AttackTrace>& traces,
+    double delay_seconds) {
+  DetectionSummary<Detector> s;
+  if (traces.empty()) return s;
+  for (const auto& t : traces) {
+    const DetectionResult r = detector.evaluate(t, delay_seconds);
+    s.detect_fraction += r.detected ? 1.0 : 0.0;
+    s.mean_benefit_before += r.detected ? r.benefit_before : t.total_benefit();
+    s.mean_requests_before +=
+        r.detected ? static_cast<double>(r.requests_sent)
+                   : static_cast<double>(t.total_requests());
+  }
+  const double n = static_cast<double>(traces.size());
+  s.detect_fraction /= n;
+  s.mean_benefit_before /= n;
+  s.mean_requests_before /= n;
+  return s;
+}
+
+}  // namespace recon::defense

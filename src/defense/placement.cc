@@ -1,0 +1,135 @@
+#include "defense/placement.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace recon::defense {
+
+using graph::NodeId;
+
+namespace {
+
+/// Flattened per-trace request schedule: for each trace, the (node, denied
+/// benefit if first caught here) sequence in send order. Denied benefit of
+/// catching at batch b = total − benefit before b.
+struct TraceIndex {
+  struct Hit {
+    NodeId node;
+    double denied;  ///< benefit denied if this is the first monitored request
+  };
+  std::vector<std::vector<Hit>> traces;
+  /// For each node, the traces it appears in (for greedy candidate pruning).
+  std::vector<std::vector<std::uint32_t>> node_traces;
+
+  TraceIndex(const std::vector<sim::AttackTrace>& raw, NodeId num_nodes) {
+    traces.reserve(raw.size());
+    node_traces.resize(num_nodes);
+    for (std::uint32_t t = 0; t < raw.size(); ++t) {
+      std::vector<Hit> hits;
+      const double total = raw[t].total_benefit();
+      for (const auto& b : raw[t].batches) {
+        const double before = b.cumulative.total() - b.delta.total();
+        for (NodeId u : b.requests) {
+          if (u >= num_nodes) {
+            throw std::invalid_argument("placement: node id exceeds num_nodes");
+          }
+          hits.push_back({u, total - before});
+          if (node_traces[u].empty() || node_traces[u].back() != t) {
+            node_traces[u].push_back(t);
+          }
+        }
+      }
+      traces.push_back(std::move(hits));
+    }
+  }
+
+  /// Value of a monitor bitmap: per trace, the denied benefit (or 1) at the
+  /// first monitored hit.
+  double value(const std::vector<std::uint8_t>& monitored, bool weighted) const {
+    double total = 0.0;
+    for (const auto& hits : traces) {
+      for (const auto& h : hits) {
+        if (monitored[h.node]) {
+          total += weighted ? h.denied : 1.0;
+          break;
+        }
+      }
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+double placement_value(const std::vector<sim::AttackTrace>& traces,
+                       const std::vector<NodeId>& monitors, NodeId num_nodes,
+                       bool weight_by_denied_benefit) {
+  const TraceIndex index(traces, num_nodes);
+  std::vector<std::uint8_t> monitored(num_nodes, 0);
+  for (NodeId u : monitors) {
+    if (u >= num_nodes) throw std::invalid_argument("placement_value: bad node");
+    monitored[u] = 1;
+  }
+  return index.value(monitored, weight_by_denied_benefit);
+}
+
+std::vector<NodeId> greedy_monitor_placement(const std::vector<sim::AttackTrace>& traces,
+                                             NodeId num_nodes,
+                                             const PlacementOptions& options) {
+  const TraceIndex index(traces, num_nodes);
+  std::vector<std::uint8_t> excluded(num_nodes, 0);
+  for (NodeId u : options.excluded) {
+    if (u >= num_nodes) {
+      throw std::invalid_argument("greedy_monitor_placement: bad excluded node");
+    }
+    excluded[u] = 1;
+  }
+
+  std::vector<std::uint8_t> monitored(num_nodes, 0);
+  std::vector<NodeId> placement;
+  double current = 0.0;
+
+  // Lazy greedy over candidate nodes that appear in at least one trace.
+  struct Entry {
+    double gain;
+    NodeId node;
+    std::size_t stamp;
+    bool operator<(const Entry& o) const noexcept {
+      if (gain != o.gain) return gain < o.gain;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  auto gain_of = [&](NodeId u) {
+    monitored[u] = 1;
+    const double v = index.value(monitored, options.weight_by_denied_benefit);
+    monitored[u] = 0;
+    return v - current;
+  };
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (excluded[u] || index.node_traces[u].empty()) continue;
+    const double g = gain_of(u);
+    if (g > 0.0) heap.push({g, u, 0});
+  }
+  while (placement.size() < options.budget_monitors && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.stamp != placement.size()) {
+      top.gain = gain_of(top.node);
+      top.stamp = placement.size();
+      if (top.gain <= 0.0) continue;
+      if (!heap.empty() && top.gain < heap.top().gain) {
+        heap.push(top);
+        continue;
+      }
+    }
+    monitored[top.node] = 1;
+    current += top.gain;
+    placement.push_back(top.node);
+  }
+  std::sort(placement.begin(), placement.end());
+  return placement;
+}
+
+}  // namespace recon::defense

@@ -1,0 +1,45 @@
+// Monitor-placement optimization.
+//
+// choose_monitors_by_simulation (detector.h) ranks users by raw attack
+// frequency; that over-invests in redundant monitors that all catch the same
+// runs. This module treats placement as the submodular optimization it is:
+//
+//  * coverage objective — a monitor set's value is the number of simulated
+//    attack traces it detects (optionally weighted by the benefit it denies
+//    by catching the trace early);
+//  * greedy_monitor_placement — the classic (1 − 1/e) greedy over that
+//    objective, with lazy evaluation;
+//  * placement_value — evaluates any placement on held-out traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/problem.h"
+#include "sim/trace.h"
+
+namespace recon::defense {
+
+struct PlacementOptions {
+  std::size_t budget_monitors = 10;
+  /// If true, maximize expected benefit *denied* (benefit the attacker would
+  /// have collected after the first monitored request); if false, maximize
+  /// the number of traces detected at all.
+  bool weight_by_denied_benefit = true;
+  /// Nodes that may not be instrumented (e.g. the targets themselves).
+  std::vector<graph::NodeId> excluded;
+};
+
+/// Value of a placement on a trace set: detected-trace count or total denied
+/// benefit, per options.
+double placement_value(const std::vector<sim::AttackTrace>& traces,
+                       const std::vector<graph::NodeId>& monitors,
+                       graph::NodeId num_nodes, bool weight_by_denied_benefit);
+
+/// Greedy submodular monitor placement over simulated traces. Returns up to
+/// budget_monitors nodes (fewer if additional monitors add nothing).
+std::vector<graph::NodeId> greedy_monitor_placement(
+    const std::vector<sim::AttackTrace>& traces, graph::NodeId num_nodes,
+    const PlacementOptions& options);
+
+}  // namespace recon::defense

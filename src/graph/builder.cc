@@ -1,0 +1,113 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace recon::graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, double p) {
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop");
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("GraphBuilder: node id out of range");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("GraphBuilder: probability outside [0,1]");
+  }
+  if (u > v) std::swap(u, v);
+  us_.push_back(u);
+  vs_.push_back(v);
+  ps_.push_back(p);
+}
+
+bool GraphBuilder::has_pending_edge(NodeId u, NodeId v) const noexcept {
+  if (u > v) std::swap(u, v);
+  for (std::size_t i = 0; i < us_.size(); ++i) {
+    if (us_[i] == u && vs_[i] == v) return true;
+  }
+  return false;
+}
+
+void GraphBuilder::set_attributes(std::vector<std::uint16_t> values, unsigned dim) {
+  if (dim == 0 || values.size() != static_cast<std::size_t>(num_nodes_) * dim) {
+    throw std::invalid_argument("GraphBuilder: attribute size mismatch");
+  }
+  attributes_ = std::move(values);
+  attribute_dim_ = dim;
+}
+
+Graph GraphBuilder::build() const {
+  // Sort edge indices by (u, v) and merge duplicates with max probability.
+  std::vector<std::size_t> order(us_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (us_[a] != us_[b]) return us_[a] < us_[b];
+    return vs_[a] < vs_[b];
+  });
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.edge_u_.reserve(us_.size());
+  g.edge_v_.reserve(us_.size());
+  g.edge_prob_.reserve(us_.size());
+  for (std::size_t i : order) {
+    if (!g.edge_u_.empty() && g.edge_u_.back() == us_[i] && g.edge_v_.back() == vs_[i]) {
+      g.edge_prob_.back() = std::max(g.edge_prob_.back(), ps_[i]);
+      continue;
+    }
+    g.edge_u_.push_back(us_[i]);
+    g.edge_v_.push_back(vs_[i]);
+    g.edge_prob_.push_back(ps_[i]);
+  }
+  g.num_edges_ = static_cast<EdgeId>(g.edge_u_.size());
+
+  // Count degrees, fill CSR.
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (EdgeId e = 0; e < g.num_edges_; ++e) {
+    ++g.offsets_[g.edge_u_[e] + 1];
+    ++g.offsets_[g.edge_v_[e] + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(2 * static_cast<std::size_t>(g.num_edges_));
+  g.edge_ids_.resize(2 * static_cast<std::size_t>(g.num_edges_));
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Edges are visited in (u, v) sorted order, so u-side adjacency fills
+  // sorted automatically; the v-side also fills sorted because edge_u_ is
+  // nondecreasing and, for equal v, u values arrive in increasing order.
+  for (EdgeId e = 0; e < g.num_edges_; ++e) {
+    const NodeId u = g.edge_u_[e];
+    const NodeId v = g.edge_v_[e];
+    g.adjacency_[cursor[u]] = v;
+    g.edge_ids_[cursor[u]] = e;
+    ++cursor[u];
+    g.adjacency_[cursor[v]] = u;
+    g.edge_ids_[cursor[v]] = e;
+    ++cursor[v];
+  }
+  // The v-side ordering argument above is subtle; enforce sortedness
+  // defensively (cheap: almost always already sorted).
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const std::size_t lo = g.offsets_[u];
+    const std::size_t hi = g.offsets_[u + 1];
+    if (!std::is_sorted(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(lo),
+                        g.adjacency_.begin() + static_cast<std::ptrdiff_t>(hi))) {
+      std::vector<std::pair<NodeId, EdgeId>> tmp;
+      tmp.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) tmp.emplace_back(g.adjacency_[i], g.edge_ids_[i]);
+      std::sort(tmp.begin(), tmp.end());
+      for (std::size_t i = lo; i < hi; ++i) {
+        g.adjacency_[i] = tmp[i - lo].first;
+        g.edge_ids_[i] = tmp[i - lo].second;
+      }
+    }
+  }
+
+  g.attributes_ = attributes_;
+  g.attribute_dim_ = attribute_dim_;
+  return g;
+}
+
+}  // namespace recon::graph

@@ -1,0 +1,49 @@
+// Mutable edge-list accumulator that produces an immutable CSR Graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::graph {
+
+/// Accumulates undirected edges and node attributes, then builds a Graph.
+///
+/// Duplicate edges (in either orientation) are merged: the *maximum*
+/// probability wins, matching the "most optimistic link prediction"
+/// convention. Self-loops are rejected.
+class GraphBuilder {
+ public:
+  /// Creates a builder for `num_nodes` nodes.
+  explicit GraphBuilder(NodeId num_nodes);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_pending_edges() const noexcept { return us_.size(); }
+
+  /// Adds an undirected edge {u, v} with existence probability p in [0, 1].
+  /// Throws std::invalid_argument on self-loops, out-of-range ids, or p
+  /// outside [0, 1].
+  void add_edge(NodeId u, NodeId v, double p = 1.0);
+
+  /// Returns true if the edge has already been added (linear in pending
+  /// edges; intended for tests and generators that need dedup-on-insert
+  /// should keep their own set).
+  bool has_pending_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Attaches categorical attributes: `values` has num_nodes * dim entries.
+  void set_attributes(std::vector<std::uint16_t> values, unsigned dim);
+
+  /// Builds the CSR graph. The builder may be reused afterwards (its pending
+  /// edges are retained).
+  Graph build() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<NodeId> us_, vs_;   // canonicalized: us_[i] < vs_[i]
+  std::vector<double> ps_;
+  std::vector<std::uint16_t> attributes_;
+  unsigned attribute_dim_ = 0;
+};
+
+}  // namespace recon::graph

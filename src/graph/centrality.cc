@@ -1,0 +1,146 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stack>
+
+namespace recon::graph {
+
+std::vector<double> betweenness_centrality(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  // Brandes: one BFS + dependency accumulation per source.
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<double> sigma(n);      // shortest-path counts
+  std::vector<std::int64_t> dist(n);
+  std::vector<double> delta(n);      // dependencies
+  for (NodeId s = 0; s < n; ++s) {
+    std::stack<NodeId> order;
+    for (NodeId v = 0; v < n; ++v) {
+      predecessors[v].clear();
+      sigma[v] = 0.0;
+      dist[v] = -1;
+      delta[v] = 0.0;
+    }
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    std::queue<NodeId> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      order.push(v);
+      for (NodeId w : g.neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          predecessors[w].push_back(v);
+        }
+      }
+    }
+    while (!order.empty()) {
+      const NodeId w = order.top();
+      order.pop();
+      for (NodeId v : predecessors[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Undirected graphs count each pair twice.
+  for (auto& c : centrality) c *= 0.5;
+  return centrality;
+}
+
+std::vector<double> harmonic_centrality(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  std::vector<std::int64_t> dist(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[s] = 0;
+    std::queue<NodeId> queue;
+    queue.push(s);
+    double total = 0.0;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      if (v != s) total += 1.0 / static_cast<double>(dist[v]);
+      for (NodeId w : g.neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push(w);
+        }
+      }
+    }
+    centrality[s] = total;
+  }
+  return centrality;
+}
+
+std::vector<NodeId> core_numbers(const Graph& g) {
+  // Matula-Beck / Batagelj-Zaversnik bucket peeling.
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> degree(n);
+  NodeId max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = g.degree(u);
+    max_degree = std::max(max_degree, degree[u]);
+  }
+  // Bucket sort nodes by degree.
+  std::vector<NodeId> bin(max_degree + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bin[degree[u]];
+  NodeId start = 0;
+  for (NodeId d = 0; d <= max_degree; ++d) {
+    const NodeId count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> position(n), sorted(n);
+  {
+    std::vector<NodeId> cursor(bin.begin(), bin.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      position[u] = cursor[degree[u]];
+      sorted[position[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+  std::vector<NodeId> core = degree;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId u = sorted[i];
+    for (NodeId v : g.neighbors(u)) {
+      if (core[v] > core[u]) {
+        // Move v one bucket down: swap with the first node of its bucket.
+        const NodeId dv = core[v];
+        const NodeId pv = position[v];
+        const NodeId pw = bin[dv];
+        const NodeId w = sorted[pw];
+        if (v != w) {
+          std::swap(sorted[pv], sorted[pw]);
+          position[v] = pw;
+          position[w] = pv;
+        }
+        ++bin[dv];
+        --core[v];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<NodeId> top_nodes(const std::vector<double>& scores, std::size_t count) {
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  if (order.size() > count) order.resize(count);
+  return order;
+}
+
+}  // namespace recon::graph

@@ -1,0 +1,31 @@
+// Node centrality measures.
+//
+// Used on the defense side to compare *structural* monitor placements
+// (instrument the gatekeepers) against the simulation-driven placements in
+// defense/placement.h, and generally useful graph tooling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::graph {
+
+/// Exact betweenness centrality (Brandes' algorithm, unweighted, O(n·m)).
+/// Returns one value per node; endpoints are not counted, undirected paths
+/// are counted once (values are halved per the undirected convention).
+std::vector<double> betweenness_centrality(const Graph& g);
+
+/// Harmonic closeness centrality: Σ_{v != u} 1 / d(u, v), with 1/∞ = 0 for
+/// unreachable pairs (well-defined on disconnected graphs). O(n·m).
+std::vector<double> harmonic_centrality(const Graph& g);
+
+/// Core number of every node (k-core decomposition, O(m)): the largest k
+/// such that the node belongs to a subgraph of minimum degree k.
+std::vector<NodeId> core_numbers(const Graph& g);
+
+/// The `count` nodes with the largest values in `scores` (stable by id).
+std::vector<NodeId> top_nodes(const std::vector<double>& scores, std::size_t count);
+
+}  // namespace recon::graph

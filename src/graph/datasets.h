@@ -1,0 +1,59 @@
+// Synthetic stand-ins for the paper's evaluation networks (Table I).
+//
+// The SNAP datasets (Facebook, Enron Email, Slashdot, Twitter) and the
+// US-Political-Books network are not redistributable here, so each is
+// replaced by a generator-backed surrogate with matched node count, matched
+// mean degree, and a qualitatively similar topology class:
+//
+//   US Pol. Books  -> stochastic block model (3 communities, 105 / 441)
+//   Facebook       -> Watts-Strogatz (high clustering, mean degree ~44)
+//   Enron Email    -> power-law configuration model (mean degree ~10)
+//   Slashdot       -> Barabási–Albert m=12 (mean degree ~24)
+//   Twitter        -> Barabási–Albert m=22 (mean degree ~44)
+//
+// `scale` linearly scales node counts: scale 10 reproduces the paper's node
+// counts, scale 1 (bench default) is a 1/10-size instance. US Pol. Books is
+// never scaled (it is already tiny and Fig. 6 depends on its exact size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::graph {
+
+enum class DatasetId {
+  kUsPolBooks,
+  kFacebook,
+  kEnronEmail,
+  kSlashdot,
+  kTwitter,
+};
+
+struct Dataset {
+  DatasetId id;
+  std::string name;        ///< Paper's display name.
+  Graph graph;             ///< Surrogate topology with edge probabilities.
+  NodeId paper_nodes;      ///< Node count reported in Table I.
+  EdgeId paper_edges;      ///< Edge count reported in Table I.
+  std::string generator;   ///< Which generator produced the surrogate.
+};
+
+/// All dataset ids, in Table I order.
+std::vector<DatasetId> all_dataset_ids();
+
+/// The four medium/large networks used in Figs. 4–5 and Tables II–IV.
+std::vector<DatasetId> snap_dataset_ids();
+
+std::string dataset_name(DatasetId id);
+
+/// Builds the surrogate for `id` at the given linear scale (clamped to a
+/// minimum viable size). Edge probabilities follow the structural model
+/// p_e = 0.4 + 0.5 * jaccard(u, v) (see DESIGN.md); pass `uniform_probs` to
+/// use p_e = 1 instead (deterministic topology knowledge).
+Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed,
+                     bool uniform_probs = false);
+
+}  // namespace recon::graph

@@ -1,0 +1,30 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace recon::graph {
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= num_nodes_ || v >= num_nodes_) return kInvalidEdge;
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return edge_ids_[offsets_[u] + static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+double Graph::expected_degree(NodeId u) const noexcept {
+  double sum = 0.0;
+  for (EdgeId e : incident_edges(u)) sum += edge_prob_[e];
+  return sum;
+}
+
+double Graph::max_expected_degree() const noexcept {
+  double best = 0.0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    best = std::max(best, expected_degree(u));
+  }
+  return best;
+}
+
+}  // namespace recon::graph

@@ -1,0 +1,100 @@
+// Compressed-sparse-row social graph with per-edge existence probabilities.
+//
+// The paper models an OSN as a graph G = (V, E) where each possible
+// friendship e carries an existence probability p_e estimated via link
+// prediction (Sec. II-A). Friendships are symmetric, so we store an
+// undirected multigraph-free simple graph in CSR form: every undirected edge
+// appears in both endpoints' adjacency lists, and both directed slots carry
+// the same undirected EdgeId, which indexes per-edge state elsewhere
+// (probabilities, revealed bitmaps, ground-truth existence).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace recon::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+class GraphBuilder;
+
+/// Immutable undirected graph in CSR form. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  EdgeId num_edges() const noexcept { return num_edges_; }
+
+  /// Neighbors of u (sorted ascending).
+  std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return {adjacency_.data() + offsets_[u], adjacency_.data() + offsets_[u + 1]};
+  }
+
+  /// Undirected edge ids aligned with neighbors(u).
+  std::span<const EdgeId> incident_edges(NodeId u) const noexcept {
+    return {edge_ids_.data() + offsets_[u], edge_ids_.data() + offsets_[u + 1]};
+  }
+
+  NodeId degree(NodeId u) const noexcept {
+    return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Existence probability of undirected edge e.
+  double edge_prob(EdgeId e) const noexcept { return edge_prob_[e]; }
+
+  /// Endpoints of undirected edge e, with endpoint_u < endpoint_v.
+  NodeId edge_u(EdgeId e) const noexcept { return edge_u_[e]; }
+  NodeId edge_v(EdgeId e) const noexcept { return edge_v_[e]; }
+
+  /// Given edge e and one endpoint, returns the other endpoint.
+  NodeId other_endpoint(EdgeId e, NodeId u) const noexcept {
+    return edge_u_[e] == u ? edge_v_[e] : edge_u_[e];
+  }
+
+  /// Finds the undirected edge id between u and v (binary search over the
+  /// smaller adjacency list); kInvalidEdge when absent.
+  EdgeId find_edge(NodeId u, NodeId v) const noexcept;
+
+  bool has_edge(NodeId u, NodeId v) const noexcept {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  /// Expected degree of u: sum of incident edge probabilities.
+  double expected_degree(NodeId u) const noexcept;
+
+  /// Maximum expected degree over all nodes (the paper's constant M in the
+  /// Bi benefit definition). Returns 0 for an empty graph.
+  double max_expected_degree() const noexcept;
+
+  /// Optional per-node categorical attributes (empty when unset). Attribute
+  /// dimension d of node u is attributes()[u * attribute_dim() + d].
+  std::span<const std::uint16_t> attributes() const noexcept { return attributes_; }
+  unsigned attribute_dim() const noexcept { return attribute_dim_; }
+  bool has_attributes() const noexcept { return attribute_dim_ > 0; }
+  std::span<const std::uint16_t> node_attributes(NodeId u) const noexcept {
+    return {attributes_.data() + static_cast<std::size_t>(u) * attribute_dim_,
+            attribute_dim_};
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
+  std::vector<std::size_t> offsets_;    // n + 1
+  std::vector<NodeId> adjacency_;       // 2m, sorted within each node
+  std::vector<EdgeId> edge_ids_;        // 2m, aligned with adjacency_
+  std::vector<double> edge_prob_;       // m
+  std::vector<NodeId> edge_u_, edge_v_; // m, with edge_u_ < edge_v_
+  std::vector<std::uint16_t> attributes_;
+  unsigned attribute_dim_ = 0;
+};
+
+}  // namespace recon::graph

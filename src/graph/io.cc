@@ -1,0 +1,72 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace recon::graph {
+
+Graph read_edge_list(std::istream& in, NodeId num_nodes) {
+  struct Rec {
+    NodeId u, v;
+    double p;
+  };
+  std::vector<Rec> recs;
+  NodeId max_id = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    long long u64 = -1, v64 = -1;
+    double p = 1.0;
+    if (!(ls >> u64)) continue;  // blank / comment-only line
+    if (!(ls >> v64)) {
+      throw std::runtime_error("read_edge_list: missing target id at line " +
+                               std::to_string(lineno));
+    }
+    if (!(ls >> p)) p = 1.0;
+    if (u64 < 0 || v64 < 0) {
+      throw std::runtime_error("read_edge_list: negative node id at line " +
+                               std::to_string(lineno));
+    }
+    const auto u = static_cast<NodeId>(u64);
+    const auto v = static_cast<NodeId>(v64);
+    if (u == v) continue;  // silently drop self-loops, as SNAP loaders do
+    recs.push_back({u, v, p});
+    max_id = std::max(max_id, std::max(u, v));
+  }
+  const NodeId n = num_nodes != 0 ? num_nodes : (recs.empty() ? 0 : max_id + 1);
+  GraphBuilder builder(n);
+  for (const auto& r : recs) builder.add_edge(r.u, r.v, r.p);
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path, NodeId num_nodes) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  return read_edge_list(f, num_nodes);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# recon edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " edges\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out << g.edge_u(e) << ' ' << g.edge_v(e) << ' ' << g.edge_prob(e) << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_edge_list_file: cannot open " + path);
+  write_edge_list(f, g);
+  if (!f) throw std::runtime_error("write_edge_list_file: write failed: " + path);
+}
+
+}  // namespace recon::graph

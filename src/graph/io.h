@@ -1,0 +1,27 @@
+// Edge-list I/O.
+//
+// Format (SNAP-compatible, whitespace-separated):
+//   # comment lines start with '#'
+//   u v [p]
+// Node ids are 0-based unsigned integers; p defaults to 1.0 when omitted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace recon::graph {
+
+/// Parses an edge list from a stream. `num_nodes` of 0 means "infer as
+/// max id + 1". Throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& in, NodeId num_nodes = 0);
+
+/// Reads an edge-list file. Throws std::runtime_error if unopenable.
+Graph read_edge_list_file(const std::string& path, NodeId num_nodes = 0);
+
+/// Writes "u v p" lines (with a header comment).
+void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+}  // namespace recon::graph

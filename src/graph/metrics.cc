@@ -1,0 +1,91 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace recon::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  s.min = g.degree(0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId d = g.degree(u);
+    s.mean += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean /= static_cast<double>(g.num_nodes());
+  return s;
+}
+
+double clustering_coefficient(const Graph& g, std::size_t samples, std::uint64_t seed) {
+  // Sample wedges (v, {a, b}) with v chosen proportionally to the number of
+  // wedges centered at it, then test whether (a, b) is closed.
+  util::Rng rng(seed);
+  std::vector<double> wedge_cdf(g.num_nodes());
+  double total = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double d = static_cast<double>(g.degree(u));
+    total += d * (d - 1.0) / 2.0;
+    wedge_cdf[u] = total;
+  }
+  if (total <= 0.0 || samples == 0) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double r = rng.uniform() * total;
+    const auto it = std::lower_bound(wedge_cdf.begin(), wedge_cdf.end(), r);
+    const NodeId v = static_cast<NodeId>(it - wedge_cdf.begin());
+    const auto nbrs = g.neighbors(v);
+    const std::size_t d = nbrs.size();
+    const std::size_t i = static_cast<std::size_t>(rng.below(d));
+    std::size_t j = static_cast<std::size_t>(rng.below(d - 1));
+    if (j >= i) ++j;
+    if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+  }
+  return static_cast<double>(closed) / static_cast<double>(samples);
+}
+
+std::vector<std::uint32_t> component_labels(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> label(n, static_cast<std::uint32_t>(-1));
+  std::vector<NodeId> stack;
+  std::uint32_t next = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != static_cast<std::uint32_t>(-1)) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == static_cast<std::uint32_t>(-1)) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t connected_components(const Graph& g) {
+  const auto labels = component_labels(g);
+  std::uint32_t max_label = 0;
+  for (std::uint32_t l : labels) max_label = std::max(max_label, l);
+  return labels.empty() ? 0 : static_cast<std::size_t>(max_label) + 1;
+}
+
+std::size_t largest_component_size(const Graph& g) {
+  const auto labels = component_labels(g);
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (std::uint32_t l : labels) ++counts[l];
+  std::size_t best = 0;
+  for (const auto& [l, c] : counts) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace recon::graph

@@ -1,0 +1,34 @@
+// Structural graph metrics (used by dataset validation and Table I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::graph {
+
+struct DegreeStats {
+  double mean = 0.0;
+  NodeId min = 0;
+  NodeId max = 0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Global clustering coefficient estimated by sampling `samples` wedges
+/// (exact when the graph has fewer wedges than samples is not attempted;
+/// sampling is deterministic given the seed).
+double clustering_coefficient(const Graph& g, std::size_t samples, std::uint64_t seed);
+
+/// Number of connected components (edges treated as existing; probabilities
+/// ignored).
+std::size_t connected_components(const Graph& g);
+
+/// Size of the largest connected component.
+std::size_t largest_component_size(const Graph& g);
+
+/// Component label per node (labels are arbitrary but consistent).
+std::vector<std::uint32_t> component_labels(const Graph& g);
+
+}  // namespace recon::graph

@@ -1,0 +1,163 @@
+#include "linkpred/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linkpred/scores.h"
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace recon::linkpred {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+double LogisticModel::predict(double score) const noexcept {
+  const double z = w0 + w1 * score;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+LogisticModel fit_logistic(const std::vector<LabeledScore>& data, int iterations,
+                           double learning_rate) {
+  if (data.empty()) throw std::invalid_argument("fit_logistic: empty data");
+  // Standardize the score for stable optimization, then fold the transform
+  // back into (w0, w1).
+  double mean = 0.0;
+  for (const auto& d : data) mean += d.score;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (const auto& d : data) var += (d.score - mean) * (d.score - mean);
+  var /= static_cast<double>(data.size());
+  const double sd = std::sqrt(std::max(var, 1e-12));
+
+  double a = 0.0, b = 0.0;  // logit = a + b * z, z = (score - mean) / sd
+  const double n = static_cast<double>(data.size());
+  for (int it = 0; it < iterations; ++it) {
+    double ga = 0.0, gb = 0.0;
+    for (const auto& d : data) {
+      const double z = (d.score - mean) / sd;
+      const double p = 1.0 / (1.0 + std::exp(-(a + b * z)));
+      const double err = p - (d.exists ? 1.0 : 0.0);
+      ga += err;
+      gb += err * z;
+    }
+    a -= learning_rate * ga / n;
+    b -= learning_rate * gb / n;
+  }
+  LogisticModel model;
+  model.w1 = b / sd;
+  model.w0 = a - b * mean / sd;
+  return model;
+}
+
+std::vector<LabeledScore> make_calibration_set(const Graph& g, ScoreKind kind,
+                                               double negatives_per_positive,
+                                               std::uint64_t seed) {
+  std::vector<LabeledScore> data;
+  data.reserve(g.num_edges() * 2);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    data.push_back({pair_score(g, g.edge_u(e), g.edge_v(e), kind), true});
+  }
+  const auto want_negatives = static_cast<std::size_t>(
+      std::llround(negatives_per_positive * static_cast<double>(g.num_edges())));
+  util::Rng rng(seed);
+  std::size_t got = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = want_negatives * 50 + 100;
+  while (got < want_negatives && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (u == v || g.has_edge(u, v)) continue;
+    data.push_back({pair_score(g, u, v, kind), false});
+    ++got;
+  }
+  return data;
+}
+
+double roc_auc(const std::vector<LabeledScore>& data) {
+  // Rank-based computation (Mann-Whitney U): sort by score, assign average
+  // ranks to ties, AUC = (rank-sum of positives - n1(n1+1)/2) / (n1 * n0).
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return data[a].score < data[b].score;
+  });
+  std::size_t positives = 0, negatives = 0;
+  for (const auto& d : data) (d.exists ? positives : negatives) += 1;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("roc_auc: need both classes");
+  }
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && data[order[j]].score == data[order[i]].score) ++j;
+    // Average rank of the tie group [i, j) with 1-based ranks.
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (std::size_t t = i; t < j; ++t) {
+      if (data[order[t]].exists) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double n1 = static_cast<double>(positives);
+  const double n0 = static_cast<double>(negatives);
+  return (rank_sum_pos - n1 * (n1 + 1.0) / 2.0) / (n1 * n0);
+}
+
+double holdout_auc(const Graph& g, ScoreKind kind, double holdout_fraction,
+                   std::uint64_t seed) {
+  if (!(holdout_fraction > 0.0 && holdout_fraction < 1.0)) {
+    throw std::invalid_argument("holdout_auc: fraction must be in (0,1)");
+  }
+  util::Rng rng(seed);
+  const auto hidden_count = static_cast<std::uint32_t>(
+      std::max(1.0, holdout_fraction * static_cast<double>(g.num_edges())));
+  const auto hidden =
+      util::sample_without_replacement(g.num_edges(), hidden_count, rng);
+  std::vector<std::uint8_t> is_hidden(g.num_edges(), 0);
+  for (auto e : hidden) is_hidden[e] = 1;
+  // Training graph without the hidden edges.
+  GraphBuilder builder(g.num_nodes());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!is_hidden[e]) builder.add_edge(g.edge_u(e), g.edge_v(e), g.edge_prob(e));
+  }
+  const Graph train = builder.build();
+  std::vector<LabeledScore> data;
+  data.reserve(2 * hidden.size());
+  for (auto e : hidden) {
+    data.push_back({pair_score(train, g.edge_u(e), g.edge_v(e), kind), true});
+  }
+  std::size_t got = 0, attempts = 0;
+  while (got < hidden.size() && attempts < hidden.size() * 100 + 1000) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (u == v || g.has_edge(u, v)) continue;
+    data.push_back({pair_score(train, u, v, kind), false});
+    ++got;
+  }
+  return roc_auc(data);
+}
+
+Graph calibrate_edge_probs(const Graph& g, ScoreKind kind, std::uint64_t seed) {
+  const auto data = make_calibration_set(g, kind, 1.0, seed);
+  const LogisticModel model = fit_logistic(data);
+  GraphBuilder builder(g.num_nodes());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double s = pair_score(g, g.edge_u(e), g.edge_v(e), kind);
+    builder.add_edge(g.edge_u(e), g.edge_v(e),
+                     std::clamp(model.predict(s), 0.0, 1.0));
+  }
+  if (g.has_attributes()) {
+    builder.set_attributes(
+        std::vector<std::uint16_t>(g.attributes().begin(), g.attributes().end()),
+        g.attribute_dim());
+  }
+  return builder.build();
+}
+
+}  // namespace recon::linkpred

@@ -1,0 +1,58 @@
+// Logistic calibration of link-prediction scores to probabilities.
+//
+// Fits p(edge | score) = sigmoid(w0 + w1 * score) by gradient descent on
+// labeled (score, exists) pairs. Used to turn raw topological scores into
+// the p_e beliefs the attacker plans with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linkpred/scores.h"
+
+namespace recon::linkpred {
+
+struct LogisticModel {
+  double w0 = 0.0;
+  double w1 = 1.0;
+
+  double predict(double score) const noexcept;
+};
+
+struct LabeledScore {
+  double score;
+  bool exists;
+};
+
+/// Fits a 1-D logistic regression by full-batch gradient descent.
+/// Throws std::invalid_argument on empty input.
+LogisticModel fit_logistic(const std::vector<LabeledScore>& data,
+                           int iterations = 500, double learning_rate = 0.5);
+
+/// Builds a calibration set from a graph by treating existing edges as
+/// positives and `negatives_per_positive` sampled distance-2 non-edges as
+/// negatives, scoring both with `kind`. The "observed" structure used for
+/// scoring excludes nothing (the attacker calibrates on public data).
+std::vector<LabeledScore> make_calibration_set(const graph::Graph& g, ScoreKind kind,
+                                               double negatives_per_positive,
+                                               std::uint64_t seed);
+
+/// Convenience: calibrates on g itself, then returns a copy of g whose edge
+/// probabilities are the model's predictions for each edge's score.
+graph::Graph calibrate_edge_probs(const graph::Graph& g, ScoreKind kind,
+                                  std::uint64_t seed);
+
+/// ROC-AUC of a labeled score set: the probability a random positive
+/// outscores a random negative (ties count 1/2). 0.5 = chance; throws
+/// std::invalid_argument when either class is empty.
+double roc_auc(const std::vector<LabeledScore>& data);
+
+/// Held-out link-prediction evaluation: hides `holdout_fraction` of g's
+/// edges, scores the hidden edges plus an equal number of sampled non-edges
+/// on the remaining graph, and returns the AUC — the standard measure of a
+/// predictor's quality on a network.
+double holdout_auc(const graph::Graph& g, ScoreKind kind, double holdout_fraction,
+                   std::uint64_t seed);
+
+}  // namespace recon::linkpred

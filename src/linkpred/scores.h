@@ -1,0 +1,44 @@
+// Topological link-prediction scores.
+//
+// The paper (Sec. II-A) assumes edge existence probabilities p_e are
+// estimated with link-prediction methods over publicly observable structure
+// [17]-[19]. This module provides the four classical neighborhood scores and
+// a 2-hop candidate enumerator; linkpred/calibration.h maps raw scores to
+// probabilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::linkpred {
+
+enum class ScoreKind {
+  kCommonNeighbors,    ///< |N(u) ∩ N(v)|
+  kJaccard,            ///< |N(u) ∩ N(v)| / |N(u) ∪ N(v)|
+  kAdamicAdar,         ///< Σ_{w ∈ N(u) ∩ N(v)} 1 / log(deg(w))
+  kResourceAllocation, ///< Σ_{w ∈ N(u) ∩ N(v)} 1 / deg(w)
+};
+
+/// Score for a single node pair (u != v). Degree-1 common neighbors
+/// contribute log-degree guards for Adamic-Adar (1/log(2) substituted for
+/// deg <= 1 to avoid division by zero, a common convention).
+double pair_score(const graph::Graph& g, graph::NodeId u, graph::NodeId v,
+                  ScoreKind kind);
+
+struct ScoredPair {
+  graph::NodeId u, v;  ///< u < v
+  double score;
+};
+
+/// Scores every non-adjacent pair at distance exactly 2 from `u`
+/// (the candidate set visible through mutual friends).
+std::vector<ScoredPair> two_hop_candidates(const graph::Graph& g, graph::NodeId u,
+                                           ScoreKind kind);
+
+/// Scores all distance-2 non-adjacent pairs in the graph (each pair once).
+/// Intended for small / medium graphs; cost is O(Σ_w deg(w)^2).
+std::vector<ScoredPair> all_two_hop_candidates(const graph::Graph& g, ScoreKind kind);
+
+}  // namespace recon::linkpred

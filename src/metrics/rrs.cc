@@ -1,0 +1,139 @@
+#include "metrics/rrs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace recon::metrics {
+
+RrsResult rrs(const std::vector<sim::AttackTrace>& traces, double q_threshold) {
+  RrsResult result;
+  if (traces.empty()) return result;
+  double total = 0.0;
+  std::size_t reached = 0;
+  for (const auto& t : traces) {
+    const std::size_t r = t.requests_to_reach(q_threshold);
+    if (r == std::numeric_limits<std::size_t>::max()) continue;
+    total += static_cast<double>(r);
+    ++reached;
+  }
+  result.reach_fraction = static_cast<double>(reached) / static_cast<double>(traces.size());
+  result.expected_requests = reached > 0 ? total / static_cast<double>(reached) : 0.0;
+  return result;
+}
+
+double attack_time_seconds(const sim::AttackTrace& trace, double delay_seconds) {
+  double total = 0.0;
+  for (const auto& b : trace.batches) total += b.select_seconds + delay_seconds;
+  return total;
+}
+
+double rt_rrs(const std::vector<sim::AttackTrace>& traces, double delay_seconds) {
+  if (traces.empty()) return std::numeric_limits<double>::infinity();
+  double time = 0.0;
+  double benefit = 0.0;
+  for (const auto& t : traces) {
+    time += attack_time_seconds(t, delay_seconds);
+    benefit += t.total_benefit();
+  }
+  if (benefit <= 0.0) return std::numeric_limits<double>::infinity();
+  return time / benefit;
+}
+
+namespace {
+
+double sample_delay(double mean_delay, DelayModel model, util::Rng& rng) {
+  switch (model) {
+    case DelayModel::kFixed:
+      return mean_delay;
+    case DelayModel::kExponential:
+      return -mean_delay * std::log(std::max(1e-300, 1.0 - rng.uniform()));
+    case DelayModel::kLogNormal: {
+      // sigma = 1; choose mu so the mean equals mean_delay:
+      // E = exp(mu + sigma^2/2) => mu = log(mean_delay) - 0.5.
+      const double u1 = std::max(rng.uniform(), 1e-300);
+      const double u2 = rng.uniform();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      return std::exp(std::log(mean_delay) - 0.5 + z);
+    }
+  }
+  return mean_delay;
+}
+
+}  // namespace
+
+double attack_time_stochastic(const sim::AttackTrace& trace, double mean_delay,
+                              DelayModel model, std::uint64_t seed) {
+  if (mean_delay < 0.0) {
+    throw std::invalid_argument("attack_time_stochastic: negative delay");
+  }
+  util::Rng rng(seed);
+  double total = 0.0;
+  for (const auto& b : trace.batches) {
+    total += b.select_seconds;
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < b.requests.size(); ++i) {
+      slowest = std::max(slowest, sample_delay(mean_delay, model, rng));
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+double rt_rrs_stochastic(const std::vector<sim::AttackTrace>& traces,
+                         double mean_delay, DelayModel model, std::uint64_t seed,
+                         int draws) {
+  if (traces.empty() || draws <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double time = 0.0;
+  double benefit = 0.0;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (int d = 0; d < draws; ++d) {
+      time += attack_time_stochastic(traces[t], mean_delay, model,
+                                     util::derive_seed(seed, t, d));
+    }
+    benefit += traces[t].total_benefit() * draws;
+  }
+  if (benefit <= 0.0) return std::numeric_limits<double>::infinity();
+  return time / benefit;
+}
+
+std::vector<std::pair<graph::NodeId, double>> vulnerable_users(
+    const std::vector<sim::AttackTrace>& traces, std::size_t top_k) {
+  // A node counts once per trace (retries within one attack do not inflate
+  // its exposure), so the frequency reads as "fraction of runs targeted".
+  std::unordered_map<graph::NodeId, std::size_t> counts;
+  std::unordered_map<graph::NodeId, std::size_t> last_trace;
+  std::size_t trace_idx = 0;
+  for (const auto& t : traces) {
+    ++trace_idx;
+    for (const auto& b : t.batches) {
+      for (graph::NodeId u : b.requests) {
+        auto [it, inserted] = last_trace.emplace(u, trace_idx);
+        if (!inserted && it->second == trace_idx) continue;
+        it->second = trace_idx;
+        ++counts[u];
+      }
+    }
+  }
+  std::vector<std::pair<graph::NodeId, double>> ranked;
+  ranked.reserve(counts.size());
+  const double denom = traces.empty() ? 1.0 : static_cast<double>(traces.size());
+  for (const auto& [u, c] : counts) {
+    ranked.emplace_back(u, static_cast<double>(c) / denom);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace recon::metrics

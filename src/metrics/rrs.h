@@ -1,0 +1,65 @@
+// Network-vulnerability metrics (paper Sec. V-C).
+//
+//  * RRS — Reconnaissance Resistance Score: the expected number of friend
+//    requests needed to reach a benefit threshold Q (Li et al. [3]).
+//  * RT-RRS — Real-Time RRS: the expected *time* per unit benefit when a
+//    response delay d elapses between batch steps; computed "by adding the
+//    delay d between each logged batch step", so a sequential attacker pays
+//    d per request while a batch attacker pays d per batch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace recon::metrics {
+
+struct RrsResult {
+  double expected_requests = 0.0;  ///< mean over runs that reached the threshold
+  double reach_fraction = 0.0;     ///< fraction of runs reaching the threshold
+};
+
+/// RRS at threshold Q over a set of Monte-Carlo traces. Runs that never
+/// reach Q within their budget are excluded from the mean (reported via
+/// reach_fraction).
+RrsResult rrs(const std::vector<sim::AttackTrace>& traces, double q_threshold);
+
+/// RT-RRS in seconds-per-benefit: E[Σ_batches (select_seconds + delay)] /
+/// E[final benefit]. Traces with zero benefit contribute time but no
+/// benefit; returns +inf when no run gains any benefit.
+double rt_rrs(const std::vector<sim::AttackTrace>& traces, double delay_seconds);
+
+/// Total attack wall time of one trace under the delay model.
+double attack_time_seconds(const sim::AttackTrace& trace, double delay_seconds);
+
+/// Stochastic response-delay models. The fixed model adds `mean_delay` per
+/// batch; the stochastic models draw one response delay per *request* and a
+/// batch completes when its slowest response arrives (max over the batch) —
+/// so batching pays an E[max of k draws] factor (~H_k for exponential),
+/// refining Table IV's fixed-delay assumption.
+enum class DelayModel {
+  kFixed,        ///< every response takes exactly mean_delay
+  kExponential,  ///< delays ~ Exp(1 / mean_delay)
+  kLogNormal,    ///< delays ~ LogNormal with the given mean and sigma = 1
+};
+
+/// Attack wall time with per-request stochastic delays (deterministic in
+/// `seed`).
+double attack_time_stochastic(const sim::AttackTrace& trace, double mean_delay,
+                              DelayModel model, std::uint64_t seed);
+
+/// RT-RRS under stochastic delays: E[time] / E[benefit], with `draws`
+/// delay resamplings per trace.
+double rt_rrs_stochastic(const std::vector<sim::AttackTrace>& traces,
+                         double mean_delay, DelayModel model, std::uint64_t seed,
+                         int draws = 8);
+
+/// Identifies the most-requested nodes across traces — the "vulnerable
+/// users" whose protection the paper argues for. Returns (node, frequency)
+/// sorted by decreasing frequency, at most `top_k` entries.
+std::vector<std::pair<graph::NodeId, double>> vulnerable_users(
+    const std::vector<sim::AttackTrace>& traces, std::size_t top_k);
+
+}  // namespace recon::metrics

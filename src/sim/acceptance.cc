@@ -1,0 +1,93 @@
+#include "sim/acceptance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace recon::sim {
+
+double AcceptanceModel::probability(const graph::Graph& g, graph::NodeId u,
+                                    std::uint32_t mutual) const noexcept {
+  double q = base(u);
+  if (attr_weight != 0.0 && g.has_attributes() && !attacker_attrs.empty()) {
+    const auto attrs = g.node_attributes(u);
+    std::size_t matches = 0;
+    const std::size_t dim = std::min(attrs.size(), attacker_attrs.size());
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (attrs[d] == attacker_attrs[d]) ++matches;
+    }
+    const double sim = dim > 0 ? static_cast<double>(matches) / static_cast<double>(dim) : 0.0;
+    q += attr_weight * sim;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  if (mutual_boost > 0.0 && mutual > 0) {
+    const double refuse = (1.0 - q) * std::pow(1.0 - mutual_boost, static_cast<double>(mutual));
+    q = 1.0 - refuse;
+  }
+  return q;
+}
+
+void AcceptanceModel::validate(const graph::Graph& g) const {
+  if (q0.empty() || (q0.size() != 1 && q0.size() != g.num_nodes())) {
+    throw std::invalid_argument("AcceptanceModel: q0 must have 1 or n entries");
+  }
+  for (double q : q0) {
+    if (!(q >= 0.0 && q <= 1.0)) {
+      throw std::invalid_argument("AcceptanceModel: q0 outside [0,1]");
+    }
+  }
+  if (!(mutual_boost >= 0.0 && mutual_boost < 1.0)) {
+    throw std::invalid_argument("AcceptanceModel: mutual_boost outside [0,1)");
+  }
+  if (attr_weight != 0.0) {
+    if (!g.has_attributes()) {
+      throw std::invalid_argument("AcceptanceModel: attr_weight set but graph has no attributes");
+    }
+    if (attacker_attrs.size() != g.attribute_dim()) {
+      throw std::invalid_argument("AcceptanceModel: attacker profile dimension mismatch");
+    }
+  }
+}
+
+AcceptanceModel make_constant_acceptance(double q) {
+  AcceptanceModel m;
+  m.q0 = {q};
+  return m;
+}
+
+AcceptanceModel make_uniform_acceptance(const graph::Graph& g, double lo, double hi,
+                                        double mutual_boost, std::uint64_t seed) {
+  if (!(lo >= 0.0 && hi <= 1.0 && lo <= hi)) {
+    throw std::invalid_argument("make_uniform_acceptance: bad range");
+  }
+  util::Rng rng(seed);
+  AcceptanceModel m;
+  m.q0.resize(g.num_nodes());
+  for (auto& q : m.q0) q = rng.uniform(lo, hi);
+  m.mutual_boost = mutual_boost;
+  return m;
+}
+
+AcceptanceModel make_attribute_acceptance(const graph::Graph& g, double base_q,
+                                          double attr_weight, double mutual_boost,
+                                          std::uint64_t seed) {
+  if (!g.has_attributes()) {
+    throw std::invalid_argument("make_attribute_acceptance: graph has no attributes");
+  }
+  util::Rng rng(seed);
+  AcceptanceModel m;
+  m.q0 = {base_q};
+  m.attr_weight = attr_weight;
+  m.mutual_boost = mutual_boost;
+  m.attacker_attrs.resize(g.attribute_dim());
+  // The attacker clones the most common value per dimension (profile tuned
+  // to the population) — approximated by copying a random node's profile.
+  const auto u = static_cast<graph::NodeId>(rng.below(g.num_nodes()));
+  const auto attrs = g.node_attributes(u);
+  for (unsigned d = 0; d < g.attribute_dim(); ++d) m.attacker_attrs[d] = attrs[d];
+  return m;
+}
+
+}  // namespace recon::sim

@@ -1,0 +1,62 @@
+// Friend-request acceptance model (paper Sec. II-A).
+//
+// Each user u accepts a request with probability q(u | ω): a per-node base
+// rate, optionally boosted by the number of mutual friends with the attacker
+// (the paper's q'(u) > q(u) dynamic) and by attacker/user attribute
+// similarity (homophily exploitation, Sec. II-B).
+//
+// The model is a plain value type evaluated as
+//   q = 1 - (1 - q_eff) * (1 - mutual_boost)^mutual
+// where q_eff = clamp(q0(u) + attr_weight * similarity(u), 0, 1); the
+// saturating form keeps q in [0, 1] and makes every mutual friend
+// multiplicatively shrink the refusal probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::sim {
+
+struct AcceptanceModel {
+  /// Base acceptance probability; either one entry per node or a single
+  /// entry broadcast to all nodes.
+  std::vector<double> q0;
+
+  /// Per-mutual-friend refusal shrink factor in [0, 1); 0 disables the boost.
+  double mutual_boost = 0.0;
+
+  /// Weight of attacker-profile attribute similarity (requires graph
+  /// attributes and a non-empty attacker profile); 0 disables.
+  double attr_weight = 0.0;
+
+  /// Attacker profile used for similarity (size = graph attribute_dim()).
+  std::vector<std::uint16_t> attacker_attrs;
+
+  double base(graph::NodeId u) const noexcept {
+    return q0.size() == 1 ? q0[0] : q0[u];
+  }
+
+  /// Effective acceptance probability for u with `mutual` mutual friends.
+  double probability(const graph::Graph& g, graph::NodeId u,
+                     std::uint32_t mutual) const noexcept;
+
+  /// Validates parameter ranges; throws std::invalid_argument.
+  void validate(const graph::Graph& g) const;
+};
+
+/// Constant acceptance probability q for every node, no boosts.
+AcceptanceModel make_constant_acceptance(double q);
+
+/// Per-node base rates drawn uniformly from [lo, hi], plus optional boost.
+AcceptanceModel make_uniform_acceptance(const graph::Graph& g, double lo, double hi,
+                                        double mutual_boost, std::uint64_t seed);
+
+/// Attribute-homophily acceptance: base q plus attr_weight * similarity with
+/// a random attacker profile. Requires g.has_attributes().
+AcceptanceModel make_attribute_acceptance(const graph::Graph& g, double base_q,
+                                          double attr_weight, double mutual_boost,
+                                          std::uint64_t seed);
+
+}  // namespace recon::sim

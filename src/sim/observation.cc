@@ -1,0 +1,95 @@
+#include "sim/observation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace recon::sim {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+Observation::Observation(const Problem& problem) : problem_(&problem) {
+  const NodeId n = problem.graph.num_nodes();
+  node_state_.assign(n, NodeState::kUnknown);
+  edge_state_.assign(problem.graph.num_edges(), EdgeState::kUnknown);
+  is_friend_.assign(n, 0);
+  is_fof_.assign(n, 0);
+  attempts_.assign(n, 0);
+  mutual_.assign(n, 0);
+}
+
+BenefitBreakdown Observation::record_reject(NodeId u) {
+  if (is_friend_[u]) throw std::logic_error("record_reject: u is already a friend");
+  ++attempts_[u];
+  node_state_[u] = NodeState::kRejected;
+  return {};
+}
+
+BenefitBreakdown Observation::record_accept(NodeId u,
+                                            std::span<const NodeId> true_neighbors) {
+  if (is_friend_[u]) throw std::logic_error("record_accept: u is already a friend");
+  ++attempts_[u];
+  node_state_[u] = NodeState::kAccepted;
+  is_friend_[u] = 1;
+  friends_.push_back(u);
+
+  BenefitBreakdown delta;
+  delta.friends += problem_->benefit.bf[u];
+  if (is_fof_[u]) {
+    // Upgrade: a node produces only one kind of benefit (Sec. II-B).
+    delta.fofs -= problem_->benefit.bfof[u];
+    is_fof_[u] = 0;
+  }
+
+  // Reveal u's neighborhood: walk the graph adjacency and the (sorted)
+  // true-neighbor list in lockstep.
+  const auto nbrs = problem_->graph.neighbors(u);
+  const auto eids = problem_->graph.incident_edges(u);
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const NodeId v = nbrs[i];
+    const EdgeId e = eids[i];
+    while (t < true_neighbors.size() && true_neighbors[t] < v) ++t;
+    const bool exists = t < true_neighbors.size() && true_neighbors[t] == v;
+    if (edge_state_[e] == EdgeState::kUnknown) {
+      edge_state_[e] = exists ? EdgeState::kPresent : EdgeState::kAbsent;
+      if (exists) delta.edges += problem_->benefit.bi[e];
+    }
+    if (exists) {
+      // v gained the attacker's new friend u as a mutual friend.
+      ++mutual_[v];
+      if (!is_friend_[v] && !is_fof_[v]) {
+        is_fof_[v] = 1;
+        delta.fofs += problem_->benefit.bfof[v];
+      }
+    }
+  }
+  benefit_ += delta;
+  return delta;
+}
+
+BenefitBreakdown Observation::recompute_benefit() const {
+  BenefitBreakdown total;
+  const auto& g = problem_->graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (is_friend_[u]) {
+      total.friends += problem_->benefit.bf[u];
+    } else {
+      // FoF per Eq. (1): adjacent to some friend via an existing edge.
+      bool fof = false;
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size() && !fof; ++i) {
+        fof = is_friend_[nbrs[i]] && edge_state_[eids[i]] == EdgeState::kPresent;
+      }
+      if (fof) total.fofs += problem_->benefit.bfof[u];
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (edge_state_[e] == EdgeState::kPresent) total.edges += problem_->benefit.bi[e];
+  }
+  return total;
+}
+
+}  // namespace recon::sim

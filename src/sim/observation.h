@@ -1,0 +1,102 @@
+// Partial realization ω — everything the attacker has observed so far.
+//
+// Tracks per-node request state Y_u ∈ {accept, reject, ?}, per-edge state
+// Y_uv ∈ {present, absent, ?}, the friend / friend-of-friend sets, mutual
+// friend counters, retry attempt counts, and the exact benefit breakdown
+// accumulated so far. Observation is the single mutable object threaded
+// through an attack; strategies read it, the attack runner writes it.
+//
+// Benefit accounting follows Eq. (1): a node yields Bf when it becomes a
+// friend (upgrading a friend-of-friend replaces its Bfof with Bf), a node
+// yields Bfof the first time it is seen adjacent to a friend via an existing
+// edge, and an existing edge yields Bi exactly once, when first revealed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/problem.h"
+
+namespace recon::sim {
+
+enum class NodeState : std::uint8_t { kUnknown = 0, kAccepted = 1, kRejected = 2 };
+enum class EdgeState : std::uint8_t { kUnknown = 0, kPresent = 1, kAbsent = 2 };
+
+class Observation {
+ public:
+  /// Binds to a problem (held by pointer; must outlive the observation).
+  explicit Observation(const Problem& problem);
+
+  const Problem& problem() const noexcept { return *problem_; }
+
+  NodeState node_state(graph::NodeId u) const noexcept { return node_state_[u]; }
+  EdgeState edge_state(graph::EdgeId e) const noexcept { return edge_state_[e]; }
+
+  bool is_friend(graph::NodeId u) const noexcept { return is_friend_[u] != 0; }
+  bool is_fof(graph::NodeId u) const noexcept { return is_fof_[u] != 0; }
+
+  /// Number of requests sent to u so far (for retry bookkeeping and as the
+  /// world's per-attempt randomness index).
+  std::uint32_t attempts(graph::NodeId u) const noexcept { return attempts_[u]; }
+
+  /// Mutual friends between the attacker and u: |N(u) ∩ F| over revealed
+  /// existing edges.
+  std::uint32_t mutual_friends(graph::NodeId u) const noexcept { return mutual_[u]; }
+
+  /// The attacker's current friend list (acceptance order).
+  std::span<const graph::NodeId> friends() const noexcept { return friends_; }
+
+  /// Current belief about edge e: p_e if unobserved, else 0 / 1.
+  double edge_belief(graph::EdgeId e) const noexcept {
+    switch (edge_state_[e]) {
+      case EdgeState::kUnknown: return problem_->graph.edge_prob(e);
+      case EdgeState::kPresent: return 1.0;
+      case EdgeState::kAbsent: return 0.0;
+    }
+    return 0.0;
+  }
+
+  /// Acceptance probability q(u | ω) under the problem's model, reflecting
+  /// currently revealed mutual friends.
+  double acceptance_prob(graph::NodeId u) const noexcept {
+    return problem_->acceptance.probability(problem_->graph, u, mutual_[u]);
+  }
+
+  /// Whether u may be requested: not yet a friend, and either never asked or
+  /// previously rejected with retries allowed.
+  bool requestable(graph::NodeId u, bool allow_retries) const noexcept {
+    if (is_friend_[u]) return false;
+    return node_state_[u] == NodeState::kUnknown ||
+           (allow_retries && node_state_[u] == NodeState::kRejected);
+  }
+
+  /// Records a rejected request to u. Returns the (empty) benefit delta.
+  BenefitBreakdown record_reject(graph::NodeId u);
+
+  /// Records an accepted request to u and reveals its neighborhood:
+  /// `true_neighbors` is the subset of graph.neighbors(u) that exist in the
+  /// ground truth (must be sorted ascending). Returns the benefit delta.
+  BenefitBreakdown record_accept(graph::NodeId u,
+                                 std::span<const graph::NodeId> true_neighbors);
+
+  /// Total benefit accumulated so far.
+  const BenefitBreakdown& benefit() const noexcept { return benefit_; }
+
+  /// Recomputes the benefit from node/edge states from scratch (Eq. 1);
+  /// used by tests to validate incremental accounting.
+  BenefitBreakdown recompute_benefit() const;
+
+ private:
+  const Problem* problem_;
+  std::vector<NodeState> node_state_;
+  std::vector<EdgeState> edge_state_;
+  std::vector<std::uint8_t> is_friend_;
+  std::vector<std::uint8_t> is_fof_;
+  std::vector<std::uint32_t> attempts_;
+  std::vector<std::uint32_t> mutual_;
+  std::vector<graph::NodeId> friends_;
+  BenefitBreakdown benefit_;
+};
+
+}  // namespace recon::sim

@@ -1,0 +1,62 @@
+// Max-Crawling problem instance (paper Def. 1).
+//
+// Bundles the probabilistic social graph, the target set T, the benefit and
+// acceptance models, and the per-node request cost c(u). Immutable once
+// built; all attack state lives in sim::Observation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/acceptance.h"
+#include "sim/benefit.h"
+
+namespace recon::sim {
+
+struct Problem {
+  graph::Graph graph;
+  std::vector<graph::NodeId> targets;   ///< sorted target ids
+  std::vector<std::uint8_t> is_target;  ///< size n bitmap
+  BenefitModel benefit;
+  AcceptanceModel acceptance;
+  /// Request costs; empty means uniform cost 1.
+  std::vector<double> cost;
+
+  double cost_of(graph::NodeId u) const noexcept {
+    return cost.empty() ? 1.0 : cost[u];
+  }
+
+  /// Maximum benefit attainable if every node were friended and every edge
+  /// existed — an upper bound used for normalizations and sanity checks.
+  double benefit_upper_bound() const;
+
+  /// Validates cross-component invariants; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// How targets are chosen by make_problem().
+enum class TargetMode {
+  kRandom,    ///< uniform random nodes
+  kBfsBall,   ///< a BFS ball around a random seed (an "organization")
+  kHighDegree ///< the highest-degree nodes (public figures)
+};
+
+struct ProblemOptions {
+  std::size_t num_targets = 50;
+  TargetMode target_mode = TargetMode::kRandom;
+  double base_acceptance = 0.3;       ///< constant q0
+  double mutual_boost = 0.0;          ///< refusal shrink per mutual friend
+  bool paper_benefit = true;          ///< paper model vs uniform benefit
+  std::uint64_t seed = 1;
+};
+
+/// Builds a Problem over `g` with targets selected per the options and the
+/// paper's benefit model.
+Problem make_problem(graph::Graph g, const ProblemOptions& options);
+
+/// Selects a target set (sorted) from the graph.
+std::vector<graph::NodeId> select_targets(const graph::Graph& g, std::size_t count,
+                                          TargetMode mode, std::uint64_t seed);
+
+}  // namespace recon::sim

@@ -1,0 +1,221 @@
+#include "sim/problem_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace recon::sim {
+
+namespace {
+
+constexpr const char* kHeader = "#recon-problem v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("read_problem: " + what);
+}
+
+/// Detects whether the benefit model is exactly the paper model for the
+/// given graph/targets (then it can be serialized as one token).
+bool is_paper_benefit(const Problem& p) {
+  const BenefitModel reference = make_paper_benefit(p.graph, p.is_target);
+  return reference.bf == p.benefit.bf && reference.bfof == p.benefit.bfof &&
+         reference.bi == p.benefit.bi;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  for (const auto& x : v) out << ' ' << x;
+}
+
+}  // namespace
+
+void write_problem(std::ostream& out, const Problem& problem) {
+  problem.validate();
+  out.precision(17);
+  out << kHeader << '\n';
+  const auto& g = problem.graph;
+  out << "graph " << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    out << "e " << g.edge_u(e) << ' ' << g.edge_v(e) << ' ' << g.edge_prob(e) << '\n';
+  }
+  out << "targets " << problem.targets.size();
+  write_vector(out, problem.targets);
+  out << '\n';
+
+  const auto& acc = problem.acceptance;
+  if (acc.q0.size() == 1) {
+    out << "acceptance uniform " << acc.q0[0] << '\n';
+  } else {
+    out << "acceptance pernode";
+    write_vector(out, acc.q0);
+    out << '\n';
+  }
+  out << "acceptance-boost " << acc.mutual_boost << '\n';
+  if (acc.attr_weight != 0.0) {
+    out << "acceptance-attrs " << acc.attr_weight;
+    write_vector(out, acc.attacker_attrs);
+    out << '\n';
+  }
+
+  if (is_paper_benefit(problem)) {
+    out << "benefit paper\n";
+  } else {
+    out << "benefit custom\n";
+    out << "bf";
+    write_vector(out, problem.benefit.bf);
+    out << "\nbfof";
+    write_vector(out, problem.benefit.bfof);
+    out << "\nbi";
+    write_vector(out, problem.benefit.bi);
+    out << '\n';
+  }
+
+  if (problem.cost.empty()) {
+    out << "costs uniform\n";
+  } else {
+    out << "costs pernode";
+    write_vector(out, problem.cost);
+    out << '\n';
+  }
+
+  if (g.has_attributes()) {
+    out << "attrs " << g.attribute_dim();
+    for (auto a : g.attributes()) out << ' ' << a;
+    out << '\n';
+  }
+}
+
+void write_problem_file(const std::string& path, const Problem& problem) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_problem_file: cannot open " + path);
+  write_problem(f, problem);
+  if (!f) throw std::runtime_error("write_problem_file: write failed: " + path);
+}
+
+Problem read_problem(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) fail("missing/unsupported header");
+
+  Problem p;
+  graph::NodeId n = 0;
+  graph::EdgeId m = 0;
+  {
+    if (!std::getline(in, line)) fail("missing graph line");
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> n >> m) || kw != "graph") fail("bad graph line");
+  }
+  graph::GraphBuilder builder(n);
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    if (!std::getline(in, line)) fail("missing edge line");
+    std::istringstream ls(line);
+    std::string kw;
+    graph::NodeId u, v;
+    double prob;
+    if (!(ls >> kw >> u >> v >> prob) || kw != "e") fail("bad edge line");
+    builder.add_edge(u, v, prob);
+  }
+
+  bool have_benefit = false;
+  std::vector<std::uint16_t> attrs;
+  unsigned attr_dim = 0;
+  std::vector<double> bf, bfof, bi;
+  bool paper_benefit = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "targets") {
+      std::size_t count = 0;
+      if (!(ls >> count)) fail("bad targets count");
+      p.targets.resize(count);
+      for (auto& t : p.targets) {
+        if (!(ls >> t)) fail("bad target id");
+      }
+    } else if (kw == "acceptance") {
+      std::string mode;
+      ls >> mode;
+      if (mode == "uniform") {
+        double q;
+        if (!(ls >> q)) fail("bad uniform acceptance");
+        p.acceptance.q0 = {q};
+      } else if (mode == "pernode") {
+        p.acceptance.q0.resize(n);
+        for (auto& q : p.acceptance.q0) {
+          if (!(ls >> q)) fail("bad pernode acceptance");
+        }
+      } else {
+        fail("unknown acceptance mode " + mode);
+      }
+    } else if (kw == "acceptance-boost") {
+      if (!(ls >> p.acceptance.mutual_boost)) fail("bad boost");
+    } else if (kw == "acceptance-attrs") {
+      if (!(ls >> p.acceptance.attr_weight)) fail("bad attr weight");
+      std::uint16_t a;
+      while (ls >> a) p.acceptance.attacker_attrs.push_back(a);
+    } else if (kw == "benefit") {
+      std::string mode;
+      ls >> mode;
+      if (mode == "paper") {
+        paper_benefit = true;
+        have_benefit = true;
+      } else if (mode == "custom") {
+        have_benefit = true;
+      } else {
+        fail("unknown benefit mode " + mode);
+      }
+    } else if (kw == "bf" || kw == "bfof" || kw == "bi") {
+      auto& dst = kw == "bf" ? bf : (kw == "bfof" ? bfof : bi);
+      double x;
+      while (ls >> x) dst.push_back(x);
+    } else if (kw == "costs") {
+      std::string mode;
+      ls >> mode;
+      if (mode == "pernode") {
+        p.cost.resize(n);
+        for (auto& c : p.cost) {
+          if (!(ls >> c)) fail("bad cost");
+        }
+      } else if (mode != "uniform") {
+        fail("unknown costs mode " + mode);
+      }
+    } else if (kw == "attrs") {
+      if (!(ls >> attr_dim)) fail("bad attrs dim");
+      std::uint16_t a;
+      while (ls >> a) attrs.push_back(a);
+    } else {
+      fail("unknown section '" + kw + "'");
+    }
+  }
+
+  if (attr_dim > 0) builder.set_attributes(std::move(attrs), attr_dim);
+  p.graph = builder.build();
+  p.is_target.assign(n, 0);
+  for (auto t : p.targets) {
+    if (t >= n) fail("target id out of range");
+    p.is_target[t] = 1;
+  }
+  if (!have_benefit) fail("missing benefit section");
+  if (paper_benefit) {
+    p.benefit = make_paper_benefit(p.graph, p.is_target);
+  } else {
+    p.benefit.bf = std::move(bf);
+    p.benefit.bfof = std::move(bfof);
+    p.benefit.bi = std::move(bi);
+  }
+  if (p.acceptance.q0.empty()) fail("missing acceptance section");
+  p.validate();
+  return p;
+}
+
+Problem read_problem_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_problem_file: cannot open " + path);
+  return read_problem(f);
+}
+
+}  // namespace recon::sim

@@ -1,0 +1,33 @@
+// Problem serialization — persists a complete Max-Crawling instance (graph,
+// targets, benefit model, acceptance model, costs) so attack pipelines are
+// exactly reproducible and shareable.
+//
+// Versioned text format, one section per component:
+//
+//   #recon-problem v1
+//   graph <n> <m>
+//   e <u> <v> <p>                 (m lines)
+//   targets <count> <t1> <t2> ...
+//   acceptance base <q...>        ("uniform <q>" or "pernode" + n values)
+//   acceptance boost <mutual_boost>
+//   benefit paper | benefit custom (+ bf/bfof/bi vectors when custom)
+//   costs uniform | costs pernode <c1> ...
+//   attrs <dim> <cardinality-free values...>   (optional)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/problem.h"
+
+namespace recon::sim {
+
+void write_problem(std::ostream& out, const Problem& problem);
+void write_problem_file(const std::string& path, const Problem& problem);
+
+/// Throws std::runtime_error on malformed input; the returned problem is
+/// validate()d before returning.
+Problem read_problem(std::istream& in);
+Problem read_problem_file(const std::string& path);
+
+}  // namespace recon::sim

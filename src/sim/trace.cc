@@ -1,0 +1,51 @@
+#include "sim/trace.h"
+
+#include <limits>
+
+namespace recon::sim {
+
+double AttackTrace::total_select_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& b : batches) total += b.select_seconds;
+  return total;
+}
+
+std::size_t AttackTrace::total_requests() const noexcept {
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.requests.size();
+  return total;
+}
+
+std::size_t AttackTrace::total_accepts() const noexcept {
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    for (std::uint8_t a : b.accepted) total += a;
+  }
+  return total;
+}
+
+std::vector<double> AttackTrace::benefit_by_request() const {
+  std::vector<double> out;
+  out.reserve(total_requests());
+  for (const auto& b : batches) {
+    if (b.requests.empty()) continue;
+    // The batch's benefit lands when its last response arrives; earlier
+    // requests in the batch show the pre-batch value.
+    const double before = b.cumulative.total() - b.delta.total();
+    for (std::size_t i = 0; i + 1 < b.requests.size(); ++i) out.push_back(before);
+    out.push_back(b.cumulative.total());
+  }
+  return out;
+}
+
+std::size_t AttackTrace::requests_to_reach(double threshold) const noexcept {
+  if (threshold <= 0.0) return 0;
+  std::size_t requests = 0;
+  for (const auto& b : batches) {
+    requests += b.requests.size();
+    if (b.cumulative.total() >= threshold) return requests;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace recon::sim

@@ -1,0 +1,54 @@
+// Attack traces — the per-batch log of one simulated reconnaissance attack.
+//
+// Traces carry everything the evaluation needs: benefit curves for Fig. 4/7,
+// per-source breakdowns for Fig. 5, selection compute times for Table III,
+// and the step structure needed to add per-batch response delays for the
+// RT-RRS metric (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/benefit.h"
+
+namespace recon::sim {
+
+struct BatchRecord {
+  std::vector<graph::NodeId> requests;   ///< nodes requested in this batch
+  std::vector<std::uint8_t> accepted;    ///< aligned accept/reject flags
+  BenefitBreakdown delta;                ///< benefit gained by this batch
+  BenefitBreakdown cumulative;           ///< benefit after this batch
+  double cost = 0.0;                     ///< total cost of this batch's requests
+  double cumulative_cost = 0.0;          ///< budget spent after this batch
+  double select_seconds = 0.0;           ///< wall time of batch selection
+};
+
+struct AttackTrace {
+  std::vector<BatchRecord> batches;
+
+  double total_benefit() const noexcept {
+    return batches.empty() ? 0.0 : batches.back().cumulative.total();
+  }
+  BenefitBreakdown final_breakdown() const noexcept {
+    return batches.empty() ? BenefitBreakdown{} : batches.back().cumulative;
+  }
+  double total_cost() const noexcept {
+    return batches.empty() ? 0.0 : batches.back().cumulative_cost;
+  }
+  double total_select_seconds() const noexcept;
+  std::size_t total_requests() const noexcept;
+  std::size_t total_accepts() const noexcept;
+
+  /// Cumulative benefit as a function of requests sent: entry r (1-based
+  /// request count; index 0 ≙ after 1 request) holds Q after the batch
+  /// containing request r+1 completed. Within a batch, benefit lands when
+  /// the whole batch resolves — matching the parallel-send semantics.
+  std::vector<double> benefit_by_request() const;
+
+  /// First request count at which cumulative benefit reaches `threshold`;
+  /// 0 if reached before any request; SIZE_MAX if never reached.
+  std::size_t requests_to_reach(double threshold) const noexcept;
+};
+
+}  // namespace recon::sim

@@ -1,0 +1,130 @@
+#include "sim/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace recon::sim {
+
+namespace {
+
+constexpr const char* kHeader = "#recon-trace v1";
+
+}  // namespace
+
+void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
+  out << kHeader << '\n';
+  out.precision(17);
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    out << "trace " << t << '\n';
+    for (const auto& b : traces[t].batches) {
+      out << "batch sel=" << b.select_seconds << " cost=" << b.cost << " reqs=";
+      for (std::size_t i = 0; i < b.requests.size(); ++i) {
+        if (i > 0) out << ',';
+        out << b.requests[i] << ':' << static_cast<int>(b.accepted[i]);
+      }
+      out << " df=" << b.delta.friends << " dx=" << b.delta.fofs
+          << " de=" << b.delta.edges << '\n';
+    }
+  }
+}
+
+void write_traces_file(const std::string& path, const std::vector<AttackTrace>& traces) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_traces_file: cannot open " + path);
+  write_traces(f, traces);
+  if (!f) throw std::runtime_error("write_traces_file: write failed: " + path);
+}
+
+namespace {
+
+double parse_field(const std::string& token, const char* name, std::size_t lineno) {
+  const std::string prefix = std::string(name) + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    throw std::runtime_error("read_traces: expected '" + prefix + "' at line " +
+                             std::to_string(lineno));
+  }
+  try {
+    return std::stod(token.substr(prefix.size()));
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_traces: bad number at line " + std::to_string(lineno));
+  }
+}
+
+}  // namespace
+
+std::vector<AttackTrace> read_traces(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("read_traces: missing/unsupported header");
+  }
+  ++lineno;
+  std::vector<AttackTrace> traces;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "trace") {
+      traces.emplace_back();
+      continue;
+    }
+    if (kind != "batch") {
+      throw std::runtime_error("read_traces: unknown record '" + kind + "' at line " +
+                               std::to_string(lineno));
+    }
+    if (traces.empty()) {
+      throw std::runtime_error("read_traces: batch before trace at line " +
+                               std::to_string(lineno));
+    }
+    std::string sel_tok, cost_tok, reqs_tok, df_tok, dx_tok, de_tok;
+    ls >> sel_tok >> cost_tok >> reqs_tok >> df_tok >> dx_tok >> de_tok;
+    BatchRecord b;
+    b.select_seconds = parse_field(sel_tok, "sel", lineno);
+    b.cost = parse_field(cost_tok, "cost", lineno);
+    if (reqs_tok.rfind("reqs=", 0) != 0) {
+      throw std::runtime_error("read_traces: expected reqs= at line " +
+                               std::to_string(lineno));
+    }
+    const std::string reqs = reqs_tok.substr(5);
+    std::size_t pos = 0;
+    while (pos < reqs.size()) {
+      const std::size_t comma = reqs.find(',', pos);
+      const std::string entry = reqs.substr(pos, comma - pos);
+      const std::size_t colon = entry.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("read_traces: bad request entry at line " +
+                                 std::to_string(lineno));
+      }
+      b.requests.push_back(
+          static_cast<graph::NodeId>(std::stoul(entry.substr(0, colon))));
+      b.accepted.push_back(entry.substr(colon + 1) == "1" ? 1 : 0);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    b.delta.friends = parse_field(df_tok, "df", lineno);
+    b.delta.fofs = parse_field(dx_tok, "dx", lineno);
+    b.delta.edges = parse_field(de_tok, "de", lineno);
+    // Recompute cumulative fields.
+    AttackTrace& trace = traces.back();
+    const BenefitBreakdown prev =
+        trace.batches.empty() ? BenefitBreakdown{} : trace.batches.back().cumulative;
+    const double prev_cost =
+        trace.batches.empty() ? 0.0 : trace.batches.back().cumulative_cost;
+    b.cumulative = prev;
+    b.cumulative += b.delta;
+    b.cumulative_cost = prev_cost + b.cost;
+    trace.batches.push_back(std::move(b));
+  }
+  return traces;
+}
+
+std::vector<AttackTrace> read_traces_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_traces_file: cannot open " + path);
+  return read_traces(f);
+}
+
+}  // namespace recon::sim

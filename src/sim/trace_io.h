@@ -1,0 +1,32 @@
+// Attack-trace serialization.
+//
+// Traces are persisted in a line-oriented, versioned text format so bench
+// runs can be archived and re-analyzed (RRS/RT-RRS are pure functions of
+// traces). One file holds any number of traces:
+//
+//   #recon-trace v1
+//   trace <index>
+//   batch sel=<seconds> cost=<c> reqs=<u:a,u:a,...> df=<..> dx=<..> de=<..>
+//   ...
+//
+// where each req entry is "<node>:<0|1>" (rejected/accepted) and df/dx/de
+// are the batch's benefit deltas (friends / fofs / edges). Cumulative fields
+// are recomputed on load, so files stay small and cannot go inconsistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace recon::sim {
+
+void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces);
+void write_traces_file(const std::string& path, const std::vector<AttackTrace>& traces);
+
+/// Throws std::runtime_error on malformed input or version mismatch.
+std::vector<AttackTrace> read_traces(std::istream& in);
+std::vector<AttackTrace> read_traces_file(const std::string& path);
+
+}  // namespace recon::sim

@@ -1,0 +1,44 @@
+#include "sim/world.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace recon::sim {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+World::World(const Problem& problem, std::uint64_t seed)
+    : problem_(&problem),
+      seed_(seed),
+      accept_seed_(util::derive_seed(seed, 0xACCEB7ULL)) {
+  const auto& g = problem.graph;
+  edge_exists_.resize(g.num_edges());
+  util::Rng rng(util::derive_seed(seed, 0xED6E5ULL));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edge_exists_[e] = rng.bernoulli(g.edge_prob(e)) ? 1 : 0;
+  }
+}
+
+std::vector<NodeId> World::true_neighbors(NodeId u) const {
+  const auto nbrs = problem_->graph.neighbors(u);
+  const auto eids = problem_->graph.incident_edges(u);
+  std::vector<NodeId> out;
+  out.reserve(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (edge_exists_[eids[i]]) out.push_back(nbrs[i]);
+  }
+  return out;  // adjacency is sorted, so this is sorted too
+}
+
+bool World::attempt_accept(NodeId u, std::uint32_t attempt, double prob) const noexcept {
+  return util::counter_uniform(accept_seed_, u, attempt) < prob;
+}
+
+std::size_t World::num_existing_edges() const noexcept {
+  return static_cast<std::size_t>(
+      std::accumulate(edge_exists_.begin(), edge_exists_.end(), std::size_t{0}));
+}
+
+}  // namespace recon::sim

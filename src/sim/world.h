@@ -1,0 +1,49 @@
+// Ground-truth world — the full realization φ the attacker cannot see.
+//
+// Samples, once per Monte-Carlo run: (a) the existence of every possible
+// edge (Bernoulli p_e), and (b) nothing else up front — acceptance decisions
+// are counter-based functions of (seed, node, attempt index), so each retry
+// is an independent draw evaluated against the *current* q(u | ω). This
+// realizes the paper's generalized acceptance model (Sec. IV-C, auxiliary
+// graph Ga): request j to node u has its own acceptance randomness, making
+// retries after topology changes meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/problem.h"
+
+namespace recon::sim {
+
+class World {
+ public:
+  /// Samples a ground-truth realization for `problem` from `seed`.
+  World(const Problem& problem, std::uint64_t seed);
+
+  const Problem& problem() const noexcept { return *problem_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Whether undirected edge e exists in this realization.
+  bool edge_exists(graph::EdgeId e) const noexcept { return edge_exists_[e] != 0; }
+
+  /// Existing neighbors of u (sorted ascending), computed on demand.
+  std::vector<graph::NodeId> true_neighbors(graph::NodeId u) const;
+
+  /// Resolves attempt number `attempt` (0-based) to u with acceptance
+  /// probability `prob`: returns true iff the request is accepted. Pure in
+  /// (seed, u, attempt, prob) — call order does not matter.
+  bool attempt_accept(graph::NodeId u, std::uint32_t attempt, double prob) const noexcept;
+
+  /// Number of existing edges (for diagnostics).
+  std::size_t num_existing_edges() const noexcept;
+
+ private:
+  const Problem* problem_;
+  std::uint64_t seed_;
+  std::uint64_t accept_seed_;
+  std::vector<std::uint8_t> edge_exists_;
+};
+
+}  // namespace recon::sim

@@ -1,0 +1,268 @@
+#include "solver/benders.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "solver/simplex.h"
+
+namespace recon::solver {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+/// One concave recourse term: weight * min(1, Σ_{i∈vars} x_i [, 1 − x_cap]).
+/// `cap_var` (or -1) encodes MIP constraint (14): an accepting candidate v
+/// cannot be counted as a FoF of itself once selected.
+struct Term {
+  double weight;
+  std::vector<std::size_t> vars;  ///< candidate indices
+  int cap_var = -1;
+};
+
+struct TermSet {
+  std::vector<Term> terms;
+  std::vector<double> first_stage;  ///< per-candidate direct coefficient
+  double recourse_upper = 0.0;      ///< Σ weights (θ's initial bound)
+};
+
+TermSet build_terms(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                    const std::vector<NodeId>& candidates) {
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const auto& benefit = problem.benefit;
+  const double t_inv = 1.0 / static_cast<double>(scenarios.size());
+
+  std::unordered_map<NodeId, std::size_t> x_index;
+  for (std::size_t i = 0; i < candidates.size(); ++i) x_index[candidates[i]] = i;
+
+  TermSet ts;
+  ts.first_stage.assign(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId u = candidates[i];
+    const double direct = benefit.bf[u] - (obs.is_fof(u) ? benefit.bfof[u] : 0.0);
+    for (const auto& sc : scenarios) {
+      if (sc.accept[u]) ts.first_stage[i] += direct * t_inv;
+    }
+  }
+
+  for (const auto& sc : scenarios) {
+    std::vector<std::uint8_t> y_seen(g.num_nodes(), 0);
+    for (NodeId u : candidates) {
+      if (!sc.accept[u]) continue;
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        const EdgeId e = eids[i];
+        if (!sc.edge_exists[e]) continue;
+        // FoF term for v (once per scenario).
+        if (!obs.is_friend(v) && !obs.is_fof(v) && !y_seen[v] &&
+            benefit.bfof[v] > 0.0) {
+          y_seen[v] = 1;
+          Term term;
+          term.weight = benefit.bfof[v] * t_inv;
+          const auto vn = g.neighbors(v);
+          const auto ve = g.incident_edges(v);
+          for (std::size_t j = 0; j < vn.size(); ++j) {
+            if (!sc.edge_exists[ve[j]]) continue;
+            const auto it = x_index.find(vn[j]);
+            if (it != x_index.end() && sc.accept[vn[j]]) {
+              term.vars.push_back(it->second);
+            }
+          }
+          const auto self = x_index.find(v);
+          if (self != x_index.end() && sc.accept[v]) {
+            term.cap_var = static_cast<int>(self->second);
+          }
+          ts.recourse_upper += term.weight;
+          ts.terms.push_back(std::move(term));
+        }
+        // Edge term (dedup: visit once from the smaller accepting endpoint).
+        if (obs.edge_state(e) == sim::EdgeState::kUnknown && benefit.bi[e] > 0.0) {
+          const NodeId other = g.other_endpoint(e, u);
+          const auto oit = x_index.find(other);
+          const bool other_accepting = oit != x_index.end() && sc.accept[other];
+          if (other_accepting && other < u) continue;
+          Term term;
+          term.weight = benefit.bi[e] * t_inv;
+          term.vars.push_back(x_index.at(u));
+          if (other_accepting) term.vars.push_back(oit->second);
+          ts.recourse_upper += term.weight;
+          ts.terms.push_back(std::move(term));
+        }
+      }
+    }
+  }
+  return ts;
+}
+
+RecourseEvaluation evaluate_terms(const TermSet& ts, const std::vector<double>& x) {
+  RecourseEvaluation out;
+  out.supergradient.assign(x.size(), 0.0);
+  for (const auto& term : ts.terms) {
+    double s = 0.0;
+    for (std::size_t i : term.vars) s += x[i];
+    double cap = 1.0;
+    if (term.cap_var >= 0) cap = 1.0 - x[static_cast<std::size_t>(term.cap_var)];
+    if (s < std::min(1.0, cap)) {
+      out.value += term.weight * s;
+      for (std::size_t i : term.vars) out.supergradient[i] += term.weight;
+    } else if (cap < 1.0 && cap <= s) {
+      out.value += term.weight * cap;
+      out.supergradient[static_cast<std::size_t>(term.cap_var)] -= term.weight;
+    } else {
+      out.value += term.weight;  // saturated at 1; zero gradient
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RecourseEvaluation evaluate_recourse(const sim::Observation& obs,
+                                     const std::vector<Scenario>& scenarios,
+                                     const std::vector<NodeId>& candidates,
+                                     const std::vector<double>& x) {
+  if (x.size() != candidates.size()) {
+    throw std::invalid_argument("evaluate_recourse: x size mismatch");
+  }
+  return evaluate_terms(build_terms(obs, scenarios, candidates), x);
+}
+
+double first_stage_value(const sim::Observation& obs,
+                         const std::vector<Scenario>& scenarios,
+                         const std::vector<NodeId>& candidates,
+                         const std::vector<double>& x) {
+  const TermSet ts = build_terms(obs, scenarios, candidates);
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) total += ts.first_stage[i] * x[i];
+  return total;
+}
+
+BendersResult solve_fob_benders(const sim::Observation& obs,
+                                const std::vector<Scenario>& scenarios, std::size_t k,
+                                const std::vector<NodeId>& candidates,
+                                const BendersOptions& options) {
+  if (scenarios.empty()) throw std::invalid_argument("benders: no scenarios");
+  if (candidates.size() < k) throw std::invalid_argument("benders: k > candidates");
+  const TermSet ts = build_terms(obs, scenarios, candidates);
+  const std::size_t n = candidates.size();
+  const std::size_t theta = n;  // θ's column
+
+  // Global cut pool: θ − gᵀx ≤ Q(x̂) − gᵀx̂ (valid in every node).
+  struct Cut {
+    std::vector<double> g;
+    double rhs;
+  };
+  std::vector<Cut> cuts;
+  BendersResult result;
+
+  // Solves the L-shaped relaxation under the given 0/1 fixings; returns the
+  // relaxation value and the final master x (empty on infeasible).
+  auto solve_node = [&](const std::vector<int>& fixed, std::vector<double>* x_out) {
+    for (std::size_t iter = 0; iter < options.max_cuts; ++iter) {
+      LpProblem lp;
+      lp.objective.assign(n + 1, 0.0);
+      for (std::size_t i = 0; i < n; ++i) lp.objective[i] = ts.first_stage[i];
+      lp.objective[theta] = 1.0;
+      {
+        std::vector<double> row(n + 1, 0.0);
+        for (std::size_t i = 0; i < n; ++i) row[i] = 1.0;
+        lp.add_row(std::move(row), RowType::kEq, static_cast<double>(k));
+      }
+      for (std::size_t i = 0; i < n; ++i) lp.add_upper_bound(i, 1.0);
+      lp.add_upper_bound(theta, ts.recourse_upper);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (fixed[i] == 0) {
+          lp.add_upper_bound(i, 0.0);
+        } else if (fixed[i] == 1) {
+          std::vector<double> row(n + 1, 0.0);
+          row[i] = 1.0;
+          lp.add_row(std::move(row), RowType::kGe, 1.0);
+        }
+      }
+      for (const Cut& cut : cuts) {
+        std::vector<double> row(n + 1, 0.0);
+        row[theta] = 1.0;
+        for (std::size_t i = 0; i < n; ++i) row[i] = -cut.g[i];
+        lp.add_row(std::move(row), RowType::kLe, cut.rhs);
+      }
+      const LpResult master = solve_lp(lp);
+      if (master.status != LpStatus::kOptimal) return -1e300;
+      std::vector<double> x(master.x.begin(), master.x.begin() + static_cast<long>(n));
+      const double theta_hat = master.x[theta];
+      const RecourseEvaluation rec = evaluate_terms(ts, x);
+      if (theta_hat <= rec.value + options.tolerance) {
+        if (x_out != nullptr) *x_out = x;
+        double first = 0.0;
+        for (std::size_t i = 0; i < n; ++i) first += ts.first_stage[i] * x[i];
+        return first + rec.value;
+      }
+      // New optimality cut at x̂.
+      Cut cut;
+      cut.g = rec.supergradient;
+      double gx = 0.0;
+      for (std::size_t i = 0; i < n; ++i) gx += cut.g[i] * x[i];
+      cut.rhs = rec.value - gx;
+      cuts.push_back(std::move(cut));
+      ++result.cuts_generated;
+    }
+    return -1e300;  // did not converge within the cut budget
+  };
+
+  // Depth-first branch and bound on x.
+  double incumbent = -1.0;
+  std::vector<NodeId> incumbent_batch;
+  std::vector<std::vector<int>> stack{std::vector<int>(n, -1)};
+  constexpr double kIntTol = 1e-6;
+  while (!stack.empty()) {
+    if (++result.nodes_explored > options.max_bnb_nodes) break;
+    const std::vector<int> fixed = std::move(stack.back());
+    stack.pop_back();
+    std::size_t ones = 0;
+    for (int f : fixed) ones += f == 1;
+    if (ones > k) continue;
+    std::vector<double> x;
+    const double bound = solve_node(fixed, &x);
+    if (bound <= incumbent + 1e-9 || x.empty()) continue;
+    std::size_t branch = n;
+    double best_frac = kIntTol;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double f = std::fabs(x[i] - std::round(x[i]));
+      if (f > best_frac) {
+        best_frac = f;
+        branch = i;
+      }
+    }
+    if (branch == n) {
+      std::vector<NodeId> batch;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (x[i] > 0.5) batch.push_back(candidates[i]);
+      }
+      const double value = saa_objective(obs, scenarios, batch);
+      if (value > incumbent) {
+        incumbent = value;
+        incumbent_batch = std::move(batch);
+      }
+      continue;
+    }
+    auto down = fixed, up = fixed;
+    down[branch] = 0;
+    up[branch] = 1;
+    stack.push_back(std::move(down));
+    stack.push_back(std::move(up));
+  }
+
+  result.batch = std::move(incumbent_batch);
+  std::sort(result.batch.begin(), result.batch.end());
+  result.objective = incumbent < 0.0 ? 0.0 : incumbent;
+  result.optimal =
+      result.nodes_explored <= options.max_bnb_nodes && incumbent >= 0.0;
+  return result;
+}
+
+}  // namespace recon::solver

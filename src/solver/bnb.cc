@@ -1,0 +1,68 @@
+#include "solver/bnb.h"
+
+#include <stdexcept>
+
+namespace recon::solver {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Searcher {
+  const BnbOracle& oracle;
+  const BnbLimits& limits;
+  BnbResult result;
+  std::vector<std::size_t> chosen;
+
+  void dfs(std::size_t next_index) {
+    if (++result.nodes_explored > limits.max_nodes) {
+      result.completed = false;
+      return;
+    }
+    if (chosen.size() == oracle.cardinality) {
+      const double value = oracle.evaluate(chosen);
+      if (value > result.best_value + kEps) {
+        result.best_value = value;
+        result.best_set = chosen;
+      }
+      return;
+    }
+    const std::size_t need = oracle.cardinality - chosen.size();
+    if (next_index >= oracle.num_items ||
+        oracle.num_items - next_index < need) {
+      return;  // cannot complete
+    }
+    if (oracle.bound(chosen, next_index) <= result.best_value + kEps) {
+      return;  // pruned
+    }
+    // Include next_index first (items pre-sorted by promise).
+    chosen.push_back(next_index);
+    dfs(next_index + 1);
+    chosen.pop_back();
+    if (!result.completed) return;
+    // Exclude next_index.
+    dfs(next_index + 1);
+  }
+};
+
+}  // namespace
+
+BnbResult branch_and_bound(const BnbOracle& oracle, const BnbLimits& limits) {
+  if (oracle.num_items < oracle.cardinality) {
+    throw std::invalid_argument("branch_and_bound: k > number of items");
+  }
+  if (!oracle.evaluate || !oracle.bound) {
+    throw std::invalid_argument("branch_and_bound: oracle callbacks unset");
+  }
+  Searcher s{oracle, limits, {}, {}};
+  s.result.best_value = -1e300;
+  s.chosen.reserve(oracle.cardinality);
+  if (oracle.cardinality == 0) {
+    s.result.best_value = oracle.evaluate({});
+    return s.result;
+  }
+  s.dfs(0);
+  return s.result;
+}
+
+}  // namespace recon::solver

@@ -1,0 +1,46 @@
+// Generic best-first branch-and-bound for 0/1 selection problems.
+//
+// The caller supplies an oracle with an exact evaluator and an admissible
+// upper bound; the engine explores fix-to-1 / fix-to-0 subtrees, pruning
+// against the incumbent. Used to solve the Finding-Optimal-Batch (FOB)
+// problem exactly (paper Sec. IV-B) without a commercial MIP solver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace recon::solver {
+
+/// Problem oracle for maximize f(S) s.t. |S| = k, S ⊆ items.
+struct BnbOracle {
+  /// Number of selectable items.
+  std::size_t num_items = 0;
+  /// Cardinality k.
+  std::size_t cardinality = 0;
+  /// Exact objective of a chosen set (indices into items).
+  std::function<double(const std::vector<std::size_t>&)> evaluate;
+  /// Admissible upper bound for any completion of `chosen` using only items
+  /// with index >= next_index (items before next_index not in `chosen` are
+  /// excluded). Must over-estimate every feasible completion.
+  std::function<double(const std::vector<std::size_t>& chosen,
+                       std::size_t next_index)>
+      bound;
+};
+
+struct BnbResult {
+  std::vector<std::size_t> best_set;
+  double best_value = 0.0;
+  std::uint64_t nodes_explored = 0;
+  bool completed = true;  ///< false if the node limit stopped the search
+};
+
+struct BnbLimits {
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+/// Depth-first branch and bound with inclusion-first ordering (items should
+/// be pre-sorted by decreasing promise for best pruning).
+BnbResult branch_and_bound(const BnbOracle& oracle, const BnbLimits& limits = {});
+
+}  // namespace recon::solver

@@ -1,0 +1,143 @@
+#include "solver/fob.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "solver/bnb.h"
+
+namespace recon::solver {
+
+using graph::NodeId;
+
+std::vector<NodeId> fob_candidates(const sim::Observation& obs, bool allow_retries) {
+  const auto& g = obs.problem().graph;
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (obs.requestable(u, allow_retries)) out.push_back(u);
+  }
+  return out;
+}
+
+FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                     std::size_t k, const std::vector<NodeId>& candidates) {
+  FobResult result;
+  if (k == 0 || candidates.empty()) return result;
+
+  struct Entry {
+    double gain;
+    std::size_t index;  ///< into candidates
+    std::size_t stamp;
+    bool operator<(const Entry& o) const noexcept {
+      if (gain != o.gain) return gain < o.gain;
+      return index > o.index;
+    }
+  };
+
+  std::vector<NodeId> batch;
+  double current = 0.0;
+  std::priority_queue<Entry> heap;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double v = saa_objective(obs, scenarios, {candidates[i]});
+    if (v > 0.0) heap.push({v, i, 0});
+  }
+  while (batch.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.stamp != batch.size()) {
+      std::vector<NodeId> with = batch;
+      with.push_back(candidates[top.index]);
+      top.gain = saa_objective(obs, scenarios, with) - current;
+      top.stamp = batch.size();
+      if (top.gain <= 0.0) continue;
+      if (!heap.empty() && top.gain < heap.top().gain) {
+        heap.push(top);
+        continue;
+      }
+    }
+    batch.push_back(candidates[top.index]);
+    current += top.gain;
+  }
+  result.batch = std::move(batch);
+  result.objective = result.batch.empty() ? 0.0 : saa_objective(obs, scenarios, result.batch);
+  return result;
+}
+
+FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                    std::size_t k, const std::vector<NodeId>& candidates,
+                    const FobExactOptions& options) {
+  FobResult greedy = fob_greedy(obs, scenarios, k, candidates);
+  if (k == 0 || candidates.empty()) return greedy;
+
+  // Order candidates by decreasing singleton gain for pruning power, and
+  // optionally cap the candidate pool.
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(candidates.size());
+  for (NodeId u : candidates) {
+    ranked.emplace_back(saa_objective(obs, scenarios, {u}), u);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::size_t pool = ranked.size();
+  if (options.candidate_cap != 0) {
+    pool = std::min(pool, std::max(options.candidate_cap, k));
+  }
+  std::vector<NodeId> items(pool);
+  std::vector<double> singleton(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    singleton[i] = ranked[i].first;
+    items[i] = ranked[i].second;
+  }
+  if (pool < k) return greedy;
+
+  // Suffix top-sums of singleton gains: bound_extra[i][r] = sum of the r
+  // largest singleton gains among items i..end. Because items are sorted by
+  // singleton gain, that is simply the next r entries. Submodularity makes
+  // singleton gains upper-bound marginals, so value(S) + Σ next r singleton
+  // gains is admissible.
+  std::vector<double> prefix(pool + 1, 0.0);
+  for (std::size_t i = 0; i < pool; ++i) prefix[i + 1] = prefix[i] + singleton[i];
+
+  auto to_nodes = [&](const std::vector<std::size_t>& idx) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(idx.size());
+    for (std::size_t i : idx) nodes.push_back(items[i]);
+    return nodes;
+  };
+
+  BnbOracle oracle;
+  oracle.num_items = pool;
+  oracle.cardinality = k;
+  oracle.evaluate = [&](const std::vector<std::size_t>& chosen) {
+    return saa_objective(obs, scenarios, to_nodes(chosen));
+  };
+  oracle.bound = [&](const std::vector<std::size_t>& chosen, std::size_t next) {
+    const double base =
+        chosen.empty() ? 0.0 : saa_objective(obs, scenarios, to_nodes(chosen));
+    const std::size_t need = k - chosen.size();
+    const std::size_t take = std::min(need, pool - next);
+    return base + (prefix[next + take] - prefix[next]);
+  };
+
+  BnbLimits limits;
+  limits.max_nodes = options.max_nodes;
+  BnbResult bnb = branch_and_bound(oracle, limits);
+
+  FobResult result;
+  result.nodes_explored = bnb.nodes_explored;
+  result.exact = bnb.completed;
+  if (bnb.best_value >= greedy.objective && !bnb.best_set.empty()) {
+    result.batch = to_nodes(bnb.best_set);
+    std::sort(result.batch.begin(), result.batch.end());
+    result.objective = bnb.best_value;
+  } else {
+    result.batch = greedy.batch;
+    result.objective = greedy.objective;
+  }
+  return result;
+}
+
+}  // namespace recon::solver

@@ -1,0 +1,52 @@
+// Finding-Optimal-Batch (FOB) solvers over the SAA objective.
+//
+// FOB (paper Sec. IV-A): given a fixed partial realization ω, find the batch
+// F' of size k maximizing g(F', ω). We solve the SAA form
+// max_x (1/T) Σ_φ B(x, y, φ):
+//
+//  * fob_greedy — lazy greedy, the same (1 − 1/e) guarantee as Lemma 2;
+//  * fob_exact  — branch and bound with a submodularity-derived bound
+//    (value(S) + sum of the top k−|S| remaining marginals w.r.t. S), exact;
+//    this is the "Exact MIP" series of Fig. 6, CPLEX replaced per
+//    DESIGN.md §2.4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observation.h"
+#include "solver/saa.h"
+
+namespace recon::solver {
+
+struct FobResult {
+  std::vector<graph::NodeId> batch;
+  double objective = 0.0;           ///< SAA objective of `batch`
+  std::uint64_t nodes_explored = 0; ///< B&B nodes (0 for greedy)
+  bool exact = false;               ///< true when B&B completed
+};
+
+/// Candidate set for FOB: requestable nodes (optionally with retries).
+std::vector<graph::NodeId> fob_candidates(const sim::Observation& obs,
+                                          bool allow_retries);
+
+/// Lazy-greedy FOB over the SAA objective.
+FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                     std::size_t k, const std::vector<graph::NodeId>& candidates);
+
+struct FobExactOptions {
+  std::uint64_t max_nodes = 2'000'000;  ///< B&B node cap
+  /// Keep only the `candidate_cap` candidates with the best singleton gains
+  /// (0 = no cap). A cap makes the search tractable on larger graphs but
+  /// may exclude the true optimum; FobResult::exact still reports whether
+  /// the search over the (possibly capped) candidate set completed.
+  std::size_t candidate_cap = 0;
+};
+
+/// Exact FOB via branch and bound (falls back to the greedy incumbent if the
+/// node cap is hit; `exact` reports completion).
+FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                    std::size_t k, const std::vector<graph::NodeId>& candidates,
+                    const FobExactOptions& options = {});
+
+}  // namespace recon::solver

@@ -1,0 +1,232 @@
+#include "solver/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace recon::solver {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+struct MipLayout {
+  std::vector<NodeId> candidates;
+  std::unordered_map<NodeId, std::size_t> x_index;  ///< node -> variable
+  std::size_t num_vars = 0;
+};
+
+bool is_candidate(const MipLayout& layout, NodeId u) {
+  return layout.x_index.count(u) > 0;
+}
+
+}  // namespace
+
+LpProblem build_fob_lp(const sim::Observation& obs,
+                       const std::vector<Scenario>& scenarios, std::size_t k,
+                       const std::vector<NodeId>& candidates) {
+  if (scenarios.empty()) throw std::invalid_argument("build_fob_lp: no scenarios");
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const auto& benefit = problem.benefit;
+  const double t_inv = 1.0 / static_cast<double>(scenarios.size());
+
+  MipLayout layout;
+  layout.candidates = candidates;
+  for (std::size_t i = 0; i < candidates.size(); ++i) layout.x_index[candidates[i]] = i;
+
+  // Pass 1: enumerate second-stage variables per scenario.
+  //  y_{v,φ}: v not friend / not FoF, adjacent in φ to >= 1 accepting candidate.
+  //  z_{e,φ}: e unknown, existing in φ, incident to >= 1 accepting candidate.
+  struct SecondStage {
+    std::vector<std::pair<NodeId, std::size_t>> y;  ///< (node, var index)
+    std::vector<std::pair<EdgeId, std::size_t>> z;  ///< (edge, var index)
+  };
+  std::vector<SecondStage> stage(scenarios.size());
+  std::size_t next_var = candidates.size();
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const auto& sc = scenarios[s];
+    std::vector<std::uint8_t> y_seen(g.num_nodes(), 0);
+    for (NodeId u : candidates) {
+      if (!sc.accept[u]) continue;
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        const EdgeId e = eids[i];
+        if (!sc.edge_exists[e]) continue;
+        if (!obs.is_friend(v) && !obs.is_fof(v) && !y_seen[v] && benefit.bfof[v] > 0.0) {
+          y_seen[v] = 1;
+          stage[s].y.emplace_back(v, next_var++);
+        }
+        if (obs.edge_state(e) == sim::EdgeState::kUnknown && benefit.bi[e] > 0.0) {
+          // Dedup: an edge between two accepting candidates appears twice in
+          // this loop; record once (keyed by smaller endpoint visit).
+          const NodeId other = g.other_endpoint(e, u);
+          const bool other_accepting = is_candidate(layout, other) && sc.accept[other];
+          if (other_accepting && other < u) continue;
+          stage[s].z.emplace_back(e, next_var++);
+        }
+      }
+    }
+  }
+  layout.num_vars = next_var;
+
+  LpProblem lp;
+  lp.objective.assign(layout.num_vars, 0.0);
+
+  // First-stage objective: direct friend benefit per accepting scenario.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId u = candidates[i];
+    double coeff = 0.0;
+    const double direct =
+        benefit.bf[u] - (obs.is_fof(u) ? benefit.bfof[u] : 0.0);
+    for (const auto& sc : scenarios) {
+      if (sc.accept[u]) coeff += direct;
+    }
+    lp.objective[i] = coeff * t_inv;
+  }
+
+  // Cardinality: Σ x_u = k.
+  {
+    std::vector<double> row(layout.num_vars, 0.0);
+    for (std::size_t i = 0; i < candidates.size(); ++i) row[i] = 1.0;
+    lp.add_row(std::move(row), RowType::kEq, static_cast<double>(k));
+  }
+  // x_u <= 1.
+  for (std::size_t i = 0; i < candidates.size(); ++i) lp.add_upper_bound(i, 1.0);
+
+  // Second stage.
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const auto& sc = scenarios[s];
+    for (const auto& [v, var] : stage[s].y) {
+      lp.objective[var] = benefit.bfof[v] * t_inv;
+      // y_v <= Σ_{accepting candidates u ~ v via existing edge} x_u
+      std::vector<double> row(layout.num_vars, 0.0);
+      row[var] = 1.0;
+      const auto nbrs = g.neighbors(v);
+      const auto eids = g.incident_edges(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId u = nbrs[i];
+        if (!sc.edge_exists[eids[i]]) continue;
+        if (!is_candidate(layout, u) || !sc.accept[u]) continue;
+        row[layout.x_index.at(u)] = -1.0;
+      }
+      lp.add_row(std::move(row), RowType::kLe, 0.0);
+      // y_v <= 1.
+      lp.add_upper_bound(var, 1.0);
+      // y_v + x_v <= 1 when v itself is an accepting candidate (14).
+      if (is_candidate(layout, v) && sc.accept[v]) {
+        std::vector<double> row2(layout.num_vars, 0.0);
+        row2[var] = 1.0;
+        row2[layout.x_index.at(v)] = 1.0;
+        lp.add_row(std::move(row2), RowType::kLe, 1.0);
+      }
+    }
+    for (const auto& [e, var] : stage[s].z) {
+      lp.objective[var] = benefit.bi[e] * t_inv;
+      // z_e <= Σ_{accepting candidate endpoints w} x_w ; z_e <= 1.
+      std::vector<double> row(layout.num_vars, 0.0);
+      row[var] = 1.0;
+      for (NodeId w : {g.edge_u(e), g.edge_v(e)}) {
+        if (is_candidate(layout, w) && sc.accept[w]) {
+          row[layout.x_index.at(w)] = -1.0;
+        }
+      }
+      lp.add_row(std::move(row), RowType::kLe, 0.0);
+      lp.add_upper_bound(var, 1.0);
+    }
+  }
+  return lp;
+}
+
+MipResult solve_fob_mip(const sim::Observation& obs,
+                        const std::vector<Scenario>& scenarios, std::size_t k,
+                        const std::vector<NodeId>& candidates,
+                        const MipOptions& options) {
+  if (candidates.size() < k) {
+    throw std::invalid_argument("solve_fob_mip: fewer candidates than k");
+  }
+  const LpProblem base = build_fob_lp(obs, scenarios, k, candidates);
+  MipResult result;
+
+  struct Node {
+    std::vector<int> fixed;  ///< -1 free, 0/1 fixed, indexed by candidate
+  };
+  Node root;
+  root.fixed.assign(candidates.size(), -1);
+
+  constexpr double kIntTol = 1e-6;
+  double incumbent = -1.0;
+  std::vector<NodeId> incumbent_batch;
+
+  std::vector<Node> stack{root};
+  bool first = true;
+  while (!stack.empty()) {
+    if (++result.nodes_explored > options.max_nodes) break;
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    LpProblem lp = base;
+    std::size_t fixed_ones = 0;
+    for (std::size_t i = 0; i < node.fixed.size(); ++i) {
+      if (node.fixed[i] == 0) {
+        lp.add_upper_bound(i, 0.0);
+      } else if (node.fixed[i] == 1) {
+        std::vector<double> row(lp.num_vars(), 0.0);
+        row[i] = 1.0;
+        lp.add_row(std::move(row), RowType::kGe, 1.0);
+        ++fixed_ones;
+      }
+    }
+    if (fixed_ones > k) continue;
+
+    const LpResult relax = solve_lp(lp);
+    if (relax.status != LpStatus::kOptimal) continue;
+    if (first) {
+      result.lp_bound = relax.objective;
+      first = false;
+    }
+    if (relax.objective <= incumbent + 1e-9) continue;
+
+    // Find the most fractional x.
+    std::size_t branch_var = candidates.size();
+    double best_frac = kIntTol;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double f = std::fabs(relax.x[i] - std::round(relax.x[i]));
+      if (f > best_frac) {
+        best_frac = f;
+        branch_var = i;
+      }
+    }
+    if (branch_var == candidates.size()) {
+      // Integral: candidate incumbent. Evaluate via the SAA oracle for an
+      // exact, solver-independent objective.
+      std::vector<NodeId> batch;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (relax.x[i] > 0.5) batch.push_back(candidates[i]);
+      }
+      const double value = saa_objective(obs, scenarios, batch);
+      if (value > incumbent) {
+        incumbent = value;
+        incumbent_batch = std::move(batch);
+      }
+      continue;
+    }
+    Node up = node, down = node;
+    up.fixed[branch_var] = 1;
+    down.fixed[branch_var] = 0;
+    stack.push_back(std::move(down));
+    stack.push_back(std::move(up));  // explore the include-branch first
+  }
+
+  result.batch = std::move(incumbent_batch);
+  std::sort(result.batch.begin(), result.batch.end());
+  result.objective = incumbent < 0.0 ? 0.0 : incumbent;
+  result.optimal = result.nodes_explored <= options.max_nodes && incumbent >= 0.0;
+  return result;
+}
+
+}  // namespace recon::solver

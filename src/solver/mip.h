@@ -1,0 +1,54 @@
+// Discretized two-stage stochastic MIP for FOB (paper Sec. IV-B, (10)–(15)).
+//
+// Builds the scenario-expanded mixed-integer program over first-stage batch
+// variables x_u and second-stage per-scenario variables, and solves it by
+// LP-relaxation branch and bound on the x variables (dense simplex under the
+// hood — the CPLEX substitution, DESIGN.md §2.4).
+//
+// One deliberate correction to the paper's formulation: the paper's
+// objective Σ_u x_u (Bf(u) + Σ_v Bi(u,v)) counts an edge twice when both
+// endpoints are selected and accept. We introduce per-scenario edge
+// variables z_e ≤ 1 so each revealed edge is counted once, matching the
+// benefit definition Eq. (1) and the SAA evaluator exactly (tests
+// cross-validate the two solvers).
+//
+// Intended for small instances (tests, Fig. 6's US-Pol.-Books setting); the
+// scenario-expanded LP grows as O(T · (n + m)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observation.h"
+#include "solver/saa.h"
+#include "solver/simplex.h"
+
+namespace recon::solver {
+
+struct MipResult {
+  std::vector<graph::NodeId> batch;
+  double objective = 0.0;   ///< SAA objective of `batch`
+  double lp_bound = 0.0;    ///< root LP relaxation value
+  std::uint64_t nodes_explored = 0;
+  bool optimal = false;
+};
+
+struct MipOptions {
+  std::uint64_t max_nodes = 100'000;
+};
+
+/// Builds the scenario-expanded LP relaxation (x continuous in [0,1]).
+/// Exposed for tests. Variable order: x (|candidates|), then per scenario
+/// the y and z blocks (layout is an implementation detail; use the result's
+/// x prefix only).
+LpProblem build_fob_lp(const sim::Observation& obs,
+                       const std::vector<Scenario>& scenarios, std::size_t k,
+                       const std::vector<graph::NodeId>& candidates);
+
+/// Solves the MIP by branch and bound on x.
+MipResult solve_fob_mip(const sim::Observation& obs,
+                        const std::vector<Scenario>& scenarios, std::size_t k,
+                        const std::vector<graph::NodeId>& candidates,
+                        const MipOptions& options = {});
+
+}  // namespace recon::solver

@@ -1,0 +1,155 @@
+#include "solver/saa.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace recon::solver {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+std::vector<Scenario> sample_scenarios(const sim::Observation& obs, std::size_t count,
+                                       std::uint64_t seed) {
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  std::vector<Scenario> out(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    util::Rng rng(util::derive_seed(seed, s));
+    auto& sc = out[s];
+    sc.accept.resize(g.num_nodes());
+    sc.edge_exists.resize(g.num_edges());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      sc.accept[u] = !obs.is_friend(u) && rng.bernoulli(obs.acceptance_prob(u)) ? 1 : 0;
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      switch (obs.edge_state(e)) {
+        case sim::EdgeState::kPresent:
+          sc.edge_exists[e] = 1;
+          break;
+        case sim::EdgeState::kAbsent:
+          sc.edge_exists[e] = 0;
+          break;
+        case sim::EdgeState::kUnknown:
+          sc.edge_exists[e] = rng.bernoulli(g.edge_prob(e)) ? 1 : 0;
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Scenario> sample_scenarios_antithetic(const sim::Observation& obs,
+                                                  std::size_t count,
+                                                  std::uint64_t seed) {
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  if (count % 2 == 1) ++count;
+  std::vector<Scenario> out(count);
+  for (std::size_t pair = 0; pair < count / 2; ++pair) {
+    util::Rng rng(util::derive_seed(seed, pair));
+    auto& a = out[2 * pair];
+    auto& b = out[2 * pair + 1];
+    a.accept.resize(g.num_nodes());
+    b.accept.resize(g.num_nodes());
+    a.edge_exists.resize(g.num_edges());
+    b.edge_exists.resize(g.num_edges());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (obs.is_friend(u)) {
+        a.accept[u] = b.accept[u] = 0;
+        continue;
+      }
+      const double q = obs.acceptance_prob(u);
+      const double r = rng.uniform();
+      a.accept[u] = r < q ? 1 : 0;
+      b.accept[u] = (1.0 - r) < q ? 1 : 0;
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      switch (obs.edge_state(e)) {
+        case sim::EdgeState::kPresent:
+          a.edge_exists[e] = b.edge_exists[e] = 1;
+          break;
+        case sim::EdgeState::kAbsent:
+          a.edge_exists[e] = b.edge_exists[e] = 0;
+          break;
+        case sim::EdgeState::kUnknown: {
+          const double p = g.edge_prob(e);
+          const double r = rng.uniform();
+          a.edge_exists[e] = r < p ? 1 : 0;
+          b.edge_exists[e] = (1.0 - r) < p ? 1 : 0;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double scenario_benefit(const sim::Observation& obs, const Scenario& scenario,
+                        const std::vector<NodeId>& batch) {
+  const auto& problem = obs.problem();
+  const auto& g = problem.graph;
+  const auto& benefit = problem.benefit;
+
+  double total = 0.0;
+  // Track within-evaluation state to count each edge / FoF once.
+  std::unordered_set<EdgeId> counted_edges;
+  std::unordered_set<NodeId> counted_fofs;
+  std::unordered_set<NodeId> accepted;
+  for (NodeId u : batch) {
+    if (obs.is_friend(u)) {
+      throw std::invalid_argument("scenario_benefit: batch contains a friend");
+    }
+    if (scenario.accept[u]) accepted.insert(u);
+  }
+
+  for (NodeId u : accepted) {
+    total += benefit.bf[u];
+    if (obs.is_fof(u)) total -= benefit.bfof[u];  // upgrade
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const EdgeId e = eids[i];
+      if (!scenario.edge_exists[e]) continue;
+      // Edge benefit: only for edges not already revealed-present, once.
+      if (obs.edge_state(e) == sim::EdgeState::kUnknown &&
+          counted_edges.insert(e).second) {
+        total += benefit.bi[e];
+      }
+      // FoF benefit: v newly adjacent to a friend; accepted batch members
+      // become friends instead (a rejected batch member stays eligible).
+      if (!obs.is_friend(v) && !obs.is_fof(v) && !accepted.count(v) &&
+          counted_fofs.insert(v).second) {
+        total += benefit.bfof[v];
+      }
+    }
+  }
+  // An accepted batch member that was counted as a FoF inside this very
+  // evaluation cannot happen: accepted nodes are excluded above. But an
+  // accepted node u adjacent to another accepted node u' should not also
+  // collect Bfof — handled the same way.
+  return total;
+}
+
+double saa_objective(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                     const std::vector<NodeId>& batch) {
+  if (scenarios.empty()) throw std::invalid_argument("saa_objective: no scenarios");
+  double total = 0.0;
+  for (const auto& sc : scenarios) total += scenario_benefit(obs, sc, batch);
+  return total / static_cast<double>(scenarios.size());
+}
+
+double kleywegt_sample_bound(std::size_t n, std::size_t k, double epsilon, double alpha,
+                             double delta_max) {
+  if (epsilon <= 0.0 || alpha <= 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("kleywegt_sample_bound: bad epsilon/alpha");
+  }
+  const double d2 = delta_max * delta_max;
+  return d2 / (epsilon * epsilon) *
+         (static_cast<double>(k) * std::log(static_cast<double>(n)) - std::log(alpha));
+}
+
+}  // namespace recon::solver

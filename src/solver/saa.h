@@ -1,0 +1,58 @@
+// Sample Average Approximation for the Finding-Optimal-Batch problem
+// (paper Sec. IV-B-2).
+//
+// A scenario φ ~ ω fixes (a) an acceptance outcome for every requestable
+// node at its *current* q(u | ω), and (b) an existence outcome for every
+// unobserved edge at its belief p_e. The SAA objective is the scenario
+// average of the exact batch benefit B(x, y, φ), which per scenario is a
+// coverage-type monotone submodular function of the selected set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observation.h"
+
+namespace recon::sim {
+class Observation;
+}
+
+namespace recon::solver {
+
+struct Scenario {
+  std::vector<std::uint8_t> accept;       ///< size n (only meaningful for candidates)
+  std::vector<std::uint8_t> edge_exists;  ///< size m; observed edges use their known state
+};
+
+/// Samples `count` scenarios consistent with the observation.
+std::vector<Scenario> sample_scenarios(const sim::Observation& obs, std::size_t count,
+                                       std::uint64_t seed);
+
+/// Antithetic scenario sampling: scenarios come in pairs drawn from
+/// complementary uniforms (U, 1-U), so their benefit estimates are
+/// negatively correlated and the SAA mean has lower variance at equal
+/// sample count (classic Monte-Carlo variance reduction for two-stage
+/// stochastic programs). `count` is rounded up to even.
+std::vector<Scenario> sample_scenarios_antithetic(const sim::Observation& obs,
+                                                  std::size_t count,
+                                                  std::uint64_t seed);
+
+/// Exact benefit of requesting `batch` under one scenario: friend benefit
+/// for accepted members (with FoF-upgrade correction), Bi for each newly
+/// revealed existing edge (counted once), and Bfof for each new
+/// friend-of-friend (batch members that rejected remain FoF-eligible,
+/// matching MIP constraint (14) which binds only accepted nodes).
+double scenario_benefit(const sim::Observation& obs, const Scenario& scenario,
+                        const std::vector<graph::NodeId>& batch);
+
+/// SAA objective: mean scenario_benefit over `scenarios`.
+double saa_objective(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                     const std::vector<graph::NodeId>& batch);
+
+/// Kleywegt et al. sample-size bound (paper Eq. 16): the number of samples T
+/// guaranteeing the SAA optimum is ε-optimal with probability ≥ 1 − α,
+/// T >= (δ²_max / ε²)(k ln n − ln α).
+double kleywegt_sample_bound(std::size_t n, std::size_t k, double epsilon, double alpha,
+                             double delta_max);
+
+}  // namespace recon::solver

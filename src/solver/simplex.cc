@@ -1,0 +1,216 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace recon::solver {
+
+void LpProblem::add_row(std::vector<double> coeffs, RowType type, double b) {
+  if (coeffs.size() != objective.size()) {
+    throw std::invalid_argument("LpProblem::add_row: size mismatch");
+  }
+  rows.push_back(std::move(coeffs));
+  row_types.push_back(type);
+  rhs.push_back(b);
+}
+
+void LpProblem::add_upper_bound(std::size_t var, double b) {
+  if (var >= objective.size()) {
+    throw std::invalid_argument("LpProblem::add_upper_bound: bad variable");
+  }
+  std::vector<double> row(objective.size(), 0.0);
+  row[var] = 1.0;
+  add_row(std::move(row), RowType::kLe, b);
+}
+
+namespace {
+
+/// Dense tableau: `mat` is m rows of (ncols + 1) entries, last entry = rhs.
+/// `obj` is the reduced-cost row (ncols + 1 entries; last = negative of the
+/// current objective value). Pivots until no entering column remains.
+/// Returns false on unboundedness.
+bool pivot_to_optimum(std::vector<std::vector<double>>& mat, std::vector<double>& obj,
+                      std::vector<std::size_t>& basis, std::size_t ncols, double eps) {
+  const std::size_t m = mat.size();
+  for (;;) {
+    // Bland's rule: entering column = smallest index with positive reduced
+    // cost.
+    std::size_t enter = ncols;
+    for (std::size_t j = 0; j < ncols; ++j) {
+      if (obj[j] > eps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == ncols) return true;  // optimal
+    // Ratio test; ties broken by smallest basis variable (Bland).
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double a = mat[i][enter];
+      if (a <= eps) continue;
+      const double ratio = mat[i][ncols] / a;
+      if (ratio < best_ratio - eps ||
+          (ratio < best_ratio + eps && (leave == m || basis[i] < basis[leave]))) {
+        best_ratio = ratio;
+        leave = i;
+      }
+    }
+    if (leave == m) return false;  // unbounded
+    // Pivot on (leave, enter).
+    const double piv = mat[leave][enter];
+    for (auto& v : mat[leave]) v /= piv;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      const double f = mat[i][enter];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j <= ncols; ++j) mat[i][j] -= f * mat[leave][j];
+    }
+    const double fo = obj[enter];
+    if (fo != 0.0) {
+      for (std::size_t j = 0; j <= ncols; ++j) obj[j] -= fo * mat[leave][j];
+    }
+    basis[leave] = enter;
+  }
+}
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& lp, double eps) {
+  const std::size_t n = lp.num_vars();
+  const std::size_t m = lp.num_rows();
+  if (lp.rows.size() != m || lp.row_types.size() != m || lp.rhs.size() != m) {
+    throw std::invalid_argument("solve_lp: inconsistent problem");
+  }
+
+  // Column layout: [original n] [slack/surplus per inequality] [artificials].
+  std::size_t num_slack = 0;
+  for (RowType t : lp.row_types) {
+    if (t != RowType::kEq) ++num_slack;
+  }
+  // Artificial needed for: kGe, kEq, and kLe rows with negative rhs (after
+  // normalization all rhs are >= 0; a kLe row with rhs >= 0 starts with its
+  // slack basic).
+  std::vector<double> sign(m, 1.0);
+  std::vector<RowType> types = lp.row_types;
+  std::vector<double> b = lp.rhs;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (b[i] < 0.0) {
+      sign[i] = -1.0;
+      b[i] = -b[i];
+      if (types[i] == RowType::kLe) types[i] = RowType::kGe;
+      else if (types[i] == RowType::kGe) types[i] = RowType::kLe;
+    }
+  }
+  std::size_t num_art = 0;
+  for (RowType t : types) {
+    if (t != RowType::kLe) ++num_art;
+  }
+  const std::size_t ncols = n + num_slack + num_art;
+
+  std::vector<std::vector<double>> mat(m, std::vector<double>(ncols + 1, 0.0));
+  std::vector<std::size_t> basis(m, 0);
+  std::size_t slack_at = n;
+  std::size_t art_at = n + num_slack;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) mat[i][j] = sign[i] * lp.rows[i][j];
+    mat[i][ncols] = b[i];
+    switch (types[i]) {
+      case RowType::kLe:
+        mat[i][slack_at] = 1.0;
+        basis[i] = slack_at++;
+        break;
+      case RowType::kGe:
+        mat[i][slack_at] = -1.0;
+        ++slack_at;
+        mat[i][art_at] = 1.0;
+        basis[i] = art_at++;
+        break;
+      case RowType::kEq:
+        mat[i][art_at] = 1.0;
+        basis[i] = art_at++;
+        break;
+    }
+  }
+
+  LpResult result;
+
+  if (num_art > 0) {
+    // Phase 1: maximize -(sum of artificials).
+    std::vector<double> obj(ncols + 1, 0.0);
+    for (std::size_t j = n + num_slack; j < ncols; ++j) obj[j] = -1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basis[i] >= n + num_slack) {
+        // obj -= (-1) * row  => obj += row
+        for (std::size_t j = 0; j <= ncols; ++j) obj[j] += mat[i][j];
+      }
+    }
+    if (!pivot_to_optimum(mat, obj, basis, ncols, eps)) {
+      // Phase 1 is bounded by construction; treat as infeasible defensively.
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    const double phase1 = -obj[ncols];
+    if (phase1 < -eps * 10) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive any degenerate basic artificials out of the basis.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basis[i] < n + num_slack) continue;
+      std::size_t enter = ncols;
+      for (std::size_t j = 0; j < n + num_slack; ++j) {
+        if (std::fabs(mat[i][j]) > eps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == ncols) continue;  // redundant row; harmless to keep
+      const double piv = mat[i][enter];
+      for (auto& v : mat[i]) v /= piv;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r == i) continue;
+        const double f = mat[r][enter];
+        if (f == 0.0) continue;
+        for (std::size_t j = 0; j <= ncols; ++j) mat[r][j] -= f * mat[i][j];
+      }
+      basis[i] = enter;
+    }
+    // Forbid artificials from re-entering: zero their columns.
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = n + num_slack; j < ncols; ++j) mat[i][j] = 0.0;
+    }
+  }
+
+  // Phase 2: original objective.
+  std::vector<double> obj(ncols + 1, 0.0);
+  for (std::size_t j = 0; j < n; ++j) obj[j] = lp.objective[j];
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t bj = basis[i];
+    if (bj < n && lp.objective[bj] != 0.0) {
+      const double c = lp.objective[bj];
+      for (std::size_t j = 0; j <= ncols; ++j) obj[j] -= c * mat[i][j];
+    }
+  }
+  // Artificials must stay out.
+  for (std::size_t j = n + num_slack; j < ncols; ++j) obj[j] = 0.0;
+
+  if (!pivot_to_optimum(mat, obj, basis, ncols, eps)) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) result.x[basis[i]] = mat[i][ncols];
+  }
+  double value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) value += lp.objective[j] * result.x[j];
+  result.objective = value;
+  return result;
+}
+
+}  // namespace recon::solver

@@ -1,0 +1,46 @@
+// Dense two-phase primal simplex LP solver.
+//
+// Solves  maximize c^T x  subject to row constraints (<=, >=, =) and x >= 0.
+// Implements the classical tableau method with Bland's anti-cycling rule.
+// Built for the LP relaxations of the discretized two-stage stochastic MIP
+// (paper Sec. IV-B); instances there are small and dense, so a dense tableau
+// is the right tool. Replaces the paper's CPLEX dependency (DESIGN.md §2.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace recon::solver {
+
+enum class RowType { kLe, kGe, kEq };
+
+struct LpProblem {
+  /// Objective coefficients (maximization), one per variable.
+  std::vector<double> objective;
+  /// Constraint matrix rows (each sized like objective).
+  std::vector<std::vector<double>> rows;
+  std::vector<RowType> row_types;
+  std::vector<double> rhs;
+
+  std::size_t num_vars() const noexcept { return objective.size(); }
+  std::size_t num_rows() const noexcept { return rows.size(); }
+
+  /// Appends a constraint. Throws std::invalid_argument on size mismatch.
+  void add_row(std::vector<double> coeffs, RowType type, double b);
+
+  /// Adds an upper bound x_i <= b as a dedicated row.
+  void add_upper_bound(std::size_t var, double b);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP. `eps` is the feasibility/pivot tolerance.
+LpResult solve_lp(const LpProblem& lp, double eps = 1e-9);
+
+}  // namespace recon::solver

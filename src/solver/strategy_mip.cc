@@ -1,0 +1,87 @@
+#include "solver/strategy_mip.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "solver/benders.h"
+#include "util/rng.h"
+
+namespace recon::solver {
+
+using graph::NodeId;
+
+MipBatchStrategy::MipBatchStrategy(MipStrategyOptions options) : options_(options) {
+  if (options_.batch_size <= 0) {
+    throw std::invalid_argument("MipBatchStrategy: batch_size must be positive");
+  }
+  if (options_.scenarios_per_batch == 0) {
+    throw std::invalid_argument("MipBatchStrategy: need at least one scenario");
+  }
+}
+
+std::string MipBatchStrategy::name() const {
+  if (options_.greedy_only) return "SAA-Greedy";
+  return options_.use_benders ? "Exact-LShaped" : "Exact-MIP";
+}
+
+void MipBatchStrategy::begin(const sim::Problem& problem, double budget) {
+  (void)problem;
+  (void)budget;
+  round_ = 0;
+  all_exact_ = true;
+}
+
+std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,
+                                                 double remaining_budget) {
+  ++round_;
+  const auto k = static_cast<std::size_t>(
+      std::min<double>(options_.batch_size, remaining_budget));
+  if (k == 0) return {};
+  std::vector<NodeId> candidates = fob_candidates(obs, options_.allow_retries);
+  if (candidates.empty()) return {};
+  const std::size_t batch_k = std::min(k, candidates.size());
+
+  // Fresh scenarios consistent with the *current* partial realization
+  // ("sampling must be repeated before each batch", paper Sec. V-A).
+  const auto scenarios = sample_scenarios(
+      obs, options_.scenarios_per_batch,
+      util::derive_seed(options_.seed, static_cast<std::uint64_t>(round_)));
+
+  FobResult fob;
+  if (options_.greedy_only) {
+    fob = fob_greedy(obs, scenarios, batch_k, candidates);
+  } else if (options_.use_benders) {
+    // Cap the candidate pool the same way fob_exact does.
+    std::vector<NodeId> pool = candidates;
+    if (options_.candidate_cap != 0 && pool.size() > options_.candidate_cap) {
+      std::vector<std::pair<double, NodeId>> ranked;
+      ranked.reserve(pool.size());
+      for (NodeId u : pool) {
+        ranked.emplace_back(saa_objective(obs, scenarios, {u}), u);
+      }
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      pool.clear();
+      const std::size_t cap = std::max(options_.candidate_cap, batch_k);
+      for (std::size_t i = 0; i < cap && i < ranked.size(); ++i) {
+        pool.push_back(ranked[i].second);
+      }
+    }
+    const BendersResult b = solve_fob_benders(obs, scenarios, batch_k, pool);
+    fob.batch = b.batch;
+    fob.objective = b.objective;
+    fob.exact = b.optimal;
+    all_exact_ = all_exact_ && fob.exact;
+  } else {
+    FobExactOptions exact;
+    exact.max_nodes = options_.max_bnb_nodes;
+    exact.candidate_cap = options_.candidate_cap;
+    fob = fob_exact(obs, scenarios, batch_k, candidates, exact);
+    all_exact_ = all_exact_ && fob.exact;
+  }
+  return fob.batch;
+}
+
+}  // namespace recon::solver

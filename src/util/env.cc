@@ -1,0 +1,90 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace recon::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  try {
+    return std::stod(*s);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  try {
+    return std::stoll(*s);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      std::string name = tok.substr(2);
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        flags_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[name] = argv[++i];
+      } else {
+        flags_[name] = "";
+      }
+    } else {
+      positional_.push_back(std::move(tok));
+    }
+  }
+}
+
+bool Args::has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+std::string Args::get(const std::string& flag, const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::int64_t Args::get_int(const std::string& flag, std::int64_t fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double bench_scale() { return env_double("RECON_SCALE", 1.0); }
+
+int bench_runs() {
+  return static_cast<int>(env_int("RECON_RUNS", 10));
+}
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("RECON_SEED", 20170605));
+}
+
+}  // namespace recon::util

@@ -1,0 +1,55 @@
+// Environment / command-line configuration helpers for the bench harness.
+//
+// Benches honor two sources of configuration:
+//   * environment variables (RECON_SCALE, RECON_RUNS, RECON_SEED, ...)
+//   * a tiny `--flag value` / `--flag=value` / `--switch` argv parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace recon::util {
+
+/// Reads an environment variable; empty optional when unset.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Reads an environment variable as double/int with a default.
+double env_double(const std::string& name, double fallback);
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Minimal argv parser. Flags begin with "--". A flag followed by a token
+/// that does not begin with "--" consumes it as the value; otherwise it is a
+/// boolean switch. Positional arguments are collected in order.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& flag) const;
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Linear scale factor for bench workloads (env RECON_SCALE, default 1).
+/// Scale 1 runs ~1/10-linear-size stand-ins of the paper's networks so the
+/// full harness completes quickly; scale 10 reproduces paper-scale node
+/// counts. See DESIGN.md §2.5.
+double bench_scale();
+
+/// Number of Monte-Carlo repetitions for benches (env RECON_RUNS, default 10;
+/// the paper uses 100).
+int bench_runs();
+
+/// Master seed for benches (env RECON_SEED, default 20170605 — the first day
+/// of ICDCS 2017).
+std::uint64_t bench_seed();
+
+}  // namespace recon::util

@@ -1,0 +1,58 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.h"
+
+namespace recon::util {
+
+namespace {
+
+LogLevel initial_level() {
+  const auto s = env_string("RECON_LOG");
+  if (!s) return LogLevel::kWarn;
+  if (*s == "debug") return LogLevel::kDebug;
+  if (*s == "info") return LogLevel::kInfo;
+  if (*s == "warn") return LogLevel::kWarn;
+  if (*s == "error") return LogLevel::kError;
+  if (*s == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace recon::util

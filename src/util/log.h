@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing at default level; benches and examples use
+// INFO-level progress lines. Set RECON_LOG=debug|info|warn|error|off.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace recon::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold (initialized from RECON_LOG, default warn).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "hello " << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_write(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace recon::util
+
+#define RECON_LOG(level) ::recon::util::LogLine(::recon::util::LogLevel::level)

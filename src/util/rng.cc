@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace recon::util {
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t count,
+                                                      Rng& rng) {
+  if (count > n) throw std::invalid_argument("sample_without_replacement: count > n");
+  std::vector<std::uint32_t> result;
+  result.reserve(count);
+  if (count == 0) return result;
+  // Dense path: partial Fisher–Yates over an index vector.
+  if (count * 3 >= n) {
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(rng.below(n - i));
+      std::swap(idx[i], idx[j]);
+      result.push_back(idx[i]);
+    }
+    return result;
+  }
+  // Sparse path: rejection sampling with a hash set.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(count * 2);
+  while (result.size() < count) {
+    const auto v = static_cast<std::uint32_t>(rng.below(n));
+    if (chosen.insert(v).second) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace recon::util

@@ -1,0 +1,139 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components in this library draw randomness through this
+// header so that every experiment is exactly reproducible from a single
+// 64-bit seed. Two generators are provided:
+//
+//  * SplitMix64 — a tiny stateless-style mixer, used for seed derivation and
+//    counter-based ("hash a coordinate") draws.
+//  * Xoshiro256StarStar — the workhorse generator, satisfying
+//    std::uniform_random_bit_generator, suitable for <random> distributions.
+//
+// Seed-derivation convention: independent sub-streams are derived as
+// `derive_seed(master, tag)` where `tag` identifies the consumer. This keeps
+// parallel Monte-Carlo runs order-independent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace recon::util {
+
+/// SplitMix64 step: advances the state and returns a well-mixed 64-bit value.
+/// (Public domain algorithm by Sebastiano Vigna.)
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single value (useful for hashing coordinates).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Derives an independent sub-stream seed from a master seed and a tag.
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t tag) noexcept {
+  std::uint64_t s = master ^ (0x9e3779b97f4a7c15ULL + mix64(tag));
+  return splitmix64(s);
+}
+
+/// Derives a seed from a master seed and two coordinates (e.g. node, attempt).
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t a,
+                                    std::uint64_t b) noexcept {
+  return derive_seed(derive_seed(master, a), b);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 (never all-zero).
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Default RNG alias used throughout the library.
+using Rng = Xoshiro256StarStar;
+
+/// Fisher–Yates shuffle of a vector.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// Samples `count` distinct values from [0, n) without replacement,
+/// returned in unspecified order. Requires count <= n.
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t count,
+                                                      Rng& rng);
+
+/// Counter-based uniform double in [0,1): a pure function of (seed, a, b).
+/// Used for per-(node, attempt) acceptance draws so that world randomness is
+/// independent of the query order.
+inline double counter_uniform(std::uint64_t seed, std::uint64_t a,
+                              std::uint64_t b) noexcept {
+  return static_cast<double>(derive_seed(seed, a, b) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace recon::util

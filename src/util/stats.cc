@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace recon::util {
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SeriesStat::add(const std::vector<double>& series, bool extend_last) {
+  if (series.empty()) return;
+  // Grow to accommodate a longer series: previously-seen runs contribute
+  // their final value to the newly-created indices.
+  if (series.size() > stats_.size()) {
+    const std::size_t old = stats_.size();
+    stats_.resize(series.size());
+    if (extend_last) {
+      for (std::size_t i = old; i < stats_.size(); ++i) {
+        for (double lv : last_values_) stats_[i].add(lv);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) stats_[i].add(series[i]);
+  if (extend_last) {
+    for (std::size_t i = series.size(); i < stats_.size(); ++i) {
+      stats_[i].add(series.back());
+    }
+  }
+  last_values_.push_back(series.back());
+  ++runs_;
+}
+
+std::vector<double> SeriesStat::means() const {
+  std::vector<double> out(stats_.size());
+  for (std::size_t i = 0; i < stats_.size(); ++i) out[i] = stats_[i].mean();
+  return out;
+}
+
+std::vector<double> SeriesStat::stderrs() const {
+  std::vector<double> out(stats_.size());
+  for (std::size_t i = 0; i < stats_.size(); ++i) out[i] = stats_[i].stderr_mean();
+  return out;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace recon::util

@@ -1,0 +1,77 @@
+// Streaming statistics and Monte-Carlo aggregation helpers.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace recon::util {
+
+/// Welford's online algorithm for mean / variance plus min / max tracking.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderr_mean() const noexcept {
+    return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregates equal-length series (e.g. benefit-vs-budget curves) across
+/// Monte-Carlo repetitions: one RunningStat per index. Series may have
+/// different lengths; shorter series simply do not contribute to later
+/// indices (the curve is extended with its last value first — callers that
+/// need strict alignment should pad).
+class SeriesStat {
+ public:
+  /// Adds one run's curve. If `extend_last` is true (default) the curve is
+  /// carried forward at its final value up to the longest series seen so far,
+  /// which is the right behaviour for cumulative-benefit curves of attacks
+  /// that exhaust their candidates early.
+  void add(const std::vector<double>& series, bool extend_last = true);
+
+  std::size_t length() const noexcept { return stats_.size(); }
+  const RunningStat& at(std::size_t i) const { return stats_.at(i); }
+
+  std::vector<double> means() const;
+  std::vector<double> stderrs() const;
+
+ private:
+  std::vector<RunningStat> stats_;
+  std::vector<double> last_values_;  // per-run bookkeeping for extension
+  std::size_t runs_ = 0;
+};
+
+/// Exact quantile of a sample (copies and sorts; linear interpolation).
+/// q in [0,1]. Returns NaN on empty input.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace recon::util

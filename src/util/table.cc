@@ -1,0 +1,117 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace recon::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      if (c == 0) {
+        os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  f << to_csv();
+  if (!f) throw std::runtime_error("Table::write_csv: write failed: " + path);
+}
+
+std::string format_sci(double v, int digits) {
+  if (!std::isfinite(v)) return "inf";
+  if (v == 0.0) return "0";
+  const double av = std::fabs(v);
+  if (av >= 0.01 && av < 1000.0) return format_fixed(v, digits);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", std::max(0, digits - 1), v);
+  // Compact exponent: "1.2e+01" -> "1.2e1", "3.4e-02" -> "3.4e-2".
+  std::string s(buf);
+  const auto epos = s.find('e');
+  if (epos == std::string::npos) return s;
+  std::string mant = s.substr(0, epos);
+  std::string exp = s.substr(epos + 1);
+  bool neg = false;
+  std::size_t i = 0;
+  if (!exp.empty() && (exp[0] == '+' || exp[0] == '-')) {
+    neg = exp[0] == '-';
+    i = 1;
+  }
+  while (i + 1 < exp.size() && exp[i] == '0') ++i;
+  return mant + "e" + (neg ? "-" : "") + exp.substr(i);
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return std::string(buf);
+}
+
+}  // namespace recon::util

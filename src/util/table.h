@@ -1,0 +1,46 @@
+// Plain-text table formatting and CSV emission for the benchmark harness.
+//
+// Every paper table/figure bench prints an aligned text table mirroring the
+// paper's layout and can additionally write the same data as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recon::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders the aligned text table (first column left-aligned, the rest
+  /// right-aligned, mirroring the paper's numeric tables).
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like the paper's tables: scientific "a.b x 10^e" style
+/// collapsed to compact text, e.g. 1.2e+01 -> "1.2e1". Plain fixed for small
+/// magnitudes.
+std::string format_sci(double v, int digits = 2);
+
+/// Fixed-point formatting with the given number of decimals.
+std::string format_fixed(double v, int decimals = 2);
+
+}  // namespace recon::util

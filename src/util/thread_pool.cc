@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace recon::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto end = std::chrono::steady_clock::now();
+    busy_nanos_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count()),
+        std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t parties = static_cast<std::size_t>(size()) + 1;  // workers + caller
+  if (grain == 0) grain = std::max<std::size_t>(1, total / (parties * 4));
+  const std::size_t num_chunks = (total + grain - 1) / grain;
+
+  if (num_chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto run_chunks = [&] {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  const std::size_t helpers = std::min<std::size_t>(size(), num_chunks - 1);
+  futs.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) futs.push_back(submit(run_chunks));
+  run_chunks();  // caller participates
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace recon::util

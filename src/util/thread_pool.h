@@ -1,0 +1,78 @@
+// Fixed-size worker thread pool with per-worker busy-time accounting.
+//
+// The pool backs the "massively parallel" batch-selection step of PM-AReST
+// (paper Sec. III-B) and the Table II utilization experiment: each worker
+// records the wall time it spends executing tasks, so callers can compute
+// utilization = busy_time / (threads * elapsed).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace recon::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task; returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end), distributing contiguous chunks across
+  /// workers. Blocks until all iterations complete. The calling thread also
+  /// participates, so a pool of size T delivers up to T+1-way parallelism for
+  /// this call (matching the common "caller helps" pattern).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Total time workers have spent executing tasks, in nanoseconds, summed
+  /// across workers since construction (or the last reset).
+  std::uint64_t busy_nanos() const noexcept {
+    return busy_nanos_.load(std::memory_order_relaxed);
+  }
+  void reset_busy_nanos() noexcept {
+    busy_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> busy_nanos_{0};
+};
+
+/// Process-wide default pool sized to the hardware concurrency. Constructed
+/// lazily on first use.
+ThreadPool& default_pool();
+
+}  // namespace recon::util

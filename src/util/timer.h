@@ -1,0 +1,45 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace recon::util {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction or last reset().
+  std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Adds the elapsed wall time to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) noexcept : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.seconds(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace recon::util

@@ -1,0 +1,328 @@
+// Tests for BATCHSELECT: the collapsed expectation tree must agree exactly
+// with the literal branch-tree enumeration (the core algorithmic claim of
+// DESIGN.md §2.3), lazy greedy must match eager greedy, and batch scores
+// must telescope to the true expected batch benefit.
+#include <gtest/gtest.h>
+
+#include "core/batch_select.h"
+
+#include <set>
+
+#include "graph/builder.h"
+#include "core/batch_state.h"
+#include "core/branch_tree.h"
+#include "core/marginal.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+#include "solver/saa.h"
+#include "util/rng.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+using sim::Observation;
+using sim::Problem;
+
+Problem random_problem(int seed, graph::NodeId n = 30, graph::EdgeId m = 70,
+                       double q = 0.4) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 10;
+  opts.base_acceptance = q;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, m, seed),
+                               graph::EdgeProbModel::uniform(0.15, 0.95), seed + 1),
+      opts);
+}
+
+void advance_observation(const Problem& p, Observation& obs, int steps, int seed) {
+  const sim::World w(p, static_cast<std::uint64_t>(seed) + 500);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int step = 0; step < steps; ++step) {
+    const auto u = static_cast<NodeId>(rng.below(p.graph.num_nodes()));
+    if (obs.is_friend(u)) continue;
+    if (w.attempt_accept(u, obs.attempts(u), obs.acceptance_prob(u))) {
+      obs.record_accept(u, w.true_neighbors(u));
+    } else {
+      obs.record_reject(u);
+    }
+  }
+}
+
+TEST(BatchState, EmptyBatchGammaEqualsMarginal) {
+  const Problem p = random_problem(3);
+  Observation obs(p);
+  advance_observation(p, obs, 5, 3);
+  BatchState state(p.graph.num_nodes());
+  for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+    if (obs.is_friend(u)) continue;
+    for (auto policy : {MarginalPolicy::kWeighted, MarginalPolicy::kPaperLiteral}) {
+      EXPECT_NEAR(state.gamma(obs, u, policy), marginal_gain(obs, u, policy), 1e-12);
+    }
+  }
+}
+
+TEST(BatchState, ResetClearsSelection) {
+  const Problem p = random_problem(4);
+  Observation obs(p);
+  BatchState state(p.graph.num_nodes());
+  state.select(obs, 0, 0.5);
+  EXPECT_TRUE(state.is_selected(0));
+  EXPECT_EQ(state.size(), 1u);
+  state.reset();
+  EXPECT_FALSE(state.is_selected(0));
+  EXPECT_TRUE(state.empty());
+  for (NodeId v : p.graph.neighbors(0)) {
+    EXPECT_DOUBLE_EQ(state.fof_factor(v), 1.0);
+  }
+}
+
+TEST(BatchState, SelectingTwiceThrows) {
+  const Problem p = random_problem(4);
+  Observation obs(p);
+  BatchState state(p.graph.num_nodes());
+  state.select(obs, 1, 0.4);
+  EXPECT_THROW(state.select(obs, 1, 0.4), std::logic_error);
+}
+
+TEST(BatchState, FofFactorFormula) {
+  const Problem p = random_problem(5);
+  Observation obs(p);
+  BatchState state(p.graph.num_nodes());
+  const NodeId u = 0;
+  const double q = obs.acceptance_prob(u);
+  state.select(obs, u, q);
+  const auto nbrs = p.graph.neighbors(u);
+  const auto eids = p.graph.incident_edges(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    EXPECT_NEAR(state.fof_factor(nbrs[i]),
+                1.0 - q * p.graph.edge_prob(eids[i]), 1e-12);
+  }
+}
+
+// THE key equivalence: collapsed Γ == branch-tree Γ for every candidate,
+// under both policies, at several batch sizes and observation depths.
+class CollapsedVsBranchTree
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollapsedVsBranchTree, GammaAgreesExactly) {
+  const int seed = std::get<0>(GetParam());
+  const int obs_steps = std::get<1>(GetParam());
+  const Problem p = random_problem(seed);
+  Observation obs(p);
+  advance_observation(p, obs, obs_steps, seed);
+
+  for (auto policy : {MarginalPolicy::kWeighted, MarginalPolicy::kPaperLiteral}) {
+    BatchState state(p.graph.num_nodes());
+    std::vector<NodeId> batch;
+    // Greedily grow a batch of 5 using the collapsed Γ, cross-checking every
+    // candidate against the exponential enumeration at every step.
+    for (int round = 0; round < 5; ++round) {
+      NodeId best = graph::kInvalidNode;
+      double best_score = -1.0;
+      for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+        if (obs.is_friend(u) || state.is_selected(u)) continue;
+        const double collapsed = state.gamma(obs, u, policy);
+        const double tree = branch_tree_gamma(obs, batch, u, policy);
+        ASSERT_NEAR(collapsed, tree, 1e-9)
+            << "seed=" << seed << " round=" << round << " node=" << u
+            << " policy=" << static_cast<int>(policy);
+        if (collapsed > best_score) {
+          best_score = collapsed;
+          best = u;
+        }
+      }
+      if (best == graph::kInvalidNode) break;
+      state.select(obs, best, obs.acceptance_prob(best));
+      batch.push_back(best);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollapsedVsBranchTree,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(0, 6)));
+
+TEST(BatchSelect, MatchesBranchTreeSelection) {
+  // With identical scores the two selectors should pick identical batches
+  // (ties broken by node id in both).
+  for (int seed = 1; seed <= 4; ++seed) {
+    const Problem p = random_problem(seed);
+    Observation obs(p);
+    advance_observation(p, obs, 4, seed);
+    BatchSelectOptions opts;
+    opts.batch_size = 6;
+    const auto fast = batch_select(obs, opts);
+    BranchTreeOptions bt;
+    bt.batch_size = 6;
+    const auto slow = branch_tree_select(obs, bt);
+    EXPECT_EQ(fast, slow) << "seed " << seed;
+  }
+}
+
+TEST(BatchSelect, LazyMatchesEagerParallel) {
+  util::ThreadPool pool(3);
+  for (int seed = 1; seed <= 4; ++seed) {
+    const Problem p = random_problem(seed, 60, 160);
+    Observation obs(p);
+    advance_observation(p, obs, 6, seed);
+    BatchSelectOptions lazy;
+    lazy.batch_size = 8;
+    BatchSelectOptions eager = lazy;
+    eager.pool = &pool;
+    eager.parallel_eager = true;
+    EXPECT_EQ(batch_select(obs, lazy), batch_select(obs, eager)) << "seed " << seed;
+  }
+}
+
+TEST(BatchSelect, RespectsBatchSizeAndCandidates) {
+  const Problem p = random_problem(2);
+  Observation obs(p);
+  BatchSelectOptions opts;
+  opts.batch_size = 4;
+  const auto batch = batch_select(obs, opts);
+  EXPECT_EQ(batch.size(), 4u);
+  // Distinct nodes, all requestable.
+  std::set<NodeId> uniq(batch.begin(), batch.end());
+  EXPECT_EQ(uniq.size(), batch.size());
+  for (NodeId u : batch) EXPECT_TRUE(obs.requestable(u, false));
+}
+
+TEST(BatchSelect, ExcludesRejectedUnlessRetrying) {
+  const Problem p = random_problem(2);
+  Observation obs(p);
+  // Reject everything except nodes 0 and 1.
+  for (NodeId u = 2; u < p.graph.num_nodes(); ++u) obs.record_reject(u);
+  BatchSelectOptions opts;
+  opts.batch_size = 5;
+  const auto no_retry = batch_select(obs, opts);
+  EXPECT_LE(no_retry.size(), 2u);
+  opts.allow_retries = true;
+  opts.max_attempts_per_node = 2;
+  const auto with_retry = batch_select(obs, opts);
+  EXPECT_EQ(with_retry.size(), 5u);
+}
+
+TEST(BatchSelect, AttemptCapLimitsRetries) {
+  const Problem p = random_problem(2);
+  Observation obs(p);
+  obs.record_reject(0);
+  obs.record_reject(0);
+  BatchSelectOptions opts;
+  opts.batch_size = static_cast<int>(p.graph.num_nodes());
+  opts.allow_retries = true;
+  opts.max_attempts_per_node = 2;
+  const auto batch = batch_select(obs, opts);
+  EXPECT_EQ(std::find(batch.begin(), batch.end(), 0), batch.end());
+}
+
+TEST(BatchSelect, BudgetLimitsBatch) {
+  Problem p = random_problem(2);
+  p.cost.assign(p.graph.num_nodes(), 2.0);
+  Observation obs(p);
+  BatchSelectOptions opts;
+  opts.batch_size = 10;
+  opts.remaining_budget = 5.0;  // affords only 2 nodes at cost 2
+  const auto batch = batch_select(obs, opts);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchSelect, CostSensitivePrefersCheapNodes) {
+  // Two identical stars; one center is expensive.
+  graph::GraphBuilder b(8);
+  for (NodeId v = 1; v <= 3; ++v) b.add_edge(0, v, 1.0);
+  for (NodeId v = 5; v <= 7; ++v) b.add_edge(4, v, 1.0);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1, 2, 3, 4, 5, 6, 7};
+  p.is_target.assign(8, 1);
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(0.5);
+  p.cost.assign(8, 1.0);
+  p.cost[0] = 10.0;
+  Observation obs(p);
+  BatchSelectOptions opts;
+  opts.batch_size = 1;
+  opts.cost_sensitive = true;
+  const auto batch = batch_select(obs, opts);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 4u);  // the cheap twin wins under Δ/c
+}
+
+TEST(BatchSelect, GreedyScoresAreNonincreasing) {
+  // Submodularity within the batch: the sequence of accepted Γ values must
+  // be nonincreasing under the weighted policy.
+  for (int seed = 1; seed <= 5; ++seed) {
+    const Problem p = random_problem(seed, 50, 120);
+    Observation obs(p);
+    advance_observation(p, obs, 5, seed);
+    BatchState state(p.graph.num_nodes());
+    double last = 1e300;
+    for (int round = 0; round < 8; ++round) {
+      NodeId best = graph::kInvalidNode;
+      double best_score = -1.0;
+      for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+        if (obs.is_friend(u) || state.is_selected(u)) continue;
+        const double s = state.gamma(obs, u, MarginalPolicy::kWeighted);
+        if (s > best_score) {
+          best_score = s;
+          best = u;
+        }
+      }
+      if (best == graph::kInvalidNode) break;
+      ASSERT_LE(best_score, last + 1e-9);
+      last = best_score;
+      state.select(obs, best, obs.acceptance_prob(best));
+    }
+  }
+}
+
+TEST(BatchSelect, GammaTelescopesToExpectedBatchBenefit) {
+  // Σ_i Γ(u_i | u_1..u_{i-1}) must equal E[benefit of the whole batch],
+  // estimated by the independent SAA evaluator.
+  const Problem p = random_problem(7);
+  Observation obs(p);
+  advance_observation(p, obs, 5, 7);
+  BatchState state(p.graph.num_nodes());
+  BatchSelectOptions opts;
+  opts.batch_size = 6;
+  const auto batch = batch_select(obs, opts);
+  ASSERT_EQ(batch.size(), 6u);
+  double gamma_sum = 0.0;
+  for (NodeId u : batch) {
+    gamma_sum += state.gamma(obs, u, MarginalPolicy::kWeighted);
+    state.select(obs, u, obs.acceptance_prob(u));
+  }
+  const auto scenarios = solver::sample_scenarios(obs, 60000, 99);
+  const double sampled = solver::saa_objective(obs, scenarios, batch);
+  EXPECT_NEAR(sampled, gamma_sum, std::max(0.1, gamma_sum * 0.03));
+}
+
+TEST(BranchTree, PoolAndSequentialAgree) {
+  util::ThreadPool pool(3);
+  const Problem p = random_problem(3);
+  Observation obs(p);
+  advance_observation(p, obs, 4, 3);
+  BranchTreeOptions seq;
+  seq.batch_size = 5;
+  BranchTreeOptions par = seq;
+  par.pool = &pool;
+  EXPECT_EQ(branch_tree_select(obs, seq), branch_tree_select(obs, par));
+}
+
+TEST(BranchTree, RejectsHugeBatch) {
+  const Problem p = random_problem(1);
+  Observation obs(p);
+  std::vector<NodeId> big(25, 0);
+  EXPECT_THROW(branch_tree_gamma(obs, big, 1, MarginalPolicy::kWeighted),
+               std::invalid_argument);
+  BranchTreeOptions bt;
+  bt.batch_size = 21;
+  EXPECT_THROW(branch_tree_select(obs, bt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recon::core

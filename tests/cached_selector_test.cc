@@ -1,0 +1,157 @@
+// Tests for the cross-batch score cache: exact equivalence with the
+// uncached selector over full attacks, cache-efficiency accounting, and the
+// strategy-level wiring (PM-AReST use_cache on/off produce identical runs).
+#include <gtest/gtest.h>
+
+#include "core/attack.h"
+#include "core/batch_select.h"
+#include "core/cached_selector.h"
+#include "core/m_arest.h"
+#include "core/pm_arest.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+using sim::Observation;
+using sim::Problem;
+
+Problem cache_problem(int seed, graph::NodeId n = 150, double boost = 0.15) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 30;
+  opts.base_acceptance = 0.35;
+  opts.mutual_boost = boost;  // exercises q-increase invalidation
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(n, 4, seed),
+                               graph::EdgeProbModel::uniform(0.25, 0.95), seed + 1),
+      opts);
+}
+
+// Drive a full attack with BOTH selectors in lockstep on the same
+// observation; every batch must be identical. The mutual-friend boost makes
+// stale-cache bugs visible (scores can rise, not only fall).
+class CachedEquivalence : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(CachedEquivalence, BatchesIdenticalThroughFullAttack) {
+  const int seed = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  const bool retries = std::get<2>(GetParam());
+  const Problem p = cache_problem(seed);
+  const sim::World w(p, static_cast<std::uint64_t>(seed) * 13 + 1);
+  Observation obs(p);
+  CachedSelector cached(obs, MarginalPolicy::kWeighted);
+
+  const std::uint32_t cap = retries ? 5 : 1;
+  double budget = 90.0;
+  while (budget > 0) {
+    BatchSelectOptions bs;
+    bs.batch_size = k;
+    bs.allow_retries = retries;
+    bs.max_attempts_per_node = cap;
+    bs.remaining_budget = budget;
+    const auto reference = batch_select(obs, bs);
+    const auto fast = cached.select_batch(k, retries, cap, budget);
+    ASSERT_EQ(fast, reference) << "seed=" << seed << " k=" << k
+                               << " budget=" << budget;
+    if (fast.empty()) break;
+    for (NodeId u : fast) {
+      if (w.attempt_accept(u, obs.attempts(u), obs.acceptance_prob(u))) {
+        obs.record_accept(u, w.true_neighbors(u));
+        cached.notify_accept(u);
+      } else {
+        obs.record_reject(u);
+        cached.notify_reject(u);
+      }
+      budget -= 1.0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CachedEquivalence,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 7),
+                                            ::testing::Bool()));
+
+TEST(CachedSelector, RescoresOnlyDirtyRegion) {
+  const Problem p = cache_problem(4, 400);
+  const sim::World w(p, 9);
+  Observation obs(p);
+  CachedSelector cached(obs, MarginalPolicy::kWeighted);
+  // First batch scores everyone once.
+  (void)cached.select_batch(5, false, 1, 400.0);
+  const std::uint64_t after_first = cached.rescore_count();
+  EXPECT_GE(after_first, 350u);  // ~n initial scores
+  // Observe one reject: only that node should be re-scored next batch.
+  obs.record_reject(0);
+  cached.notify_reject(0);
+  (void)cached.select_batch(5, false, 1, 400.0);
+  EXPECT_LE(cached.rescore_count() - after_first, 2u);
+  // Observe one accept on a low-degree periphery node (late BA arrivals have
+  // degree ~4): only its small 2-hop region is re-scored, far less than n.
+  const NodeId periphery = 399;
+  ASSERT_LE(p.graph.degree(periphery), 12u);
+  const std::uint64_t before_accept = cached.rescore_count();
+  obs.record_accept(periphery, w.true_neighbors(periphery));
+  cached.notify_accept(periphery);
+  (void)cached.select_batch(5, false, 1, 400.0);
+  const std::uint64_t delta = cached.rescore_count() - before_accept;
+  EXPECT_GT(delta, 0u);
+  EXPECT_LT(delta, 200u);
+}
+
+TEST(PmArestCache, OnAndOffProduceIdenticalAttacks) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    const Problem p = cache_problem(seed);
+    const sim::World w(p, static_cast<std::uint64_t>(seed) + 77);
+    PmArestOptions on;
+    on.batch_size = 6;
+    on.allow_retries = true;
+    on.use_cache = true;
+    PmArestOptions off = on;
+    off.use_cache = false;
+    PmArest son(on), soff(off);
+    const auto ton = run_attack(p, w, son, 120.0);
+    const auto toff = run_attack(p, w, soff, 120.0);
+    ASSERT_EQ(ton.batches.size(), toff.batches.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < ton.batches.size(); ++i) {
+      ASSERT_EQ(ton.batches[i].requests, toff.batches[i].requests)
+          << "seed " << seed << " batch " << i;
+    }
+    EXPECT_DOUBLE_EQ(ton.total_benefit(), toff.total_benefit());
+  }
+}
+
+TEST(PmArestCache, StrategyReusableAcrossRuns) {
+  // begin() must fully reset the cache so a strategy object can be reused
+  // for a different world/observation.
+  const Problem p = cache_problem(5);
+  PmArest strategy(PmArestOptions{.batch_size = 5});
+  const sim::World w1(p, 1), w2(p, 2);
+  const auto t1 = run_attack(p, w1, strategy, 40.0);
+  const auto t2 = run_attack(p, w2, strategy, 40.0);
+  // Re-running world 1 reproduces the original trace exactly.
+  const auto t1b = run_attack(p, w1, strategy, 40.0);
+  ASSERT_EQ(t1.batches.size(), t1b.batches.size());
+  for (std::size_t i = 0; i < t1.batches.size(); ++i) {
+    EXPECT_EQ(t1.batches[i].requests, t1b.batches[i].requests);
+  }
+  (void)t2;
+}
+
+TEST(MArestCache, DelegatesToCachedK1) {
+  const Problem p = cache_problem(6);
+  const sim::World w(p, 3);
+  MArest m;
+  const auto trace = run_attack(p, w, m, 30.0);
+  EXPECT_EQ(trace.batches.size(), 30u);
+  for (const auto& b : trace.batches) EXPECT_EQ(b.requests.size(), 1u);
+  EXPECT_EQ(m.name(), "M-AReST");
+}
+
+}  // namespace
+}  // namespace recon::core

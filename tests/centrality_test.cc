@@ -1,0 +1,129 @@
+// Tests for centrality measures against hand-computed values and known
+// structural facts.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/centrality.h"
+#include "graph/generators.h"
+
+namespace recon::graph {
+namespace {
+
+Graph path5() {
+  // 0 - 1 - 2 - 3 - 4
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 4; ++u) b.add_edge(u, u + 1);
+  return b.build();
+}
+
+TEST(Betweenness, PathGraphHandComputed) {
+  const auto c = betweenness_centrality(path5());
+  // Middle node 2 lies on paths {0,1}x{3,4} plus (1,3): 4 pairs... enumerate:
+  // pairs through 2: (0,3),(0,4),(1,3),(1,4) and (0,4),(1,4) also pass via
+  // others? On a path every pair has a unique shortest path.
+  // Node 1: pairs (0,2),(0,3),(0,4) -> 3. Node 2: (0,3),(0,4),(1,3),(1,4) -> 4.
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 3.0);
+  EXPECT_DOUBLE_EQ(c[2], 4.0);
+  EXPECT_DOUBLE_EQ(c[3], 3.0);
+  EXPECT_DOUBLE_EQ(c[4], 0.0);
+}
+
+TEST(Betweenness, StarCenterTakesAll) {
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.add_edge(0, v);
+  const auto c = betweenness_centrality(b.build());
+  // Center carries all C(4,2) = 6 leaf pairs.
+  EXPECT_DOUBLE_EQ(c[0], 6.0);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(c[v], 0.0);
+}
+
+TEST(Betweenness, SplitsOverEqualPaths) {
+  // A 4-cycle: each pair of opposite nodes has two shortest paths; each
+  // intermediate node gets credit 1/2 per opposite pair -> each node 0.5.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const auto c = betweenness_centrality(b.build());
+  for (NodeId u = 0; u < 4; ++u) EXPECT_DOUBLE_EQ(c[u], 0.5);
+}
+
+TEST(Harmonic, PathGraphHandComputed) {
+  const auto c = harmonic_centrality(path5());
+  // Node 0: 1/1 + 1/2 + 1/3 + 1/4.
+  EXPECT_NEAR(c[0], 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  // Node 2: 1/2 + 1/1 + 1/1 + 1/2 = 3.
+  EXPECT_NEAR(c[2], 3.0, 1e-12);
+  EXPECT_GT(c[2], c[0]);  // the middle is closer to everyone
+}
+
+TEST(Harmonic, DisconnectedIsFinite) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  // 2 and 3 isolated.
+  b.add_edge(2, 3);
+  const auto c = harmonic_centrality(b.build());
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+TEST(CoreNumbers, CliqueWithTail) {
+  // K4 (nodes 0..3) plus a path 3-4-5: clique nodes have core 3, the tail 1.
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.add_edge(u, v);
+  }
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const auto core = core_numbers(b.build());
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(core[u], 3u) << u;
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreNumbers, RingIsTwoCore) {
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 6; ++u) b.add_edge(u, (u + 1) % 6);
+  const auto core = core_numbers(b.build());
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(core[u], 2u);
+}
+
+TEST(CoreNumbers, MatchesPeelingDefinitionOnRandomGraphs) {
+  // Property: in the subgraph induced by {v : core(v) >= k}, every node has
+  // at least k neighbors inside the subgraph (for k = its own core number).
+  const Graph g = erdos_renyi_gnm(120, 400, 9);
+  const auto core = core_numbers(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::size_t inside = 0;
+    for (NodeId v : g.neighbors(u)) inside += core[v] >= core[u];
+    EXPECT_GE(inside, core[u]) << "node " << u;
+  }
+}
+
+TEST(TopNodes, OrdersAndTruncates) {
+  const auto top = top_nodes({0.5, 2.0, 1.0, 2.0}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties break by id
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(Betweenness, HubsDominateInBaGraphs) {
+  const Graph g = barabasi_albert(300, 3, 7);
+  const auto c = betweenness_centrality(g);
+  const auto top = top_nodes(c, 5);
+  // The top-betweenness nodes should be high-degree hubs.
+  const auto stats_max = [&] {
+    NodeId best = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (g.degree(u) > g.degree(best)) best = u;
+    }
+    return best;
+  }();
+  EXPECT_NE(std::find(top.begin(), top.end(), stats_max), top.end());
+}
+
+}  // namespace
+}  // namespace recon::graph

@@ -1,0 +1,177 @@
+// Tests for the CLI command layer (driven directly, no subprocesses).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cli/commands.h"
+#include "graph/io.h"
+#include "sim/trace_io.h"
+
+namespace recon::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> full{"recon"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int rc =
+      dispatch(static_cast<int>(full.size()), full.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("generate"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+  EXPECT_EQ(run({}, nullptr, &err), 2);
+}
+
+TEST(Cli, GenerateWritesGraph) {
+  const std::string path = "/tmp/recon_cli_test_g.txt";
+  std::string out;
+  ASSERT_EQ(run({"generate", "--model", "ws", "--nodes", "100", "--k", "4",
+                 "--out", path.c_str(), "--seed", "5"},
+                &out),
+            0);
+  EXPECT_NE(out.find("100 nodes"), std::string::npos);
+  const auto g = graph::read_edge_list_file(path);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 400u);
+}
+
+TEST(Cli, GenerateEveryModel) {
+  for (const char* model : {"ba", "ws", "er", "sbm", "powerlaw"}) {
+    const std::string path = std::string("/tmp/recon_cli_") + model + ".txt";
+    EXPECT_EQ(run({"generate", "--model", model, "--nodes", "80", "--out",
+                   path.c_str()}),
+              0)
+        << model;
+  }
+}
+
+TEST(Cli, GenerateRejectsBadInput) {
+  std::string err;
+  EXPECT_EQ(run({"generate", "--model", "nope", "--out", "/tmp/x.txt"}, nullptr, &err),
+            1);
+  EXPECT_NE(err.find("unknown --model"), std::string::npos);
+  EXPECT_EQ(run({"generate", "--model", "ba"}, nullptr, &err), 1);  // no --out
+  EXPECT_EQ(run({"generate", "--model", "ba", "--probs", "nah", "--out", "/tmp/x.txt"},
+                nullptr, &err),
+            1);
+}
+
+TEST(Cli, AttackMetricsPipeline) {
+  const std::string graph_path = "/tmp/recon_cli_pipe_g.txt";
+  const std::string trace_path = "/tmp/recon_cli_pipe_t.traces";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "200", "--m", "4", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--strategy", "pm", "--k",
+                 "8", "--budget", "40", "--runs", "4", "--retries", "--traces",
+                 trace_path.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("PM-AReST(k=8,retry)"), std::string::npos);
+  const auto traces = sim::read_traces_file(trace_path);
+  EXPECT_EQ(traces.size(), 4u);
+
+  ASSERT_EQ(run({"metrics", "--traces", trace_path.c_str(), "--threshold", "5"},
+                &out),
+            0);
+  EXPECT_NE(out.find("RRS"), std::string::npos);
+  EXPECT_NE(out.find("RT-RRS"), std::string::npos);
+}
+
+TEST(Cli, AttackEveryStrategy) {
+  const std::string graph_path = "/tmp/recon_cli_strat_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "er", "--nodes", "60", "--edges", "150",
+                 "--out", graph_path.c_str()}),
+            0);
+  for (const char* strategy : {"pm", "m", "random", "degree", "mip", "lshaped"}) {
+    std::string out, err;
+    EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--strategy", strategy,
+                   "--k", "3", "--budget", "9", "--runs", "2", "--targets", "15",
+                   "--samples", "40"},
+                  &out, &err),
+              0)
+        << strategy << ": " << err;
+    EXPECT_NE(out.find("mean benefit"), std::string::npos);
+  }
+}
+
+TEST(Cli, AttackRejectsBadInput) {
+  std::string err;
+  EXPECT_EQ(run({"attack"}, nullptr, &err), 1);  // no graph
+  EXPECT_EQ(run({"attack", "--graph", "/nonexistent.txt"}, nullptr, &err), 1);
+  const std::string graph_path = "/tmp/recon_cli_bad_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "60", "--out",
+                 graph_path.c_str()}),
+            0);
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--strategy", "nope"},
+                nullptr, &err),
+            1);
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--target-mode", "nope"},
+                nullptr, &err),
+            1);
+}
+
+TEST(Cli, SaveAndReuseProblem) {
+  const std::string graph_path = "/tmp/recon_cli_prob_g.txt";
+  const std::string problem_path = "/tmp/recon_cli_prob.problem";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "120", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string out1;
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--k", "5", "--budget",
+                 "25", "--runs", "3", "--save-problem", problem_path.c_str()},
+                &out1),
+            0);
+  // Re-running from the saved problem reproduces the exact results (the
+  // instance, including targets, is identical).
+  std::string out2;
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--k", "5",
+                 "--budget", "25", "--runs", "3"},
+                &out2),
+            0);
+  const auto benefit_line = [](const std::string& s) {
+    const auto pos = s.find("mean benefit");
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(benefit_line(out1), benefit_line(out2));
+  std::string err;
+  EXPECT_EQ(run({"attack", "--problem", "/nonexistent.problem"}, nullptr, &err), 1);
+}
+
+TEST(Cli, MetricsRejectsBadInput) {
+  std::string err;
+  EXPECT_EQ(run({"metrics"}, nullptr, &err), 1);
+  EXPECT_EQ(run({"metrics", "--traces", "/nonexistent.traces"}, nullptr, &err), 1);
+}
+
+TEST(Cli, AuditListsMonitors) {
+  const std::string graph_path = "/tmp/recon_cli_audit_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "150", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"audit", "--graph", graph_path.c_str(), "--monitors", "5",
+                 "--budget", "30", "--runs", "3"},
+                &out),
+            0);
+  EXPECT_NE(out.find("monitor placements"), std::string::npos);
+  // Table has 5 monitor rows (header + separator + 5).
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_GE(lines, 8u);
+}
+
+}  // namespace
+}  // namespace recon::cli

@@ -1,0 +1,103 @@
+// Tests for the dataset stand-ins (Table I surrogates).
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/metrics.h"
+
+namespace recon::graph {
+namespace {
+
+TEST(Datasets, AllIdsEnumerable) {
+  const auto ids = all_dataset_ids();
+  EXPECT_EQ(ids.size(), 5u);
+  for (DatasetId id : ids) EXPECT_FALSE(dataset_name(id).empty());
+  EXPECT_EQ(snap_dataset_ids().size(), 4u);
+}
+
+TEST(Datasets, UsPolBooksMatchesPaperSize) {
+  const Dataset ds = make_dataset(DatasetId::kUsPolBooks, 1.0, 42);
+  EXPECT_EQ(ds.graph.num_nodes(), 105u);
+  EXPECT_EQ(ds.paper_nodes, 105u);
+  EXPECT_EQ(ds.paper_edges, 441u);
+  EXPECT_NEAR(static_cast<double>(ds.graph.num_edges()), 441.0, 100.0);
+  // Scale must not affect US Pol. Books (Fig. 6 depends on its exact size).
+  const Dataset big = make_dataset(DatasetId::kUsPolBooks, 10.0, 42);
+  EXPECT_EQ(big.graph.num_nodes(), 105u);
+}
+
+TEST(Datasets, ScaleIsLinear) {
+  const Dataset s1 = make_dataset(DatasetId::kFacebook, 1.0, 1);
+  const Dataset s2 = make_dataset(DatasetId::kFacebook, 2.0, 1);
+  EXPECT_NEAR(static_cast<double>(s2.graph.num_nodes()),
+              2.0 * static_cast<double>(s1.graph.num_nodes()),
+              static_cast<double>(s1.graph.num_nodes()) * 0.1);
+}
+
+TEST(Datasets, PaperScaleMatchesTableOne) {
+  // At scale 10 the node counts should equal the paper's (within rounding).
+  const Dataset fb = make_dataset(DatasetId::kFacebook, 10.0, 1);
+  EXPECT_EQ(fb.graph.num_nodes(), 4000u);
+}
+
+struct DensityCase {
+  DatasetId id;
+  double paper_mean_degree;
+  const char* name;
+};
+
+class DatasetDensity : public ::testing::TestWithParam<DensityCase> {};
+
+TEST_P(DatasetDensity, MeanDegreeMatchesPaper) {
+  const Dataset ds = make_dataset(GetParam().id, 1.0, 7);
+  const auto s = degree_stats(ds.graph);
+  // Mean degree should be in the right ballpark regardless of scale.
+  EXPECT_GT(s.mean, GetParam().paper_mean_degree * 0.6) << ds.name;
+  EXPECT_LT(s.mean, GetParam().paper_mean_degree * 1.5) << ds.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, DatasetDensity,
+    ::testing::Values(DensityCase{DatasetId::kFacebook, 44.0, "facebook"},
+                      DensityCase{DatasetId::kEnronEmail, 10.0, "enron"},
+                      DensityCase{DatasetId::kSlashdot, 23.5, "slashdot"},
+                      DensityCase{DatasetId::kTwitter, 43.7, "twitter"}),
+    [](const auto& pinfo) { return pinfo.param.name; });
+
+TEST(Datasets, EdgeProbsInRange) {
+  const Dataset ds = make_dataset(DatasetId::kEnronEmail, 1.0, 3);
+  for (EdgeId e = 0; e < ds.graph.num_edges(); ++e) {
+    EXPECT_GE(ds.graph.edge_prob(e), 0.4 - 1e-12);
+    EXPECT_LE(ds.graph.edge_prob(e), 0.9 + 1e-12);
+  }
+}
+
+TEST(Datasets, UniformProbsOption) {
+  const Dataset ds = make_dataset(DatasetId::kUsPolBooks, 1.0, 3, /*uniform_probs=*/true);
+  for (EdgeId e = 0; e < ds.graph.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(ds.graph.edge_prob(e), 1.0);
+  }
+}
+
+TEST(Datasets, DeterministicInSeed) {
+  const Dataset a = make_dataset(DatasetId::kSlashdot, 0.5, 9);
+  const Dataset b = make_dataset(DatasetId::kSlashdot, 0.5, 9);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId e = 0; e < a.graph.num_edges(); e += 97) {
+    EXPECT_DOUBLE_EQ(a.graph.edge_prob(e), b.graph.edge_prob(e));
+  }
+}
+
+TEST(Datasets, RejectsNonpositiveScale) {
+  EXPECT_THROW(make_dataset(DatasetId::kTwitter, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Datasets, FacebookHasHighClustering) {
+  const Dataset fb = make_dataset(DatasetId::kFacebook, 1.0, 5);
+  const Dataset tw = make_dataset(DatasetId::kTwitter, 0.1, 5);
+  const double cf = clustering_coefficient(fb.graph, 3000, 1);
+  const double ct = clustering_coefficient(tw.graph, 3000, 1);
+  EXPECT_GT(cf, ct);  // WS ego-net surrogate vs BA surrogate
+}
+
+}  // namespace
+}  // namespace recon::graph

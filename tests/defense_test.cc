@@ -1,0 +1,178 @@
+// Tests for the defender-side detection models, including the varying-k
+// evasion story the paper motivates (Sec. IV-C).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attack.h"
+#include "core/pm_arest.h"
+#include "defense/detector.h"
+#include "graph/generators.h"
+#include "sim/problem.h"
+
+namespace recon::defense {
+namespace {
+
+using graph::NodeId;
+
+sim::AttackTrace synthetic_trace(const std::vector<std::size_t>& batch_sizes,
+                                 double select_seconds = 0.0) {
+  sim::AttackTrace t;
+  NodeId next = 0;
+  double q = 0.0, cost = 0.0;
+  for (std::size_t size : batch_sizes) {
+    sim::BatchRecord b;
+    for (std::size_t i = 0; i < size; ++i) {
+      b.requests.push_back(next++);
+      b.accepted.push_back(1);
+    }
+    q += static_cast<double>(size);
+    cost += static_cast<double>(size);
+    b.delta.friends = static_cast<double>(size);
+    b.cumulative.friends = q;
+    b.cost = static_cast<double>(size);
+    b.cumulative_cost = cost;
+    b.select_seconds = select_seconds;
+    t.batches.push_back(std::move(b));
+  }
+  return t;
+}
+
+TEST(RequestTimes, BatchesShareSendTime) {
+  const auto t = synthetic_trace({2, 3}, 1.0);
+  const auto times = request_times(t, 10.0);
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  // second batch: 1.0 (sel) + 10 (delay) + 1.0 (sel) = 12.
+  EXPECT_DOUBLE_EQ(times[2], 12.0);
+  EXPECT_DOUBLE_EQ(times[4], 12.0);
+}
+
+TEST(RateLimit, DetectsBurstAboveThreshold) {
+  const RateLimitDetector detector(20, 3600.0);  // Yang et al.'s rule
+  // 25 requests in one batch -> instant detection.
+  const auto burst = synthetic_trace({25});
+  const auto r = detector.evaluate(burst, 86400.0);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.requests_sent, 25u);
+  EXPECT_DOUBLE_EQ(r.benefit_before, 0.0);  // caught on the first batch
+}
+
+TEST(RateLimit, DailyBatchesOf15Evade) {
+  const RateLimitDetector detector(20, 3600.0);
+  // 15-request batches separated by a day: never more than 15 per hour.
+  const auto t = synthetic_trace({15, 15, 15, 15});
+  EXPECT_FALSE(detector.evaluate(t, 86400.0).detected);
+  // The same batches five minutes apart: 30 requests within an hour.
+  const auto r = detector.evaluate(t, 300.0);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GT(r.benefit_before, 0.0);  // first batch resolved before detection
+}
+
+TEST(RateLimit, SequentialSlowAttackerNeverDetected) {
+  const RateLimitDetector detector(20, 3600.0);
+  const auto t = synthetic_trace(std::vector<std::size_t>(50, 1));
+  EXPECT_FALSE(detector.evaluate(t, 300.0).detected);
+}
+
+TEST(RateLimit, Validation) {
+  EXPECT_THROW(RateLimitDetector(5, 0.0), std::invalid_argument);
+}
+
+TEST(Pattern, FlagsUniformBatchSizes) {
+  const PatternDetector detector(4, 5);
+  const auto uniform = synthetic_trace({15, 15, 15, 15, 15});
+  const auto r = detector.evaluate(uniform, 60.0);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.requests_sent, 60u);  // detected at the 4th batch
+  const auto varied = synthetic_trace({15, 12, 15, 9, 15});
+  EXPECT_FALSE(detector.evaluate(varied, 60.0).detected);
+}
+
+TEST(Pattern, IgnoresSmallBatches) {
+  const PatternDetector detector(3, 5);
+  const auto small = synthetic_trace({2, 2, 2, 2, 2, 2});
+  EXPECT_FALSE(detector.evaluate(small, 60.0).detected);
+}
+
+TEST(Pattern, VaryingKEvadesWhereFixedKCaught) {
+  // End-to-end: fixed-k PM-AReST trips the pattern detector, varying-k does
+  // not — the evasion rationale of Thm. 5.
+  sim::ProblemOptions opts;
+  opts.num_targets = 30;
+  opts.base_acceptance = 0.4;
+  opts.seed = 3;
+  const sim::Problem p = sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(300, 5, 3),
+                               graph::EdgeProbModel::uniform(0.3, 0.9), 4),
+      opts);
+  const sim::World w(p, 5);
+  const PatternDetector detector(3, 5);
+
+  core::PmArest fixed(core::PmArestOptions{.batch_size = 10});
+  const auto fixed_trace = core::run_attack(p, w, fixed, 60.0);
+  EXPECT_TRUE(detector.evaluate(fixed_trace, 60.0).detected);
+
+  core::PmArest varying(core::PmArestOptions{
+      .batch_size = 10, .vary_k_min = 5, .vary_k_max = 15, .seed = 17});
+  const auto vary_trace = core::run_attack(p, w, varying, 60.0);
+  EXPECT_FALSE(detector.evaluate(vary_trace, 60.0).detected);
+}
+
+TEST(Honeypot, DetectsOnMonitoredRequest) {
+  const auto t = synthetic_trace({3, 3});  // requests nodes 0..5
+  const HoneypotMonitor monitor({4}, 100);
+  const auto r = monitor.evaluate(t, 10.0);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.requests_sent, 6u);       // caught in batch 2
+  EXPECT_DOUBLE_EQ(r.benefit_before, 3.0);
+  const HoneypotMonitor safe(std::vector<NodeId>{90, 91}, 100);
+  EXPECT_FALSE(safe.evaluate(t, 10.0).detected);
+}
+
+TEST(Honeypot, Validation) {
+  EXPECT_THROW(HoneypotMonitor({150}, 100), std::invalid_argument);
+  const HoneypotMonitor m({1, 1, 2}, 10);
+  EXPECT_EQ(m.num_monitored(), 2u);  // duplicates collapse
+}
+
+TEST(Honeypot, SimulationPlacementBeatsRandomPlacement) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 25;
+  opts.target_mode = sim::TargetMode::kBfsBall;
+  opts.base_acceptance = 0.4;
+  opts.seed = 9;
+  const sim::Problem p = sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(400, 4, 9),
+                               graph::EdgeProbModel::uniform(0.3, 0.9), 10),
+      opts);
+
+  const auto informed = choose_monitors_by_simulation(p, 10, 6, 40.0, 5, 21);
+  ASSERT_EQ(informed.size(), 10u);
+  util::Rng rng(33);
+  const auto random_nodes =
+      util::sample_without_replacement(p.graph.num_nodes(), 10, rng);
+  const HoneypotMonitor informed_monitor(informed, p.graph.num_nodes());
+  const HoneypotMonitor random_monitor(
+      std::vector<NodeId>(random_nodes.begin(), random_nodes.end()),
+      p.graph.num_nodes());
+
+  // Fresh attacks (different seed than placement sims).
+  const auto mc = core::run_monte_carlo(
+      p,
+      [](int) {
+        return std::make_unique<core::PmArest>(core::PmArestOptions{.batch_size = 5});
+      },
+      12, 40.0, 55);
+  const auto si = summarize_detection(informed_monitor, mc.traces, 60.0);
+  const auto sr = summarize_detection(random_monitor, mc.traces, 60.0);
+  // Informed placement detects at least as often and strictly earlier (the
+  // attacker walks straight into the honeypots the simulation predicted).
+  EXPECT_GE(si.detect_fraction, sr.detect_fraction);
+  EXPECT_GT(si.detect_fraction, 0.5);
+  EXPECT_LT(si.mean_requests_before, sr.mean_requests_before);
+}
+
+}  // namespace
+}  // namespace recon::defense

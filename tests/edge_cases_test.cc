@@ -1,0 +1,192 @@
+// Robustness tests: degenerate problem parameters and boundary conditions
+// across the whole attack pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attack.h"
+#include "core/batch_select.h"
+#include "core/m_arest.h"
+#include "core/pm_arest.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+using sim::Problem;
+
+Problem base_problem(double q, double edge_p, std::size_t targets = 10) {
+  sim::ProblemOptions opts;
+  opts.num_targets = targets;
+  opts.base_acceptance = q;
+  opts.seed = 5;
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(40, 80, 3),
+                               graph::EdgeProbModel::constant(edge_p), 4),
+      opts);
+}
+
+TEST(EdgeCases, EveryoneRejects) {
+  // q = 0: no request ever succeeds; the attack still runs to budget (each
+  // rejection is recorded), benefit stays 0, no crash.
+  const Problem p = base_problem(0.0, 0.8);
+  const sim::World w(p, 1);
+  PmArest strategy(PmArestOptions{.batch_size = 5});
+  const auto trace = run_attack(p, w, strategy, 20.0);
+  EXPECT_DOUBLE_EQ(trace.total_benefit(), 0.0);
+  EXPECT_EQ(trace.total_accepts(), 0u);
+  // q = 0 zeroes every marginal, so selection may stop immediately — either
+  // behaviour (empty first batch or rejected batches) is acceptable; what
+  // matters is budget is never exceeded.
+  EXPECT_LE(trace.total_requests(), 20u);
+}
+
+TEST(EdgeCases, EveryoneAccepts) {
+  const Problem p = base_problem(1.0, 1.0);
+  const sim::World w(p, 1);
+  PmArest strategy(PmArestOptions{.batch_size = 5});
+  const auto trace = run_attack(p, w, strategy, 20.0);
+  EXPECT_EQ(trace.total_accepts(), 20u);
+  // With p = q = 1 the world is deterministic: all edges revealed present.
+  sim::Observation obs(p);
+  for (const auto& b : trace.batches) {
+    for (NodeId u : b.requests) obs.record_accept(u, w.true_neighbors(u));
+  }
+  EXPECT_DOUBLE_EQ(obs.benefit().total(), trace.total_benefit());
+}
+
+TEST(EdgeCases, NoEdgesExist) {
+  // p_e = 0: no FoFs, no edge benefit, only direct target friendships.
+  const Problem p = base_problem(1.0, 0.0);
+  const sim::World w(p, 1);
+  PmArest strategy(PmArestOptions{.batch_size = 4});
+  const auto trace = run_attack(p, w, strategy, 12.0);
+  const auto b = trace.final_breakdown();
+  EXPECT_DOUBLE_EQ(b.fofs, 0.0);
+  EXPECT_DOUBLE_EQ(b.edges, 0.0);
+  EXPECT_GT(b.friends, 0.0);  // greedy goes straight for targets
+}
+
+TEST(EdgeCases, NoTargets) {
+  // Zero targets: only the (tiny) edge-reveal benefit remains (Bi = 1/M for
+  // target-free edges); greedy still operates and accounting holds.
+  const Problem p = base_problem(0.5, 0.7, 0);
+  const sim::World w(p, 2);
+  MArest strategy;
+  const auto trace = run_attack(p, w, strategy, 10.0);
+  const auto b = trace.final_breakdown();
+  EXPECT_DOUBLE_EQ(b.friends, 0.0);
+  EXPECT_DOUBLE_EQ(b.fofs, 0.0);
+  EXPECT_GE(b.edges, 0.0);
+}
+
+TEST(EdgeCases, EveryoneIsATarget) {
+  const Problem p = base_problem(0.5, 0.7, 1000);  // clamped to n
+  EXPECT_EQ(p.targets.size(), 40u);
+  const sim::World w(p, 3);
+  PmArest strategy(PmArestOptions{.batch_size = 5});
+  const auto trace = run_attack(p, w, strategy, 15.0);
+  EXPECT_GT(trace.total_benefit(), 0.0);
+}
+
+TEST(EdgeCases, DisconnectedGraph) {
+  graph::GraphBuilder b(10);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(2, 3, 1.0);
+  // Nodes 4..9 isolated.
+  sim::Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1, 2, 3, 4};
+  p.is_target = {1, 1, 1, 1, 1, 0, 0, 0, 0, 0};
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(1.0);
+  p.validate();
+  const sim::World w(p, 1);
+  PmArest strategy(PmArestOptions{.batch_size = 3});
+  const auto trace = run_attack(p, w, strategy, 10.0);
+  // All five targets (including isolated 4) are eventually befriended.
+  EXPECT_GE(trace.total_benefit(), 5.0);
+}
+
+TEST(EdgeCases, BatchLargerThanGraph) {
+  const Problem p = base_problem(0.5, 0.7);
+  const sim::World w(p, 4);
+  PmArest strategy(PmArestOptions{.batch_size = 1000});
+  const auto trace = run_attack(p, w, strategy, 200.0);
+  // One batch containing every node with positive gain, then exhaustion.
+  EXPECT_LE(trace.total_requests(), 40u);
+  EXPECT_LE(trace.batches.size(), 2u);
+}
+
+TEST(EdgeCases, SingleNodeGraph) {
+  graph::GraphBuilder b(1);
+  sim::Problem p;
+  p.graph = b.build();
+  p.targets = {0};
+  p.is_target = {1};
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(1.0);
+  p.validate();
+  const sim::World w(p, 1);
+  MArest strategy;
+  const auto trace = run_attack(p, w, strategy, 5.0);
+  EXPECT_EQ(trace.total_requests(), 1u);
+  EXPECT_DOUBLE_EQ(trace.total_benefit(), 1.0);
+}
+
+// Fig. 4's ordering claim as a parameterized integration property: on every
+// dataset stand-in (small scale), E[Q] is nonincreasing in batch size and
+// M-AReST tops the ranking, within Monte-Carlo tolerance.
+class Fig4Ordering : public ::testing::TestWithParam<graph::DatasetId> {};
+
+TEST_P(Fig4Ordering, SequentialDominatesBatches) {
+  const graph::Dataset ds = graph::make_dataset(GetParam(), 0.12, 77);
+  sim::ProblemOptions opts;
+  opts.num_targets = std::max<std::size_t>(15, ds.graph.num_nodes() / 25);
+  opts.target_mode = sim::TargetMode::kBfsBall;
+  opts.base_acceptance = 0.3;
+  opts.seed = 7;
+  const Problem p = sim::make_problem(ds.graph, opts);
+  const double budget = 45.0;
+  const int runs = 8;
+  auto mean_for = [&](int k) {
+    return run_monte_carlo(
+               p,
+               [k](int) {
+                 if (k == 1) return std::unique_ptr<Strategy>(new MArest());
+                 return std::unique_ptr<Strategy>(
+                     new PmArest(PmArestOptions{.batch_size = k}));
+               },
+               runs, budget, 41)
+        .mean_benefit();
+  };
+  const double m = mean_for(1);
+  const double pm5 = mean_for(5);
+  const double pm15 = mean_for(15);
+  EXPECT_GE(m, pm5 * 0.96) << ds.name;
+  EXPECT_GE(pm5, pm15 * 0.93) << ds.name;
+  EXPECT_GT(pm15, 0.0) << ds.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, Fig4Ordering,
+                         ::testing::Values(graph::DatasetId::kEnronEmail,
+                                           graph::DatasetId::kFacebook,
+                                           graph::DatasetId::kSlashdot,
+                                           graph::DatasetId::kTwitter),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case graph::DatasetId::kEnronEmail: return "enron";
+                             case graph::DatasetId::kFacebook: return "facebook";
+                             case graph::DatasetId::kSlashdot: return "slashdot";
+                             case graph::DatasetId::kTwitter: return "twitter";
+                             default: return "other";
+                           }
+                         });
+
+}  // namespace
+}  // namespace recon::core

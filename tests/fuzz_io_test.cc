@@ -1,0 +1,119 @@
+// Robustness fuzzing of the text parsers: random byte-level mutations of
+// valid inputs must either parse to a valid object or throw a typed
+// exception — never crash, hang, or produce an object that fails
+// validate().
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "sim/problem.h"
+#include "sim/problem_io.h"
+#include "sim/trace_io.h"
+#include "util/rng.h"
+
+namespace recon {
+namespace {
+
+std::string mutate(const std::string& input, util::Rng& rng, int edits) {
+  std::string s = input;
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const std::size_t pos = static_cast<std::size_t>(rng.below(s.size()));
+    switch (rng.below(4)) {
+      case 0:  // flip to random printable
+        s[pos] = static_cast<char>(' ' + rng.below(95));
+        break;
+      case 1:  // delete
+        s.erase(pos, 1);
+        break;
+      case 2:  // duplicate
+        s.insert(pos, 1, s[pos]);
+        break;
+      case 3:  // truncate
+        s.resize(pos);
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(FuzzIo, EdgeListParserNeverCrashes) {
+  std::stringstream base;
+  graph::write_edge_list(base, graph::erdos_renyi_gnm(30, 60, 3));
+  const std::string valid = base.str();
+  util::Rng rng(17);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::stringstream in(mutate(valid, rng, 1 + static_cast<int>(rng.below(8))));
+    try {
+      const auto g = graph::read_edge_list(in);
+      // Whatever parsed must be internally consistent.
+      for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+        ASSERT_LT(g.edge_u(e), g.num_nodes());
+        ASSERT_LT(g.edge_v(e), g.num_nodes());
+      }
+      ++parsed;
+    } catch (const std::exception&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes should occur across 400 mutations.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzIo, TraceParserNeverCrashes) {
+  const std::string valid =
+      "#recon-trace v1\n"
+      "trace 0\n"
+      "batch sel=0.01 cost=3 reqs=1:1,2:0,3:1 df=1.5 dx=0.5 de=0.25\n"
+      "batch sel=0.02 cost=2 reqs=4:1,5:0 df=1 dx=0 de=0\n"
+      "trace 1\n"
+      "batch sel=0.01 cost=1 reqs=7:1 df=1 dx=0 de=0\n";
+  util::Rng rng(23);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::stringstream in(mutate(valid, rng, 1 + static_cast<int>(rng.below(6))));
+    try {
+      const auto traces = sim::read_traces(in);
+      for (const auto& t : traces) {
+        for (const auto& b : t.batches) {
+          ASSERT_EQ(b.requests.size(), b.accepted.size());
+        }
+      }
+      ++parsed;
+    } catch (const std::exception&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzIo, ProblemParserNeverCrashes) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 8;
+  opts.seed = 3;
+  const sim::Problem p = sim::make_problem(graph::erdos_renyi_gnm(25, 50, 1), opts);
+  std::stringstream base;
+  sim::write_problem(base, p);
+  const std::string valid = base.str();
+  util::Rng rng(31);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::stringstream in(mutate(valid, rng, 1 + static_cast<int>(rng.below(6))));
+    try {
+      const sim::Problem loaded = sim::read_problem(in);
+      loaded.validate();  // read_problem validates, but double-check
+      ++parsed;
+    } catch (const std::exception&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed + rejected, 0);
+  EXPECT_GT(rejected, 0);  // most mutations must be caught
+}
+
+}  // namespace
+}  // namespace recon

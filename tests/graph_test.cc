@@ -1,0 +1,217 @@
+// Tests for the CSR graph, builder, and edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+
+namespace recon::graph {
+namespace {
+
+Graph triangle_plus_leaf() {
+  // 0-1, 1-2, 0-2 (triangle), 2-3 (leaf).
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(1, 2, 0.6);
+  b.add_edge(0, 2, 0.7);
+  b.add_edge(2, 3, 0.8);
+  return b.build();
+}
+
+TEST(GraphBuilder, BasicCounts) {
+  const Graph g = triangle_plus_leaf();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(GraphBuilder, AdjacencySortedAndSymmetric) {
+  const Graph g = triangle_plus_leaf();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (NodeId v : nbrs) {
+      const auto back = g.neighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(GraphBuilder, EdgeIdsConsistent) {
+  const Graph g = triangle_plus_leaf();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const EdgeId e = eids[i];
+      EXPECT_TRUE((g.edge_u(e) == u && g.edge_v(e) == nbrs[i]) ||
+                  (g.edge_v(e) == u && g.edge_u(e) == nbrs[i]));
+      EXPECT_EQ(g.other_endpoint(e, u), nbrs[i]);
+    }
+  }
+}
+
+TEST(GraphBuilder, FindEdge) {
+  const Graph g = triangle_plus_leaf();
+  EXPECT_NE(g.find_edge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(1, 0), g.find_edge(0, 1));
+  EXPECT_EQ(g.find_edge(0, 3), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  const EdgeId e01 = g.find_edge(0, 1);
+  EXPECT_DOUBLE_EQ(g.edge_prob(e01), 0.5);
+}
+
+TEST(GraphBuilder, DuplicateEdgesMergeWithMaxProb) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 0.2);
+  b.add_edge(1, 0, 0.9);  // reversed orientation, higher p
+  b.add_edge(0, 1, 0.4);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_prob(0), 0.9);
+}
+
+TEST(GraphBuilder, RejectsBadInput) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, 1.5), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.max_expected_degree(), 0.0);
+}
+
+TEST(GraphBuilder, IsolatedNodes) {
+  GraphBuilder b(5);
+  b.add_edge(1, 3, 1.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, ExpectedDegree) {
+  const Graph g = triangle_plus_leaf();
+  EXPECT_DOUBLE_EQ(g.expected_degree(0), 0.5 + 0.7);
+  EXPECT_DOUBLE_EQ(g.expected_degree(2), 0.6 + 0.7 + 0.8);
+  EXPECT_DOUBLE_EQ(g.max_expected_degree(), 2.1);
+}
+
+TEST(Graph, Attributes) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.set_attributes({1, 2, 3, 4}, 2);
+  const Graph g = b.build();
+  ASSERT_TRUE(g.has_attributes());
+  EXPECT_EQ(g.attribute_dim(), 2u);
+  const auto a0 = g.node_attributes(0);
+  EXPECT_EQ(a0[0], 1);
+  EXPECT_EQ(a0[1], 2);
+  const auto a1 = g.node_attributes(1);
+  EXPECT_EQ(a1[0], 3);
+  EXPECT_EQ(a1[1], 4);
+}
+
+TEST(Graph, AttributeSizeValidation) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.set_attributes({1, 2, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(b.set_attributes({1, 2}, 0), std::invalid_argument);
+}
+
+TEST(GraphIo, RoundTrip) {
+  const Graph g = triangle_plus_leaf();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_u(e), g.edge_u(e));
+    EXPECT_EQ(h.edge_v(e), g.edge_v(e));
+    EXPECT_DOUBLE_EQ(h.edge_prob(e), g.edge_prob(e));
+  }
+}
+
+TEST(GraphIo, ParsesCommentsAndDefaults) {
+  std::stringstream ss("# header\n0 1\n2 3 0.25\n\n# trailing\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_prob(g.find_edge(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_prob(g.find_edge(2, 3)), 0.25);
+}
+
+TEST(GraphIo, ExplicitNodeCount) {
+  std::stringstream ss("0 1\n");
+  const Graph g = read_edge_list(ss, 10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+}
+
+TEST(GraphIo, DropsSelfLoops) {
+  std::stringstream ss("0 0\n0 1\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIo, MalformedLineThrows) {
+  std::stringstream ss("0\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/to/file.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphMetrics, DegreeStats) {
+  const Graph g = triangle_plus_leaf();
+  const auto s = degree_stats(g);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 3u);
+}
+
+TEST(GraphMetrics, ClusteringTriangleIsOne) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 500, 1), 1.0);
+}
+
+TEST(GraphMetrics, ClusteringStarIsZero) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 500, 1), 0.0);
+}
+
+TEST(GraphMetrics, ConnectedComponents) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(connected_components(g), 3u);
+  EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+}  // namespace
+}  // namespace recon::graph

@@ -1,0 +1,182 @@
+// Tests for link-prediction scores and logistic calibration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "linkpred/calibration.h"
+#include "linkpred/scores.h"
+
+namespace recon::linkpred {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph shared_neighbors_graph() {
+  // 0 and 1 share neighbors {2, 3}; 4 hangs off 3.
+  GraphBuilder b(5);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+TEST(Scores, CommonNeighbors) {
+  const Graph g = shared_neighbors_graph();
+  EXPECT_DOUBLE_EQ(pair_score(g, 0, 1, ScoreKind::kCommonNeighbors), 2.0);
+  EXPECT_DOUBLE_EQ(pair_score(g, 0, 4, ScoreKind::kCommonNeighbors), 1.0);
+  // N(2) = {0,1} and N(3) = {0,1,4} share {0,1}; N(2) and N(4) = {3} share
+  // nothing.
+  EXPECT_DOUBLE_EQ(pair_score(g, 2, 3, ScoreKind::kCommonNeighbors), 2.0);
+  EXPECT_DOUBLE_EQ(pair_score(g, 2, 4, ScoreKind::kCommonNeighbors), 0.0);
+}
+
+TEST(Scores, Jaccard) {
+  const Graph g = shared_neighbors_graph();
+  // N(0) = {2,3}, N(1) = {2,3}: J = 1.
+  EXPECT_DOUBLE_EQ(pair_score(g, 0, 1, ScoreKind::kJaccard), 1.0);
+  // N(0) = {2,3}, N(4) = {3}: inter 1, union 2.
+  EXPECT_DOUBLE_EQ(pair_score(g, 0, 4, ScoreKind::kJaccard), 0.5);
+}
+
+TEST(Scores, JaccardNoNeighborsIsZero) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(pair_score(g, 0, 2, ScoreKind::kJaccard), 0.0);
+}
+
+TEST(Scores, AdamicAdarWeighsLowDegreeMore) {
+  // 0-1 share hub h (high degree) ; 2-3 share leaf l (degree 2).
+  GraphBuilder b(10);
+  // hub h=4 connected to 0,1,5,6,7,8
+  for (graph::NodeId v : {0u, 1u, 5u, 6u, 7u, 8u}) b.add_edge(4, v);
+  // leaf l=9 connected to 2,3
+  b.add_edge(9, 2);
+  b.add_edge(9, 3);
+  const Graph g = b.build();
+  EXPECT_GT(pair_score(g, 2, 3, ScoreKind::kAdamicAdar),
+            pair_score(g, 0, 1, ScoreKind::kAdamicAdar));
+  EXPECT_GT(pair_score(g, 2, 3, ScoreKind::kResourceAllocation),
+            pair_score(g, 0, 1, ScoreKind::kResourceAllocation));
+}
+
+TEST(Scores, RejectsSamePair) {
+  const Graph g = shared_neighbors_graph();
+  EXPECT_THROW(pair_score(g, 1, 1, ScoreKind::kJaccard), std::invalid_argument);
+}
+
+TEST(Scores, TwoHopCandidates) {
+  const Graph g = shared_neighbors_graph();
+  const auto cands = two_hop_candidates(g, 0, ScoreKind::kCommonNeighbors);
+  // From 0: distance-2 non-neighbors are 1 (via 2,3) and 4 (via 3).
+  ASSERT_EQ(cands.size(), 2u);
+  for (const auto& sp : cands) {
+    EXPECT_TRUE((sp.u == 0 && (sp.v == 1 || sp.v == 4)));
+    EXPECT_GT(sp.score, 0.0);
+  }
+}
+
+TEST(Scores, AllTwoHopEmitsEachPairOnce) {
+  const Graph g = shared_neighbors_graph();
+  const auto all = all_two_hop_candidates(g, ScoreKind::kCommonNeighbors);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (const auto& sp : all) {
+    EXPECT_LT(sp.u, sp.v);
+    EXPECT_TRUE(seen.emplace(sp.u, sp.v).second) << sp.u << "," << sp.v;
+    EXPECT_FALSE(g.has_edge(sp.u, sp.v));
+  }
+}
+
+TEST(Logistic, PredictsSigmoid) {
+  LogisticModel m{0.0, 1.0};
+  EXPECT_NEAR(m.predict(0.0), 0.5, 1e-12);
+  EXPECT_GT(m.predict(3.0), 0.9);
+  EXPECT_LT(m.predict(-3.0), 0.1);
+}
+
+TEST(Logistic, FitsSeparableData) {
+  std::vector<LabeledScore> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({static_cast<double>(i % 5), false});       // scores 0..4
+    data.push_back({5.0 + static_cast<double>(i % 5), true});  // scores 5..9
+  }
+  const LogisticModel m = fit_logistic(data);
+  EXPECT_LT(m.predict(1.0), 0.2);
+  EXPECT_GT(m.predict(8.0), 0.8);
+  EXPECT_GT(m.w1, 0.0);
+}
+
+TEST(Logistic, EmptyDataThrows) {
+  EXPECT_THROW(fit_logistic({}), std::invalid_argument);
+}
+
+TEST(Calibration, ProducesProbabilitiesInRange) {
+  const Graph base = graph::watts_strogatz(200, 4, 0.1, 3);
+  const Graph g = calibrate_edge_probs(base, ScoreKind::kJaccard, 5);
+  ASSERT_EQ(g.num_edges(), base.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(g.edge_prob(e), 0.0);
+    EXPECT_LE(g.edge_prob(e), 1.0);
+  }
+}
+
+TEST(Calibration, EdgesScoreHigherThanNonEdgesOnAverage) {
+  const Graph base = graph::watts_strogatz(200, 4, 0.1, 3);
+  const auto data = make_calibration_set(base, ScoreKind::kJaccard, 1.0, 7);
+  double pos = 0.0, neg = 0.0;
+  std::size_t np = 0, nn = 0;
+  for (const auto& d : data) {
+    if (d.exists) {
+      pos += d.score;
+      ++np;
+    } else {
+      neg += d.score;
+      ++nn;
+    }
+  }
+  ASSERT_GT(np, 0u);
+  ASSERT_GT(nn, 0u);
+  EXPECT_GT(pos / np, neg / nn);
+}
+
+TEST(RocAuc, HandComputedValues) {
+  // Perfect separation: AUC 1; inverted: 0; chance-like interleave: 0.5.
+  EXPECT_DOUBLE_EQ(roc_auc({{1, false}, {2, false}, {3, true}, {4, true}}), 1.0);
+  EXPECT_DOUBLE_EQ(roc_auc({{3, false}, {4, false}, {1, true}, {2, true}}), 0.0);
+  // Interleaved pos/neg/pos/neg: only the (3 > 2) pair of 4 is ordered
+  // correctly -> 0.25.
+  EXPECT_DOUBLE_EQ(roc_auc({{1, true}, {2, false}, {3, true}, {4, false}}), 0.25);
+  // All ties: 0.5 by the tie convention.
+  EXPECT_DOUBLE_EQ(roc_auc({{1, true}, {1, false}}), 0.5);
+  EXPECT_THROW(roc_auc({{1, true}}), std::invalid_argument);
+}
+
+TEST(RocAuc, HoldoutEvaluationBeatsChanceOnClusteredGraphs) {
+  // On a high-clustering graph, neighborhood scores predict held-out edges
+  // far better than chance; on an ER graph they barely beat chance.
+  const Graph ws = graph::watts_strogatz(400, 5, 0.05, 9);
+  const double auc_ws = holdout_auc(ws, ScoreKind::kAdamicAdar, 0.1, 11);
+  EXPECT_GT(auc_ws, 0.75);
+  const Graph er = graph::erdos_renyi_gnm(400, 2000, 9);
+  const double auc_er = holdout_auc(er, ScoreKind::kAdamicAdar, 0.1, 11);
+  EXPECT_LT(auc_er, auc_ws - 0.1);
+  EXPECT_THROW(holdout_auc(ws, ScoreKind::kJaccard, 0.0, 1), std::invalid_argument);
+}
+
+TEST(RocAuc, ScoreKindsComparableOnSameHoldout) {
+  const Graph g = graph::watts_strogatz(300, 5, 0.1, 3);
+  for (auto kind : {ScoreKind::kCommonNeighbors, ScoreKind::kJaccard,
+                    ScoreKind::kAdamicAdar, ScoreKind::kResourceAllocation}) {
+    const double auc = holdout_auc(g, kind, 0.1, 21);
+    EXPECT_GT(auc, 0.6) << static_cast<int>(kind);
+    EXPECT_LE(auc, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace recon::linkpred

@@ -1,0 +1,116 @@
+// Tests for the two-step lookahead strategy.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attack.h"
+#include "core/lookahead.h"
+#include "core/m_arest.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "sim/problem.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+using sim::Problem;
+
+TEST(Lookahead, ScoreIsImmediatePlusFollowup) {
+  // Two disconnected target leaves with deterministic acceptance: the
+  // lookahead score of either is its own benefit (1) plus the other's (1).
+  graph::GraphBuilder b(2);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1};
+  p.is_target = {1, 1};
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(1.0);
+  p.validate();
+  sim::Observation obs(p);
+  LookaheadOptions opts;
+  opts.samples = 4;  // deterministic world: any count works
+  EXPECT_NEAR(lookahead_score(obs, 0, opts, 1), 2.0, 1e-9);
+}
+
+TEST(Lookahead, AccountsForInformativeFailure) {
+  // One big-value target with q = 0.5 and two small sure ones. The myopic
+  // score of the big target ignores that after a *rejection* the best
+  // follow-up is a sure small target — lookahead's follow-up term averages
+  // the accept and reject futures. Verify the score decomposes correctly.
+  graph::GraphBuilder b(3);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1, 2};
+  p.is_target = {1, 1, 1};
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.benefit.bf[0] = 3.0;  // the big one
+  p.acceptance.q0 = {0.5, 1.0, 1.0};
+  p.validate();
+  sim::Observation obs(p);
+  LookaheadOptions opts;
+  opts.samples = 2000;
+  // V(0) = 0.5*3 + E[best followup] = 1.5 + 1.0 (a sure target either way).
+  EXPECT_NEAR(lookahead_score(obs, 0, opts, 7), 2.5, 0.05);
+  // V(1) = 1 + E[best followup] = 1 + 1.5 (the big target remains).
+  EXPECT_NEAR(lookahead_score(obs, 1, opts, 7), 2.5, 0.05);
+}
+
+Problem lookahead_problem(int seed) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 15;
+  opts.base_acceptance = 0.4;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(60, 3, seed),
+                               graph::EdgeProbModel::uniform(0.3, 0.9), seed + 1),
+      opts);
+}
+
+TEST(Lookahead, RunsFullAttackDeterministically) {
+  const Problem p = lookahead_problem(1);
+  const sim::World w(p, 5);
+  LookaheadStrategy s1, s2;
+  const auto t1 = run_attack(p, w, s1, 12.0);
+  const auto t2 = run_attack(p, w, s2, 12.0);
+  ASSERT_EQ(t1.batches.size(), t2.batches.size());
+  for (std::size_t i = 0; i < t1.batches.size(); ++i) {
+    EXPECT_EQ(t1.batches[i].requests, t2.batches[i].requests);
+  }
+  EXPECT_EQ(t1.total_requests(), 12u);
+  for (const auto& b : t1.batches) EXPECT_EQ(b.requests.size(), 1u);
+}
+
+TEST(Lookahead, AtLeastCompetitiveWithMyopicGreedy) {
+  // Lookahead should never be meaningfully worse than M-AReST in expectation
+  // (it degenerates to myopic when futures are flat).
+  const Problem p = lookahead_problem(2);
+  const int runs = 8;
+  const double budget = 15.0;
+  const auto myopic = run_monte_carlo(
+      p, [](int) { return std::make_unique<MArest>(); }, runs, budget, 77);
+  const auto looking = run_monte_carlo(
+      p,
+      [](int r) {
+        LookaheadOptions o;
+        o.seed = 500 + static_cast<std::uint64_t>(r);
+        return std::make_unique<LookaheadStrategy>(o);
+      },
+      runs, budget, 77);
+  EXPECT_GE(looking.mean_benefit(), myopic.mean_benefit() * 0.93);
+}
+
+TEST(Lookahead, Validation) {
+  LookaheadOptions bad;
+  bad.pool = 0;
+  EXPECT_THROW(LookaheadStrategy{bad}, std::invalid_argument);
+  bad.pool = 4;
+  bad.samples = 0;
+  EXPECT_THROW(LookaheadStrategy{bad}, std::invalid_argument);
+  const Problem p = lookahead_problem(3);
+  sim::Observation obs(p);
+  EXPECT_THROW(lookahead_score(obs, 0, bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recon::core

@@ -1,0 +1,220 @@
+// Validates the closed-form expected marginal gain Δf(u | ω) (Lemma 1)
+// against brute-force Monte-Carlo estimates, and its interaction with
+// partial observations.
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+#include "solver/saa.h"
+#include "util/rng.h"
+
+namespace recon::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using sim::Observation;
+using sim::Problem;
+
+Problem random_problem(int seed, graph::NodeId n = 40, graph::EdgeId m = 90) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 12;
+  opts.base_acceptance = 0.4;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, m, seed),
+                               graph::EdgeProbModel::uniform(0.15, 0.95), seed + 1),
+      opts);
+}
+
+TEST(Marginal, HandComputedStar) {
+  // Center 0, leaves 1..3; p(0,v) = 0.5, q = 0.4, all targets.
+  GraphBuilder b(4);
+  for (NodeId v = 1; v < 4; ++v) b.add_edge(0, v, 0.5);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1, 2, 3};
+  p.is_target.assign(4, 1);
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(0.4);
+  p.validate();
+
+  Observation obs(p);
+  // M = 1.5; Bi per edge = 4 / 1.5. Δf(0) = 0.4 * (1 + 3*0.5*0.5 +
+  // 3*0.5*(4/1.5)).
+  const double expected = 0.4 * (1.0 + 0.75 + 3 * 0.5 * (4.0 / 1.5));
+  EXPECT_NEAR(marginal_gain(obs, 0, MarginalPolicy::kWeighted), expected, 1e-12);
+  // Leaf: Δf(1) = 0.4 * (1 + 0.5*0.5 + 0.5*(4/1.5)).
+  const double leaf = 0.4 * (1.0 + 0.25 + 0.5 * (4.0 / 1.5));
+  EXPECT_NEAR(marginal_gain(obs, 1, MarginalPolicy::kWeighted), leaf, 1e-12);
+}
+
+TEST(Marginal, PaperLiteralDropsEdgeWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 0.5);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1};
+  p.is_target.assign(2, 1);
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(1.0);
+  Observation obs(p);
+  // M = 0.5, Bi = 4/0.5 = 8.
+  const double weighted = marginal_gain(obs, 0, MarginalPolicy::kWeighted);
+  const double literal = marginal_gain(obs, 0, MarginalPolicy::kPaperLiteral);
+  EXPECT_NEAR(weighted, 1.0 + 0.5 * 0.5 + 0.5 * 8.0, 1e-12);
+  EXPECT_NEAR(literal, 1.0 + 0.5 * 0.5 + 8.0, 1e-12);
+  EXPECT_GT(literal, weighted);
+}
+
+// The weighted closed form must equal the Monte-Carlo expectation of the
+// actual benefit delta of requesting u (the defining property of Δf). The
+// SAA scenario evaluator provides an independent implementation of that
+// benefit delta.
+class MarginalVsMonteCarlo : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalVsMonteCarlo, ClosedFormMatchesSampling) {
+  const int seed = GetParam();
+  const Problem p = random_problem(seed);
+  Observation obs(p);
+
+  // Advance to a nontrivial partial realization.
+  const sim::World w(p, static_cast<std::uint64_t>(seed) + 1000);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int step = 0; step < 8; ++step) {
+    const auto u = static_cast<NodeId>(rng.below(p.graph.num_nodes()));
+    if (obs.is_friend(u)) continue;
+    if (w.attempt_accept(u, obs.attempts(u), obs.acceptance_prob(u))) {
+      obs.record_accept(u, w.true_neighbors(u));
+    } else {
+      obs.record_reject(u);
+    }
+  }
+
+  const auto scenarios =
+      solver::sample_scenarios(obs, 60000, static_cast<std::uint64_t>(seed) * 17 + 3);
+  for (NodeId u = 0; u < p.graph.num_nodes(); u += 7) {
+    if (obs.is_friend(u)) continue;
+    const double closed = marginal_gain(obs, u, MarginalPolicy::kWeighted);
+    const double sampled = solver::saa_objective(obs, scenarios, {u});
+    // Benefit magnitudes here are O(10); 60k samples give stderr well under
+    // the 2.5% relative tolerance used.
+    EXPECT_NEAR(sampled, closed, std::max(0.05, closed * 0.025))
+        << "node " << u << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarginalVsMonteCarlo, ::testing::Values(1, 2, 3));
+
+TEST(Marginal, ZeroWhenNothingToGain) {
+  // Non-target node with no neighbors gains nothing.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0};
+  p.is_target = {1, 0, 0};
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(0.5);
+  Observation obs(p);
+  // Node 2 is isolated and not a target: zero gain... except Bi for
+  // its (nonexistent) edges — none. Bf(2) = 0.
+  EXPECT_DOUBLE_EQ(marginal_gain(obs, 2, MarginalPolicy::kWeighted), 0.0);
+}
+
+TEST(Marginal, FofUpgradeReducesGain) {
+  const Problem p = random_problem(5);
+  Observation obs(p);
+  // Find a target with a target neighbor; friending the neighbor makes the
+  // target a FoF, which must reduce (not increase) its remaining marginal.
+  const sim::World w(p, 99);
+  NodeId target = graph::kInvalidNode;
+  NodeId anchor = graph::kInvalidNode;
+  for (NodeId t : p.targets) {
+    for (NodeId v : w.true_neighbors(t)) {
+      target = t;
+      anchor = v;
+      break;
+    }
+    if (target != graph::kInvalidNode) break;
+  }
+  ASSERT_NE(target, graph::kInvalidNode);
+  const double before = marginal_gain(obs, target, MarginalPolicy::kWeighted);
+  obs.record_accept(anchor, w.true_neighbors(anchor));
+  ASSERT_TRUE(obs.is_fof(target));
+  const double after = marginal_gain(obs, target, MarginalPolicy::kWeighted);
+  EXPECT_LT(after, before);
+}
+
+TEST(Marginal, AdaptiveSubmodularityProperty) {
+  // Δf(u | ω) >= Δf(u | ω') whenever ω ⊆ ω' (Definition 3), checked along a
+  // random observation chain for nodes staying unrequested. With constant
+  // acceptance (no mutual boost), extending the observation never increases
+  // a third party's marginal gain.
+  for (int seed = 1; seed <= 6; ++seed) {
+    const Problem p = random_problem(seed);
+    const sim::World w(p, static_cast<std::uint64_t>(seed) * 7 + 5);
+    Observation obs(p);
+    std::vector<double> last(p.graph.num_nodes(), 0.0);
+    for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+      last[u] = marginal_gain(obs, u, MarginalPolicy::kWeighted);
+    }
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    for (int step = 0; step < 12; ++step) {
+      const auto r = static_cast<NodeId>(rng.below(p.graph.num_nodes()));
+      if (obs.is_friend(r)) continue;
+      if (w.attempt_accept(r, obs.attempts(r), obs.acceptance_prob(r))) {
+        obs.record_accept(r, w.true_neighbors(r));
+      } else {
+        obs.record_reject(r);
+      }
+      for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+        if (obs.is_friend(u) || obs.node_state(u) != sim::NodeState::kUnknown) continue;
+        const double now = marginal_gain(obs, u, MarginalPolicy::kWeighted);
+        ASSERT_LE(now, last[u] + 1e-9) << "seed " << seed << " node " << u;
+        last[u] = now;
+      }
+    }
+  }
+}
+
+TEST(Marginal, MutualBoostCanRaiseMarginals) {
+  // With the mutual-friend boost, observing an accept can *increase* a
+  // neighbor's marginal gain (q rises) — the dynamic that makes retrying
+  // rejected nodes worthwhile (Sec. IV-C) and the reason the cross-batch
+  // cache must dirty the accepted node's neighborhood.
+  sim::ProblemOptions opts;
+  opts.num_targets = 10;
+  opts.base_acceptance = 0.3;
+  opts.mutual_boost = 0.4;
+  opts.seed = 4;
+  const Problem p = sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(50, 3, 4),
+                               graph::EdgeProbModel::uniform(0.5, 0.9), 5),
+      opts);
+  const sim::World w(p, 9);
+  Observation obs(p);
+  // Find an accepted node with an unrequested true neighbor.
+  bool found_increase = false;
+  for (NodeId u = 0; u < p.graph.num_nodes() && !found_increase; ++u) {
+    const auto nbrs = w.true_neighbors(u);
+    if (nbrs.empty()) continue;
+    Observation trial(p);
+    std::vector<double> before(p.graph.num_nodes());
+    for (NodeId v : nbrs) before[v] = marginal_gain(trial, v, MarginalPolicy::kWeighted);
+    trial.record_accept(u, nbrs);
+    for (NodeId v : nbrs) {
+      if (trial.is_friend(v)) continue;
+      const double after = marginal_gain(trial, v, MarginalPolicy::kWeighted);
+      if (after > before[v] + 1e-9) found_increase = true;
+    }
+  }
+  EXPECT_TRUE(found_increase);
+}
+
+}  // namespace
+}  // namespace recon::core

@@ -1,0 +1,167 @@
+// Tests for RRS / RT-RRS vulnerability metrics and vulnerable-user ranking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/rrs.h"
+
+namespace recon::metrics {
+namespace {
+
+sim::AttackTrace make_trace(const std::vector<std::pair<int, double>>& batches,
+                            double select_seconds = 0.01) {
+  // Each entry: (#requests in batch, cumulative benefit after batch).
+  sim::AttackTrace t;
+  double cost = 0.0;
+  double prev = 0.0;
+  graph::NodeId next_node = 0;
+  for (const auto& [n, q] : batches) {
+    sim::BatchRecord b;
+    for (int i = 0; i < n; ++i) {
+      b.requests.push_back(next_node++);
+      b.accepted.push_back(1);
+    }
+    cost += n;
+    b.cost = n;
+    b.cumulative_cost = cost;
+    b.delta.friends = q - prev;
+    b.cumulative.friends = q;
+    prev = q;
+    b.select_seconds = select_seconds;
+    t.batches.push_back(std::move(b));
+  }
+  return t;
+}
+
+TEST(Rrs, ExpectedRequestsToThreshold) {
+  // Trace 1 reaches Q=5 after 10 requests; trace 2 after 20.
+  const std::vector<sim::AttackTrace> traces{
+      make_trace({{5, 2.0}, {5, 6.0}}),
+      make_trace({{5, 1.0}, {5, 2.0}, {5, 3.0}, {5, 5.0}}),
+  };
+  const RrsResult r = rrs(traces, 5.0);
+  EXPECT_DOUBLE_EQ(r.expected_requests, 15.0);
+  EXPECT_DOUBLE_EQ(r.reach_fraction, 1.0);
+}
+
+TEST(Rrs, UnreachedRunsExcluded) {
+  const std::vector<sim::AttackTrace> traces{
+      make_trace({{10, 8.0}}),
+      make_trace({{10, 3.0}}),  // never reaches 5
+  };
+  const RrsResult r = rrs(traces, 5.0);
+  EXPECT_DOUBLE_EQ(r.expected_requests, 10.0);
+  EXPECT_DOUBLE_EQ(r.reach_fraction, 0.5);
+}
+
+TEST(Rrs, ZeroThresholdIsFree) {
+  const std::vector<sim::AttackTrace> traces{make_trace({{5, 1.0}})};
+  const RrsResult r = rrs(traces, 0.0);
+  EXPECT_DOUBLE_EQ(r.expected_requests, 0.0);
+  EXPECT_DOUBLE_EQ(r.reach_fraction, 1.0);
+}
+
+TEST(RtRrs, DelayDominatesSequentialAttacks) {
+  // Sequential: 20 batches of 1; batch: 2 batches of 10. Same final benefit.
+  const auto seq = make_trace(std::vector<std::pair<int, double>>(20, {1, 0.0}));
+  auto seq2 = seq;
+  seq2.batches.back().cumulative.friends = 10.0;
+  const auto batch = make_trace({{10, 5.0}, {10, 10.0}});
+  const double d = 300.0;  // 5 minutes
+  const double rt_seq = rt_rrs({seq2}, d);
+  const double rt_batch = rt_rrs({batch}, d);
+  // 20 delays vs 2 delays for the same benefit: ~10x difference.
+  EXPECT_NEAR(rt_seq / rt_batch, 10.0, 0.2);
+}
+
+TEST(RtRrs, NoDelayUsesComputeTimeOnly) {
+  const auto t = make_trace({{10, 5.0}, {10, 10.0}}, 0.5);
+  EXPECT_NEAR(rt_rrs({t}, 0.0), 1.0 / 10.0, 1e-9);  // 2 * 0.5s / 10 benefit
+}
+
+TEST(RtRrs, InfiniteWhenNoBenefit) {
+  const auto t = make_trace({{10, 0.0}});
+  EXPECT_TRUE(std::isinf(rt_rrs({t}, 60.0)));
+  EXPECT_TRUE(std::isinf(rt_rrs({}, 60.0)));
+}
+
+TEST(RtRrs, AttackTimeComputation) {
+  const auto t = make_trace({{5, 1.0}, {5, 2.0}, {5, 3.0}}, 0.25);
+  EXPECT_NEAR(attack_time_seconds(t, 10.0), 3 * (0.25 + 10.0), 1e-9);
+}
+
+TEST(StochasticDelay, FixedModelMatchesDeterministic) {
+  const auto t = make_trace({{10, 5.0}, {10, 10.0}}, 0.25);
+  EXPECT_NEAR(attack_time_stochastic(t, 100.0, DelayModel::kFixed, 1),
+              attack_time_seconds(t, 100.0), 1e-9);
+}
+
+TEST(StochasticDelay, ExponentialMaxGrowsLikeHarmonic) {
+  // One batch of k requests: E[max of k Exp(d)] = d * H_k.
+  auto mean_time = [&](int k) {
+    const auto t = make_trace({{k, 1.0}}, 0.0);
+    double total = 0.0;
+    const int draws = 4000;
+    for (int i = 0; i < draws; ++i) {
+      total += attack_time_stochastic(t, 60.0, DelayModel::kExponential,
+                                      static_cast<std::uint64_t>(i));
+    }
+    return total / draws;
+  };
+  double h10 = 0.0;
+  for (int i = 1; i <= 10; ++i) h10 += 1.0 / i;
+  EXPECT_NEAR(mean_time(1), 60.0, 3.0);
+  EXPECT_NEAR(mean_time(10), 60.0 * h10, 8.0);
+}
+
+TEST(StochasticDelay, LogNormalMeanMatches) {
+  const auto t = make_trace({{1, 1.0}}, 0.0);
+  double total = 0.0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    total += attack_time_stochastic(t, 50.0, DelayModel::kLogNormal,
+                                    static_cast<std::uint64_t>(i));
+  }
+  EXPECT_NEAR(total / draws, 50.0, 3.0);
+}
+
+TEST(StochasticDelay, RtRrsStochasticExceedsFixedForBatches) {
+  // The slowest-response wait makes stochastic delays strictly worse than
+  // fixed ones for batch attacks (Jensen / extreme-value effect).
+  const auto t = make_trace({{15, 5.0}, {15, 10.0}}, 0.0);
+  const double fixed = rt_rrs({t}, 300.0);
+  const double stochastic =
+      rt_rrs_stochastic({t}, 300.0, DelayModel::kExponential, 7, 50);
+  EXPECT_GT(stochastic, fixed * 1.5);
+}
+
+TEST(StochasticDelay, Validation) {
+  const auto t = make_trace({{2, 1.0}});
+  EXPECT_THROW(attack_time_stochastic(t, -1.0, DelayModel::kExponential, 1),
+               std::invalid_argument);
+  EXPECT_TRUE(std::isinf(rt_rrs_stochastic({}, 10.0, DelayModel::kFixed, 1)));
+}
+
+TEST(VulnerableUsers, RanksByRequestFrequency) {
+  sim::AttackTrace t1, t2;
+  sim::BatchRecord b1;
+  b1.requests = {7, 8, 9};
+  b1.accepted = {1, 1, 1};
+  t1.batches.push_back(b1);
+  sim::BatchRecord b2;
+  b2.requests = {7, 8};
+  b2.accepted = {1, 0};
+  t2.batches.push_back(b2);
+  const auto ranked = vulnerable_users({t1, t2}, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, 7u);
+  EXPECT_DOUBLE_EQ(ranked[0].second, 1.0);  // requested in 2/2 runs
+  EXPECT_EQ(ranked[1].first, 8u);
+}
+
+TEST(VulnerableUsers, EmptyTraces) {
+  EXPECT_TRUE(vulnerable_users({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace recon::metrics

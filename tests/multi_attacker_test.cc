@@ -1,0 +1,198 @@
+// Tests for the multi-attacker (colluding socialbot fleet) extension.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/attack.h"
+#include "core/baselines.h"
+#include "core/multi_attacker.h"
+#include "core/pm_arest.h"
+#include "graph/generators.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+
+sim::Problem fleet_problem(int seed, double mutual_boost = 0.2) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 25;
+  opts.base_acceptance = 0.3;
+  opts.mutual_boost = mutual_boost;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(150, 4, seed),
+                               graph::EdgeProbModel::uniform(0.3, 0.9), seed + 1),
+      opts);
+}
+
+TEST(MultiObservation, PerBotLeverage) {
+  const sim::Problem p = fleet_problem(1);
+  const sim::World w(p, 5);
+  MultiObservation obs(p, 2);
+  // Bot 0 friends node 0; only bot 0's q toward 0's neighbors rises.
+  const auto nbrs = w.true_neighbors(0);
+  ASSERT_FALSE(nbrs.empty());
+  const NodeId v = nbrs.front();
+  const double q0_before = obs.acceptance_prob(0, v);
+  const double q1_before = obs.acceptance_prob(1, v);
+  obs.record_accept(0, 0, nbrs);
+  EXPECT_GT(obs.acceptance_prob(0, v), q0_before);
+  EXPECT_DOUBLE_EQ(obs.acceptance_prob(1, v), q1_before);
+  EXPECT_EQ(obs.mutual_friends(0, v), 1u);
+  EXPECT_EQ(obs.mutual_friends(1, v), 0u);
+  // Shared intelligence: the edge is revealed for the whole fleet.
+  EXPECT_TRUE(obs.shared().is_friend(0));
+  EXPECT_TRUE(obs.shared().is_fof(v));
+}
+
+TEST(MultiObservation, Validation) {
+  const sim::Problem p = fleet_problem(1);
+  EXPECT_THROW(MultiObservation(p, 0), std::invalid_argument);
+}
+
+TEST(MultiAttack, BudgetAndShapeRespected) {
+  const sim::Problem p = fleet_problem(2);
+  const sim::World w(p, 7);
+  MultiAttackOptions opts;
+  opts.num_attackers = 3;
+  opts.batch_per_attacker = 4;
+  const auto result = run_multi_attack(p, w, opts, 36.0);
+  EXPECT_LE(result.combined.total_cost(), 36.0 + 1e-9);
+  for (const auto& b : result.combined.batches) {
+    EXPECT_LE(b.requests.size(), 12u);  // fleet batch = A * k
+  }
+  const std::size_t total_reqs = std::accumulate(result.requests_per_bot.begin(),
+                                                 result.requests_per_bot.end(),
+                                                 std::size_t{0});
+  EXPECT_EQ(total_reqs, result.combined.total_requests());
+  EXPECT_GT(result.combined.total_benefit(), 0.0);
+}
+
+TEST(MultiAttack, NoNodeFriendedTwice) {
+  const sim::Problem p = fleet_problem(3);
+  const sim::World w(p, 9);
+  MultiAttackOptions opts;
+  opts.num_attackers = 4;
+  opts.batch_per_attacker = 3;
+  opts.allow_retries = true;
+  const auto result = run_multi_attack(p, w, opts, 100.0);
+  std::set<NodeId> accepted;
+  for (const auto& b : result.combined.batches) {
+    for (std::size_t i = 0; i < b.requests.size(); ++i) {
+      if (b.accepted[i]) {
+        EXPECT_TRUE(accepted.insert(b.requests[i]).second)
+            << "node " << b.requests[i] << " friended twice";
+      }
+    }
+  }
+}
+
+TEST(MultiAttack, WithinBatchNodesDistinct) {
+  const sim::Problem p = fleet_problem(4);
+  const sim::World w(p, 11);
+  MultiAttackOptions opts;
+  opts.num_attackers = 3;
+  opts.batch_per_attacker = 5;
+  const auto result = run_multi_attack(p, w, opts, 60.0);
+  for (const auto& b : result.combined.batches) {
+    std::set<NodeId> uniq(b.requests.begin(), b.requests.end());
+    EXPECT_EQ(uniq.size(), b.requests.size());
+  }
+}
+
+TEST(MultiAttack, Deterministic) {
+  const sim::Problem p = fleet_problem(5);
+  const sim::World w(p, 13);
+  MultiAttackOptions opts;
+  opts.num_attackers = 2;
+  opts.batch_per_attacker = 4;
+  const auto a = run_multi_attack(p, w, opts, 40.0);
+  const auto b = run_multi_attack(p, w, opts, 40.0);
+  ASSERT_EQ(a.combined.batches.size(), b.combined.batches.size());
+  EXPECT_DOUBLE_EQ(a.combined.total_benefit(), b.combined.total_benefit());
+}
+
+TEST(MultiAttack, MatchesSingleAttackerWhenFleetOfOne) {
+  // A fleet of one bot behaves like PM-AReST structurally: same batch sizes,
+  // positive benefit; scores coincide so selections should too (identical
+  // tie-breaking), except acceptance-randomness streams differ (bot stream
+  // encoding), so compare structure not outcomes.
+  const sim::Problem p = fleet_problem(6, /*mutual_boost=*/0.0);
+  const sim::World w(p, 15);
+  MultiAttackOptions opts;
+  opts.num_attackers = 1;
+  opts.batch_per_attacker = 5;
+  const auto multi = run_multi_attack(p, w, opts, 20.0);
+  PmArest single(PmArestOptions{.batch_size = 5});
+  const auto strace = run_attack(p, w, single, 20.0);
+  ASSERT_FALSE(multi.combined.batches.empty());
+  // First batch selection happens before any randomness: must be identical.
+  EXPECT_EQ(multi.combined.batches.front().requests,
+            strace.batches.front().requests);
+}
+
+TEST(MultiAttack, MutualBoostMakesFleetConcentrationPayOff) {
+  // With a strong mutual-friend boost, a coordinated fleet gains more
+  // benefit per request than independent low-leverage requests: check the
+  // fleet reaches strictly positive accepts for every bot (sanity) and that
+  // the fleet outperforms a random strategy at equal budget.
+  const sim::Problem p = fleet_problem(7, 0.25);
+  MultiAttackOptions opts;
+  opts.num_attackers = 3;
+  opts.batch_per_attacker = 5;
+  double fleet_benefit = 0.0;
+  double random_benefit = 0.0;
+  const int runs = 6;
+  for (int r = 0; r < runs; ++r) {
+    const sim::World w(p, util::derive_seed(99, r));
+    fleet_benefit += run_multi_attack(p, w, opts, 45.0).combined.total_benefit();
+    // Random baseline: 15-node batches of random candidates.
+    RandomStrategy rnd(15, 1000 + static_cast<std::uint64_t>(r));
+    random_benefit += run_attack(p, w, rnd, 45.0).total_benefit();
+  }
+  EXPECT_GT(fleet_benefit, random_benefit * 1.3);
+}
+
+TEST(MultiAttack, PerBotTracesPartitionTheFleetTrace) {
+  const sim::Problem p = fleet_problem(9);
+  const sim::World w(p, 17);
+  MultiAttackOptions opts;
+  opts.num_attackers = 3;
+  opts.batch_per_attacker = 4;
+  const auto result = run_multi_attack(p, w, opts, 48.0);
+  ASSERT_EQ(result.per_bot.size(), 3u);
+  // Rounds align, per-bot requests partition the fleet batch, and per-bot
+  // benefit deltas sum to the fleet delta.
+  for (std::size_t round = 0; round < result.combined.batches.size(); ++round) {
+    std::size_t reqs = 0;
+    double delta = 0.0;
+    for (const auto& bt : result.per_bot) {
+      ASSERT_EQ(bt.batches.size(), result.combined.batches.size());
+      reqs += bt.batches[round].requests.size();
+      delta += bt.batches[round].delta.total();
+      EXPECT_LE(bt.batches[round].requests.size(), 4u);  // per-bot round quota
+    }
+    EXPECT_EQ(reqs, result.combined.batches[round].requests.size());
+    EXPECT_NEAR(delta, result.combined.batches[round].delta.total(), 1e-9);
+  }
+  double total = 0.0;
+  for (const auto& bt : result.per_bot) total += bt.total_benefit();
+  EXPECT_NEAR(total, result.combined.total_benefit(), 1e-9);
+}
+
+TEST(MultiAttack, Validation) {
+  const sim::Problem p = fleet_problem(8);
+  const sim::World w(p, 1);
+  MultiAttackOptions opts;
+  opts.num_attackers = 0;
+  EXPECT_THROW(run_multi_attack(p, w, opts, 10.0), std::invalid_argument);
+  opts.num_attackers = 2;
+  EXPECT_THROW(run_multi_attack(p, w, opts, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recon::core

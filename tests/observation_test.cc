@@ -1,0 +1,272 @@
+// Tests for Observation: state transitions, benefit accounting against the
+// from-scratch Eq. (1) recomputation, FoF upgrades, retries, and the World.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace recon::sim {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+// Star: center 0 with leaves 1..4; all targets; probabilities 1.
+Problem star_problem() {
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.add_edge(0, v, 1.0);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1, 2, 3, 4};
+  p.is_target.assign(5, 1);
+  p.benefit = make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = make_constant_acceptance(0.5);
+  p.validate();
+  return p;
+}
+
+TEST(Observation, InitialState) {
+  const Problem p = star_problem();
+  Observation obs(p);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(obs.node_state(u), NodeState::kUnknown);
+    EXPECT_FALSE(obs.is_friend(u));
+    EXPECT_FALSE(obs.is_fof(u));
+    EXPECT_EQ(obs.attempts(u), 0u);
+    EXPECT_EQ(obs.mutual_friends(u), 0u);
+  }
+  EXPECT_DOUBLE_EQ(obs.benefit().total(), 0.0);
+  for (graph::EdgeId e = 0; e < p.graph.num_edges(); ++e) {
+    EXPECT_EQ(obs.edge_state(e), EdgeState::kUnknown);
+    EXPECT_DOUBLE_EQ(obs.edge_belief(e), 1.0);
+  }
+}
+
+TEST(Observation, AcceptCenterRevealsStar) {
+  const Problem p = star_problem();
+  Observation obs(p);
+  const std::vector<NodeId> true_nbrs{1, 2, 3, 4};
+  const BenefitBreakdown d = obs.record_accept(0, true_nbrs);
+  EXPECT_TRUE(obs.is_friend(0));
+  EXPECT_EQ(obs.node_state(0), NodeState::kAccepted);
+  // Friend benefit 1 (target), four FoFs at 0.5 each, four edges.
+  EXPECT_DOUBLE_EQ(d.friends, 1.0);
+  EXPECT_DOUBLE_EQ(d.fofs, 2.0);
+  // M = 4 (center's expected degree); both-endpoint-target edges: 4/4 = 1.
+  EXPECT_DOUBLE_EQ(d.edges, 4.0);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_TRUE(obs.is_fof(v));
+    EXPECT_EQ(obs.mutual_friends(v), 1u);
+  }
+  // Incremental accounting matches from-scratch Eq. (1).
+  const BenefitBreakdown r = obs.recompute_benefit();
+  EXPECT_DOUBLE_EQ(r.friends, obs.benefit().friends);
+  EXPECT_DOUBLE_EQ(r.fofs, obs.benefit().fofs);
+  EXPECT_DOUBLE_EQ(r.edges, obs.benefit().edges);
+}
+
+TEST(Observation, FofUpgradeReplacesBenefit) {
+  const Problem p = star_problem();
+  Observation obs(p);
+  obs.record_accept(0, std::vector<NodeId>{1, 2, 3, 4});
+  const double before = obs.benefit().total();
+  // Leaf 1 now accepts: gains Bf(1) = 1, loses Bfof(1) = 0.5; no new edges
+  // (edge 0-1 already revealed), no new FoFs (leaf has no other neighbors).
+  const BenefitBreakdown d = obs.record_accept(1, std::vector<NodeId>{0});
+  EXPECT_DOUBLE_EQ(d.friends, 1.0);
+  EXPECT_DOUBLE_EQ(d.fofs, -0.5);
+  EXPECT_DOUBLE_EQ(d.edges, 0.0);
+  EXPECT_DOUBLE_EQ(obs.benefit().total(), before + 0.5);
+  EXPECT_FALSE(obs.is_fof(1));
+  EXPECT_TRUE(obs.is_friend(1));
+  const BenefitBreakdown r = obs.recompute_benefit();
+  EXPECT_DOUBLE_EQ(r.total(), obs.benefit().total());
+}
+
+TEST(Observation, RejectTracksAttempts) {
+  const Problem p = star_problem();
+  Observation obs(p);
+  obs.record_reject(2);
+  EXPECT_EQ(obs.node_state(2), NodeState::kRejected);
+  EXPECT_EQ(obs.attempts(2), 1u);
+  EXPECT_FALSE(obs.requestable(2, /*allow_retries=*/false));
+  EXPECT_TRUE(obs.requestable(2, /*allow_retries=*/true));
+  obs.record_reject(2);
+  EXPECT_EQ(obs.attempts(2), 2u);
+}
+
+TEST(Observation, AbsentEdgesRevealed) {
+  const Problem p = star_problem();
+  Observation obs(p);
+  // Center accepts but only 1 and 2 are true neighbors.
+  obs.record_accept(0, std::vector<NodeId>{1, 2});
+  EXPECT_EQ(obs.edge_state(p.graph.find_edge(0, 1)), EdgeState::kPresent);
+  EXPECT_EQ(obs.edge_state(p.graph.find_edge(0, 3)), EdgeState::kAbsent);
+  EXPECT_DOUBLE_EQ(obs.edge_belief(p.graph.find_edge(0, 3)), 0.0);
+  EXPECT_FALSE(obs.is_fof(3));
+  EXPECT_TRUE(obs.is_fof(1));
+  const auto r = obs.recompute_benefit();
+  EXPECT_DOUBLE_EQ(r.total(), obs.benefit().total());
+}
+
+TEST(Observation, FriendOfTwoCountedOnce) {
+  // Triangle 0-1-2 plus target 3 adjacent to both 1 and 2.
+  GraphBuilder b(4);
+  b.add_edge(1, 3, 1.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(1, 2, 1.0);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {3};
+  p.is_target = {0, 0, 0, 1};
+  p.benefit = make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = make_constant_acceptance(1.0);
+  p.validate();
+
+  Observation obs(p);
+  obs.record_accept(1, std::vector<NodeId>{2, 3});
+  EXPECT_TRUE(obs.is_fof(3));
+  const double after_first = obs.benefit().fofs;
+  obs.record_accept(2, std::vector<NodeId>{1, 3});
+  // 3 was already a FoF: no double counting.
+  EXPECT_DOUBLE_EQ(obs.benefit().fofs, after_first);
+  EXPECT_EQ(obs.mutual_friends(3), 2u);
+  const auto r = obs.recompute_benefit();
+  EXPECT_DOUBLE_EQ(r.total(), obs.benefit().total());
+}
+
+TEST(Observation, AcceptingFriendTwiceThrows) {
+  const Problem p = star_problem();
+  Observation obs(p);
+  obs.record_accept(0, std::vector<NodeId>{1});
+  EXPECT_THROW(obs.record_accept(0, std::vector<NodeId>{1}), std::logic_error);
+  EXPECT_THROW(obs.record_reject(0), std::logic_error);
+}
+
+TEST(Observation, MutualBoostReflectedInAcceptanceProb) {
+  Problem p = star_problem();
+  p.acceptance.mutual_boost = 0.5;
+  Observation obs(p);
+  const double before = obs.acceptance_prob(1);
+  obs.record_accept(0, std::vector<NodeId>{1, 2, 3, 4});
+  const double after = obs.acceptance_prob(1);
+  EXPECT_GT(after, before);
+}
+
+TEST(World, EdgeSamplingMatchesProbabilities) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 0.3);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {};
+  p.is_target.assign(2, 0);
+  p.benefit = make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = make_constant_acceptance(0.5);
+  int exist = 0;
+  const int n = 5000;
+  for (int s = 0; s < n; ++s) {
+    const World w(p, util::derive_seed(99, s));
+    exist += w.edge_exists(0);
+  }
+  EXPECT_NEAR(static_cast<double>(exist) / n, 0.3, 0.03);
+}
+
+TEST(World, DeterministicInSeed) {
+  const Problem p = star_problem();
+  const World a(p, 123), b(p, 123), c(p, 124);
+  for (graph::EdgeId e = 0; e < p.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_exists(e), b.edge_exists(e));
+  }
+  EXPECT_EQ(a.attempt_accept(0, 0, 0.5), b.attempt_accept(0, 0, 0.5));
+  (void)c;  // different seed: no assertion, just must construct
+}
+
+TEST(World, AttemptAcceptRespectsProbability) {
+  const Problem p = star_problem();
+  const World w(p, 7);
+  int acc = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) acc += w.attempt_accept(1, static_cast<std::uint32_t>(i), 0.4);
+  EXPECT_NEAR(static_cast<double>(acc) / n, 0.4, 0.03);
+  // Pure function: same (node, attempt) gives same answer.
+  EXPECT_EQ(w.attempt_accept(1, 5, 0.4), w.attempt_accept(1, 5, 0.4));
+}
+
+TEST(World, RetriesAreIndependentDraws) {
+  const Problem p = star_problem();
+  // Across many worlds, a node rejected on attempt 0 should accept on
+  // attempt 1 with roughly the base rate.
+  int rejected_then_accepted = 0, rejected = 0;
+  for (int s = 0; s < 4000; ++s) {
+    const World w(p, util::derive_seed(55, s));
+    if (!w.attempt_accept(2, 0, 0.5)) {
+      ++rejected;
+      rejected_then_accepted += w.attempt_accept(2, 1, 0.5);
+    }
+  }
+  ASSERT_GT(rejected, 500);
+  EXPECT_NEAR(static_cast<double>(rejected_then_accepted) / rejected, 0.5, 0.05);
+}
+
+TEST(World, TrueNeighborsSortedSubset) {
+  ProblemOptions opts;
+  opts.num_targets = 10;
+  opts.seed = 4;
+  const Problem p = make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(80, 3, 2),
+                               graph::EdgeProbModel::uniform(0.2, 0.9), 3),
+      opts);
+  const World w(p, 17);
+  for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+    const auto tn = w.true_neighbors(u);
+    EXPECT_TRUE(std::is_sorted(tn.begin(), tn.end()));
+    const auto nbrs = p.graph.neighbors(u);
+    for (NodeId v : tn) {
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), v), nbrs.end());
+    }
+  }
+  EXPECT_LE(w.num_existing_edges(), static_cast<std::size_t>(p.graph.num_edges()));
+  EXPECT_GT(w.num_existing_edges(), 0u);
+}
+
+// Property sweep: on random graphs, incremental benefit accounting always
+// matches the from-scratch recomputation after arbitrary accept/reject
+// sequences.
+class AccountingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccountingProperty, IncrementalMatchesRecompute) {
+  const int seed = GetParam();
+  ProblemOptions opts;
+  opts.num_targets = 15;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  const Problem p = make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(60, 150, seed),
+                               graph::EdgeProbModel::uniform(0.2, 1.0), seed + 1),
+      opts);
+  const World w(p, static_cast<std::uint64_t>(seed) * 31 + 7);
+  Observation obs(p);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int step = 0; step < 30; ++step) {
+    const auto u = static_cast<NodeId>(rng.below(60));
+    if (obs.is_friend(u)) continue;
+    if (w.attempt_accept(u, obs.attempts(u), obs.acceptance_prob(u))) {
+      obs.record_accept(u, w.true_neighbors(u));
+    } else {
+      obs.record_reject(u);
+    }
+    const auto r = obs.recompute_benefit();
+    ASSERT_NEAR(r.friends, obs.benefit().friends, 1e-9);
+    ASSERT_NEAR(r.fofs, obs.benefit().fofs, 1e-9);
+    ASSERT_NEAR(r.edges, obs.benefit().edges, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace recon::sim

@@ -1,0 +1,460 @@
+// Tests for B&B, SAA sampling, FOB greedy/exact, and the discretized MIP —
+// including full cross-validation of all three solution paths (enumeration,
+// submodular B&B, LP-based MIP) on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+#include "solver/benders.h"
+#include "solver/bnb.h"
+#include "solver/fob.h"
+#include "solver/mip.h"
+#include "solver/saa.h"
+#include "util/rng.h"
+
+namespace recon::solver {
+namespace {
+
+using graph::NodeId;
+using sim::Observation;
+using sim::Problem;
+
+Problem small_problem(int seed, graph::NodeId n = 16, graph::EdgeId m = 30) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 6;
+  opts.base_acceptance = 0.5;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, m, seed),
+                               graph::EdgeProbModel::uniform(0.2, 0.9), seed + 1),
+      opts);
+}
+
+TEST(Bnb, SolvesKnapsackLikeSelection) {
+  // Maximize sum of values with |S| = 2; modular, so bound is exact.
+  const std::vector<double> values{5.0, 1.0, 4.0, 2.0};
+  BnbOracle oracle;
+  oracle.num_items = 4;
+  oracle.cardinality = 2;
+  oracle.evaluate = [&](const std::vector<std::size_t>& s) {
+    double v = 0.0;
+    for (auto i : s) v += values[i];
+    return v;
+  };
+  oracle.bound = [&](const std::vector<std::size_t>& s, std::size_t next) {
+    double v = 0.0;
+    for (auto i : s) v += values[i];
+    std::vector<double> rest(values.begin() + static_cast<long>(next), values.end());
+    std::sort(rest.rbegin(), rest.rend());
+    for (std::size_t i = 0; i < std::min(rest.size(), oracle.cardinality - s.size()); ++i) {
+      v += rest[i];
+    }
+    return v;
+  };
+  const BnbResult r = branch_and_bound(oracle);
+  EXPECT_DOUBLE_EQ(r.best_value, 9.0);
+  EXPECT_EQ(r.best_set, (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Bnb, NodeLimitReportsIncomplete) {
+  BnbOracle oracle;
+  oracle.num_items = 20;
+  oracle.cardinality = 10;
+  oracle.evaluate = [](const std::vector<std::size_t>& s) {
+    return static_cast<double>(s.size());
+  };
+  oracle.bound = [](const std::vector<std::size_t>&, std::size_t) { return 1e9; };
+  BnbLimits limits;
+  limits.max_nodes = 50;
+  const BnbResult r = branch_and_bound(oracle, limits);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Bnb, Validation) {
+  BnbOracle oracle;
+  oracle.num_items = 2;
+  oracle.cardinality = 3;
+  oracle.evaluate = [](const std::vector<std::size_t>&) { return 0.0; };
+  oracle.bound = [](const std::vector<std::size_t>&, std::size_t) { return 0.0; };
+  EXPECT_THROW(branch_and_bound(oracle), std::invalid_argument);
+  oracle.cardinality = 1;
+  oracle.evaluate = nullptr;
+  EXPECT_THROW(branch_and_bound(oracle), std::invalid_argument);
+}
+
+TEST(Saa, ScenariosRespectObservation) {
+  const Problem p = small_problem(1);
+  Observation obs(p);
+  const sim::World w(p, 9);
+  obs.record_accept(0, w.true_neighbors(0));
+  obs.record_reject(1);
+  const auto scenarios = sample_scenarios(obs, 50, 7);
+  ASSERT_EQ(scenarios.size(), 50u);
+  for (const auto& sc : scenarios) {
+    EXPECT_EQ(sc.accept[0], 0);  // friends never "accept" again
+    for (graph::EdgeId e = 0; e < p.graph.num_edges(); ++e) {
+      if (obs.edge_state(e) == sim::EdgeState::kPresent) {
+        EXPECT_EQ(sc.edge_exists[e], 1);
+      }
+      if (obs.edge_state(e) == sim::EdgeState::kAbsent) {
+        EXPECT_EQ(sc.edge_exists[e], 0);
+      }
+    }
+  }
+}
+
+TEST(Saa, AcceptanceFrequencyMatchesModel) {
+  const Problem p = small_problem(2);
+  Observation obs(p);
+  const auto scenarios = sample_scenarios(obs, 20000, 3);
+  double acc = 0.0;
+  for (const auto& sc : scenarios) acc += sc.accept[5];
+  EXPECT_NEAR(acc / 20000.0, 0.5, 0.02);
+}
+
+TEST(Saa, AntitheticIsUnbiasedAndReducesVariance) {
+  const Problem p = small_problem(6);
+  Observation obs(p);
+  const std::vector<NodeId> batch{0, 3, 7, 11};
+  // Reference value from a very large iid sample.
+  const auto big = sample_scenarios(obs, 40000, 99);
+  const double reference = saa_objective(obs, big, batch);
+  // Compare estimator variance: many small batches, iid vs antithetic.
+  const std::size_t batch_size = 40;
+  const int trials = 200;
+  double iid_mean = 0.0, iid_sq = 0.0, anti_mean = 0.0, anti_sq = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const double iid = saa_objective(
+        obs, sample_scenarios(obs, batch_size, util::derive_seed(7, t)), batch);
+    const double anti = saa_objective(
+        obs, sample_scenarios_antithetic(obs, batch_size, util::derive_seed(8, t)),
+        batch);
+    iid_mean += iid;
+    iid_sq += iid * iid;
+    anti_mean += anti;
+    anti_sq += anti * anti;
+  }
+  iid_mean /= trials;
+  anti_mean /= trials;
+  const double iid_var = iid_sq / trials - iid_mean * iid_mean;
+  const double anti_var = anti_sq / trials - anti_mean * anti_mean;
+  // Unbiased: both estimator means near the reference.
+  EXPECT_NEAR(anti_mean, reference, reference * 0.03);
+  EXPECT_NEAR(iid_mean, reference, reference * 0.03);
+  // Variance reduction (comfortably below, not marginal).
+  EXPECT_LT(anti_var, iid_var * 0.8);
+}
+
+TEST(Saa, AntitheticRespectsObservation) {
+  const Problem p = small_problem(7);
+  Observation obs(p);
+  const sim::World w(p, 9);
+  obs.record_accept(0, w.true_neighbors(0));
+  const auto scenarios = sample_scenarios_antithetic(obs, 21, 5);  // rounded to 22
+  EXPECT_EQ(scenarios.size(), 22u);
+  for (const auto& sc : scenarios) {
+    EXPECT_EQ(sc.accept[0], 0);
+    for (graph::EdgeId e = 0; e < p.graph.num_edges(); ++e) {
+      if (obs.edge_state(e) == sim::EdgeState::kPresent) {
+        EXPECT_EQ(sc.edge_exists[e], 1);
+      }
+    }
+  }
+}
+
+TEST(Saa, ObjectiveMonotoneInBatch) {
+  const Problem p = small_problem(3);
+  Observation obs(p);
+  const auto scenarios = sample_scenarios(obs, 200, 5);
+  std::vector<NodeId> batch;
+  double last = 0.0;
+  for (NodeId u = 0; u < 6; ++u) {
+    batch.push_back(u);
+    const double v = saa_objective(obs, scenarios, batch);
+    EXPECT_GE(v, last - 1e-9);
+    last = v;
+  }
+}
+
+TEST(Saa, ScenarioBenefitSubmodular) {
+  // For random scenarios and random nested sets A ⊆ B and u ∉ B:
+  // Δ(u | A) >= Δ(u | B).
+  const Problem p = small_problem(4);
+  Observation obs(p);
+  const auto scenarios = sample_scenarios(obs, 30, 11);
+  util::Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<NodeId> a, b;
+    for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+      const double r = rng.uniform();
+      if (r < 0.2) {
+        a.push_back(u);
+        b.push_back(u);
+      } else if (r < 0.4) {
+        b.push_back(u);
+      }
+    }
+    NodeId u;
+    do {
+      u = static_cast<NodeId>(rng.below(p.graph.num_nodes()));
+    } while (std::find(b.begin(), b.end(), u) != b.end());
+    auto with = [&](std::vector<NodeId> s) {
+      s.push_back(u);
+      return s;
+    };
+    for (const auto& sc : scenarios) {
+      const double da = scenario_benefit(obs, sc, with(a)) - scenario_benefit(obs, sc, a);
+      const double db = scenario_benefit(obs, sc, with(b)) - scenario_benefit(obs, sc, b);
+      ASSERT_GE(da, db - 1e-9);
+    }
+  }
+}
+
+TEST(Saa, BenefitRejectsFriendInBatch) {
+  const Problem p = small_problem(5);
+  Observation obs(p);
+  const sim::World w(p, 9);
+  obs.record_accept(0, w.true_neighbors(0));
+  const auto scenarios = sample_scenarios(obs, 5, 3);
+  EXPECT_THROW(scenario_benefit(obs, scenarios[0], {0}), std::invalid_argument);
+}
+
+TEST(Saa, KleywegtBound) {
+  // T grows with k log n; sanity-check shape and validation.
+  const double t1 = kleywegt_sample_bound(100, 2, 0.1, 0.05, 1.0);
+  const double t2 = kleywegt_sample_bound(100, 4, 0.1, 0.05, 1.0);
+  const double t3 = kleywegt_sample_bound(100, 2, 0.05, 0.05, 1.0);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t3, t1 * 3.9);
+  EXPECT_THROW(kleywegt_sample_bound(10, 1, 0.0, 0.05, 1.0), std::invalid_argument);
+  EXPECT_THROW(kleywegt_sample_bound(10, 1, 0.1, 1.5, 1.0), std::invalid_argument);
+}
+
+double brute_force_best(const Observation& obs, const std::vector<Scenario>& scenarios,
+                        std::size_t k, const std::vector<NodeId>& candidates,
+                        std::vector<NodeId>* best_set = nullptr) {
+  // Enumerate all k-subsets.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  double best = -1.0;
+  for (;;) {
+    std::vector<NodeId> batch;
+    for (auto i : idx) batch.push_back(candidates[i]);
+    const double v = saa_objective(obs, scenarios, batch);
+    if (v > best) {
+      best = v;
+      if (best_set != nullptr) *best_set = batch;
+    }
+    // Next combination.
+    std::size_t pos = k;
+    while (pos > 0 && idx[pos - 1] == candidates.size() - k + pos - 1) --pos;
+    if (pos == 0) break;
+    ++idx[pos - 1];
+    for (std::size_t i = pos; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+  return best;
+}
+
+class FobSolvers : public ::testing::TestWithParam<int> {};
+
+TEST_P(FobSolvers, ExactMatchesBruteForce) {
+  const int seed = GetParam();
+  const Problem p = small_problem(seed);
+  Observation obs(p);
+  const sim::World w(p, static_cast<std::uint64_t>(seed) + 50);
+  obs.record_accept(0, w.true_neighbors(0));  // nontrivial ω
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 60, static_cast<std::uint64_t>(seed));
+  const std::size_t k = 3;
+  const double brute = brute_force_best(obs, scenarios, k, candidates);
+  const FobResult exact = fob_exact(obs, scenarios, k, candidates);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_NEAR(exact.objective, brute, 1e-9) << "seed " << seed;
+  // Greedy achieves at least (1 - 1/e) of optimal (usually much more).
+  const FobResult greedy = fob_greedy(obs, scenarios, k, candidates);
+  EXPECT_GE(greedy.objective, (1.0 - std::exp(-1.0)) * brute - 1e-9);
+  EXPECT_LE(greedy.objective, exact.objective + 1e-9);
+}
+
+TEST_P(FobSolvers, MipMatchesExact) {
+  const int seed = GetParam();
+  const Problem p = small_problem(seed, 10, 18);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 8, static_cast<std::uint64_t>(seed) + 2);
+  const std::size_t k = 2;
+  const double brute = brute_force_best(obs, scenarios, k, candidates);
+  const MipResult mip = solve_fob_mip(obs, scenarios, k, candidates);
+  EXPECT_TRUE(mip.optimal);
+  EXPECT_NEAR(mip.objective, brute, 1e-7) << "seed " << seed;
+  EXPECT_GE(mip.lp_bound, brute - 1e-7);  // LP relaxation is an upper bound
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FobSolvers, ::testing::Range(1, 7));
+
+TEST(Fob, GreedyLazyInvariant) {
+  // Lazy greedy must return the same batch as plain greedy.
+  const Problem p = small_problem(9, 20, 40);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 40, 21);
+  const FobResult lazy = fob_greedy(obs, scenarios, 4, candidates);
+  // Plain greedy reference.
+  std::vector<NodeId> batch;
+  for (int round = 0; round < 4; ++round) {
+    NodeId best = graph::kInvalidNode;
+    double best_gain = 0.0;
+    const double base = batch.empty() ? 0.0 : saa_objective(obs, scenarios, batch);
+    for (NodeId u : candidates) {
+      if (std::find(batch.begin(), batch.end(), u) != batch.end()) continue;
+      auto with = batch;
+      with.push_back(u);
+      const double gain = saa_objective(obs, scenarios, with) - base;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = u;
+      }
+    }
+    if (best == graph::kInvalidNode) break;
+    batch.push_back(best);
+  }
+  EXPECT_EQ(lazy.batch, batch);
+}
+
+TEST(Fob, CandidateCapStillValid) {
+  const Problem p = small_problem(10, 24, 50);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 40, 5);
+  FobExactOptions opts;
+  opts.candidate_cap = 6;
+  const FobResult capped = fob_exact(obs, scenarios, 3, candidates, opts);
+  const FobResult full = fob_exact(obs, scenarios, 3, candidates);
+  EXPECT_LE(capped.objective, full.objective + 1e-9);
+  EXPECT_GE(capped.objective, 0.8 * full.objective);  // cap keeps top nodes
+}
+
+TEST_P(FobSolvers, BendersMatchesExact) {
+  const int seed = GetParam();
+  const Problem p = small_problem(seed, 14, 26);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 30, static_cast<std::uint64_t>(seed) + 9);
+  const std::size_t k = 3;
+  const double brute = brute_force_best(obs, scenarios, k, candidates);
+  const BendersResult benders = solve_fob_benders(obs, scenarios, k, candidates);
+  EXPECT_TRUE(benders.optimal);
+  EXPECT_NEAR(benders.objective, brute, 1e-6) << "seed " << seed;
+  EXPECT_GT(benders.cuts_generated, 0u);
+}
+
+TEST(Benders, RecourseMatchesScenarioBenefitAtBinaryPoints) {
+  // At binary x, first_stage(x) + Q(x) must equal the SAA objective of the
+  // selected batch exactly.
+  const Problem p = small_problem(8, 16, 30);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 25, 7);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(candidates.size(), 0.0);
+    std::vector<NodeId> batch;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (rng.bernoulli(0.25)) {
+        x[i] = 1.0;
+        batch.push_back(candidates[i]);
+      }
+    }
+    const double total = first_stage_value(obs, scenarios, candidates, x) +
+                         evaluate_recourse(obs, scenarios, candidates, x).value;
+    EXPECT_NEAR(total, saa_objective(obs, scenarios, batch), 1e-9) << trial;
+  }
+}
+
+TEST(Benders, RecourseIsConcaveAlongSegments) {
+  // Q((xa + xb)/2) >= (Q(xa) + Q(xb)) / 2 for random fractional points.
+  const Problem p = small_problem(9, 16, 30);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 20, 3);
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xa(candidates.size()), xb(candidates.size()),
+        mid(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      xa[i] = rng.uniform();
+      xb[i] = rng.uniform();
+      mid[i] = 0.5 * (xa[i] + xb[i]);
+    }
+    const double qa = evaluate_recourse(obs, scenarios, candidates, xa).value;
+    const double qb = evaluate_recourse(obs, scenarios, candidates, xb).value;
+    const double qm = evaluate_recourse(obs, scenarios, candidates, mid).value;
+    EXPECT_GE(qm, 0.5 * (qa + qb) - 1e-9);
+  }
+}
+
+TEST(Benders, SupergradientIsGlobalOverestimate) {
+  // Q(y) <= Q(x) + g(x)ᵀ(y − x) for all y (definition of a supergradient of
+  // a concave function).
+  const Problem p = small_problem(10, 14, 26);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 20, 5);
+  util::Rng rng(13);
+  std::vector<double> x(candidates.size());
+  for (auto& v : x) v = rng.uniform();
+  const auto at_x = evaluate_recourse(obs, scenarios, candidates, x);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> y(candidates.size());
+    for (auto& v : y) v = rng.uniform();
+    const double qy = evaluate_recourse(obs, scenarios, candidates, y).value;
+    double linear = at_x.value;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      linear += at_x.supergradient[i] * (y[i] - x[i]);
+    }
+    EXPECT_LE(qy, linear + 1e-9) << trial;
+  }
+}
+
+TEST(Benders, Validation) {
+  const Problem p = small_problem(11, 10, 18);
+  Observation obs(p);
+  const auto scenarios = sample_scenarios(obs, 5, 1);
+  EXPECT_THROW(solve_fob_benders(obs, {}, 2, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(solve_fob_benders(obs, scenarios, 5, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(
+      evaluate_recourse(obs, scenarios, {0, 1}, std::vector<double>(3, 0.0)),
+      std::invalid_argument);
+}
+
+TEST(Mip, LpRelaxationStructure) {
+  const Problem p = small_problem(11, 8, 12);
+  Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 4, 9);
+  const LpProblem lp = build_fob_lp(obs, scenarios, 2, candidates);
+  EXPECT_GE(lp.num_vars(), candidates.size());
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // x part sums to k.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) sum += r.x[i];
+  EXPECT_NEAR(sum, 2.0, 1e-7);
+}
+
+TEST(Mip, ThrowsWhenTooFewCandidates) {
+  const Problem p = small_problem(12, 8, 12);
+  Observation obs(p);
+  const auto scenarios = sample_scenarios(obs, 2, 1);
+  EXPECT_THROW(solve_fob_mip(obs, scenarios, 3, {0, 1}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recon::solver

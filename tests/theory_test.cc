@@ -1,0 +1,252 @@
+// Tests for the theory constructions: approximation constants, the
+// Max-Cover reduction of Thm. 1, the auxiliary graph Ga of Sec. IV-C, and
+// empirical checks of the paper's performance bounds on brute-forceable
+// instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/attack.h"
+#include "core/batch_select.h"
+#include "core/pm_arest.h"
+#include "core/theory.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/world.h"
+#include "solver/fob.h"
+#include "util/rng.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(Ratios, MatchClosedForms) {
+  EXPECT_NEAR(ratio_one_minus_inv_e(), 0.6321, 1e-4);
+  EXPECT_NEAR(ratio_pm_arest(), 0.4685, 1e-4);
+  EXPECT_NEAR(ratio_batch_vs_sequential(), 0.3296, 1e-3);
+  // Ordering: sequential guarantee > batch guarantee > batch-vs-seq gap.
+  EXPECT_GT(ratio_one_minus_inv_e(), ratio_pm_arest());
+  EXPECT_GT(ratio_pm_arest(), ratio_batch_vs_sequential());
+}
+
+MaxCoverInstance paper_figure1() {
+  // Fig. 1: S1={e1,e2}, S2={e2,e3,e4}, S3={e4,e5} over 5 elements, k'=2.
+  MaxCoverInstance inst;
+  inst.num_elements = 5;
+  inst.sets = {{0, 1}, {1, 2, 3}, {3, 4}};
+  inst.k = 2;
+  return inst;
+}
+
+TEST(MaxCoverReduction, StructureMatchesFigure1) {
+  const auto red = reduce_max_cover(paper_figure1());
+  const auto& p = red.problem;
+  EXPECT_EQ(p.graph.num_nodes(), 8u);  // 3 sets + 5 elements
+  EXPECT_EQ(p.graph.num_edges(), 7u);  // sum of set sizes
+  EXPECT_DOUBLE_EQ(red.budget, 2.0);
+  for (NodeId u : red.set_nodes) {
+    EXPECT_DOUBLE_EQ(p.benefit.bf[u], 0.0);
+    EXPECT_DOUBLE_EQ(p.benefit.bfof[u], 0.0);
+  }
+  for (NodeId v : red.element_nodes) {
+    EXPECT_DOUBLE_EQ(p.benefit.bf[v], 1.0);
+    EXPECT_DOUBLE_EQ(p.benefit.bfof[v], 1.0);
+  }
+  for (graph::EdgeId e = 0; e < p.graph.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(p.graph.edge_prob(e), 1.0);
+  }
+}
+
+TEST(MaxCoverReduction, BruteForceOptimum) {
+  // Every pair of sets covers exactly 4 of the 5 elements.
+  EXPECT_EQ(max_cover_brute_force(paper_figure1()), 4u);
+}
+
+TEST(MaxCoverReduction, CrawlingSolvesCover) {
+  // Greedy Max-Crawling on the reduced instance recovers an optimal cover on
+  // instances where greedy is optimal, and never exceeds the optimum.
+  for (int seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    MaxCoverInstance inst;
+    inst.num_elements = 12;
+    inst.sets.resize(6);
+    for (auto& s : inst.sets) {
+      const std::size_t size = 1 + rng.below(5);
+      for (std::size_t i = 0; i < size; ++i) {
+        s.push_back(static_cast<std::uint32_t>(rng.below(12)));
+      }
+    }
+    inst.k = 3;
+    const std::size_t opt = max_cover_brute_force(inst);
+    const auto red = reduce_max_cover(inst);
+
+    // Everything is deterministic (p = q = 1): one batch of k set-nodes.
+    const sim::World w(red.problem, 7);
+    PmArest strategy(PmArestOptions{.batch_size = static_cast<int>(inst.k)});
+    const auto trace = run_attack(red.problem, w, strategy, red.budget);
+    const double q = trace.total_benefit();
+    // Coverage achieved by the crawl (as FoF/friend benefit of elements).
+    EXPECT_LE(q, static_cast<double>(opt) + 1e-9) << "seed " << seed;
+    EXPECT_GE(q, (1.0 - 1.0 / std::exp(1.0)) * static_cast<double>(opt) - 1e-9)
+        << "seed " << seed;
+
+    // The recovered cover is a valid set selection of size <= k.
+    std::vector<NodeId> friends;
+    for (const auto& b : trace.batches) {
+      for (std::size_t i = 0; i < b.requests.size(); ++i) {
+        if (b.accepted[i]) friends.push_back(b.requests[i]);
+      }
+    }
+    const auto cover = cover_from_friends(red, friends);
+    EXPECT_LE(cover.size(), inst.k);
+    for (std::size_t s : cover) EXPECT_LT(s, inst.sets.size());
+  }
+}
+
+TEST(MaxCoverReduction, GreedyPrefersSetNodes) {
+  // Substituting a set node for an element node never loses benefit, so the
+  // greedy should befriend set nodes (the proof's D̃ >= D' argument).
+  const auto red = reduce_max_cover(paper_figure1());
+  sim::Observation obs(red.problem);
+  BatchSelectOptions opts;
+  opts.batch_size = 2;
+  const auto batch = batch_select(obs, opts);
+  ASSERT_EQ(batch.size(), 2u);
+  for (NodeId u : batch) {
+    EXPECT_LT(u, red.set_nodes.size()) << "picked an element node";
+  }
+}
+
+TEST(MaxCoverReduction, Validation) {
+  MaxCoverInstance inst;
+  inst.num_elements = 2;
+  inst.sets = {{0, 5}};  // element 5 out of range
+  inst.k = 1;
+  EXPECT_THROW(reduce_max_cover(inst), std::invalid_argument);
+  inst.sets = {{0}};
+  inst.k = 2;
+  EXPECT_THROW(reduce_max_cover(inst), std::invalid_argument);
+}
+
+sim::Problem aux_problem(int seed) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 8;
+  opts.base_acceptance = 0.35;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(25, 50, seed),
+                               graph::EdgeProbModel::uniform(0.3, 0.9), seed),
+      opts);
+}
+
+TEST(AuxiliaryGraph, StructureMatchesFigure3) {
+  const sim::Problem p = aux_problem(1);
+  const auto ga = build_auxiliary_graph(p, 4, 9);
+  EXPECT_EQ(ga.original_nodes, 25u);
+  EXPECT_EQ(ga.attempts, 4u);
+  EXPECT_EQ(ga.num_nodes(), 25u * 5u);
+  EXPECT_EQ(ga.hub_graph.num_edges(), p.graph.num_edges());
+  // Request ids are distinct and disjoint from hubs.
+  EXPECT_EQ(ga.request_node(0, 0), 25u);
+  EXPECT_EQ(ga.request_node(24, 3), 25u + 24u * 4u + 3u);
+  // Request probabilities live near the base acceptance rate.
+  for (NodeId i = 0; i < ga.original_nodes; ++i) {
+    for (std::uint32_t j = 0; j < ga.attempts; ++j) {
+      EXPECT_NEAR(ga.request_prob(i, j), 0.35, 0.35 * 0.06);
+    }
+  }
+}
+
+TEST(AuxiliaryGraph, FriendProbabilityMatchesDirectModel) {
+  // Pr[node becomes friend within m attempts] on Ga must match the direct
+  // per-attempt Bernoulli model: 1 - Π_j (1 - q_ij).
+  const sim::Problem p = aux_problem(2);
+  const auto ga = build_auxiliary_graph(p, 3, 5);
+  const NodeId u = 7;
+  double expected = 1.0;
+  for (std::uint32_t j = 0; j < 3; ++j) expected *= 1.0 - ga.request_prob(u, j);
+  expected = 1.0 - expected;
+
+  std::vector<std::uint32_t> requested(ga.original_nodes, 0);
+  requested[u] = 3;
+  int friends = 0;
+  const int n = 20000;
+  for (int s = 0; s < n; ++s) {
+    const auto real = sample_auxiliary_realization(ga, static_cast<std::uint64_t>(s));
+    friends += auxiliary_friends(ga, real, requested)[u];
+  }
+  EXPECT_NEAR(static_cast<double>(friends) / n, expected, 0.015);
+}
+
+TEST(AuxiliaryGraph, FofViaLivePaths) {
+  const sim::Problem p = aux_problem(3);
+  const auto ga = build_auxiliary_graph(p, 2, 5);
+  std::vector<std::uint32_t> requested(ga.original_nodes, 2);  // request everyone
+  const auto real = sample_auxiliary_realization(ga, 11);
+  const auto friends = auxiliary_friends(ga, real, requested);
+  const auto fofs = auxiliary_fofs(ga, real, friends);
+  for (NodeId v = 0; v < ga.original_nodes; ++v) {
+    if (!fofs[v]) continue;
+    EXPECT_FALSE(friends[v]) << "friend double-counted as FoF";
+    // Must have a live hub edge to some friend.
+    bool justified = false;
+    const auto nbrs = ga.hub_graph.neighbors(v);
+    const auto eids = ga.hub_graph.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size() && !justified; ++i) {
+      justified = friends[nbrs[i]] && real.hub_edge_live[eids[i]];
+    }
+    EXPECT_TRUE(justified) << "node " << v;
+  }
+}
+
+TEST(AuxiliaryGraph, Validation) {
+  const sim::Problem p = aux_problem(4);
+  EXPECT_THROW(build_auxiliary_graph(p, 0, 1), std::invalid_argument);
+  const auto ga = build_auxiliary_graph(p, 2, 1);
+  EXPECT_THROW(auxiliary_friends(ga, {}, std::vector<std::uint32_t>(3, 0)),
+               std::invalid_argument);
+}
+
+// Empirical check of the PM-AReST guarantee (Thm. 2): on small instances the
+// achieved expected benefit must exceed (1 - e^{-(1-1/e)}) times the optimal
+// *non-adaptive* batch value (a lower bound on the adaptive optimum, making
+// the assertion conservative... the adaptive optimum dominates non-adaptive,
+// so we check against the non-adaptive optimum scaled by the batch ratio).
+TEST(Bounds, PmArestBeatsGuaranteeOnSmallInstances) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    sim::ProblemOptions opts;
+    opts.num_targets = 6;
+    opts.base_acceptance = 0.5;
+    opts.seed = static_cast<std::uint64_t>(seed);
+    const sim::Problem p = sim::make_problem(
+        graph::assign_edge_probs(graph::erdos_renyi_gnm(14, 28, seed),
+                                 graph::EdgeProbModel::uniform(0.3, 0.9), seed),
+        opts);
+    const std::size_t budget = 6;
+
+    // Non-adaptive optimum: best fixed set of 6 nodes under the SAA
+    // objective with many scenarios.
+    sim::Observation fresh(p);
+    const auto scenarios = solver::sample_scenarios(fresh, 4000, 77);
+    const auto candidates = solver::fob_candidates(fresh, false);
+    const auto nonadaptive =
+        solver::fob_exact(fresh, scenarios, budget, candidates, {});
+    ASSERT_TRUE(nonadaptive.exact);
+
+    // PM-AReST with k = 3 (two adaptive batches), many Monte-Carlo runs.
+    const auto mc = run_monte_carlo(
+        p,
+        [](int) { return std::make_unique<PmArest>(PmArestOptions{.batch_size = 3}); },
+        200, static_cast<double>(budget), 31);
+    // Adaptivity should let PM-AReST beat the guarantee comfortably; assert
+    // the theorem's floor against the non-adaptive OPT (a valid lower bound
+    // on the adaptive OPT the theorem references... the assertion holds a
+    // fortiori if PM even beats non-adaptive OPT outright).
+    EXPECT_GE(mc.mean_benefit(), ratio_pm_arest() * nonadaptive.objective * 0.95)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace recon::core

@@ -1,0 +1,258 @@
+// Tests for util: RNG determinism and distributions, stats, table, env args.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace recon::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BelowIsUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DeriveSeedIndependence) {
+  // Derived streams should not collide for nearby tags.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 1000; ++t) seeds.insert(derive_seed(123, t));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, CounterUniformPure) {
+  EXPECT_EQ(counter_uniform(1, 2, 3), counter_uniform(1, 2, 3));
+  EXPECT_NE(counter_uniform(1, 2, 3), counter_uniform(1, 2, 4));
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 10000; ++i) sum += counter_uniform(99, i, 0);
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(13);
+  const auto s = sample_without_replacement(100, 30, rng);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::uint32_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (auto v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(13);
+  const auto s = sample_without_replacement(10, 10, rng);
+  std::set<std::uint32_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(1);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  shuffle(w, rng);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(RunningStat, MeanVarMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 5);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(SeriesStat, AlignsAndExtends) {
+  SeriesStat s;
+  s.add({1.0, 2.0, 3.0});
+  s.add({2.0});  // extends to {2, 2, 2}
+  const auto m = s.means();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 1.5);
+  EXPECT_DOUBLE_EQ(m[1], 2.0);
+  EXPECT_DOUBLE_EQ(m[2], 2.5);
+}
+
+TEST(SeriesStat, LongerSeriesBackfillsEarlierRuns) {
+  SeriesStat s;
+  s.add({1.0});
+  s.add({3.0, 5.0});
+  const auto m = s.means();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);  // (1 extended, 5)
+}
+
+TEST(Quantile, InterpolatesAndClamps) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+}
+
+TEST(Table, TextAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a"});
+  t.add_row({"with,comma"});
+  EXPECT_NE(t.to_csv().find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Format, SciAndFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_sci(0.0), "0");
+  EXPECT_EQ(format_sci(12000.0, 2), "1.2e4");
+  EXPECT_EQ(format_sci(0.0012, 2), "1.2e-3");
+  // Mid-range values stay fixed.
+  EXPECT_EQ(format_sci(2.2, 2), "2.20");
+}
+
+TEST(Args, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--runs", "5", "pos1", "--csv=out.csv", "--verbose"};
+  Args args(6, argv);
+  EXPECT_EQ(args.get_int("runs", 0), 5);
+  EXPECT_EQ(args.get("csv", ""), "out.csv");
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("absent"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> acount{0};
+  pool.parallel_for(0, 1, [&](std::size_t) { acount.fetch_add(1); });
+  EXPECT_EQ(acount.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> v{0};
+  auto f = pool.submit([&] { v.store(42); });
+  f.get();
+  EXPECT_EQ(v.load(), 42);
+}
+
+TEST(ThreadPool, BusyNanosAccumulates) {
+  ThreadPool pool(2);
+  pool.reset_busy_nanos();
+  auto f = pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  f.get();
+  EXPECT_GT(pool.busy_nanos(), 1'000'000u);  // > 1ms recorded
+}
+
+TEST(Env, DefaultsWhenUnset) {
+  EXPECT_EQ(env_int("RECON_DEFINITELY_UNSET_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("RECON_DEFINITELY_UNSET_VAR", 1.5), 1.5);
+  EXPECT_FALSE(env_string("RECON_DEFINITELY_UNSET_VAR").has_value());
+}
+
+}  // namespace
+}  // namespace recon::util

@@ -1,0 +1,8 @@
+// The `recon` command-line tool: a thin dispatcher over cli::commands.
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return recon::cli::dispatch(argc, argv, std::cout, std::cerr);
+}
