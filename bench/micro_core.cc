@@ -71,6 +71,29 @@ void BM_BatchSelectBranchTree(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchSelectBranchTree)->Arg(4)->Arg(8)->Arg(12);
 
+void BM_BatchSelectParallelLazy(benchmark::State& state) {
+  // The default parallel path: sharded kernel scoring + merged-frontier lazy
+  // pick loop, bit-identical to BM_BatchSelectCollapsed's output. Thread
+  // count is range(2); compare against the sequential n=5000,k=15 row for
+  // the speedup figure (tools/bench_parallel_select.sh captures both).
+  const auto problem = bench_problem(static_cast<graph::NodeId>(state.range(0)));
+  sim::Observation obs(problem);
+  util::ThreadPool pool(static_cast<unsigned>(state.range(2)));
+  core::BatchSelectOptions opts;
+  opts.batch_size = static_cast<int>(state.range(1));
+  opts.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::batch_select(obs, opts));
+  }
+  state.SetLabel("parallel lazy greedy");
+}
+BENCHMARK(BM_BatchSelectParallelLazy)
+    ->Args({5000, 15, 1})
+    ->Args({5000, 15, 2})
+    ->Args({5000, 15, 4})
+    ->Args({5000, 15, 8})
+    ->Args({20000, 15, 4});
+
 void BM_BatchSelectEagerParallel(benchmark::State& state) {
   const auto problem = bench_problem(2000);
   sim::Observation obs(problem);
@@ -106,6 +129,25 @@ BENCHMARK(BM_FullAttackCachedVsUncached)
     ->Args({2000, 1})
     ->Args({8000, 0})
     ->Args({8000, 1});
+
+void BM_FullAttackCachedPool(benchmark::State& state) {
+  // Cache + pool composition: dirty 2-hop rescores fan out across workers
+  // while the pick loop stays sequential (and bit-identical).
+  const auto problem = bench_problem(8000);
+  util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::PmArestOptions o;
+    o.batch_size = 10;
+    o.use_cache = true;
+    o.pool = &pool;
+    core::PmArest strategy(o);
+    const sim::World world(problem, seed++);
+    benchmark::DoNotOptimize(core::run_attack(problem, world, strategy, 100.0));
+  }
+  state.SetLabel("cached+pool");
+}
+BENCHMARK(BM_FullAttackCachedPool)->Arg(1)->Arg(4);
 
 void BM_BatchStateSelect(benchmark::State& state) {
   const auto problem = bench_problem(5000);

@@ -1,15 +1,12 @@
 #include "adaptive/adaptive.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "util/rng.h"
 
 namespace recon::adaptive {
-
-bool PartialRealization::contains(Item item) const noexcept {
-  return std::find(items.begin(), items.end(), item) != items.end();
-}
 
 std::vector<State> Instance::sample_consistent(const PartialRealization& psi,
                                                std::uint64_t seed) const {
@@ -48,8 +45,28 @@ std::vector<std::pair<State, double>> Instance::state_distribution(Item item) co
 
 namespace {
 
-double optimal_adaptive_rec(const Instance& instance, PartialRealization& psi,
-                            std::size_t remaining) {
+/// Memoizes Instance::state_distribution per item for the exact solver: the
+/// default implementation draws 20,000 full realizations per call, and the
+/// recursion below would otherwise re-derive the same distribution at every
+/// node of the enumeration tree.
+class StateDistributionCache {
+ public:
+  explicit StateDistributionCache(const Instance& instance)
+      : instance_(&instance), dists_(instance.num_items()) {}
+
+  const std::vector<std::pair<State, double>>& of(Item item) {
+    auto& d = dists_[item];
+    if (!d.has_value()) d = instance_->state_distribution(item);
+    return *d;
+  }
+
+ private:
+  const Instance* instance_;
+  std::vector<std::optional<std::vector<std::pair<State, double>>>> dists_;
+};
+
+double optimal_adaptive_rec(const Instance& instance, StateDistributionCache& dists,
+                            PartialRealization& psi, std::size_t remaining) {
   if (remaining == 0) {
     // Terminal: expected value given ψ — value() depends only on selected
     // items' states, so any completion works as the realization argument.
@@ -65,16 +82,15 @@ double optimal_adaptive_rec(const Instance& instance, PartialRealization& psi,
     if (psi.contains(item)) continue;
     any = true;
     double expect = 0.0;
-    for (const auto& [state, prob] : instance.state_distribution(item)) {
+    for (const auto& [state, prob] : dists.of(item)) {
       if (prob <= 0.0) continue;
       psi.add(item, state);
-      expect += prob * optimal_adaptive_rec(instance, psi, remaining - 1);
-      psi.items.pop_back();
-      psi.states.pop_back();
+      expect += prob * optimal_adaptive_rec(instance, dists, psi, remaining - 1);
+      psi.pop();
     }
     best = std::max(best, expect);
   }
-  if (!any) return optimal_adaptive_rec(instance, psi, 0);
+  if (!any) return optimal_adaptive_rec(instance, dists, psi, 0);
   return best;
 }
 
@@ -84,8 +100,10 @@ double optimal_adaptive_value(const Instance& instance, std::size_t cardinality)
   if (instance.num_items() > 12) {
     throw std::invalid_argument("optimal_adaptive_value: instance too large");
   }
+  StateDistributionCache dists(instance);
   PartialRealization psi;
-  return optimal_adaptive_rec(instance, psi, std::min(cardinality, instance.num_items()));
+  return optimal_adaptive_rec(instance, dists, psi,
+                              std::min(cardinality, instance.num_items()));
 }
 
 double Instance::expected_marginal(Item item, const PartialRealization& psi,

@@ -28,16 +28,31 @@ using State = std::uint32_t;
 inline constexpr State kUnknownState = static_cast<State>(-1);
 
 /// A partial realization ψ: which items were selected and what they revealed.
+/// Items must be distinct. Mutate only through add/pop — they keep the O(1)
+/// membership mask behind contains() in sync with the selection order.
 struct PartialRealization {
   std::vector<Item> items;    ///< selection order
   std::vector<State> states;  ///< aligned revealed states
 
   std::size_t size() const noexcept { return items.size(); }
-  bool contains(Item item) const noexcept;
+  bool contains(Item item) const noexcept {
+    return item < in_set_.size() && in_set_[item] != 0;
+  }
   void add(Item item, State state) {
     items.push_back(item);
     states.push_back(state);
+    if (item >= in_set_.size()) in_set_.resize(item + 1, 0);
+    in_set_[item] = 1;
   }
+  /// Removes the most recently added item (backtracking search support).
+  void pop() noexcept {
+    in_set_[items.back()] = 0;
+    items.pop_back();
+    states.pop_back();
+  }
+
+ private:
+  std::vector<std::uint8_t> in_set_;  ///< membership mask indexed by item
 };
 
 /// An adaptive optimization instance. Implementations must be deterministic

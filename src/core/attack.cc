@@ -91,15 +91,17 @@ MonteCarloResult run_monte_carlo(const sim::Problem& problem,
   if (runs <= 0) throw std::invalid_argument("run_monte_carlo: runs must be positive");
   MonteCarloResult result;
   result.traces.resize(static_cast<std::size_t>(runs));
-  auto run_one = [&](std::size_t r) {
-    const sim::World world(problem, util::derive_seed(seed, r));
-    auto strategy = factory(static_cast<int>(r));
-    result.traces[r] = run_attack(problem, world, *strategy, budget);
+  auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const sim::World world(problem, util::derive_seed(seed, r));
+      auto strategy = factory(static_cast<int>(r));
+      result.traces[r] = run_attack(problem, world, *strategy, budget);
+    }
   };
   if (pool != nullptr) {
-    pool->parallel_for(0, static_cast<std::size_t>(runs), run_one, /*grain=*/1);
+    pool->parallel_for(0, static_cast<std::size_t>(runs), run_range, /*grain=*/1);
   } else {
-    for (std::size_t r = 0; r < static_cast<std::size_t>(runs); ++r) run_one(r);
+    run_range(0, static_cast<std::size_t>(runs));
   }
   return result;
 }

@@ -37,8 +37,11 @@ struct MonteCarloResult {
 
 /// Runs `runs` independent attacks with worlds seeded from `seed` (run r
 /// uses derive_seed(seed, r)). When `pool` is non-null runs execute in
-/// parallel (the factory must produce strategies that do not share state and
-/// do not use the same pool internally).
+/// parallel; the factory must produce strategies that do not share mutable
+/// state. Strategies may use the same pool internally (the pool's joins are
+/// deadlock-free — waiting threads steal work), but per-strategy busy-time
+/// accounting then mixes across runs; use a separate pool when measuring
+/// utilization.
 MonteCarloResult run_monte_carlo(const sim::Problem& problem,
                                  const StrategyFactory& factory, int runs,
                                  double budget, std::uint64_t seed,

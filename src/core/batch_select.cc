@@ -35,6 +35,149 @@ struct HeapEntry {
   }
 };
 
+/// Strict total order used everywhere a "best candidate" is chosen: higher
+/// score first, lower node id on ties. Agrees with HeapEntry::operator<.
+inline bool ranks_before(const HeapEntry& a, const HeapEntry& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.node < b.node;
+}
+
+/// One shard of the parallel frontier: the worker's top-k entries sorted by
+/// ranks_before (the merged frontier reads these through a cursor), plus the
+/// unsorted overflow, sorted lazily in the rare case the head runs dry
+/// before the batch is full — which keeps the frontier exact, not a top-k
+/// approximation.
+struct ShardFrontier {
+  std::vector<HeapEntry> head;
+  std::vector<HeapEntry> overflow;
+  std::size_t cursor = 0;
+};
+
+/// Cursor-heap entry: the current best un-consumed entry of one shard.
+struct CursorRef {
+  double score;
+  NodeId node;
+  std::uint32_t shard;
+
+  bool operator<(const CursorRef& o) const noexcept {
+    if (score != o.score) return score < o.score;
+    return node > o.node;
+  }
+};
+
+/// Shared lazy-greedy pick loop. `frontier` must behave like the single
+/// priority queue of the sequential algorithm: pop_best removes and returns
+/// the maximum by (score, node id), best_score peeks at the new maximum.
+/// Because (score, node) is a strict total order, any frontier organization
+/// with these two operations yields a bit-identical selection sequence.
+template <typename Frontier, typename ScoreFn>
+std::vector<NodeId> lazy_pick_loop(const sim::Observation& obs,
+                                   const BatchSelectOptions& options,
+                                   BatchState& state, double budget,
+                                   Frontier& frontier, const ScoreFn& score_of) {
+  const auto& problem = obs.problem();
+  std::vector<NodeId> batch;
+  batch.reserve(static_cast<std::size_t>(options.batch_size));
+  while (batch.size() < static_cast<std::size_t>(options.batch_size) &&
+         !frontier.empty()) {
+    HeapEntry top = frontier.pop_best();
+    if (problem.cost_of(top.node) > budget) continue;  // permanently unaffordable
+    const auto cur = static_cast<std::uint32_t>(batch.size());
+    if (top.stamp != cur) {
+      top.score = score_of(top.node);
+      top.stamp = cur;
+      if (top.score <= 0.0) continue;
+      // Re-push unless it still (weakly) dominates the next-best entry.
+      if (!frontier.empty() && top.score < frontier.best_score()) {
+        frontier.repush(top);
+        continue;
+      }
+    }
+    const NodeId u = top.node;
+    state.select(obs, u, obs.acceptance_prob(u));
+    budget -= problem.cost_of(u);
+    batch.push_back(u);
+  }
+  return batch;
+}
+
+/// The sequential frontier: a plain binary heap.
+class HeapFrontier {
+ public:
+  void push(HeapEntry e) { heap_.push(e); }
+  void repush(HeapEntry e) { heap_.push(e); }
+  bool empty() const noexcept { return heap_.empty(); }
+  double best_score() const noexcept { return heap_.top().score; }
+  HeapEntry pop_best() {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    return top;
+  }
+
+ private:
+  std::priority_queue<HeapEntry> heap_;
+};
+
+/// The merged parallel frontier: a cursor heap over per-shard sorted runs
+/// plus a binary heap of re-pushed (stale-rescored) entries. pop_best /
+/// best_score take the maximum across both sources under the same total
+/// order as HeapFrontier, so the pick loop cannot tell them apart.
+class MergedFrontier {
+ public:
+  explicit MergedFrontier(std::vector<ShardFrontier> shards)
+      : shards_(std::move(shards)) {
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s].head.empty()) {
+        cursors_.push({shards_[s].head[0].score, shards_[s].head[0].node, s});
+      }
+    }
+  }
+
+  void repush(HeapEntry e) { repush_.push(e); }
+  bool empty() const noexcept { return cursors_.empty() && repush_.empty(); }
+
+  double best_score() const noexcept {
+    if (cursors_.empty()) return repush_.top().score;
+    if (repush_.empty()) return cursors_.top().score;
+    return std::max(cursors_.top().score, repush_.top().score);
+  }
+
+  HeapEntry pop_best() {
+    const bool from_repush =
+        cursors_.empty() ||
+        (!repush_.empty() &&
+         ranks_before({repush_.top().score, repush_.top().node, 0},
+                      {cursors_.top().score, cursors_.top().node, 0}));
+    if (from_repush) {
+      HeapEntry top = repush_.top();
+      repush_.pop();
+      return top;
+    }
+    const CursorRef c = cursors_.top();
+    cursors_.pop();
+    advance_shard(c.shard);
+    return {c.score, c.node, 0};  // shard entries carry initial scores
+  }
+
+ private:
+  void advance_shard(std::uint32_t s) {
+    ShardFrontier& sf = shards_[s];
+    ++sf.cursor;
+    if (sf.cursor >= sf.head.size()) {
+      if (sf.overflow.empty()) return;  // shard exhausted
+      std::sort(sf.overflow.begin(), sf.overflow.end(), ranks_before);
+      sf.head = std::move(sf.overflow);
+      sf.overflow.clear();
+      sf.cursor = 0;
+    }
+    cursors_.push({sf.head[sf.cursor].score, sf.head[sf.cursor].node, s});
+  }
+
+  std::vector<ShardFrontier> shards_;
+  std::priority_queue<CursorRef> cursors_;
+  std::priority_queue<HeapEntry> repush_;
+};
+
 }  // namespace
 
 std::vector<NodeId> batch_select(const sim::Observation& obs,
@@ -42,7 +185,7 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
   const auto& problem = obs.problem();
   BatchState state(problem.graph.num_nodes());
 
-  double budget = options.remaining_budget;
+  const double budget = options.remaining_budget;
   std::vector<NodeId> candidates = batch_candidates(
       obs, options.allow_retries, options.max_attempts_per_node, budget);
   if (candidates.empty() || options.batch_size <= 0) return {};
@@ -53,21 +196,29 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
     return s;
   };
 
-  std::vector<NodeId> batch;
-  batch.reserve(static_cast<std::size_t>(options.batch_size));
-
   if (options.parallel_eager && options.pool != nullptr) {
-    // Eager mode: rescore the whole candidate set each round in parallel.
+    // Eager mode: rescore the whole candidate set each round in parallel
+    // (the Table II utilization experiment's massively-parallel row sweep).
+    double eager_budget = budget;
+    std::vector<NodeId> batch;
+    batch.reserve(static_cast<std::size_t>(options.batch_size));
     std::vector<double> scores(candidates.size());
     std::vector<std::uint8_t> taken(candidates.size(), 0);
     while (batch.size() < static_cast<std::size_t>(options.batch_size)) {
-      options.pool->parallel_for(0, candidates.size(), [&](std::size_t i) {
-        if (taken[i] || problem.cost_of(candidates[i]) > budget) {
-          scores[i] = -1.0;
-          return;
-        }
-        scores[i] = score_of(candidates[i]);
-      });
+      options.pool->parallel_for(
+          0, candidates.size(), [&](std::size_t lo, std::size_t hi) {
+            const GammaKernel kernel(obs, state, options.policy);
+            for (std::size_t i = lo; i < hi; ++i) {
+              const NodeId u = candidates[i];
+              if (taken[i] || problem.cost_of(u) > eager_budget) {
+                scores[i] = -1.0;
+                continue;
+              }
+              double s = kernel.score(u, obs.acceptance_prob(u));
+              if (options.cost_sensitive) s /= problem.cost_of(u);
+              scores[i] = s;
+            }
+          });
       std::size_t best = candidates.size();
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (taken[i] || scores[i] <= 0.0) continue;
@@ -80,48 +231,70 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
       const NodeId u = candidates[best];
       taken[best] = 1;
       state.select(obs, u, obs.acceptance_prob(u));
-      budget -= problem.cost_of(u);
+      eager_budget -= problem.cost_of(u);
       batch.push_back(u);
     }
     return batch;
   }
 
-  // Lazy greedy. Initial scores may be computed in parallel when a pool is
-  // provided; the selection loop itself is sequential.
-  std::vector<double> init(candidates.size());
   if (options.pool != nullptr) {
-    options.pool->parallel_for(0, candidates.size(),
-                               [&](std::size_t i) { init[i] = score_of(candidates[i]); });
-  } else {
-    for (std::size_t i = 0; i < candidates.size(); ++i) init[i] = score_of(candidates[i]);
+    // Parallel lazy greedy: shard the candidates across workers, score each
+    // shard through the flat kernel into a local top-k heap (overflow kept
+    // for exactness), then run the sequential pick-and-repush loop over the
+    // merged frontier. Output is bit-identical to the sequential path: the
+    // shard layout only changes *where* an entry sits, never the total order
+    // in which entries are popped.
+    const std::size_t n = candidates.size();
+    const std::size_t parties = static_cast<std::size_t>(options.pool->size()) + 1;
+    const std::size_t shard_size =
+        std::max<std::size_t>(64, (n + parties * 4 - 1) / (parties * 4));
+    const std::size_t num_shards = (n + shard_size - 1) / shard_size;
+    const std::size_t keep = static_cast<std::size_t>(options.batch_size);
+
+    std::vector<ShardFrontier> shards(num_shards);
+    const GammaKernel kernel(obs, state, options.policy);
+    options.pool->parallel_for(
+        0, num_shards,
+        [&](std::size_t s) {
+          const std::size_t lo = s * shard_size;
+          const std::size_t hi = std::min(n, lo + shard_size);
+          ShardFrontier& sf = shards[s];
+          sf.head.reserve(std::min(keep, hi - lo));
+          // Min-heap on head (worst entry on top) caps the sorted portion at
+          // k entries; the rest lands in overflow, sorted only if needed.
+          for (std::size_t i = lo; i < hi; ++i) {
+            const NodeId u = candidates[i];
+            double sc = kernel.score(u, obs.acceptance_prob(u));
+            if (options.cost_sensitive) sc /= problem.cost_of(u);
+            if (sc <= 0.0) continue;
+            const HeapEntry e{sc, u, 0};
+            if (sf.head.size() < keep) {
+              sf.head.push_back(e);
+              std::push_heap(sf.head.begin(), sf.head.end(), ranks_before);
+            } else if (ranks_before(e, sf.head.front())) {
+              std::pop_heap(sf.head.begin(), sf.head.end(), ranks_before);
+              sf.overflow.push_back(sf.head.back());
+              sf.head.back() = e;
+              std::push_heap(sf.head.begin(), sf.head.end(), ranks_before);
+            } else {
+              sf.overflow.push_back(e);
+            }
+          }
+          std::sort(sf.head.begin(), sf.head.end(), ranks_before);
+        },
+        /*grain=*/1);
+
+    MergedFrontier frontier(std::move(shards));
+    return lazy_pick_loop(obs, options, state, budget, frontier, score_of);
   }
 
-  std::priority_queue<HeapEntry> heap;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (init[i] > 0.0) heap.push({init[i], candidates[i], 0});
+  // Sequential lazy greedy.
+  HeapFrontier frontier;
+  for (NodeId u : candidates) {
+    const double s = score_of(u);
+    if (s > 0.0) frontier.push({s, u, 0});
   }
-
-  while (batch.size() < static_cast<std::size_t>(options.batch_size) && !heap.empty()) {
-    HeapEntry top = heap.top();
-    heap.pop();
-    if (problem.cost_of(top.node) > budget) continue;  // permanently unaffordable this batch
-    const auto cur = static_cast<std::uint32_t>(batch.size());
-    if (top.stamp != cur) {
-      top.score = score_of(top.node);
-      top.stamp = cur;
-      if (top.score <= 0.0) continue;
-      // Re-push unless it still (weakly) dominates the next-best entry.
-      if (!heap.empty() && top.score < heap.top().score) {
-        heap.push(top);
-        continue;
-      }
-    }
-    const NodeId u = top.node;
-    state.select(obs, u, obs.acceptance_prob(u));
-    budget -= problem.cost_of(u);
-    batch.push_back(u);
-  }
-  return batch;
+  return lazy_pick_loop(obs, options, state, budget, frontier, score_of);
 }
 
 }  // namespace recon::core

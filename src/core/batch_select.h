@@ -6,6 +6,15 @@
 // still tops the heap can be selected without rescoring the rest (the CΔ
 // cache of Alg. 2, lines 3–11).
 //
+// When a thread pool is supplied the default is a *parallel lazy greedy*:
+// candidates are sharded across workers, each worker scores its shard
+// through the flat CSR kernel (GammaKernel) into a local top-k heap, the
+// shard heaps are merged into a frontier, and the sequential pick-and-repush
+// loop runs over the merged frontier. The output is bit-identical to the
+// sequential lazy greedy for every thread count (the (score, node-id) order
+// is a strict total order, so the frontier organization cannot change which
+// entry pops next).
+//
 // A parallel-eager mode rescoring all candidates each round through a thread
 // pool reproduces the paper's massively-parallel row evaluation (used by the
 // Table II utilization experiment).
@@ -34,7 +43,8 @@ struct BatchSelectOptions {
   /// Remaining budget; candidates costing more are skipped. Batch stops
   /// early when nothing affordable remains.
   double remaining_budget = 1e18;
-  /// Optional pool for parallel scoring (nullptr = sequential).
+  /// Optional pool for the parallel lazy greedy (nullptr = sequential).
+  /// Batches are bit-identical with and without a pool.
   util::ThreadPool* pool = nullptr;
   /// Rescore every candidate each round via the pool instead of lazy greedy.
   bool parallel_eager = false;

@@ -50,42 +50,64 @@ double BatchState::gamma(const sim::Observation& obs, NodeId u, MarginalPolicy p
                          double q_u) const {
   assert(!obs.is_friend(u));
   assert(!is_selected(u));
-  const auto& problem = obs.problem();
-  const auto& g = problem.graph;
-  const auto& benefit = problem.benefit;
-  const bool weighted = policy == MarginalPolicy::kWeighted;
+  return GammaKernel(obs, *this, policy).score(u, q_u);
+}
 
-  double inner = benefit.bf[u];
-  if (weighted) {
-    if (obs.is_fof(u)) {
-      inner -= benefit.bfof[u];
+GammaKernel::GammaKernel(const sim::Observation& obs, const BatchState& state,
+                         MarginalPolicy policy) noexcept
+    : graph_(&obs.problem().graph),
+      bf_(obs.problem().benefit.bf.data()),
+      bfof_(obs.problem().benefit.bfof.data()),
+      bi_(obs.problem().benefit.bi.data()),
+      is_friend_(obs.friend_mask().data()),
+      is_fof_(obs.fof_mask().data()),
+      edge_state_(obs.edge_states().data()),
+      edge_prob_(graph_->edge_probs().data()),
+      factor_(state.factor_.data()),
+      factor_epoch_(state.factor_epoch_.data()),
+      sel_q_(state.sel_q_.data()),
+      sel_epoch_(state.sel_epoch_.data()),
+      epoch_(state.epoch_),
+      weighted_(policy == MarginalPolicy::kWeighted) {}
+
+double GammaKernel::score(NodeId u, double q_u) const noexcept {
+  double inner = bf_[u];
+  if (weighted_) {
+    if (is_fof_[u] != 0) {
+      inner -= bfof_[u];
     } else {
       // Probability the batch already made u a friend-of-friend, in which
       // case friending u nets Bf − Bfof.
-      inner -= benefit.bfof[u] * (1.0 - fof_factor(u));
+      const double factor_u = factor_epoch_[u] == epoch_ ? factor_[u] : 1.0;
+      inner -= bfof_[u] * (1.0 - factor_u);
     }
   }
 
-  const auto nbrs = g.neighbors(u);
-  const auto eids = g.incident_edges(u);
+  const auto nbrs = graph_->neighbors(u);
+  const auto eids = graph_->incident_edges(u);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     const NodeId v = nbrs[i];
     const EdgeId e = eids[i];
-    const double p = obs.edge_belief(e);
+    const sim::EdgeState es = edge_state_[e];
+    // Inlined edge belief: p_e if unobserved, else 0 / 1.
+    const double p =
+        es == sim::EdgeState::kUnknown ? edge_prob_[e]
+                                       : (es == sim::EdgeState::kPresent ? 1.0 : 0.0);
     if (p <= 0.0) continue;
-    const bool v_selected = is_selected(v);
+    const bool v_selected = sel_epoch_[v] == epoch_;
     const double survive = v_selected ? 1.0 - sel_q_[v] : 1.0;
-    if (!obs.is_friend(v) && !obs.is_fof(v)) {
+    if (is_friend_[v] == 0 && is_fof_[v] == 0) {
       // v counts as a new FoF through u unless another batch member already
       // claimed it (fof_factor) or v itself got accepted (survive — the
       // paper-literal U bookkeeping does not model v's own acceptance).
-      const double own = weighted ? survive : 1.0;
-      inner += p * benefit.bfof[v] * fof_factor(v) * own;
+      const double own = weighted_ ? survive : 1.0;
+      const double factor_v = factor_epoch_[v] == epoch_ ? factor_[v] : 1.0;
+      inner += p * bfof_[v] * factor_v * own;
     }
-    if (obs.edge_state(e) == sim::EdgeState::kUnknown) {
+    if (es == sim::EdgeState::kUnknown) {
       // Edge (u, v) is newly revealed unless v was selected earlier in the
       // batch and accepted (placing it in R_E).
-      inner += (weighted ? p : 1.0) * benefit.bi[e] * survive;
+      inner += (weighted_ ? p : 1.0) * bi_[e] * survive;
     }
   }
   return q_u * inner;

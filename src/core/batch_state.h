@@ -64,6 +64,8 @@ class BatchState {
                double q_u) const;
 
  private:
+  friend class GammaKernel;
+
   bool stamp_ok(std::uint32_t stamp) const noexcept { return stamp == epoch_; }
 
   std::uint32_t epoch_ = 1;
@@ -72,6 +74,42 @@ class BatchState {
   std::vector<double> sel_q_;
   std::vector<std::uint32_t> sel_epoch_;
   std::vector<graph::NodeId> selected_;
+};
+
+/// Flat CSR scoring kernel: computes Γ(u | A) with every array base pointer
+/// (benefit coefficients, edge states/probabilities, friend/FoF masks, batch
+/// factors) hoisted out of the per-neighbor loop. Bit-identical to
+/// BatchState::gamma — gamma delegates here — so parallel shards scoring
+/// through a kernel produce exactly the sequential scores.
+///
+/// The kernel holds pointers into the observation and batch state: it stays
+/// valid across BatchState::select calls (vectors never reallocate after
+/// construction) but must be rebuilt after BatchState::reset (the epoch is
+/// captured by value) or any observation mutation.
+class GammaKernel {
+ public:
+  GammaKernel(const sim::Observation& obs, const BatchState& state,
+              MarginalPolicy policy) noexcept;
+
+  /// Γ(u | A) with acceptance probability q_u. Requires u not a friend and
+  /// not selected, as BatchState::gamma does.
+  double score(graph::NodeId u, double q_u) const noexcept;
+
+ private:
+  const graph::Graph* graph_;
+  const double* bf_;
+  const double* bfof_;
+  const double* bi_;
+  const std::uint8_t* is_friend_;
+  const std::uint8_t* is_fof_;
+  const sim::EdgeState* edge_state_;
+  const double* edge_prob_;
+  const double* factor_;
+  const std::uint32_t* factor_epoch_;
+  const double* sel_q_;
+  const std::uint32_t* sel_epoch_;
+  std::uint32_t epoch_;
+  bool weighted_;
 };
 
 }  // namespace recon::core

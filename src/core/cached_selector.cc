@@ -10,8 +10,8 @@ namespace recon::core {
 using graph::NodeId;
 
 CachedSelector::CachedSelector(const sim::Observation& obs, MarginalPolicy policy,
-                               bool cost_sensitive)
-    : obs_(&obs), policy_(policy), cost_sensitive_(cost_sensitive) {
+                               bool cost_sensitive, util::ThreadPool* pool)
+    : obs_(&obs), policy_(policy), cost_sensitive_(cost_sensitive), pool_(pool) {
   const NodeId n = obs.problem().graph.num_nodes();
   cached_.assign(n, 0.0);
   dirty_.assign(n, 1);  // everything needs an initial score
@@ -23,7 +23,7 @@ double CachedSelector::base_score(NodeId u) {
     if (cost_sensitive_) s /= obs_->problem().cost_of(u);
     cached_[u] = s;
     dirty_[u] = 0;
-    ++rescores_;
+    rescores_.fetch_add(1, std::memory_order_relaxed);
   }
   return cached_[u];
 }
@@ -60,13 +60,32 @@ std::vector<NodeId> CachedSelector::select_batch(int batch_size, bool allow_retr
 
   BatchState state(n);
   double budget = remaining_budget;
-  std::priority_queue<Entry> heap;
+
+  std::vector<NodeId> candidates;
+  candidates.reserve(n);
   for (NodeId u = 0; u < n; ++u) {
     if (!obs_->requestable(u, allow_retries)) continue;
     if (max_attempts_per_node != 0 && obs_->attempts(u) >= max_attempts_per_node) {
       continue;
     }
     if (problem.cost_of(u) > budget) continue;
+    candidates.push_back(u);
+  }
+
+  if (pool_ != nullptr) {
+    // Parallel rescore of the dirty candidates before the sequential heap
+    // build. Distinct nodes touch distinct cache slots, so the only shared
+    // write is the (atomic) rescore counter.
+    pool_->parallel_for(0, candidates.size(),
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            if (dirty_[candidates[i]]) (void)base_score(candidates[i]);
+                          }
+                        });
+  }
+
+  std::priority_queue<Entry> heap;
+  for (NodeId u : candidates) {
     const double s = base_score(u);  // exact at batch start (cache + dirty)
     if (s > 0.0) heap.push({s, u, 0});
   }

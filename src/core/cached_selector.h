@@ -9,16 +9,23 @@
 // keeps the base marginal Δf(u | ω) of every candidate across batches and
 // re-scores only the dirty 2-hop region, exactly like the paper's CΔ cache.
 //
+// With a thread pool the cache composes with parallelism: the batch-start
+// rescore of dirty candidates fans out over the pool (each node's score is
+// independent; the rescore counter is atomic), while the pick loop stays
+// sequential for determinism. Batches are identical with and without a pool.
+//
 // Equivalence contract (tested): CachedSelector::select_batch returns the
 // same batch as core::batch_select for every observation sequence, provided
 // the observation is only mutated through notify_accept / notify_reject.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "core/batch_select.h"
 #include "sim/observation.h"
+#include "util/thread_pool.h"
 
 namespace recon::core {
 
@@ -26,9 +33,10 @@ class CachedSelector {
  public:
   /// Binds to an observation (must outlive the selector). `policy` and
   /// `cost_sensitive` are fixed for the selector's lifetime; batch size,
-  /// retries, and budget vary per call.
+  /// retries, and budget vary per call. When `pool` is non-null, dirty
+  /// candidates are re-scored in parallel at the start of each batch.
   CachedSelector(const sim::Observation& obs, MarginalPolicy policy,
-                 bool cost_sensitive = false);
+                 bool cost_sensitive = false, util::ThreadPool* pool = nullptr);
 
   /// Must be called after every observation mutation, with the same node.
   void notify_accept(graph::NodeId u);
@@ -41,7 +49,9 @@ class CachedSelector {
 
   /// Number of base-score recomputations performed so far (for tests and
   /// the cache-efficiency microbenchmark).
-  std::uint64_t rescore_count() const noexcept { return rescores_; }
+  std::uint64_t rescore_count() const noexcept {
+    return rescores_.load(std::memory_order_relaxed);
+  }
 
  private:
   double base_score(graph::NodeId u);
@@ -50,9 +60,10 @@ class CachedSelector {
   const sim::Observation* obs_;
   MarginalPolicy policy_;
   bool cost_sensitive_;
+  util::ThreadPool* pool_;
   std::vector<double> cached_;        ///< base Δf (cost-adjusted) per node
   std::vector<std::uint8_t> dirty_;   ///< cache invalid flags
-  std::uint64_t rescores_ = 0;
+  std::atomic<std::uint64_t> rescores_{0};
 };
 
 }  // namespace recon::core

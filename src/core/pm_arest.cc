@@ -62,7 +62,8 @@ int PmArest::draw_batch_size() {
 void PmArest::sync_cache(const sim::Observation& obs) {
   if (cache_ == nullptr || cache_obs_ != &obs) {
     cache_ = std::make_unique<CachedSelector>(obs, options_.policy,
-                                              options_.cost_sensitive);
+                                              options_.cost_sensitive,
+                                              options_.pool);
     cache_obs_ = &obs;
     last_attempts_.assign(obs.problem().graph.num_nodes(), 0);
     // A fresh cache starts all-dirty, so pre-existing observation state is
@@ -93,7 +94,10 @@ std::vector<NodeId> PmArest::next_batch(const sim::Observation& obs,
     bt.pool = options_.pool;
     return branch_tree_select(obs, bt);
   }
-  if (options_.use_cache && options_.pool == nullptr) {
+  // The cache composes with the pool: parallel rescore of dirty candidates,
+  // then the deterministic sequential pick loop. Parallel-eager mode bypasses
+  // the cache (it rescores everything each round anyway).
+  if (options_.use_cache && !options_.parallel_eager) {
     sync_cache(obs);
     return cache_->select_batch(k, options_.allow_retries, attempt_cap_,
                                 remaining_budget);

@@ -43,7 +43,11 @@ struct PmArestOptions {
   /// Keep base marginal scores cached across batches, re-scoring only the
   /// 2-hop neighborhood of observed nodes (paper Alg. 2 lines 8-11). Exactly
   /// equivalent to the uncached selector; large speedup on big graphs.
+  /// Composes with `pool` (parallel rescore of the dirty region).
   bool use_cache = true;
+  /// Optional pool: parallelizes candidate scoring (cached and uncached
+  /// selectors alike) without changing any batch — selection is bit-identical
+  /// for every pool size, including none.
   util::ThreadPool* pool = nullptr;
   bool parallel_eager = false;
   std::uint64_t seed = 0x9d5f;  ///< randomness for varying batch sizes

@@ -49,6 +49,10 @@ class Graph {
   /// Existence probability of undirected edge e.
   double edge_prob(EdgeId e) const noexcept { return edge_prob_[e]; }
 
+  /// All edge probabilities, indexed by EdgeId (for flat scoring kernels
+  /// that hoist the array base pointer out of per-neighbor loops).
+  std::span<const double> edge_probs() const noexcept { return edge_prob_; }
+
   /// Endpoints of undirected edge e, with endpoint_u < endpoint_v.
   NodeId edge_u(EdgeId e) const noexcept { return edge_u_[e]; }
   NodeId edge_v(EdgeId e) const noexcept { return edge_v_[e]; }

@@ -33,6 +33,12 @@ class Observation {
   NodeState node_state(graph::NodeId u) const noexcept { return node_state_[u]; }
   EdgeState edge_state(graph::EdgeId e) const noexcept { return edge_state_[e]; }
 
+  /// Flat read-only views of the per-edge / per-node state arrays, for
+  /// scoring kernels that hoist the base pointers out of hot loops.
+  std::span<const EdgeState> edge_states() const noexcept { return edge_state_; }
+  std::span<const std::uint8_t> friend_mask() const noexcept { return is_friend_; }
+  std::span<const std::uint8_t> fof_mask() const noexcept { return is_fof_; }
+
   bool is_friend(graph::NodeId u) const noexcept { return is_friend_[u] != 0; }
   bool is_fof(graph::NodeId u) const noexcept { return is_fof_[u] != 0; }
 

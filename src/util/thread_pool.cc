@@ -4,33 +4,76 @@
 
 namespace recon::util {
 
-ThreadPool::ThreadPool(unsigned num_threads) {
-  const unsigned n = std::max(1u, num_threads);
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index.
+// Lets push_task enqueue into the submitting worker's own deque (LIFO reuse,
+// no cross-thread contention) and lets try_run_one_task pop locally first.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_worker_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : queues_(std::max(1u, num_threads)) {
+  const unsigned n = static_cast<unsigned>(queues_.size());
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+void ThreadPool::push_task(TaskFunction task) {
+  std::size_t target;
+  if (tls_pool == this) {
+    target = tls_worker_index;  // worker submits to its own deque
+  } else {
+    target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target].mutex);
+    queues_[target].deque.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // The empty critical section orders the increment against a worker that is
+  // mid-way through its sleep predicate, so the notify cannot be lost.
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one_task(bool account_busy) {
+  if (pending_.load(std::memory_order_acquire) == 0) return false;
+  const std::size_t n = queues_.size();
+  const std::size_t home = tls_pool == this ? tls_worker_index : 0;
+  TaskFunction task;
+  // Own deque back first (LIFO keeps caches warm), then steal siblings'
+  // fronts (FIFO takes the oldest, likely-largest unit of work).
+  for (std::size_t probe = 0; probe < n && !task; ++probe) {
+    Worker& q = queues_[(home + probe) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.deque.empty()) continue;
+    if (probe == 0) {
+      task = std::move(q.deque.back());
+      q.deque.pop_back();
+    } else {
+      task = std::move(q.deque.front());
+      q.deque.pop_front();
     }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_release);
+  if (account_busy) {
     const auto start = std::chrono::steady_clock::now();
     task();
     const auto end = std::chrono::steady_clock::now();
@@ -38,40 +81,27 @@ void ThreadPool::worker_loop() {
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count()),
         std::memory_order_relaxed);
+  } else {
+    task();
   }
+  return true;
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
-  if (begin >= end) return;
-  const std::size_t total = end - begin;
-  const std::size_t parties = static_cast<std::size_t>(size()) + 1;  // workers + caller
-  if (grain == 0) grain = std::max<std::size_t>(1, total / (parties * 4));
-  const std::size_t num_chunks = (total + grain - 1) / grain;
-
-  if (num_chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  auto run_chunks = [&] {
-    for (;;) {
-      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) return;
-      const std::size_t lo = begin + c * grain;
-      const std::size_t hi = std::min(end, lo + grain);
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+void ThreadPool::worker_loop(unsigned index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    if (try_run_one_task(/*account_busy=*/true)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
     }
-  };
-
-  std::vector<std::future<void>> futs;
-  const std::size_t helpers = std::min<std::size_t>(size(), num_chunks - 1);
-  futs.reserve(helpers);
-  for (std::size_t t = 0; t < helpers; ++t) futs.push_back(submit(run_chunks));
-  run_chunks();  // caller participates
-  for (auto& f : futs) f.get();
+  }
 }
 
 ThreadPool& default_pool() {

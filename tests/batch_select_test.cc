@@ -178,6 +178,116 @@ TEST(BatchSelect, LazyMatchesEagerParallel) {
   }
 }
 
+TEST(BatchSelect, ParallelLazyBitIdenticalAcrossThreadCounts) {
+  // The tentpole determinism guarantee: the parallel lazy greedy returns
+  // byte-identical batches to the sequential path at every pool size, on
+  // both a heavy-tailed (BA) and a homogeneous (ER) graph.
+  for (const bool ba : {true, false}) {
+    for (int seed = 1; seed <= 3; ++seed) {
+      sim::ProblemOptions popts;
+      popts.num_targets = 40;
+      popts.base_acceptance = 0.35;
+      popts.seed = static_cast<std::uint64_t>(seed);
+      const Problem p = sim::make_problem(
+          graph::assign_edge_probs(
+              ba ? graph::barabasi_albert(220, 5, seed)
+                 : graph::erdos_renyi_gnm(220, 900, seed),
+              graph::EdgeProbModel::uniform(0.2, 0.95), seed + 1),
+          popts);
+      Observation obs(p);
+      advance_observation(p, obs, 12, seed);
+      BatchSelectOptions seq;
+      seq.batch_size = 10;
+      const auto reference = batch_select(obs, seq);
+      ASSERT_FALSE(reference.empty());
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        util::ThreadPool pool(threads);
+        BatchSelectOptions par = seq;
+        par.pool = &pool;
+        EXPECT_EQ(batch_select(obs, par), reference)
+            << (ba ? "BA" : "ER") << " seed=" << seed << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(BatchSelect, ParallelLazyMatchesSequentialWithCostsAndRetries) {
+  // Determinism must survive the trickier option combinations: cost-ratio
+  // scores, retry candidates, attempt caps, and tight budgets (which force
+  // permanent drops and deep frontier digs past the shard top-k heads).
+  util::ThreadPool pool(4);
+  for (int seed = 1; seed <= 3; ++seed) {
+    Problem p = random_problem(seed, 120, 420);
+    p.cost.resize(p.graph.num_nodes());
+    for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+      p.cost[u] = 1.0 + 0.25 * static_cast<double>(u % 4);
+    }
+    Observation obs(p);
+    advance_observation(p, obs, 25, seed);
+    BatchSelectOptions seq;
+    seq.batch_size = 12;
+    seq.cost_sensitive = true;
+    seq.allow_retries = true;
+    seq.max_attempts_per_node = 3;
+    seq.remaining_budget = 14.0;
+    BatchSelectOptions par = seq;
+    par.pool = &pool;
+    EXPECT_EQ(batch_select(obs, par), batch_select(obs, seq)) << "seed " << seed;
+  }
+}
+
+TEST(BatchSelect, ParallelLazyBitIdenticalThroughFullAttack) {
+  // Drive both selectors in lockstep on a shared observation for a whole
+  // attack, so divergence at any batch (not just the first) is caught.
+  util::ThreadPool pool(3);
+  const Problem p = random_problem(9, 100, 300);
+  const sim::World w(p, 41);
+  Observation obs(p);
+  double budget = 60.0;
+  while (budget > 0) {
+    BatchSelectOptions seq;
+    seq.batch_size = 7;
+    seq.remaining_budget = budget;
+    BatchSelectOptions par = seq;
+    par.pool = &pool;
+    const auto reference = batch_select(obs, seq);
+    ASSERT_EQ(batch_select(obs, par), reference) << "budget=" << budget;
+    if (reference.empty()) break;
+    for (NodeId u : reference) {
+      if (w.attempt_accept(u, obs.attempts(u), obs.acceptance_prob(u))) {
+        obs.record_accept(u, w.true_neighbors(u));
+      } else {
+        obs.record_reject(u);
+      }
+      budget -= 1.0;
+    }
+  }
+}
+
+TEST(BatchState, GammaKernelMatchesGammaMidBatch) {
+  // The flat kernel must agree with gamma at every batch size, including
+  // after selections touched the fof factors.
+  const Problem p = random_problem(6, 80, 240);
+  Observation obs(p);
+  advance_observation(p, obs, 8, 6);
+  for (auto policy : {MarginalPolicy::kWeighted, MarginalPolicy::kPaperLiteral}) {
+    BatchState state(p.graph.num_nodes());
+    for (int round = 0; round < 4; ++round) {
+      const GammaKernel kernel(obs, state, policy);
+      NodeId pick = graph::kInvalidNode;
+      for (NodeId u = 0; u < p.graph.num_nodes(); ++u) {
+        if (obs.is_friend(u) || state.is_selected(u)) continue;
+        const double q = obs.acceptance_prob(u);
+        ASSERT_EQ(kernel.score(u, q), state.gamma(obs, u, policy, q))
+            << "node " << u << " round " << round;
+        if (pick == graph::kInvalidNode) pick = u;
+      }
+      if (pick == graph::kInvalidNode) break;
+      state.select(obs, pick, obs.acceptance_prob(pick));
+    }
+  }
+}
+
 TEST(BatchSelect, RespectsBatchSizeAndCandidates) {
   const Problem p = random_problem(2);
   Observation obs(p);

@@ -77,6 +77,85 @@ INSTANTIATE_TEST_SUITE_P(Sweep, CachedEquivalence,
                                             ::testing::Values(1, 7),
                                             ::testing::Bool()));
 
+TEST(CachedSelector, PoolBackedSelectorMatchesUncachedThroughFullAttack) {
+  // The pool-composed cache (parallel dirty rescore + sequential pick loop)
+  // must stay bit-identical to the plain uncached selector, at every pool
+  // size, across a whole attack.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const Problem p = cache_problem(2);
+    const sim::World w(p, 27);
+    Observation obs(p);
+    CachedSelector cached(obs, MarginalPolicy::kWeighted,
+                          /*cost_sensitive=*/false, &pool);
+    double budget = 80.0;
+    while (budget > 0) {
+      BatchSelectOptions bs;
+      bs.batch_size = 6;
+      bs.remaining_budget = budget;
+      const auto reference = batch_select(obs, bs);
+      const auto fast = cached.select_batch(6, false, 1, budget);
+      ASSERT_EQ(fast, reference) << "threads=" << threads << " budget=" << budget;
+      if (fast.empty()) break;
+      for (NodeId u : fast) {
+        if (w.attempt_accept(u, obs.attempts(u), obs.acceptance_prob(u))) {
+          obs.record_accept(u, w.true_neighbors(u));
+          cached.notify_accept(u);
+        } else {
+          obs.record_reject(u);
+          cached.notify_reject(u);
+        }
+        budget -= 1.0;
+      }
+    }
+  }
+}
+
+TEST(CachedSelector, PoolDoesNotChangeRescoreCount) {
+  // Parallel rescoring fans the same dirty set across workers; the atomic
+  // counter must land on the sequential value.
+  const Problem p = cache_problem(3, 300);
+  util::ThreadPool pool(4);
+  Observation obs_seq(p), obs_par(p);
+  CachedSelector seq(obs_seq, MarginalPolicy::kWeighted);
+  CachedSelector par(obs_par, MarginalPolicy::kWeighted, false, &pool);
+  (void)seq.select_batch(5, false, 1, 300.0);
+  (void)par.select_batch(5, false, 1, 300.0);
+  EXPECT_EQ(seq.rescore_count(), par.rescore_count());
+  obs_seq.record_reject(7);
+  obs_par.record_reject(7);
+  seq.notify_reject(7);
+  par.notify_reject(7);
+  (void)seq.select_batch(5, false, 1, 300.0);
+  (void)par.select_batch(5, false, 1, 300.0);
+  EXPECT_EQ(seq.rescore_count(), par.rescore_count());
+}
+
+TEST(PmArestCache, CachePlusPoolMatchesSequentialAttack) {
+  // use_cache && pool is no longer an error path: it must reproduce the
+  // exact attack of the cache-less, pool-less strategy.
+  util::ThreadPool pool(3);
+  for (int seed = 1; seed <= 3; ++seed) {
+    const Problem p = cache_problem(seed);
+    const sim::World w(p, static_cast<std::uint64_t>(seed) + 31);
+    PmArestOptions plain;
+    plain.batch_size = 6;
+    plain.use_cache = false;
+    PmArestOptions fast = plain;
+    fast.use_cache = true;
+    fast.pool = &pool;
+    PmArest splain(plain), sfast(fast);
+    const auto tplain = run_attack(p, w, splain, 100.0);
+    const auto tfast = run_attack(p, w, sfast, 100.0);
+    ASSERT_EQ(tplain.batches.size(), tfast.batches.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < tplain.batches.size(); ++i) {
+      ASSERT_EQ(tplain.batches[i].requests, tfast.batches[i].requests)
+          << "seed " << seed << " batch " << i;
+    }
+    EXPECT_DOUBLE_EQ(tplain.total_benefit(), tfast.total_benefit());
+  }
+}
+
 TEST(CachedSelector, RescoresOnlyDirtyRegion) {
   const Problem p = cache_problem(4, 400);
   const sim::World w(p, 9);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -238,6 +239,107 @@ TEST(ThreadPool, SubmitRunsTask) {
   EXPECT_EQ(v.load(), 42);
 }
 
+TEST(ThreadPool, ParallelForRangeFormCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    chunks.fetch_add(1);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Range form hands out chunks, not indices.
+  EXPECT_LT(chunks.load(), 1000);
+  EXPECT_GE(chunks.load(), 1);
+}
+
+TEST(ThreadPool, ParallelReducePartialsSumExactly) {
+  ThreadPool pool(4);
+  const auto partials = pool.parallel_reduce(
+      1, 100001, std::uint64_t{0},
+      [](std::uint64_t& acc, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) acc += i;
+      });
+  EXPECT_EQ(partials.size(), 5u);  // 4 workers + caller
+  std::uint64_t total = 0;
+  for (auto p : partials) total += p;
+  EXPECT_EQ(total, 100000ull * 100001ull / 2ull);
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRange) {
+  ThreadPool pool(2);
+  const auto partials = pool.parallel_reduce(
+      7, 7, 0, [](int& acc, std::size_t, std::size_t) { ++acc; });
+  for (int p : partials) EXPECT_EQ(p, 0);
+}
+
+TEST(ThreadPool, SubmitMoveOnlyTask) {
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(41);
+  std::atomic<int> got{0};
+  auto f = pool.submit([p = std::move(payload)] () mutable { ++*p; });
+  f.get();
+  auto payload2 = std::make_unique<int>(7);
+  pool.submit([p = std::move(payload2), &got] { got.store(*p); }).get();
+  EXPECT_EQ(got.load(), 7);
+}
+
+TEST(ThreadPool, TasksSubmittedFromWorkersComplete) {
+  // Work stealing: tasks enqueued from inside a worker land on that worker's
+  // deque and must still be picked up (by it or by a stealing sibling).
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> inner;
+  std::mutex inner_mutex;
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back(pool.submit([&] {
+      std::lock_guard<std::mutex> lock(inner_mutex);
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back(pool.submit([&done] { done.fetch_add(1); }));
+      }
+    }));
+  }
+  for (auto& f : outer) f.get();
+  {
+    std::lock_guard<std::mutex> lock(inner_mutex);
+    for (auto& f : inner) f.get();
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Blocking joins steal work instead of sleeping, so a parallel_for issued
+  // from inside a pool task (sharing the same pool) must complete.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    }, /*grain=*/10);
+  }, /*grain=*/1);
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futs(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        futs[t].push_back(pool.submit([&count] { count.fetch_add(1); }));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& fs : futs) {
+    for (auto& f : fs) f.get();
+  }
+  EXPECT_EQ(count.load(), 800);
+}
+
 TEST(ThreadPool, BusyNanosAccumulates) {
   ThreadPool pool(2);
   pool.reset_busy_nanos();
@@ -245,6 +347,11 @@ TEST(ThreadPool, BusyNanosAccumulates) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   });
   f.get();
+  // The worker records busy time just after completing the task (which is
+  // what unblocks f.get()), so allow a short grace period for the counter.
+  for (int i = 0; i < 200 && pool.busy_nanos() <= 1'000'000u; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_GT(pool.busy_nanos(), 1'000'000u);  // > 1ms recorded
 }
 

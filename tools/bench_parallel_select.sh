@@ -1,0 +1,30 @@
+#!/bin/sh
+# Captures the parallel batch-selection speedup numbers into
+# BENCH_parallel_select.json (google-benchmark JSON format).
+#
+# Runs the sequential baseline (BM_BatchSelectCollapsed at n=5000, k=15) and
+# the pool-backed variants (BM_BatchSelectParallelLazy at 1/2/4/8 threads,
+# plus the cache+pool full-attack composition) from bench/micro_core. The
+# speedup claim is real_time(sequential) / real_time(parallel, T threads);
+# thread counts beyond the machine's core count saturate at ~core-count
+# speedup, so read the JSON's per-run "threads" arg against nproc.
+#
+# Usage: tools/bench_parallel_select.sh [build_dir] [out.json]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_parallel_select.json}"
+BIN="$BUILD_DIR/bench/micro_core"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target micro_core)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_BatchSelectCollapsed/5000/15|BM_BatchSelectParallelLazy|BM_FullAttackCachedPool' \
+  --benchmark_repetitions="${RECON_BENCH_REPS:-1}" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"
