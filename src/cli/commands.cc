@@ -6,16 +6,20 @@
 
 #include "core/attack.h"
 #include "core/baselines.h"
+#include "core/checkpoint.h"
 #include "core/m_arest.h"
 #include "core/pm_arest.h"
+#include "core/retry_policy.h"
 #include "defense/detector.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
 #include "metrics/rrs.h"
+#include "sim/fault.h"
 #include "sim/problem.h"
 #include "sim/problem_io.h"
 #include "sim/trace_io.h"
+#include "solver/fallback.h"
 #include "solver/strategy_mip.h"
 #include "util/table.h"
 
@@ -98,11 +102,14 @@ core::StrategyFactory make_factory(const util::Args& args) {
   const std::string name = args.get("strategy", "pm");
   const int k = static_cast<int>(args.get_int("k", 10));
   const bool retries = args.has("retries");
+  const auto max_attempts =
+      static_cast<std::uint32_t>(args.get_int("max-attempts", 0));
   if (name == "pm") {
-    return [k, retries](int) {
+    return [k, retries, max_attempts](int) {
       core::PmArestOptions o;
       o.batch_size = k;
       o.allow_retries = retries;
+      o.max_attempts_per_node = max_attempts;
       return std::make_unique<core::PmArest>(o);
     };
   }
@@ -135,8 +142,68 @@ core::StrategyFactory make_factory(const util::Args& args) {
       return std::make_unique<solver::MipBatchStrategy>(o);
     };
   }
+  if (name == "fallback") {
+    const auto samples = static_cast<std::size_t>(args.get_int("samples", 300));
+    const double fob_ms = args.get_double("fob-deadline-ms", 50.0);
+    const double saa_ms = args.get_double("saa-deadline-ms", 50.0);
+    return [k, retries, samples, fob_ms, saa_ms](int) {
+      solver::FallbackOptions o;
+      o.batch_size = k;
+      o.allow_retries = retries;
+      o.scenarios_per_batch = samples;
+      o.exact_deadline_seconds = fob_ms / 1000.0;
+      o.saa_deadline_seconds = saa_ms / 1000.0;
+      o.candidate_cap = 30;
+      return std::make_unique<solver::FallbackStrategy>(o);
+    };
+  }
   throw std::invalid_argument("unknown --strategy '" + name +
-                              "' (pm|m|random|degree|mip|lshaped)");
+                              "' (pm|m|random|degree|mip|lshaped|fallback)");
+}
+
+/// Parses and validates the fault-injection flags. Throws invalid_argument
+/// with an actionable message on bad rates.
+sim::FaultOptions parse_fault_options(const util::Args& args) {
+  sim::FaultOptions fault;
+  fault.timeout_rate = args.get_double("fault-timeout", 0.0);
+  fault.drop_rate = args.get_double("fault-drop", 0.0);
+  fault.throttle_rate = args.get_double("fault-throttle", 0.0);
+  fault.suspension.max_requests =
+      static_cast<std::size_t>(args.get_int("suspend-after", 0));
+  fault.suspension.window_ticks =
+      static_cast<std::uint64_t>(args.get_int("suspend-window", 1));
+  fault.suspension.lockout_ticks =
+      static_cast<std::uint64_t>(args.get_int("suspend-lockout", 5));
+  fault.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0xFA17));
+  fault.validate();
+  return fault;
+}
+
+/// Parses and validates the retry-backoff flags, cross-checking them against
+/// the rest of the invocation.
+core::RetryPolicy parse_retry_policy(const util::Args& args, double budget) {
+  core::RetryPolicy retry;
+  retry.backoff = core::parse_retry_backoff(args.get("retry-policy", "none"));
+  retry.base_delay = args.get_double("retry-base", 1.0);
+  retry.multiplier = args.get_double("retry-mult", 2.0);
+  retry.max_delay = args.get_double("retry-max", 64.0);
+  retry.jitter = args.get_double("retry-jitter", 0.0);
+  retry.validate();
+  if (retry.active() && !args.has("retries")) {
+    throw std::invalid_argument(
+        "--retry-policy without --retries never re-sends a failed request; "
+        "add --retries or drop --retry-policy");
+  }
+  const auto max_attempts = args.get_int("max-attempts", 0);
+  if (args.has("retries") && max_attempts > 0 &&
+      static_cast<double>(max_attempts) > budget) {
+    throw std::invalid_argument(
+        "--max-attempts " + std::to_string(max_attempts) + " exceeds --budget " +
+        std::to_string(static_cast<long long>(budget)) +
+        ": one node could consume the whole budget; lower --max-attempts or "
+        "raise --budget");
+  }
+  return retry;
 }
 
 }  // namespace
@@ -170,21 +237,85 @@ int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err) {
     const int runs = static_cast<int>(args.get_int("runs", 10));
     const double budget = args.get_double("budget", 100.0);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    const auto mc = core::run_monte_carlo(problem, factory, runs, budget, seed);
+    const sim::FaultOptions fault = parse_fault_options(args);
+    const core::RetryPolicy retry = parse_retry_policy(args, budget);
+
+    const std::string ckpt_path = args.get("checkpoint", "");
+    const std::string resume_path = args.get("resume", "");
+    const auto stop_after = static_cast<std::uint64_t>(args.get_int("stop-after", 0));
+    const auto ckpt_every =
+        static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+    const bool single_run =
+        !ckpt_path.empty() || !resume_path.empty() || stop_after > 0;
+    if (ckpt_every > 0 && ckpt_path.empty()) {
+      throw std::invalid_argument(
+          "--checkpoint-every needs --checkpoint FILE to write to");
+    }
+    if (single_run && runs != 1) {
+      throw std::invalid_argument(
+          "--checkpoint/--resume/--stop-after drive a single attack; pass "
+          "--runs 1");
+    }
+
+    std::vector<sim::AttackTrace> traces;
+    if (single_run) {
+      core::AttackRunOptions ro;
+      ro.stop_after_rounds = stop_after;
+      ro.checkpoint_every_rounds = ckpt_every;
+      ro.checkpoint_path = ckpt_path;
+      core::AttackCheckpoint cp;
+      if (!resume_path.empty()) {
+        cp = core::read_checkpoint_file(resume_path);
+        ro.resume = &cp;
+      }
+      // Match Monte-Carlo run 0 so a single run reproduces `--runs 1`.
+      const std::uint64_t world_seed =
+          ro.resume != nullptr ? cp.world_seed : util::derive_seed(seed, 0);
+      const sim::World world(problem, world_seed);
+      auto strategy = factory(0);
+      std::unique_ptr<sim::FaultModel> fm;
+      if (fault.any_faults()) {
+        sim::FaultOptions fo = fault;
+        fo.seed = util::derive_seed(fault.seed, 0);
+        fm = std::make_unique<sim::FaultModel>(fo);
+        ro.fault = fm.get();
+      }
+      if (retry.active()) ro.retry = &retry;
+      traces.push_back(core::run_attack(problem, world, *strategy, budget, ro));
+      if (fm != nullptr) {
+        const auto& c = fm->counters();
+        out << "fault outcomes : delivered " << c.delivered << ", timeouts "
+            << c.timeouts << ", drops " << c.drops << ", throttles "
+            << c.throttles << ", bounced " << c.bounced << ", lockouts "
+            << c.lockouts << "\n";
+      }
+      if (!ckpt_path.empty()) out << "checkpoint     : " << ckpt_path << "\n";
+    } else {
+      auto mc = core::run_monte_carlo(
+          problem, factory, runs, budget, seed, nullptr,
+          fault.any_faults() ? &fault : nullptr, retry.active() ? &retry : nullptr);
+      traces = std::move(mc.traces);
+    }
 
     out << "strategy " << factory(0)->name() << ", " << runs << " runs, budget "
         << budget << "\n";
-    out << "mean benefit   : " << util::format_fixed(mc.mean_benefit(), 3) << "\n";
-    out << "mean requests  : " << util::format_fixed(mc.mean_requests(), 1) << "\n";
+    double benefit = 0.0;
+    double requests = 0.0;
     sim::BenefitBreakdown total;
-    for (const auto& t : mc.traces) total += t.final_breakdown();
-    const double n = static_cast<double>(mc.traces.size());
+    for (const auto& t : traces) {
+      benefit += t.total_benefit();
+      requests += static_cast<double>(t.total_requests());
+      total += t.final_breakdown();
+    }
+    const double n = static_cast<double>(traces.size());
+    out << "mean benefit   : " << util::format_fixed(benefit / n, 3) << "\n";
+    out << "mean requests  : " << util::format_fixed(requests / n, 1) << "\n";
     out << "mean breakdown : friends " << util::format_fixed(total.friends / n, 2)
         << ", fofs " << util::format_fixed(total.fofs / n, 2) << ", edges "
         << util::format_fixed(total.edges / n, 2) << "\n";
     const std::string traces_path = args.get("traces", "");
     if (!traces_path.empty()) {
-      sim::write_traces_file(traces_path, mc.traces);
+      sim::write_traces_file(traces_path, traces);
       out << "traces written : " << traces_path << "\n";
     }
     return 0;
@@ -267,10 +398,21 @@ void print_usage(std::ostream& out) {
          "            [--probs structural|uniform|const] [--seed S] [model params]\n"
          "  attack    run Monte-Carlo attacks against a graph\n"
          "            --graph FILE | --problem FILE\n"
-         "            [--strategy pm|m|random|degree|mip|lshaped] [--k K]\n"
-         "            [--budget B] [--runs R] [--retries] [--targets N]\n"
-         "            [--target-mode random|ball|degree] [--traces OUT]\n"
-         "            [--save-problem OUT]  (persist the exact instance)\n"
+         "            [--strategy pm|m|random|degree|mip|lshaped|fallback] [--k K]\n"
+         "            [--budget B] [--runs R] [--retries] [--max-attempts M]\n"
+         "            [--targets N] [--target-mode random|ball|degree]\n"
+         "            [--traces OUT] [--save-problem OUT]\n"
+         "            fault injection:\n"
+         "            [--fault-timeout R] [--fault-drop R] [--fault-throttle R]\n"
+         "            [--suspend-after N --suspend-window W --suspend-lockout L]\n"
+         "            [--fault-seed S]\n"
+         "            retry backoff (needs --retries):\n"
+         "            [--retry-policy none|fixed|exponential] [--retry-base D]\n"
+         "            [--retry-mult M] [--retry-max D] [--retry-jitter J]\n"
+         "            checkpoint/resume (needs --runs 1):\n"
+         "            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n"
+         "            [--stop-after ROUNDS]\n"
+         "            fallback solver: [--fob-deadline-ms MS] [--saa-deadline-ms MS]\n"
          "  metrics   compute RRS / RT-RRS from a saved trace file\n"
          "            --traces FILE [--threshold Q] [--delay SECONDS]\n"
          "  audit     recommend defender monitor placements\n"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -31,6 +32,7 @@ struct Outstanding {
   NodeId node;
   double q_at_send;
   std::uint32_t attempt;
+  sim::RequestOutcome outcome = sim::RequestOutcome::kDelivered;
 
   bool operator>(const Outstanding& o) const noexcept {
     if (completion_time != o.completion_time) {
@@ -73,6 +75,12 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
   if (options.mean_delay < 0.0) {
     throw std::invalid_argument("run_async_attack: negative delay");
   }
+  if (options.retry != nullptr) options.retry->validate();
+  const bool retry_active = options.retry != nullptr && options.retry->active();
+  sim::FaultModel* fault = options.fault;
+  const double timeout_seconds = options.timeout_seconds > 0.0
+                                     ? options.timeout_seconds
+                                     : 4.0 * options.mean_delay;
   std::uint32_t attempt_cap = options.max_attempts_per_node;
   if (attempt_cap == 0) {
     attempt_cap = options.allow_retries
@@ -98,17 +106,31 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
   };
 
   auto send_one = [&]() -> bool {
+    if (fault != nullptr && fault->suspended()) return false;  // pause sending
     const NodeId u = best_candidate(obs, state, options, attempt_cap);
     if (u == graph::kInvalidNode) return false;
     const double cost = problem.cost_of(u);
     if (spent + cost > budget + 1e-9) return false;
-    spent += cost;
     Outstanding o;
     o.node = u;
     o.q_at_send = obs.acceptance_prob(u);
     o.attempt = obs.attempts(u);
-    o.completion_time = now + draw_delay(options.mean_delay, options.delay_model,
-                                         delay_rng);
+    // The delay is always drawn, so the RNG stream (and hence every zero-
+    // fault trace) is unchanged by enabling the fault model.
+    const double delay = draw_delay(options.mean_delay, options.delay_model,
+                                    delay_rng);
+    if (fault != nullptr) {
+      o.outcome = fault->resolve(u);
+      if (o.outcome == sim::RequestOutcome::kSuspended) {
+        // This send tripped the rate limit: it bounces for free and the
+        // attacker pauses until the lockout expires.
+        return false;
+      }
+    }
+    spent += cost;
+    o.completion_time =
+        now + (o.outcome == sim::RequestOutcome::kTimeout ? timeout_seconds
+                                                          : delay);
     state.select(obs, u, o.q_at_send);
     mirror.push_back(o);
     in_flight.push(o);
@@ -120,7 +142,30 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
     // Fill the window.
     while (static_cast<int>(in_flight.size()) < options.window && send_one()) {
     }
-    if (in_flight.empty()) break;  // nothing outstanding and nothing to send
+    if (in_flight.empty()) {
+      // Nothing outstanding. If the account is suspended, wait the lockout
+      // out (nominal mean_delay of wall time per remaining tick) and retry.
+      if (fault != nullptr && fault->suspended()) {
+        const std::uint64_t wait = fault->suspended_until() - fault->tick();
+        fault->advance_ticks(wait);
+        now += options.mean_delay * static_cast<double>(wait);
+        result.makespan_seconds = now;
+        obs.set_clock(now);
+        continue;
+      }
+      // If nodes are merely cooling down under backoff, jump to the
+      // earliest retry time.
+      if (retry_active) {
+        const double next = obs.next_retry_time(options.allow_retries);
+        if (next != std::numeric_limits<double>::infinity()) {
+          now = std::max(now, next);
+          result.makespan_seconds = now;
+          obs.set_clock(now);
+          continue;
+        }
+      }
+      break;  // nothing outstanding and nothing to send
+    }
     // Advance time to the next response.
     const Outstanding done = in_flight.top();
     in_flight.pop();
@@ -129,20 +174,47 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
     }));
     now = done.completion_time;
     result.makespan_seconds = now;
+    obs.set_clock(now);
 
     sim::BatchRecord record;
     record.requests = {done.node};
     const sim::BenefitBreakdown before = obs.benefit();
-    // NOTE: the attempt index was frozen at send time; the acceptance
-    // probability too (the user decides based on the state when they saw
-    // the request).
-    const bool accepted = world.attempt_accept(done.node, done.attempt, done.q_at_send);
+    bool accepted = false;
+    bool attempt_consumed = false;
+    switch (done.outcome) {
+      case sim::RequestOutcome::kDelivered:
+        // NOTE: the attempt index was frozen at send time; the acceptance
+        // probability too (the user decides based on the state when they saw
+        // the request).
+        accepted = world.attempt_accept(done.node, done.attempt, done.q_at_send);
+        if (accepted) {
+          ++result.accepts;
+          obs.record_accept(done.node, world.true_neighbors(done.node));
+        } else {
+          obs.record_reject(done.node);
+          attempt_consumed = true;
+        }
+        break;
+      case sim::RequestOutcome::kTimeout:
+      case sim::RequestOutcome::kDropped:
+        obs.record_no_response(done.node);
+        attempt_consumed = true;
+        break;
+      case sim::RequestOutcome::kThrottled:
+        break;  // cost charged at send; no attempt consumed
+      case sim::RequestOutcome::kSuspended:
+        break;  // unreachable: suspended sends are never enqueued
+    }
     record.accepted = {static_cast<std::uint8_t>(accepted ? 1 : 0)};
-    if (accepted) {
-      ++result.accepts;
-      obs.record_accept(done.node, world.true_neighbors(done.node));
-    } else {
-      obs.record_reject(done.node);
+    if (done.outcome != sim::RequestOutcome::kDelivered) {
+      record.outcome = {static_cast<std::uint8_t>(done.outcome)};
+    }
+    if (retry_active && !accepted) {
+      const std::uint32_t attempt = attempt_consumed
+                                        ? obs.attempts(done.node)
+                                        : obs.attempts(done.node) + 1;
+      const double delay = options.retry->delay_for(done.node, attempt);
+      if (delay > 0.0) obs.set_retry_after(done.node, now + delay);
     }
     record.delta = obs.benefit() - before;
     record.cumulative = obs.benefit();
@@ -152,6 +224,7 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
             ? record.cost
             : result.trace.batches.back().cumulative_cost + record.cost;
     result.trace.batches.push_back(std::move(record));
+    if (fault != nullptr) fault->advance_ticks(1);
     // The observation changed: rebuild the in-flight expectation state.
     rebuild();
   }

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "core/marginal.h"
+#include "core/retry_policy.h"
+#include "sim/fault.h"
 #include "sim/problem.h"
 #include "sim/trace.h"
 #include "sim/world.h"
@@ -45,6 +47,15 @@ struct AsyncAttackOptions {
   std::uint32_t max_attempts_per_node = 0;  ///< 0 = 1, or budget/1 w/ retries
   MarginalPolicy policy = MarginalPolicy::kWeighted;
   std::uint64_t seed = 0xA53C;     ///< delay randomness
+
+  /// Optional fault injection (borrowed; one fault-model tick per resolved
+  /// event). Timed-out requests occupy their window slot for
+  /// `timeout_seconds` (0 = 4x mean_delay). While the account is suspended
+  /// the attacker pauses sending instead of burning budget.
+  sim::FaultModel* fault = nullptr;
+  double timeout_seconds = 0.0;
+  /// Optional backoff for failed/throttled nodes, in seconds of event time.
+  const RetryPolicy* retry = nullptr;
 };
 
 struct AsyncAttackResult {

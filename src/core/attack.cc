@@ -1,7 +1,11 @@
 #include "core/attack.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -11,17 +15,86 @@ using graph::NodeId;
 
 sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world,
                             Strategy& strategy, double budget) {
+  return run_attack(problem, world, strategy, budget, AttackRunOptions{});
+}
+
+sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world,
+                            Strategy& strategy, double budget,
+                            const AttackRunOptions& options) {
   if (budget <= 0.0) throw std::invalid_argument("run_attack: budget must be positive");
+  if (options.retry != nullptr) options.retry->validate();
+  if (options.checkpoint_every_rounds > 0 && options.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "run_attack: checkpoint_every_rounds requires checkpoint_path");
+  }
+  sim::FaultModel* fault = options.fault;
+  const bool retry_active = options.retry != nullptr && options.retry->active();
+
   sim::AttackTrace trace;
   sim::Observation obs(problem);
   strategy.begin(problem, budget);
   double spent = 0.0;
+  std::uint64_t round = 0;
+  double clock = 0.0;
+
+  if (options.resume != nullptr) {
+    const AttackCheckpoint& cp = *options.resume;
+    if (cp.budget != budget) {
+      throw std::runtime_error("run_attack: resume budget mismatch");
+    }
+    if (cp.world_seed != world.seed()) {
+      throw std::runtime_error(
+          "run_attack: resume world seed mismatch (rebuild the world from the "
+          "checkpointed seed)");
+    }
+    apply_checkpoint(cp, obs, strategy, fault);
+    spent = cp.spent;
+    round = cp.round;
+    clock = cp.clock;
+    trace = cp.trace;
+  }
+
+  const auto maybe_checkpoint = [&](bool force) {
+    if (options.checkpoint_path.empty()) return;
+    const bool periodic = options.checkpoint_every_rounds > 0 &&
+                          round % options.checkpoint_every_rounds == 0;
+    if (!force && !periodic) return;
+    write_checkpoint_file(
+        options.checkpoint_path,
+        make_checkpoint(obs, strategy, trace, budget, spent, round,
+                        world.seed(), fault));
+  };
 
   while (spent < budget) {
+    // Wait out an account suspension: bump the clock straight to the end of
+    // the lockout (requests sent meanwhile would bounce anyway).
+    if (fault != nullptr && fault->suspended()) {
+      const std::uint64_t wait = fault->suspended_until() - fault->tick();
+      fault->advance_ticks(wait);
+      clock += static_cast<double>(wait);
+      obs.set_clock(clock);
+    }
+
     util::WallTimer timer;
     std::vector<NodeId> batch = strategy.next_batch(obs, budget - spent);
     const double select_seconds = timer.seconds();
-    if (batch.empty()) break;
+    if (batch.empty()) {
+      // Nothing selectable right now; if nodes are merely cooling down,
+      // fast-forward to the earliest retry instead of ending the attack.
+      if (retry_active) {
+        const double next = obs.next_retry_time(/*allow_retries=*/true);
+        if (next != std::numeric_limits<double>::infinity()) {
+          const double wait = std::max(1.0, std::ceil(next - clock));
+          clock += wait;
+          obs.set_clock(clock);
+          if (fault != nullptr) {
+            fault->advance_ticks(static_cast<std::uint64_t>(wait));
+          }
+          continue;
+        }
+      }
+      break;
+    }
 
     // Truncate to the affordable prefix.
     std::size_t take = 0;
@@ -47,25 +120,89 @@ sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world
     sim::BatchRecord record;
     record.requests = batch;
     record.accepted.resize(batch.size());
+    if (fault != nullptr) record.outcome.assign(batch.size(), 0);
     const sim::BenefitBreakdown before = obs.benefit();
+    // Without faults every request is charged, so `charged` recomputes
+    // batch_cost with the identical addition order — keeping the fault-free
+    // path bit-identical while letting suspended requests go uncharged.
+    double charged = 0.0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const NodeId u = batch[i];
-      const bool accepted = world.attempt_accept(u, attempt_idx[i], probs[i]);
-      record.accepted[i] = accepted ? 1 : 0;
-      if (accepted) {
-        const auto true_nbrs = world.true_neighbors(u);
-        obs.record_accept(u, true_nbrs);
-      } else {
-        obs.record_reject(u);
+      const sim::RequestOutcome outcome =
+          fault != nullptr ? fault->resolve(u) : sim::RequestOutcome::kDelivered;
+      if (fault != nullptr) {
+        record.outcome[i] = static_cast<std::uint8_t>(outcome);
+      }
+      bool attempt_consumed = false;
+      switch (outcome) {
+        case sim::RequestOutcome::kDelivered: {
+          const bool accepted = world.attempt_accept(u, attempt_idx[i], probs[i]);
+          record.accepted[i] = accepted ? 1 : 0;
+          if (accepted) {
+            const auto true_nbrs = world.true_neighbors(u);
+            obs.record_accept(u, true_nbrs);
+          } else {
+            obs.record_reject(u);
+            attempt_consumed = true;
+          }
+          charged += problem.cost_of(u);
+          break;
+        }
+        case sim::RequestOutcome::kTimeout:
+        case sim::RequestOutcome::kDropped:
+          // No observable outcome; the attempt index is consumed so the next
+          // try draws fresh acceptance randomness.
+          obs.record_no_response(u);
+          record.accepted[i] = 0;
+          charged += problem.cost_of(u);
+          attempt_consumed = true;
+          break;
+        case sim::RequestOutcome::kThrottled:
+          // Round trip wasted (cost charged) but the user never saw the
+          // request: no attempt consumed.
+          record.accepted[i] = 0;
+          charged += problem.cost_of(u);
+          break;
+        case sim::RequestOutcome::kSuspended:
+          // Bounced at the platform edge: free, no attempt, wait it out.
+          record.accepted[i] = 0;
+          break;
+      }
+      if (retry_active && record.accepted[i] == 0 &&
+          outcome != sim::RequestOutcome::kSuspended) {
+        const std::uint32_t attempt =
+            attempt_consumed ? obs.attempts(u) : obs.attempts(u) + 1;
+        const double delay = options.retry->delay_for(u, attempt);
+        if (delay > 0.0) obs.set_retry_after(u, clock + delay);
       }
     }
-    spent += batch_cost;
+    const bool any_outcome =
+        fault != nullptr &&
+        std::any_of(record.outcome.begin(), record.outcome.end(),
+                    [](std::uint8_t o) { return o != 0; });
+    if (!any_outcome) record.outcome.clear();
+    spent += fault != nullptr ? charged : batch_cost;
     record.delta = obs.benefit() - before;
     record.cumulative = obs.benefit();
-    record.cost = batch_cost;
+    record.cost = fault != nullptr ? charged : batch_cost;
     record.cumulative_cost = spent;
     record.select_seconds = select_seconds;
     trace.batches.push_back(std::move(record));
+
+    ++round;
+    clock += 1.0;
+    obs.set_clock(clock);
+    if (fault != nullptr) fault->advance_ticks(1);
+    maybe_checkpoint(/*force=*/false);
+    if (options.stop_after_rounds > 0 && round >= options.stop_after_rounds) {
+      maybe_checkpoint(/*force=*/true);
+      RECON_LOG(kInfo) << "run_attack: stopping after " << round
+                      << " rounds (checkpoint "
+                      << (options.checkpoint_path.empty() ? "not written"
+                                                          : options.checkpoint_path)
+                      << ")";
+      break;
+    }
   }
   return trace;
 }
@@ -87,15 +224,32 @@ double MonteCarloResult::mean_requests() const {
 MonteCarloResult run_monte_carlo(const sim::Problem& problem,
                                  const StrategyFactory& factory, int runs,
                                  double budget, std::uint64_t seed,
-                                 util::ThreadPool* pool) {
+                                 util::ThreadPool* pool,
+                                 const sim::FaultOptions* fault,
+                                 const RetryPolicy* retry) {
   if (runs <= 0) throw std::invalid_argument("run_monte_carlo: runs must be positive");
+  if (fault != nullptr) fault->validate();
+  if (retry != nullptr) retry->validate();
   MonteCarloResult result;
   result.traces.resize(static_cast<std::size_t>(runs));
   auto run_range = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) {
       const sim::World world(problem, util::derive_seed(seed, r));
       auto strategy = factory(static_cast<int>(r));
-      result.traces[r] = run_attack(problem, world, *strategy, budget);
+      if (fault == nullptr && retry == nullptr) {
+        result.traces[r] = run_attack(problem, world, *strategy, budget);
+        continue;
+      }
+      AttackRunOptions o;
+      std::unique_ptr<sim::FaultModel> fm;
+      if (fault != nullptr) {
+        sim::FaultOptions fo = *fault;
+        fo.seed = util::derive_seed(fault->seed, r);  // independent per run
+        fm = std::make_unique<sim::FaultModel>(fo);
+        o.fault = fm.get();
+      }
+      o.retry = retry;
+      result.traces[r] = run_attack(problem, world, *strategy, budget, o);
     }
   };
   if (pool != nullptr) {

@@ -11,18 +11,52 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
+#include "core/retry_policy.h"
 #include "core/strategy.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "sim/world.h"
 #include "util/thread_pool.h"
 
 namespace recon::core {
 
+/// Optional robustness machinery for a single synchronous attack run. With
+/// everything defaulted the runner is byte-for-byte the plain Alg. 1 loop.
+struct AttackRunOptions {
+  /// Fault injection for request resolution (borrowed; the runner advances
+  /// its clock — one tick per batch round). Null disables faults.
+  sim::FaultModel* fault = nullptr;
+  /// Backoff applied to failed/throttled nodes via observation cooldowns
+  /// (every selector respects them through Observation::requestable). Null
+  /// or an inactive policy disables backoff.
+  const RetryPolicy* retry = nullptr;
+  /// Stop (successfully) after this many batch rounds; 0 = run to the end.
+  /// Used with `checkpoint_path` to simulate an interrupted attack.
+  std::uint64_t stop_after_rounds = 0;
+  /// Write a checkpoint to `checkpoint_path` every N completed rounds
+  /// (0 = only on stop_after_rounds). Writes are atomic (tmp + rename).
+  std::uint64_t checkpoint_every_rounds = 0;
+  std::string checkpoint_path;
+  /// Resume from a previously-written checkpoint: the world must be built
+  /// from the checkpointed seed and the strategy/fault configuration must
+  /// match. The resumed run's trace is bit-identical to an uninterrupted
+  /// run (modulo select_seconds, which is wall-clock).
+  const AttackCheckpoint* resume = nullptr;
+};
+
 /// Runs a single attack of total budget `budget` (the paper's K).
 sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world,
                             Strategy& strategy, double budget);
+
+/// As above, with fault injection / retry backoff / checkpointing. With
+/// default options this is exactly the plain runner.
+sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world,
+                            Strategy& strategy, double budget,
+                            const AttackRunOptions& options);
 
 /// Factory producing a fresh strategy per Monte-Carlo run (strategies are
 /// stateful). The argument is the run index.
@@ -42,9 +76,15 @@ struct MonteCarloResult {
 /// deadlock-free — waiting threads steal work), but per-strategy busy-time
 /// accounting then mixes across runs; use a separate pool when measuring
 /// utilization.
+///
+/// When `fault` is non-null each run gets its own fault model with the seed
+/// re-derived per run (derive_seed(fault->seed, r)), so runs stay
+/// order-independent. `retry` applies the same backoff policy to every run.
 MonteCarloResult run_monte_carlo(const sim::Problem& problem,
                                  const StrategyFactory& factory, int runs,
                                  double budget, std::uint64_t seed,
-                                 util::ThreadPool* pool = nullptr);
+                                 util::ThreadPool* pool = nullptr,
+                                 const sim::FaultOptions* fault = nullptr,
+                                 const RetryPolicy* retry = nullptr);
 
 }  // namespace recon::core

@@ -1,7 +1,9 @@
 #include "core/baselines.h"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/batch_select.h"
@@ -39,6 +41,23 @@ std::vector<NodeId> RandomStrategy::next_batch(const sim::Observation& obs,
       std::min<std::size_t>(candidates.size(), static_cast<std::size_t>(batch_size_));
   candidates.resize(take);
   return candidates;
+}
+
+std::string RandomStrategy::save_state() const {
+  const auto w = rng_.state_words();
+  std::ostringstream ss;
+  ss << "random " << w[0] << ' ' << w[1] << ' ' << w[2] << ' ' << w[3];
+  return ss.str();
+}
+
+void RandomStrategy::restore_state(const std::string& blob) {
+  std::istringstream ss(blob);
+  std::string tag;
+  std::array<std::uint64_t, 4> w{};
+  if (!(ss >> tag >> w[0] >> w[1] >> w[2] >> w[3]) || tag != "random") {
+    throw std::invalid_argument("RandomStrategy::restore_state: bad state blob");
+  }
+  rng_.set_state_words(w);
 }
 
 HighDegreeStrategy::HighDegreeStrategy(int batch_size)

@@ -18,6 +18,8 @@ class RandomStrategy : public Strategy {
   void begin(const sim::Problem& problem, double budget) override;
   std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
                                         double remaining_budget) override;
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
 
  private:
   int batch_size_;

@@ -1,0 +1,337 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/trace_io.h"
+
+namespace recon::core {
+
+using graph::NodeId;
+
+namespace {
+
+constexpr const char* kHeader = "#recon-checkpoint v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("read_checkpoint: " + what);
+}
+
+/// Parses a "key=value" token, checking the key.
+std::string expect_kv(std::istream& in, const char* key) {
+  std::string token;
+  if (!(in >> token)) fail(std::string("missing ") + key + "=");
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) fail("expected " + prefix + ", got " + token);
+  return token.substr(prefix.size());
+}
+
+std::uint64_t to_u64(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used);
+    if (used != s.size() || s.empty() || s[0] == '-') fail(std::string("bad ") + what);
+    return v;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(std::string("bad ") + what);
+  }
+}
+
+double to_double(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) fail(std::string("bad ") + what);
+    return v;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(std::string("bad ") + what);
+  }
+}
+
+}  // namespace
+
+AttackCheckpoint make_checkpoint(const sim::Observation& obs,
+                                 const Strategy& strategy,
+                                 const sim::AttackTrace& trace, double budget,
+                                 double spent, std::uint64_t round,
+                                 std::uint64_t world_seed,
+                                 const sim::FaultModel* fault) {
+  AttackCheckpoint cp;
+  cp.world_seed = world_seed;
+  cp.budget = budget;
+  cp.spent = spent;
+  cp.round = round;
+  cp.clock = obs.clock();
+  const auto& g = obs.problem().graph;
+  cp.node_states.resize(g.num_nodes());
+  cp.attempts.resize(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    cp.node_states[u] = obs.node_state(u);
+    cp.attempts[u] = obs.attempts(u);
+  }
+  cp.edge_states.assign(obs.edge_states().begin(), obs.edge_states().end());
+  cp.friends.assign(obs.friends().begin(), obs.friends().end());
+  cp.retry_after.assign(obs.retry_after().begin(), obs.retry_after().end());
+  if (fault != nullptr) {
+    cp.has_fault = true;
+    cp.fault = fault->state();
+  }
+  cp.strategy_name = strategy.name();
+  cp.strategy_state = strategy.save_state();
+  if (cp.strategy_state.find('\n') != std::string::npos) {
+    throw std::logic_error("make_checkpoint: strategy state must be one line");
+  }
+  cp.trace = trace;
+  return cp;
+}
+
+void apply_checkpoint(const AttackCheckpoint& cp, sim::Observation& obs,
+                      Strategy& strategy, sim::FaultModel* fault) {
+  if (cp.strategy_name != strategy.name()) {
+    throw std::runtime_error("apply_checkpoint: checkpoint was taken with strategy '" +
+                             cp.strategy_name + "' but resuming with '" +
+                             strategy.name() + "'");
+  }
+  if (cp.has_fault != (fault != nullptr)) {
+    throw std::runtime_error(
+        "apply_checkpoint: fault-model configuration differs from the "
+        "checkpointed run (fault injection must be enabled on resume iff it "
+        "was enabled originally)");
+  }
+  obs.restore(cp.node_states, cp.edge_states, cp.attempts, cp.friends);
+  obs.set_clock(cp.clock);
+  for (NodeId u = 0; u < static_cast<NodeId>(cp.retry_after.size()); ++u) {
+    if (cp.retry_after[u] != 0.0) obs.set_retry_after(u, cp.retry_after[u]);
+  }
+  if (!cp.strategy_state.empty()) strategy.restore_state(cp.strategy_state);
+  if (fault != nullptr) fault->restore(cp.fault);
+}
+
+void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp) {
+  out.precision(17);
+  out << kHeader << '\n';
+  out << "meta world-seed=" << cp.world_seed << " budget=" << cp.budget
+      << " spent=" << cp.spent << " round=" << cp.round << " clock=" << cp.clock
+      << '\n';
+  out << "nodes " << cp.node_states.size() << ' ';
+  for (auto s : cp.node_states) out << static_cast<int>(s);
+  out << '\n';
+  out << "edges " << cp.edge_states.size() << ' ';
+  for (auto s : cp.edge_states) out << static_cast<int>(s);
+  out << '\n';
+  std::size_t nonzero = 0;
+  for (auto a : cp.attempts) nonzero += a != 0;
+  out << "attempts " << nonzero;
+  for (std::size_t u = 0; u < cp.attempts.size(); ++u) {
+    if (cp.attempts[u] != 0) out << ' ' << u << ':' << cp.attempts[u];
+  }
+  out << '\n';
+  out << "friends " << cp.friends.size();
+  for (NodeId f : cp.friends) out << ' ' << f;
+  out << '\n';
+  std::size_t cooling = 0;
+  for (auto t : cp.retry_after) cooling += t != 0.0;
+  out << "cooldowns " << cooling;
+  for (std::size_t u = 0; u < cp.retry_after.size(); ++u) {
+    if (cp.retry_after[u] != 0.0) out << ' ' << u << ':' << cp.retry_after[u];
+  }
+  out << '\n';
+  if (cp.has_fault) {
+    const auto& f = cp.fault;
+    out << "fault sends=" << f.sends << " tick=" << f.tick
+        << " until=" << f.suspended_until << " window=";
+    if (f.window.empty()) {
+      out << '-';
+    } else {
+      for (std::size_t i = 0; i < f.window.size(); ++i) {
+        if (i > 0) out << ',';
+        out << f.window[i].first << ':' << f.window[i].second;
+      }
+    }
+    out << " counters=" << f.counters.delivered << ',' << f.counters.timeouts
+        << ',' << f.counters.drops << ',' << f.counters.throttles << ','
+        << f.counters.bounced << ',' << f.counters.lockouts << '\n';
+  }
+  out << "strategy " << cp.strategy_name << '\n';
+  out << "strategy-state " << cp.strategy_state << '\n';
+  out << "end\n";
+  sim::write_traces(out, {cp.trace});
+}
+
+void write_checkpoint_file(const std::string& path, const AttackCheckpoint& cp) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) throw std::runtime_error("write_checkpoint_file: cannot open " + tmp);
+    write_checkpoint(f, cp);
+    if (!f) throw std::runtime_error("write_checkpoint_file: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("write_checkpoint_file: rename to " + path + " failed");
+  }
+}
+
+AttackCheckpoint read_checkpoint(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    fail("missing/unsupported header (expected '" + std::string(kHeader) + "')");
+  }
+  AttackCheckpoint cp;
+  bool saw_end = false;
+  bool saw_meta = false, saw_nodes = false, saw_edges = false;
+  bool saw_attempts = false, saw_friends = false, saw_cooldowns = false;
+  bool saw_strategy = false, saw_state = false;
+  while (!saw_end && std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "end") {
+      saw_end = true;
+    } else if (kw == "meta") {
+      cp.world_seed = to_u64(expect_kv(ls, "world-seed"), "world-seed");
+      cp.budget = to_double(expect_kv(ls, "budget"), "budget");
+      cp.spent = to_double(expect_kv(ls, "spent"), "spent");
+      cp.round = to_u64(expect_kv(ls, "round"), "round");
+      cp.clock = to_double(expect_kv(ls, "clock"), "clock");
+      saw_meta = true;
+    } else if (kw == "nodes" || kw == "edges") {
+      std::size_t count = 0;
+      if (!(ls >> count)) fail("bad " + kw + " line");
+      std::string digits;
+      ls >> digits;
+      if (digits.size() != count) {
+        fail(kw + " digit string has wrong length (truncated?)");
+      }
+      if (kw == "nodes") {
+        cp.node_states.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (digits[i] < '0' || digits[i] > '2') fail("bad node state digit");
+          cp.node_states[i] = static_cast<sim::NodeState>(digits[i] - '0');
+        }
+        saw_nodes = true;
+      } else {
+        cp.edge_states.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (digits[i] < '0' || digits[i] > '2') fail("bad edge state digit");
+          cp.edge_states[i] = static_cast<sim::EdgeState>(digits[i] - '0');
+        }
+        saw_edges = true;
+      }
+    } else if (kw == "attempts") {
+      if (!saw_nodes) fail("attempts before nodes");
+      std::size_t count = 0;
+      if (!(ls >> count)) fail("bad attempts count");
+      cp.attempts.assign(cp.node_states.size(), 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string pair;
+        if (!(ls >> pair)) fail("truncated attempts line");
+        const std::size_t colon = pair.find(':');
+        if (colon == std::string::npos) fail("bad attempts entry");
+        const std::uint64_t u = to_u64(pair.substr(0, colon), "attempts node");
+        if (u >= cp.attempts.size()) fail("attempts node out of range");
+        cp.attempts[u] = static_cast<std::uint32_t>(
+            to_u64(pair.substr(colon + 1), "attempts value"));
+      }
+      saw_attempts = true;
+    } else if (kw == "friends") {
+      std::size_t count = 0;
+      if (!(ls >> count)) fail("bad friends count");
+      if (count > cp.node_states.size()) fail("friends count exceeds n");
+      cp.friends.resize(count);
+      for (auto& f : cp.friends) {
+        std::string tok;
+        if (!(ls >> tok)) fail("truncated friends line");
+        f = static_cast<NodeId>(to_u64(tok, "friend id"));
+      }
+      saw_friends = true;
+    } else if (kw == "cooldowns") {
+      if (!saw_nodes) fail("cooldowns before nodes");
+      std::size_t count = 0;
+      if (!(ls >> count)) fail("bad cooldowns count");
+      if (count > 0) cp.retry_after.assign(cp.node_states.size(), 0.0);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string pair;
+        if (!(ls >> pair)) fail("truncated cooldowns line");
+        const std::size_t colon = pair.find(':');
+        if (colon == std::string::npos) fail("bad cooldown entry");
+        const std::uint64_t u = to_u64(pair.substr(0, colon), "cooldown node");
+        if (u >= cp.retry_after.size()) fail("cooldown node out of range");
+        cp.retry_after[u] = to_double(pair.substr(colon + 1), "cooldown time");
+      }
+      saw_cooldowns = true;
+    } else if (kw == "fault") {
+      cp.has_fault = true;
+      cp.fault.sends = to_u64(expect_kv(ls, "sends"), "fault sends");
+      cp.fault.tick = to_u64(expect_kv(ls, "tick"), "fault tick");
+      cp.fault.suspended_until = to_u64(expect_kv(ls, "until"), "fault until");
+      const std::string window = expect_kv(ls, "window");
+      cp.fault.window.clear();
+      if (window != "-") {
+        std::size_t pos = 0;
+        while (pos < window.size()) {
+          const std::size_t comma = window.find(',', pos);
+          const std::string entry = window.substr(pos, comma - pos);
+          const std::size_t colon = entry.find(':');
+          if (colon == std::string::npos) fail("bad fault window entry");
+          cp.fault.window.emplace_back(
+              to_u64(entry.substr(0, colon), "window tick"),
+              to_u64(entry.substr(colon + 1), "window count"));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      }
+      const std::string counters = expect_kv(ls, "counters");
+      std::uint64_t vals[6] = {};
+      std::size_t pos = 0;
+      for (int i = 0; i < 6; ++i) {
+        const std::size_t comma = counters.find(',', pos);
+        if (i < 5 && comma == std::string::npos) fail("bad fault counters");
+        vals[i] = to_u64(counters.substr(pos, comma - pos), "fault counter");
+        pos = comma + 1;
+      }
+      cp.fault.counters.delivered = vals[0];
+      cp.fault.counters.timeouts = vals[1];
+      cp.fault.counters.drops = vals[2];
+      cp.fault.counters.throttles = vals[3];
+      cp.fault.counters.bounced = vals[4];
+      cp.fault.counters.lockouts = vals[5];
+    } else if (kw == "strategy") {
+      // The name may contain spaces/parentheses: take the rest of the line.
+      const std::size_t sp = line.find(' ');
+      cp.strategy_name = sp == std::string::npos ? "" : line.substr(sp + 1);
+      saw_strategy = true;
+    } else if (kw == "strategy-state") {
+      const std::size_t sp = line.find(' ');
+      cp.strategy_state = sp == std::string::npos ? "" : line.substr(sp + 1);
+      saw_state = true;
+    } else {
+      fail("unknown section '" + kw + "'");
+    }
+  }
+  if (!saw_end) fail("missing 'end' marker — file is truncated");
+  if (!saw_meta || !saw_nodes || !saw_edges || !saw_attempts || !saw_friends ||
+      !saw_cooldowns || !saw_strategy || !saw_state) {
+    fail("incomplete checkpoint (missing section)");
+  }
+  // The embedded trace follows, as a complete trace document with its own
+  // header and terminator (read_traces rejects truncation itself).
+  auto traces = sim::read_traces(in);
+  if (traces.size() != 1) fail("expected exactly one embedded trace");
+  cp.trace = std::move(traces[0]);
+  return cp;
+}
+
+AttackCheckpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_checkpoint_file: cannot open " + path);
+  return read_checkpoint(f);
+}
+
+}  // namespace recon::core

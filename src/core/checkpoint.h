@@ -1,0 +1,86 @@
+// Checkpoint/resume for synchronous attack runs.
+//
+// A checkpoint captures everything needed to resume an interrupted attack
+// bit-identically: the observation's primary state, budget accounting, the
+// attack clock and retry cooldowns, the fault-model state, the strategy's
+// serialized mutable state (RNG streams, round counters — derived caches are
+// rebuilt), and the trace so far. World randomness is counter-based, so the
+// world itself is reconstructed from its seed by the caller.
+//
+// Versioned text format:
+//
+//   #recon-checkpoint v1
+//   meta world-seed=<u64> budget=<d> spent=<d> round=<u64> clock=<d>
+//   nodes <n> <digit string, one state per node>
+//   edges <m> <digit string, one state per edge>
+//   attempts <count> u:a,...            (sparse; only nonzero counters)
+//   friends <count> f1 f2 ...           (acceptance order)
+//   cooldowns <count> u:t,...           (sparse; only future deadlines)
+//   fault sends=<u64> tick=<u64> until=<u64> window=t:c,... counters=...
+//   strategy <name>
+//   strategy-state <opaque single-line blob>
+//   end
+//   <embedded trace: full #recon-trace v1 document, own terminator>
+//
+// Readers reject truncated or inconsistent files with std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "sim/fault.h"
+#include "sim/observation.h"
+#include "sim/trace.h"
+
+namespace recon::core {
+
+struct AttackCheckpoint {
+  std::uint64_t world_seed = 0;
+  double budget = 0.0;
+  double spent = 0.0;
+  std::uint64_t round = 0;  ///< completed batch rounds
+  double clock = 0.0;       ///< observation clock at checkpoint time
+
+  // Observation primary state (derived state is recomputed on resume).
+  std::vector<sim::NodeState> node_states;
+  std::vector<sim::EdgeState> edge_states;
+  std::vector<std::uint32_t> attempts;
+  std::vector<graph::NodeId> friends;   ///< acceptance order
+  std::vector<double> retry_after;      ///< empty when no cooldown was ever set
+
+  bool has_fault = false;
+  sim::FaultModel::State fault;
+
+  std::string strategy_name;   ///< for mismatch diagnostics only
+  std::string strategy_state;  ///< opaque Strategy::save_state() blob
+
+  sim::AttackTrace trace;
+};
+
+/// Snapshots a running attack. `fault` may be null.
+AttackCheckpoint make_checkpoint(const sim::Observation& obs,
+                                 const Strategy& strategy,
+                                 const sim::AttackTrace& trace, double budget,
+                                 double spent, std::uint64_t round,
+                                 std::uint64_t world_seed,
+                                 const sim::FaultModel* fault);
+
+/// Applies a checkpoint to a freshly-constructed observation / begun strategy
+/// / freshly-constructed fault model. `strategy.begin()` must have been
+/// called first. Throws std::runtime_error on strategy-name mismatch and
+/// std::invalid_argument on inconsistent state.
+void apply_checkpoint(const AttackCheckpoint& cp, sim::Observation& obs,
+                      Strategy& strategy, sim::FaultModel* fault);
+
+void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp);
+/// Atomic write: writes to `path`.tmp then renames, so an interrupted writer
+/// never leaves a half-written checkpoint at `path`.
+void write_checkpoint_file(const std::string& path, const AttackCheckpoint& cp);
+
+AttackCheckpoint read_checkpoint(std::istream& in);
+AttackCheckpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace recon::core

@@ -32,6 +32,10 @@ class MArest : public Strategy {
   void begin(const sim::Problem& problem, double budget) override;
   std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
                                         double remaining_budget) override;
+  std::string save_state() const override { return inner_.save_state(); }
+  void restore_state(const std::string& blob) override {
+    inner_.restore_state(blob);
+  }
 
  private:
   MArestOptions options_;

@@ -1,7 +1,9 @@
 #include "core/pm_arest.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/branch_tree.h"
@@ -51,6 +53,23 @@ void PmArest::begin(const sim::Problem& problem, double budget) {
   } else {
     attempt_cap_ = 1;
   }
+}
+
+std::string PmArest::save_state() const {
+  const auto w = rng_.state_words();
+  std::ostringstream ss;
+  ss << "pmarest " << w[0] << ' ' << w[1] << ' ' << w[2] << ' ' << w[3];
+  return ss.str();
+}
+
+void PmArest::restore_state(const std::string& blob) {
+  std::istringstream ss(blob);
+  std::string tag;
+  std::array<std::uint64_t, 4> w{};
+  if (!(ss >> tag >> w[0] >> w[1] >> w[2] >> w[3]) || tag != "pmarest") {
+    throw std::invalid_argument("PmArest::restore_state: bad state blob");
+  }
+  rng_.set_state_words(w);
 }
 
 int PmArest::draw_batch_size() {

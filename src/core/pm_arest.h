@@ -61,6 +61,10 @@ class PmArest : public Strategy {
   void begin(const sim::Problem& problem, double budget) override;
   std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
                                         double remaining_budget) override;
+  /// Checkpoints only the varying-k RNG stream; the cross-batch score cache
+  /// is a pure function of the observation and is rebuilt on resume.
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
 
   const PmArestOptions& options() const noexcept { return options_; }
 

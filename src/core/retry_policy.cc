@@ -1,0 +1,22 @@
+#include "core/retry_policy.h"
+
+namespace recon::core {
+
+const char* retry_backoff_name(RetryBackoff b) noexcept {
+  switch (b) {
+    case RetryBackoff::kNone: return "none";
+    case RetryBackoff::kFixed: return "fixed";
+    case RetryBackoff::kExponential: return "exponential";
+  }
+  return "unknown";
+}
+
+RetryBackoff parse_retry_backoff(const std::string& name) {
+  if (name == "none") return RetryBackoff::kNone;
+  if (name == "fixed") return RetryBackoff::kFixed;
+  if (name == "exponential" || name == "exp") return RetryBackoff::kExponential;
+  throw std::invalid_argument("unknown retry backoff '" + name +
+                              "' (expected none|fixed|exponential)");
+}
+
+}  // namespace recon::core

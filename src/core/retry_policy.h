@@ -1,0 +1,77 @@
+// Retry/backoff policies for failed or throttled requests (extends the
+// Sec. IV-C retry machinery).
+//
+// A policy maps the attempt count of a node to a cooldown delay, measured in
+// attack-clock units (batch rounds in the synchronous runner, seconds in the
+// rolling-window runner). The runner applies the delay through
+// Observation::set_retry_after, which every selector respects via
+// Observation::requestable — strategies need no retry-specific code.
+//
+// Jitter is deterministic: a counter-based draw keyed on (seed, node,
+// attempt), so a checkpointed-and-resumed attack recomputes the exact same
+// delays without serializing any RNG stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace recon::core {
+
+enum class RetryBackoff : std::uint8_t {
+  kNone = 0,         ///< failed nodes are immediately requestable again
+  kFixed = 1,        ///< constant delay per failure
+  kExponential = 2,  ///< base * multiplier^(attempt-1), capped at max_delay
+};
+
+struct RetryPolicy {
+  RetryBackoff backoff = RetryBackoff::kNone;
+  double base_delay = 1.0;   ///< delay after the first failure (clock units)
+  double multiplier = 2.0;   ///< exponential growth factor
+  double max_delay = 64.0;   ///< cap on any single delay
+  /// Fraction of the delay randomized: the actual delay is drawn uniformly
+  /// from [d*(1-jitter), d*(1+jitter)]. 0 disables jitter.
+  double jitter = 0.0;
+  std::uint64_t seed = 0x8e7751;  ///< jitter stream (counter-based)
+
+  void validate() const {
+    if (base_delay < 0.0 || max_delay < 0.0) {
+      throw std::invalid_argument("RetryPolicy: delays must be non-negative");
+    }
+    if (multiplier < 1.0) {
+      throw std::invalid_argument("RetryPolicy: multiplier must be >= 1");
+    }
+    if (jitter < 0.0 || jitter > 1.0) {
+      throw std::invalid_argument("RetryPolicy: jitter must be in [0, 1]");
+    }
+  }
+
+  bool active() const noexcept { return backoff != RetryBackoff::kNone; }
+
+  /// Cooldown after the `attempt`-th request to `u` failed (attempt >= 1).
+  /// Pure in (policy, u, attempt): safe to recompute after a resume.
+  double delay_for(graph::NodeId u, std::uint32_t attempt) const noexcept {
+    if (backoff == RetryBackoff::kNone) return 0.0;
+    double d = base_delay;
+    if (backoff == RetryBackoff::kExponential) {
+      for (std::uint32_t i = 1; i < attempt && d < max_delay; ++i) d *= multiplier;
+    }
+    d = std::min(d, max_delay);
+    if (jitter > 0.0) {
+      const double x = util::counter_uniform(seed, u, attempt);  // [0, 1)
+      d *= 1.0 + jitter * (2.0 * x - 1.0);
+    }
+    return d;
+  }
+};
+
+const char* retry_backoff_name(RetryBackoff b) noexcept;
+
+/// Parses "none" | "fixed" | "exponential"; throws std::invalid_argument.
+RetryBackoff parse_retry_backoff(const std::string& name);
+
+}  // namespace recon::core

@@ -29,6 +29,19 @@ class Strategy {
   /// batch ends the attack.
   virtual std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
                                                 double remaining_budget) = 0;
+
+  /// Serializes the strategy's mutable state (RNG streams, round counters)
+  /// as a single line of text for checkpointing. Derived caches that are a
+  /// pure function of the observation must NOT be serialized — they are
+  /// rebuilt on resume. The default (empty string) suits stateless
+  /// strategies.
+  virtual std::string save_state() const { return {}; }
+
+  /// Restores state produced by save_state(). Called after begin(), before
+  /// any next_batch(). Must make a subsequent run bit-identical to one that
+  /// was never checkpointed. Throws std::invalid_argument on a malformed
+  /// blob.
+  virtual void restore_state(const std::string& blob) { (void)blob; }
 };
 
 }  // namespace recon::core

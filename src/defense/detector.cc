@@ -1,6 +1,7 @@
 #include "defense/detector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -87,6 +88,26 @@ DetectionResult RateLimitDetector::evaluate(const sim::AttackTrace& trace,
     }
   }
   return result;
+}
+
+sim::SuspensionRule suspension_rule_from(const RateLimitDetector& detector,
+                                         double round_seconds,
+                                         std::uint64_t lockout_ticks) {
+  if (round_seconds <= 0.0) {
+    throw std::invalid_argument("suspension_rule_from: round_seconds must be positive");
+  }
+  if (lockout_ticks == 0) {
+    throw std::invalid_argument("suspension_rule_from: lockout_ticks must be positive");
+  }
+  sim::SuspensionRule rule;
+  rule.max_requests = detector.max_requests();
+  // Round the window up so the enforcement rule is at least as strict as the
+  // detector it mirrors.
+  rule.window_ticks = static_cast<std::uint64_t>(
+      std::ceil(detector.window_seconds() / round_seconds));
+  if (rule.window_ticks == 0) rule.window_ticks = 1;
+  rule.lockout_ticks = lockout_ticks;
+  return rule;
 }
 
 PatternDetector::PatternDetector(std::size_t suspicious_run_length,

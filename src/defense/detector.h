@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/problem.h"
 #include "sim/trace.h"
 
@@ -78,6 +79,15 @@ class HoneypotMonitor {
   std::vector<std::uint8_t> is_monitored_;
   std::size_t count_;
 };
+
+/// Converts a rate-limit detector into the fault model's enforcement-side
+/// suspension rule: the window is rescaled from seconds to runner ticks
+/// (one tick = `round_seconds` of wall clock, rounded up so the rule is
+/// never laxer than the detector), and a trip locks the account out for
+/// `lockout_ticks`. Requires round_seconds > 0 and lockout_ticks > 0.
+sim::SuspensionRule suspension_rule_from(const RateLimitDetector& detector,
+                                         double round_seconds,
+                                         std::uint64_t lockout_ticks);
 
 /// Chooses monitor placements by simulating attacks (the Paradise et al.
 /// approach): runs `runs` Monte-Carlo PM-AReST attacks with batch size k and

@@ -1,0 +1,117 @@
+#include "sim/fault.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace recon::sim {
+
+const char* outcome_name(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kDelivered: return "delivered";
+    case RequestOutcome::kTimeout: return "timeout";
+    case RequestOutcome::kDropped: return "dropped";
+    case RequestOutcome::kThrottled: return "throttled";
+    case RequestOutcome::kSuspended: return "suspended";
+  }
+  return "unknown";
+}
+
+void FaultOptions::validate() const {
+  for (double r : {timeout_rate, drop_rate, throttle_rate}) {
+    if (r < 0.0 || r > 1.0) {
+      throw std::invalid_argument("FaultOptions: fault rates must be in [0, 1]");
+    }
+  }
+  if (timeout_rate + drop_rate + throttle_rate > 1.0 + 1e-12) {
+    throw std::invalid_argument("FaultOptions: fault rates must sum to at most 1");
+  }
+  if (suspension.max_requests > 0 &&
+      (suspension.window_ticks == 0 || suspension.lockout_ticks == 0)) {
+    throw std::invalid_argument(
+        "FaultOptions: suspension window and lockout must be positive ticks");
+  }
+}
+
+FaultModel::FaultModel(const FaultOptions& options)
+    : options_(options), draw_seed_(util::derive_seed(options.seed, 0xFA17ULL)) {
+  options_.validate();
+}
+
+bool FaultModel::note_request() {
+  if (options_.suspension.max_requests == 0) return false;
+  // Expire window entries older than window_ticks.
+  const std::uint64_t horizon =
+      tick_ >= options_.suspension.window_ticks
+          ? tick_ - options_.suspension.window_ticks + 1
+          : 0;
+  while (!window_.empty() && window_.front().first < horizon) {
+    window_total_ -= window_.front().second;
+    window_.pop_front();
+  }
+  if (window_.empty() || window_.back().first != tick_) {
+    window_.emplace_back(tick_, 0);
+  }
+  ++window_.back().second;
+  ++window_total_;
+  if (window_total_ > options_.suspension.max_requests) {
+    suspended_until_ = tick_ + options_.suspension.lockout_ticks;
+    window_.clear();
+    window_total_ = 0;
+    ++counters_.lockouts;
+    return true;
+  }
+  return false;
+}
+
+RequestOutcome FaultModel::resolve(graph::NodeId u) {
+  const std::uint64_t send = sends_++;
+  if (suspended()) {
+    ++counters_.bounced;
+    return RequestOutcome::kSuspended;
+  }
+  if (note_request()) {
+    // The request that trips the rate limit is itself refused.
+    ++counters_.bounced;
+    return RequestOutcome::kSuspended;
+  }
+  const double x = util::counter_uniform(draw_seed_, send, u);
+  if (x < options_.timeout_rate) {
+    ++counters_.timeouts;
+    return RequestOutcome::kTimeout;
+  }
+  if (x < options_.timeout_rate + options_.drop_rate) {
+    ++counters_.drops;
+    return RequestOutcome::kDropped;
+  }
+  if (x < options_.timeout_rate + options_.drop_rate + options_.throttle_rate) {
+    ++counters_.throttles;
+    return RequestOutcome::kThrottled;
+  }
+  ++counters_.delivered;
+  return RequestOutcome::kDelivered;
+}
+
+void FaultModel::advance_ticks(std::uint64_t ticks) { tick_ += ticks; }
+
+FaultModel::State FaultModel::state() const {
+  State s;
+  s.sends = sends_;
+  s.tick = tick_;
+  s.suspended_until = suspended_until_;
+  s.window.assign(window_.begin(), window_.end());
+  s.counters = counters_;
+  return s;
+}
+
+void FaultModel::restore(const State& state) {
+  sends_ = state.sends;
+  tick_ = state.tick;
+  suspended_until_ = state.suspended_until;
+  window_.assign(state.window.begin(), state.window.end());
+  window_total_ = 0;
+  for (const auto& [t, c] : window_) window_total_ += c;
+  counters_ = state.counters;
+}
+
+}  // namespace recon::sim

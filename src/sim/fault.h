@@ -1,0 +1,131 @@
+// Seeded, deterministic fault injection for request resolution.
+//
+// The clean simulation resolves every request to accept/reject; a real
+// campaign also sees the operational hazards that make Sec. IV-C's retry
+// machinery necessary. FaultModel injects four failure modes between the
+// attacker and the acceptance draw:
+//
+//  * timeout   — the request never reaches the user: no response, the
+//                attempt index is consumed, nothing is learned;
+//  * drop      — the user decided but the response was lost: observably
+//                identical to a timeout (the per-attempt acceptance draw is
+//                simply skipped — draws are pure in (seed, node, attempt));
+//  * throttle  — the platform bounces the request (rate limiting): the
+//                round-trip is wasted (cost is charged) but the user never
+//                saw it, so no attempt is consumed;
+//  * suspension— a detector-style sliding-window rule (cf.
+//                defense::RateLimitDetector; convert one with
+//                defense::suspension_rule_from) trips once the account sends
+//                more than `max_requests` requests within `window_ticks`
+//                ticks, locking it out for `lockout_ticks`. Requests during
+//                lockout bounce for free; the runner waits the lockout out.
+//
+// Per-request fault draws are counter-based — pure in (seed, send index,
+// node) — so a checkpointed run resumes bit-identically after restoring the
+// small State struct. A tick is one unit of the runner's logical clock: a
+// batch round for the synchronous runner, a resolved event for the
+// rolling-window runner.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace recon::sim {
+
+enum class RequestOutcome : std::uint8_t {
+  kDelivered = 0,  ///< reached the user; accept/reject per acceptance model
+  kTimeout = 1,    ///< no response; outcome unknown, attempt consumed
+  kDropped = 2,    ///< user decided but the response was lost
+  kThrottled = 3,  ///< platform bounced the request (rate limiting)
+  kSuspended = 4,  ///< account locked out; request not processed, no cost
+};
+
+/// Printable name ("delivered", "timeout", ...).
+const char* outcome_name(RequestOutcome outcome) noexcept;
+
+/// Sliding-window suspension rule: more than `max_requests` requests within
+/// any `window_ticks` consecutive ticks trips a lockout of `lockout_ticks`.
+struct SuspensionRule {
+  std::size_t max_requests = 0;  ///< 0 disables suspension entirely
+  std::uint64_t window_ticks = 1;
+  std::uint64_t lockout_ticks = 1;
+};
+
+struct FaultOptions {
+  double timeout_rate = 0.0;   ///< P[timeout] per request
+  double drop_rate = 0.0;      ///< P[drop] per request
+  double throttle_rate = 0.0;  ///< P[throttle] per request
+  SuspensionRule suspension;
+  std::uint64_t seed = 0xFA17;
+
+  bool any_faults() const noexcept {
+    return timeout_rate > 0.0 || drop_rate > 0.0 || throttle_rate > 0.0 ||
+           suspension.max_requests > 0;
+  }
+  /// Throws std::invalid_argument on rates outside [0,1] or summing past 1.
+  void validate() const;
+};
+
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultOptions& options);
+
+  const FaultOptions& options() const noexcept { return options_; }
+
+  /// Resolves the fault outcome of the next request, to node u. Advances the
+  /// send counter; deterministic in (seed, send index, u).
+  RequestOutcome resolve(graph::NodeId u);
+
+  /// Advances the logical clock by `ticks` (default one batch round / event).
+  void advance_ticks(std::uint64_t ticks = 1);
+
+  std::uint64_t tick() const noexcept { return tick_; }
+  bool suspended() const noexcept { return tick_ < suspended_until_; }
+  /// First tick at which the account is usable again (<= tick() when not
+  /// suspended).
+  std::uint64_t suspended_until() const noexcept { return suspended_until_; }
+
+  /// Outcome tallies since construction (or the last restore()).
+  struct Counters {
+    std::uint64_t delivered = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t throttles = 0;
+    std::uint64_t bounced = 0;   ///< requests refused while suspended
+    std::uint64_t lockouts = 0;  ///< times the suspension rule tripped
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// Complete mutable state, for checkpoint serialization. Restoring a saved
+  /// State resumes the fault stream bit-identically.
+  struct State {
+    std::uint64_t sends = 0;
+    std::uint64_t tick = 0;
+    std::uint64_t suspended_until = 0;
+    /// (tick, requests issued during that tick) for the sliding window.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> window;
+    Counters counters;
+  };
+  State state() const;
+  void restore(const State& state);
+
+ private:
+  /// Window bookkeeping for one request at the current tick; returns true if
+  /// this request tripped the suspension rule.
+  bool note_request();
+
+  FaultOptions options_;
+  std::uint64_t draw_seed_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t suspended_until_ = 0;
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> window_;
+  std::size_t window_total_ = 0;
+  Counters counters_;
+};
+
+}  // namespace recon::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace recon::sim {
@@ -24,6 +25,30 @@ BenefitBreakdown Observation::record_reject(NodeId u) {
   ++attempts_[u];
   node_state_[u] = NodeState::kRejected;
   return {};
+}
+
+void Observation::record_no_response(NodeId u) {
+  if (is_friend_[u]) {
+    throw std::logic_error("record_no_response: u is already a friend");
+  }
+  ++attempts_[u];
+}
+
+void Observation::set_retry_after(NodeId u, double until) {
+  if (retry_after_.empty()) retry_after_.assign(node_state_.size(), 0.0);
+  retry_after_[u] = until;
+}
+
+double Observation::next_retry_time(bool allow_retries) const noexcept {
+  if (retry_after_.empty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId u = 0; u < static_cast<NodeId>(retry_after_.size()); ++u) {
+    if (retry_after_[u] <= clock_) continue;
+    if (is_friend_[u]) continue;
+    if (node_state_[u] == NodeState::kRejected && !allow_retries) continue;
+    best = std::min(best, retry_after_[u]);
+  }
+  return best;
 }
 
 BenefitBreakdown Observation::record_accept(NodeId u,
@@ -90,6 +115,46 @@ BenefitBreakdown Observation::recompute_benefit() const {
     if (edge_state_[e] == EdgeState::kPresent) total.edges += problem_->benefit.bi[e];
   }
   return total;
+}
+
+void Observation::restore(std::span<const NodeState> node_states,
+                          std::span<const EdgeState> edge_states,
+                          std::span<const std::uint32_t> attempts,
+                          std::span<const NodeId> friends_in_order) {
+  const auto& g = problem_->graph;
+  if (node_states.size() != g.num_nodes() || attempts.size() != g.num_nodes() ||
+      edge_states.size() != g.num_edges()) {
+    throw std::invalid_argument("Observation::restore: state size mismatch");
+  }
+  node_state_.assign(node_states.begin(), node_states.end());
+  edge_state_.assign(edge_states.begin(), edge_states.end());
+  attempts_.assign(attempts.begin(), attempts.end());
+  friends_.assign(friends_in_order.begin(), friends_in_order.end());
+  is_friend_.assign(g.num_nodes(), 0);
+  for (NodeId f : friends_) {
+    if (f >= g.num_nodes() || node_state_[f] != NodeState::kAccepted ||
+        is_friend_[f] != 0) {
+      throw std::invalid_argument("Observation::restore: inconsistent friend list");
+    }
+    is_friend_[f] = 1;
+  }
+  // Derived state: mutual_[v] counts friends adjacent to v via revealed
+  // existing edges; fof iff a non-friend has any such neighbor.
+  mutual_.assign(g.num_nodes(), 0);
+  for (NodeId f : friends_) {
+    const auto nbrs = g.neighbors(f);
+    const auto eids = g.incident_edges(f);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (edge_state_[eids[i]] == EdgeState::kPresent) ++mutual_[nbrs[i]];
+    }
+  }
+  is_fof_.assign(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!is_friend_[u] && mutual_[u] > 0) is_fof_[u] = 1;
+  }
+  benefit_ = recompute_benefit();
+  retry_after_.clear();
+  clock_ = 0.0;
 }
 
 }  // namespace recon::sim

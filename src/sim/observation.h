@@ -69,16 +69,45 @@ class Observation {
     return problem_->acceptance.probability(problem_->graph, u, mutual_[u]);
   }
 
-  /// Whether u may be requested: not yet a friend, and either never asked or
-  /// previously rejected with retries allowed.
+  /// Whether u may be requested: not yet a friend, not cooling down under a
+  /// retry-backoff policy, and either never asked or previously rejected
+  /// with retries allowed.
   bool requestable(graph::NodeId u, bool allow_retries) const noexcept {
     if (is_friend_[u]) return false;
+    if (cooling_down(u)) return false;
     return node_state_[u] == NodeState::kUnknown ||
            (allow_retries && node_state_[u] == NodeState::kRejected);
   }
 
+  /// Logical attack clock: batch rounds in the synchronous runner, seconds
+  /// in the rolling-window runner. Only consulted by retry cooldowns.
+  double clock() const noexcept { return clock_; }
+  void set_clock(double now) noexcept { clock_ = now; }
+
+  /// Blocks requests to u until the clock reaches `until` (retry backoff).
+  /// Storage is allocated lazily, so attacks without backoff pay nothing.
+  void set_retry_after(graph::NodeId u, double until);
+
+  bool cooling_down(graph::NodeId u) const noexcept {
+    return !retry_after_.empty() && retry_after_[u] > clock_;
+  }
+
+  /// Earliest cooldown expiry among nodes that would otherwise be
+  /// requestable; +infinity when nothing is cooling down. The runner uses
+  /// this to fast-forward the clock instead of ending the attack.
+  double next_retry_time(bool allow_retries) const noexcept;
+
+  /// Per-node cooldown deadlines (empty when no backoff was ever applied);
+  /// exposed for checkpoint serialization.
+  std::span<const double> retry_after() const noexcept { return retry_after_; }
+
   /// Records a rejected request to u. Returns the (empty) benefit delta.
   BenefitBreakdown record_reject(graph::NodeId u);
+
+  /// Records a request to u that produced no observable outcome (timeout or
+  /// dropped response): the attempt index is consumed — the next retry draws
+  /// fresh acceptance randomness — but the node's state is unchanged.
+  void record_no_response(graph::NodeId u);
 
   /// Records an accepted request to u and reveals its neighborhood:
   /// `true_neighbors` is the subset of graph.neighbors(u) that exist in the
@@ -93,6 +122,15 @@ class Observation {
   /// used by tests to validate incremental accounting.
   BenefitBreakdown recompute_benefit() const;
 
+  /// Rebuilds the observation from checkpointed primary state (node/edge
+  /// states, attempt counters, friends in acceptance order); derived state —
+  /// friend/fof masks, mutual counters, benefit — is recomputed. Throws
+  /// std::invalid_argument on size mismatches or inconsistent friends.
+  void restore(std::span<const NodeState> node_states,
+               std::span<const EdgeState> edge_states,
+               std::span<const std::uint32_t> attempts,
+               std::span<const graph::NodeId> friends_in_order);
+
  private:
   const Problem* problem_;
   std::vector<NodeState> node_state_;
@@ -103,6 +141,8 @@ class Observation {
   std::vector<std::uint32_t> mutual_;
   std::vector<graph::NodeId> friends_;
   BenefitBreakdown benefit_;
+  std::vector<double> retry_after_;  ///< lazily allocated cooldown deadlines
+  double clock_ = 0.0;
 };
 
 }  // namespace recon::sim

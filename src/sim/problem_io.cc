@@ -85,6 +85,9 @@ void write_problem(std::ostream& out, const Problem& problem) {
     for (auto a : g.attributes()) out << ' ' << a;
     out << '\n';
   }
+  // Explicit terminator: lets the reader distinguish a complete file from
+  // one truncated at a section boundary.
+  out << "end\n";
 }
 
 void write_problem_file(const std::string& path, const Problem& problem) {
@@ -124,17 +127,24 @@ Problem read_problem(std::istream& in) {
   std::vector<double> bf, bfof, bi;
   bool paper_benefit = false;
 
+  bool saw_end = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (saw_end) fail("content after 'end' marker");
     std::istringstream ls(line);
     std::string kw;
     ls >> kw;
-    if (kw == "targets") {
+    if (kw == "end") {
+      saw_end = true;
+    } else if (kw == "targets") {
       std::size_t count = 0;
       if (!(ls >> count)) fail("bad targets count");
+      // Bound before allocating: a corrupt count must not trigger a huge
+      // resize or leave a partially-read target list looking valid.
+      if (count > static_cast<std::size_t>(n)) fail("targets count exceeds n");
       p.targets.resize(count);
       for (auto& t : p.targets) {
-        if (!(ls >> t)) fail("bad target id");
+        if (!(ls >> t)) fail("bad target id (truncated targets line?)");
       }
     } else if (kw == "acceptance") {
       std::string mode;
@@ -192,7 +202,13 @@ Problem read_problem(std::istream& in) {
     }
   }
 
-  if (attr_dim > 0) builder.set_attributes(std::move(attrs), attr_dim);
+  if (!saw_end) fail("missing 'end' marker — file is truncated");
+  if (attr_dim > 0) {
+    if (attrs.size() != static_cast<std::size_t>(n) * attr_dim) {
+      fail("attrs line has wrong value count (truncated?)");
+    }
+    builder.set_attributes(std::move(attrs), attr_dim);
+  }
   p.graph = builder.build();
   p.is_target.assign(n, 0);
   for (auto t : p.targets) {

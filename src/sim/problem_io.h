@@ -13,6 +13,7 @@
 //   benefit paper | benefit custom (+ bf/bfof/bi vectors when custom)
 //   costs uniform | costs pernode <c1> ...
 //   attrs <dim> <cardinality-free values...>   (optional)
+//   end                            (required terminator; detects truncation)
 #pragma once
 
 #include <iosfwd>

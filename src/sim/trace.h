@@ -17,6 +17,9 @@ namespace recon::sim {
 struct BatchRecord {
   std::vector<graph::NodeId> requests;   ///< nodes requested in this batch
   std::vector<std::uint8_t> accepted;    ///< aligned accept/reject flags
+  /// Aligned fault outcomes (sim::RequestOutcome values); empty means every
+  /// request was delivered normally (the fault-free fast path).
+  std::vector<std::uint8_t> outcome;
   BenefitBreakdown delta;                ///< benefit gained by this batch
   BenefitBreakdown cumulative;           ///< benefit after this batch
   double cost = 0.0;                     ///< total cost of this batch's requests

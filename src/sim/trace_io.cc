@@ -22,11 +22,19 @@ void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
       for (std::size_t i = 0; i < b.requests.size(); ++i) {
         if (i > 0) out << ',';
         out << b.requests[i] << ':' << static_cast<int>(b.accepted[i]);
+        // Non-delivered outcomes get a third field; fault-free batches keep
+        // the original two-field entries so old files stay byte-identical.
+        if (i < b.outcome.size() && b.outcome[i] != 0) {
+          out << ':' << static_cast<int>(b.outcome[i]);
+        }
       }
       out << " df=" << b.delta.friends << " dx=" << b.delta.fofs
           << " de=" << b.delta.edges << '\n';
     }
   }
+  // Explicit terminator so a truncated file is detectable: a tail cut at a
+  // line boundary would otherwise silently drop batches.
+  out << "end " << traces.size() << '\n';
 }
 
 void write_traces_file(const std::string& path, const std::vector<AttackTrace>& traces) {
@@ -38,16 +46,41 @@ void write_traces_file(const std::string& path, const std::vector<AttackTrace>& 
 
 namespace {
 
+[[noreturn]] void fail_at(const std::string& what, std::size_t lineno) {
+  throw std::runtime_error("read_traces: " + what + " at line " +
+                           std::to_string(lineno));
+}
+
 double parse_field(const std::string& token, const char* name, std::size_t lineno) {
   const std::string prefix = std::string(name) + "=";
-  if (token.rfind(prefix, 0) != 0) {
-    throw std::runtime_error("read_traces: expected '" + prefix + "' at line " +
-                             std::to_string(lineno));
+  if (token.rfind(prefix, 0) != 0) fail_at("expected '" + prefix + "'", lineno);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token.substr(prefix.size()), &used);
+    if (used != token.size() - prefix.size()) fail_at("trailing junk in number", lineno);
+    return v;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail_at("bad number", lineno);
+  }
+}
+
+/// Strict unsigned parse of a full token (rejects empty, signs, junk).
+std::uint64_t parse_unsigned(const std::string& token, const char* what,
+                             std::size_t lineno) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') {
+    fail_at(std::string("bad ") + what, lineno);
   }
   try {
-    return std::stod(token.substr(prefix.size()));
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(token, &used);
+    if (used != token.size()) fail_at(std::string("bad ") + what, lineno);
+    return v;
+  } catch (const std::runtime_error&) {
+    throw;
   } catch (const std::exception&) {
-    throw std::runtime_error("read_traces: bad number at line " + std::to_string(lineno));
+    fail_at(std::string("bad ") + what, lineno);
   }
 }
 
@@ -55,15 +88,18 @@ double parse_field(const std::string& token, const char* name, std::size_t linen
 
 std::vector<AttackTrace> read_traces(std::istream& in) {
   std::string line;
-  std::size_t lineno = 0;
+  std::size_t lineno = 1;
   if (!std::getline(in, line) || line != kHeader) {
-    throw std::runtime_error("read_traces: missing/unsupported header");
+    throw std::runtime_error(
+        "read_traces: missing/unsupported header (expected '" +
+        std::string(kHeader) + "')");
   }
-  ++lineno;
   std::vector<AttackTrace> traces;
+  bool saw_end = false;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
+    if (saw_end) fail_at("content after 'end' marker", lineno);
     std::istringstream ls(line);
     std::string kind;
     ls >> kind;
@@ -71,39 +107,61 @@ std::vector<AttackTrace> read_traces(std::istream& in) {
       traces.emplace_back();
       continue;
     }
-    if (kind != "batch") {
-      throw std::runtime_error("read_traces: unknown record '" + kind + "' at line " +
-                               std::to_string(lineno));
+    if (kind == "end") {
+      std::string count_tok;
+      ls >> count_tok;
+      const std::uint64_t count = parse_unsigned(count_tok, "end count", lineno);
+      if (count != traces.size()) {
+        fail_at("trace count mismatch (file is truncated or corrupt)", lineno);
+      }
+      saw_end = true;
+      continue;
     }
-    if (traces.empty()) {
-      throw std::runtime_error("read_traces: batch before trace at line " +
-                               std::to_string(lineno));
-    }
+    if (kind != "batch") fail_at("unknown record '" + kind + "'", lineno);
+    if (traces.empty()) fail_at("batch before trace", lineno);
     std::string sel_tok, cost_tok, reqs_tok, df_tok, dx_tok, de_tok;
     ls >> sel_tok >> cost_tok >> reqs_tok >> df_tok >> dx_tok >> de_tok;
     BatchRecord b;
     b.select_seconds = parse_field(sel_tok, "sel", lineno);
     b.cost = parse_field(cost_tok, "cost", lineno);
-    if (reqs_tok.rfind("reqs=", 0) != 0) {
-      throw std::runtime_error("read_traces: expected reqs= at line " +
-                               std::to_string(lineno));
-    }
+    if (reqs_tok.rfind("reqs=", 0) != 0) fail_at("expected reqs=", lineno);
     const std::string reqs = reqs_tok.substr(5);
+    bool any_outcome = false;
     std::size_t pos = 0;
     while (pos < reqs.size()) {
       const std::size_t comma = reqs.find(',', pos);
       const std::string entry = reqs.substr(pos, comma - pos);
       const std::size_t colon = entry.find(':');
-      if (colon == std::string::npos) {
-        throw std::runtime_error("read_traces: bad request entry at line " +
-                                 std::to_string(lineno));
+      if (colon == std::string::npos) fail_at("bad request entry", lineno);
+      const std::size_t colon2 = entry.find(':', colon + 1);
+      const std::string accept_tok =
+          entry.substr(colon + 1, colon2 == std::string::npos
+                                      ? std::string::npos
+                                      : colon2 - colon - 1);
+      if (accept_tok != "0" && accept_tok != "1") {
+        fail_at("accept flag must be 0 or 1", lineno);
       }
-      b.requests.push_back(
-          static_cast<graph::NodeId>(std::stoul(entry.substr(0, colon))));
-      b.accepted.push_back(entry.substr(colon + 1) == "1" ? 1 : 0);
+      const std::uint64_t node = parse_unsigned(entry.substr(0, colon),
+                                                "request node id", lineno);
+      if (node > static_cast<std::uint64_t>(graph::kInvalidNode)) {
+        fail_at("request node id out of range", lineno);
+      }
+      std::uint8_t outcome = 0;
+      if (colon2 != std::string::npos) {
+        const std::uint64_t o =
+            parse_unsigned(entry.substr(colon2 + 1), "request outcome", lineno);
+        if (o > 4) fail_at("request outcome out of range", lineno);
+        outcome = static_cast<std::uint8_t>(o);
+      }
+      b.requests.push_back(static_cast<graph::NodeId>(node));
+      b.accepted.push_back(accept_tok == "1" ? 1 : 0);
+      b.outcome.push_back(outcome);
+      if (outcome != 0) any_outcome = true;
       if (comma == std::string::npos) break;
       pos = comma + 1;
     }
+    // Fault-free batches keep the empty-outcome fast-path representation.
+    if (!any_outcome) b.outcome.clear();
     b.delta.friends = parse_field(df_tok, "df", lineno);
     b.delta.fofs = parse_field(dx_tok, "dx", lineno);
     b.delta.edges = parse_field(de_tok, "de", lineno);
@@ -117,6 +175,10 @@ std::vector<AttackTrace> read_traces(std::istream& in) {
     b.cumulative += b.delta;
     b.cumulative_cost = prev_cost + b.cost;
     trace.batches.push_back(std::move(b));
+  }
+  if (!saw_end) {
+    throw std::runtime_error(
+        "read_traces: missing 'end' marker — file is truncated");
   }
   return traces;
 }

@@ -2,21 +2,35 @@
 
 #include <stdexcept>
 
+#include "util/timer.h"
+
 namespace recon::solver {
 
 namespace {
 
 constexpr double kEps = 1e-9;
 
+/// Deadline poll interval in explored nodes — cheap enough that even a 1 ms
+/// budget is respected to within a few hundred bound evaluations.
+constexpr std::uint64_t kDeadlineCheckMask = 255;
+
 struct Searcher {
   const BnbOracle& oracle;
   const BnbLimits& limits;
   BnbResult result;
   std::vector<std::size_t> chosen;
+  util::WallTimer timer;
 
   void dfs(std::size_t next_index) {
     if (++result.nodes_explored > limits.max_nodes) {
       result.completed = false;
+      return;
+    }
+    if (limits.deadline_seconds > 0.0 &&
+        (result.nodes_explored & kDeadlineCheckMask) == 0 &&
+        timer.seconds() > limits.deadline_seconds) {
+      result.completed = false;
+      result.timed_out = true;
       return;
     }
     if (chosen.size() == oracle.cardinality) {
@@ -54,7 +68,7 @@ BnbResult branch_and_bound(const BnbOracle& oracle, const BnbLimits& limits) {
   if (!oracle.evaluate || !oracle.bound) {
     throw std::invalid_argument("branch_and_bound: oracle callbacks unset");
   }
-  Searcher s{oracle, limits, {}, {}};
+  Searcher s{oracle, limits, {}, {}, {}};
   s.result.best_value = -1e300;
   s.chosen.reserve(oracle.cardinality);
   if (oracle.cardinality == 0) {

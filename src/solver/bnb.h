@@ -32,11 +32,15 @@ struct BnbResult {
   std::vector<std::size_t> best_set;
   double best_value = 0.0;
   std::uint64_t nodes_explored = 0;
-  bool completed = true;  ///< false if the node limit stopped the search
+  bool completed = true;  ///< false if a limit stopped the search
+  bool timed_out = false; ///< true when the deadline (not the node cap) hit
 };
 
 struct BnbLimits {
   std::uint64_t max_nodes = 50'000'000;
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked every few hundred
+  /// nodes, so the search may overshoot by one check interval.
+  double deadline_seconds = 0.0;
 };
 
 /// Depth-first branch and bound with inclusion-first ordering (items should

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "solver/bnb.h"
+#include "util/timer.h"
 
 namespace recon::solver {
 
@@ -21,9 +22,14 @@ std::vector<NodeId> fob_candidates(const sim::Observation& obs, bool allow_retri
 }
 
 FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
-                     std::size_t k, const std::vector<NodeId>& candidates) {
+                     std::size_t k, const std::vector<NodeId>& candidates,
+                     double deadline_seconds) {
   FobResult result;
   if (k == 0 || candidates.empty()) return result;
+  util::WallTimer timer;
+  const auto past_deadline = [&] {
+    return deadline_seconds > 0.0 && timer.seconds() > deadline_seconds;
+  };
 
   struct Entry {
     double gain;
@@ -39,10 +45,20 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
   double current = 0.0;
   std::priority_queue<Entry> heap;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if ((i & 63) == 0 && past_deadline()) {
+      // Deadline hit during singleton scoring: return what is scored so far
+      // greedily (possibly nothing — the caller falls back another tier).
+      result.timed_out = true;
+      break;
+    }
     const double v = saa_objective(obs, scenarios, {candidates[i]});
     if (v > 0.0) heap.push({v, i, 0});
   }
   while (batch.size() < k && !heap.empty()) {
+    if (past_deadline()) {
+      result.timed_out = true;
+      break;
+    }
     Entry top = heap.top();
     heap.pop();
     if (top.stamp != batch.size()) {
@@ -67,7 +83,13 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
 FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                     std::size_t k, const std::vector<NodeId>& candidates,
                     const FobExactOptions& options) {
-  FobResult greedy = fob_greedy(obs, scenarios, k, candidates);
+  util::WallTimer timer;
+  FobResult greedy = fob_greedy(obs, scenarios, k, candidates,
+                                options.deadline_seconds);
+  if (greedy.timed_out) {
+    greedy.exact = false;
+    return greedy;  // no time left for the search; partial greedy incumbent
+  }
   if (k == 0 || candidates.empty()) return greedy;
 
   // Order candidates by decreasing singleton gain for pruning power, and
@@ -75,6 +97,11 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
   std::vector<std::pair<double, NodeId>> ranked;
   ranked.reserve(candidates.size());
   for (NodeId u : candidates) {
+    if (options.deadline_seconds > 0.0 && (ranked.size() & 63) == 0 &&
+        timer.seconds() > options.deadline_seconds) {
+      greedy.timed_out = true;
+      return greedy;
+    }
     ranked.emplace_back(saa_objective(obs, scenarios, {u}), u);
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -124,11 +151,18 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
 
   BnbLimits limits;
   limits.max_nodes = options.max_nodes;
+  if (options.deadline_seconds > 0.0) {
+    // The search gets whatever wall-clock budget the greedy incumbent and
+    // candidate ranking left over.
+    limits.deadline_seconds =
+        std::max(1e-6, options.deadline_seconds - timer.seconds());
+  }
   BnbResult bnb = branch_and_bound(oracle, limits);
 
   FobResult result;
   result.nodes_explored = bnb.nodes_explored;
   result.exact = bnb.completed;
+  result.timed_out = bnb.timed_out;
   if (bnb.best_value >= greedy.objective && !bnb.best_set.empty()) {
     result.batch = to_nodes(bnb.best_set);
     std::sort(result.batch.begin(), result.batch.end());

@@ -24,15 +24,19 @@ struct FobResult {
   double objective = 0.0;           ///< SAA objective of `batch`
   std::uint64_t nodes_explored = 0; ///< B&B nodes (0 for greedy)
   bool exact = false;               ///< true when B&B completed
+  bool timed_out = false;           ///< a wall-clock deadline cut the solve short
 };
 
 /// Candidate set for FOB: requestable nodes (optionally with retries).
 std::vector<graph::NodeId> fob_candidates(const sim::Observation& obs,
                                           bool allow_retries);
 
-/// Lazy-greedy FOB over the SAA objective.
+/// Lazy-greedy FOB over the SAA objective. With `deadline_seconds` > 0 the
+/// solve stops at the deadline and returns the partial batch built so far
+/// (timed_out reports whether that happened).
 FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
-                     std::size_t k, const std::vector<graph::NodeId>& candidates);
+                     std::size_t k, const std::vector<graph::NodeId>& candidates,
+                     double deadline_seconds = 0.0);
 
 struct FobExactOptions {
   std::uint64_t max_nodes = 2'000'000;  ///< B&B node cap
@@ -41,6 +45,10 @@ struct FobExactOptions {
   /// may exclude the true optimum; FobResult::exact still reports whether
   /// the search over the (possibly capped) candidate set completed.
   std::size_t candidate_cap = 0;
+  /// Wall-clock budget for the B&B phase, seconds (0 = unlimited). On
+  /// timeout the greedy incumbent is returned with exact=false,
+  /// timed_out=true.
+  double deadline_seconds = 0.0;
 };
 
 /// Exact FOB via branch and bound (falls back to the greedy incumbent if the

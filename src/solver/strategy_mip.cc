@@ -1,6 +1,7 @@
 #include "solver/strategy_mip.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "solver/benders.h"
@@ -29,6 +30,23 @@ void MipBatchStrategy::begin(const sim::Problem& problem, double budget) {
   (void)budget;
   round_ = 0;
   all_exact_ = true;
+}
+
+std::string MipBatchStrategy::save_state() const {
+  std::ostringstream ss;
+  ss << "mip " << round_ << ' ' << (all_exact_ ? 1 : 0);
+  return ss.str();
+}
+
+void MipBatchStrategy::restore_state(const std::string& blob) {
+  std::istringstream ss(blob);
+  std::string tag;
+  int round = 0, exact = 0;
+  if (!(ss >> tag >> round >> exact) || tag != "mip" || round < 0) {
+    throw std::invalid_argument("MipBatchStrategy::restore_state: bad state blob");
+  }
+  round_ = round;
+  all_exact_ = exact != 0;
 }
 
 std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,

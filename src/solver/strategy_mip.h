@@ -39,6 +39,8 @@ class MipBatchStrategy : public core::Strategy {
   void begin(const sim::Problem& problem, double budget) override;
   std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
                                         double remaining_budget) override;
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
 
   /// Whether every batch so far was solved to proven optimality.
   bool all_exact() const noexcept { return all_exact_; }

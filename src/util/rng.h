@@ -14,6 +14,7 @@
 // parallel Monte-Carlo runs order-independent.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -100,6 +101,15 @@ class Xoshiro256StarStar {
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
     return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Raw generator state, for checkpoint serialization. Restoring the words
+  /// resumes the stream exactly where it left off.
+  std::array<std::uint64_t, 4> state_words() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state_words(const std::array<std::uint64_t, 4>& words) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = words[i];
   }
 
  private:

@@ -147,6 +147,10 @@ class ThreadPool {
   /// either a half-open range — void(std::size_t lo, std::size_t hi) — or a
   /// single index — void(std::size_t i). Prefer the range form in hot code:
   /// it is one type-erased call per chunk instead of per index.
+  ///
+  /// If `body` throws, unclaimed chunks are abandoned and the first exception
+  /// is rethrown from this call on the joining thread (parallel_reduce
+  /// behaves the same); the pool stays usable afterwards.
   template <typename Body>
   void parallel_for(std::size_t begin, std::size_t end, Body&& body,
                     std::size_t grain = 0) {
@@ -220,13 +224,27 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> chunks_done{0};
     std::atomic<std::size_t> helpers_done{0};
+    // First exception thrown by any chunk; remaining chunks are skipped (the
+    // claim loop still drains them so the join accounting stays exact) and
+    // the exception rethrows on the joining caller after every helper exits.
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     auto run_slot = [&](unsigned slot) {
       for (;;) {
         const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
         if (c >= num_chunks) return;
         const std::size_t lo = begin + c * grain;
         const std::size_t hi = std::min(end, lo + grain);
-        chunk(lo, hi, slot);
+        if (!failed.load(std::memory_order_acquire)) {
+          try {
+            chunk(lo, hi, slot);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error == nullptr) first_error = std::current_exception();
+            failed.store(true, std::memory_order_release);
+          }
+        }
         chunks_done.fetch_add(1, std::memory_order_release);
       }
     };
@@ -247,6 +265,7 @@ class ThreadPool {
            helpers_done.load(std::memory_order_acquire) < helpers) {
       if (!try_run_one_task(/*account_busy=*/false)) std::this_thread::yield();
     }
+    if (failed.load(std::memory_order_acquire)) std::rethrow_exception(first_error);
   }
 
   void push_task(TaskFunction task);

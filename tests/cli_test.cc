@@ -123,6 +123,133 @@ TEST(Cli, AttackRejectsBadInput) {
             1);
 }
 
+TEST(Cli, AttackRejectsInvalidRobustnessCombos) {
+  const std::string graph_path = "/tmp/recon_cli_combo_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "60", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string err;
+  // Backoff policy without --retries is a no-op — refuse with guidance.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--retry-policy",
+                 "exponential"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("--retries"), std::string::npos);
+  // A per-node attempt cap above the budget lets one node eat everything.
+  err.clear();
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--retries",
+                 "--max-attempts", "50", "--budget", "20"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("exceeds --budget"), std::string::npos);
+  // Fault rates must be probabilities that sum to at most one.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--fault-timeout",
+                 "0.7", "--fault-drop", "0.7"},
+                nullptr, &err),
+            1);
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--fault-timeout",
+                 "-0.1"},
+                nullptr, &err),
+            1);
+  // Unknown backoff name.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--retries",
+                 "--retry-policy", "quadratic"},
+                nullptr, &err),
+            1);
+  // Checkpoint flags drive a single run.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--checkpoint",
+                 "/tmp/recon_cli_combo.ckpt", "--stop-after", "2", "--runs", "3"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("--runs 1"), std::string::npos);
+  // --checkpoint-every without a file to write to.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--checkpoint-every",
+                 "2", "--runs", "1"},
+                nullptr, &err),
+            1);
+  // Resuming from a missing checkpoint is an error, not a fresh start.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--resume",
+                 "/tmp/recon_cli_no_such.ckpt", "--runs", "1"},
+                nullptr, &err),
+            1);
+}
+
+TEST(Cli, AttackWithFaultsReportsOutcomes) {
+  const std::string problem_path = "/tmp/recon_cli_fault.problem";
+  const std::string graph_path = "/tmp/recon_cli_fault_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "100", "--out",
+                 graph_path.c_str()}),
+            0);
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--budget", "20",
+                 "--runs", "1", "--save-problem", problem_path.c_str()}),
+            0);
+  std::string out, err;
+  // Single-run path (--stop-after high enough not to bite) prints counters.
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--budget", "20",
+                 "--runs", "1", "--stop-after", "999", "--retries",
+                 "--retry-policy", "fixed", "--fault-timeout", "0.3",
+                 "--fault-throttle", "0.2"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("fault outcomes"), std::string::npos);
+  EXPECT_NE(out.find("timeouts"), std::string::npos);
+  // Monte-Carlo path accepts the same fault flags.
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--budget", "20",
+                 "--runs", "2", "--fault-timeout", "0.3"},
+                &out, &err),
+            0)
+      << err;
+}
+
+TEST(Cli, CheckpointResumeRoundTrip) {
+  const std::string graph_path = "/tmp/recon_cli_ckpt_g.txt";
+  const std::string problem_path = "/tmp/recon_cli_ckpt.problem";
+  const std::string ckpt_path = "/tmp/recon_cli_ckpt.ckpt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "100", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string full_out;
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--budget", "30",
+                 "--runs", "1", "--save-problem", problem_path.c_str()},
+                &full_out),
+            0);
+  // Interrupt after 2 rounds, then resume; the final numbers must match the
+  // uninterrupted run exactly.
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--budget", "30",
+                 "--runs", "1", "--stop-after", "2", "--checkpoint",
+                 ckpt_path.c_str()}),
+            0);
+  std::string resumed_out, err;
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--budget", "30",
+                 "--runs", "1", "--resume", ckpt_path.c_str()},
+                &resumed_out, &err),
+            0)
+      << err;
+  const auto benefit_line = [](const std::string& s) {
+    const auto pos = s.find("mean benefit");
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(benefit_line(full_out), benefit_line(resumed_out));
+}
+
+TEST(Cli, AttackFallbackStrategyRuns) {
+  const std::string graph_path = "/tmp/recon_cli_fb_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "er", "--nodes", "50", "--edges", "120",
+                 "--out", graph_path.c_str()}),
+            0);
+  std::string out, err;
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--strategy",
+                 "fallback", "--k", "3", "--budget", "9", "--runs", "2",
+                 "--targets", "12", "--samples", "50", "--fob-deadline-ms", "1",
+                 "--saa-deadline-ms", "1"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("Fallback(k=3)"), std::string::npos);
+  EXPECT_NE(out.find("mean benefit"), std::string::npos);
+}
+
 TEST(Cli, SaveAndReuseProblem) {
   const std::string graph_path = "/tmp/recon_cli_prob_g.txt";
   const std::string problem_path = "/tmp/recon_cli_prob.problem";

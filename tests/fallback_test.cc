@@ -1,0 +1,152 @@
+// Deadline-aware solver degradation: fob deadline handling and the
+// exact -> SAA-greedy -> lazy-greedy FallbackStrategy.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/attack.h"
+#include "graph/generators.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+#include "solver/fallback.h"
+#include "solver/fob.h"
+#include "solver/saa.h"
+
+namespace recon::solver {
+namespace {
+
+using graph::NodeId;
+using sim::Observation;
+using sim::Problem;
+
+Problem small_problem(int seed, graph::NodeId n = 40, graph::EdgeId m = 120) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 10;
+  opts.base_acceptance = 0.5;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, m, seed),
+                               graph::EdgeProbModel::uniform(0.2, 0.9), seed + 1),
+      opts);
+}
+
+TEST(FobDeadline, GreedyStopsAtTinyDeadline) {
+  const Problem p = small_problem(1);
+  const Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 400, 7);
+  // A deadline so tight it cannot even finish singleton scoring.
+  const FobResult r = fob_greedy(obs, scenarios, 3, candidates, 1e-9);
+  EXPECT_TRUE(r.timed_out);
+  // No deadline: a full batch comes back.
+  const FobResult full = fob_greedy(obs, scenarios, 3, candidates);
+  EXPECT_FALSE(full.timed_out);
+  EXPECT_EQ(full.batch.size(), 3u);
+  EXPECT_GT(full.objective, 0.0);
+}
+
+TEST(FobDeadline, ExactFallsBackToGreedyIncumbentOnTimeout) {
+  const Problem p = small_problem(2);
+  const Observation obs(p);
+  const auto candidates = fob_candidates(obs, false);
+  const auto scenarios = sample_scenarios(obs, 300, 8);
+
+  FobExactOptions generous;
+  const FobResult exact = fob_exact(obs, scenarios, 2, candidates, generous);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_FALSE(exact.timed_out);
+  EXPECT_EQ(exact.batch.size(), 2u);
+
+  FobExactOptions tight;
+  tight.deadline_seconds = 1e-9;
+  const FobResult cut = fob_exact(obs, scenarios, 2, candidates, tight);
+  EXPECT_TRUE(cut.timed_out);
+  EXPECT_FALSE(cut.exact);
+  // The exact answer is at least as good as whatever the cut solve returned.
+  EXPECT_GE(exact.objective, cut.objective - 1e-9);
+}
+
+TEST(Fallback, ValidatesOptions) {
+  FallbackOptions bad;
+  bad.batch_size = 0;
+  EXPECT_THROW(FallbackStrategy{bad}, std::invalid_argument);
+  bad = {};
+  bad.scenarios_per_batch = 0;
+  EXPECT_THROW(FallbackStrategy{bad}, std::invalid_argument);
+  bad = {};
+  bad.exact_deadline_seconds = -1.0;
+  EXPECT_THROW(FallbackStrategy{bad}, std::invalid_argument);
+}
+
+TEST(Fallback, GenerousDeadlineUsesExactTier) {
+  const Problem p = small_problem(3);
+  const sim::World w(p, 5);
+  FallbackOptions o;
+  o.batch_size = 2;
+  o.scenarios_per_batch = 200;
+  o.exact_deadline_seconds = 30.0;
+  o.saa_deadline_seconds = 30.0;
+  o.candidate_cap = 12;
+  FallbackStrategy strategy(o);
+  const auto trace = core::run_attack(p, w, strategy, 10.0);
+  EXPECT_GT(trace.batches.size(), 0u);
+  EXPECT_GT(strategy.tier_counts().exact, 0u);
+  EXPECT_EQ(strategy.tier_counts().exact + strategy.tier_counts().saa_greedy +
+                strategy.tier_counts().lazy_greedy,
+            trace.batches.size());
+}
+
+TEST(Fallback, MillisecondDeadlineCompletesViaCheaperTiers) {
+  const Problem p = small_problem(4, 120, 500);
+  const sim::World w(p, 6);
+  FallbackOptions o;
+  o.batch_size = 4;
+  o.scenarios_per_batch = 2000;  // makes one SAA evaluation expensive
+  o.exact_deadline_seconds = 0.001;  // the acceptance criterion's 1 ms budget
+  o.saa_deadline_seconds = 0.001;
+  FallbackStrategy strategy(o);
+  const auto trace = core::run_attack(p, w, strategy, 40.0);
+  // The attack must complete and spend its budget despite the 1 ms ceiling.
+  EXPECT_GT(trace.batches.size(), 0u);
+  EXPECT_GT(trace.total_benefit(), 0.0);
+  const auto& counts = strategy.tier_counts();
+  EXPECT_EQ(counts.exact + counts.saa_greedy + counts.lazy_greedy,
+            trace.batches.size());
+  // At least one batch had to degrade below the exact tier.
+  EXPECT_GT(counts.saa_greedy + counts.lazy_greedy, 0u);
+}
+
+TEST(Fallback, ZeroDeadlinesSkipStraightToFloor) {
+  const Problem p = small_problem(5);
+  const sim::World w(p, 7);
+  FallbackOptions o;
+  o.batch_size = 3;
+  o.exact_deadline_seconds = 0.0;
+  o.saa_deadline_seconds = 0.0;
+  FallbackStrategy strategy(o);
+  const auto trace = core::run_attack(p, w, strategy, 15.0);
+  EXPECT_GT(trace.batches.size(), 0u);
+  EXPECT_EQ(strategy.tier_counts().exact, 0u);
+  EXPECT_EQ(strategy.tier_counts().saa_greedy, 0u);
+  EXPECT_EQ(strategy.tier_counts().lazy_greedy, trace.batches.size());
+}
+
+TEST(Fallback, StateRoundTripsThroughSaveRestore) {
+  FallbackOptions o;
+  FallbackStrategy a(o);
+  const Problem p = small_problem(6);
+  const sim::World w(p, 8);
+  core::run_attack(p, w, a, 9.0);
+  const std::string blob = a.save_state();
+  FallbackStrategy b(o);
+  b.restore_state(blob);
+  EXPECT_EQ(b.save_state(), blob);
+  EXPECT_EQ(b.tier_counts().exact, a.tier_counts().exact);
+  EXPECT_EQ(b.tier_counts().lazy_greedy, a.tier_counts().lazy_greedy);
+  FallbackStrategy c(o);
+  EXPECT_THROW(c.restore_state("not a fallback blob"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace recon::solver

@@ -1,0 +1,356 @@
+// Fault-injection and retry/backoff tests: FaultModel semantics, the
+// robustness-enabled runners, and the Theorem-4 retry regression.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "core/async_attack.h"
+#include "core/attack.h"
+#include "core/pm_arest.h"
+#include "core/retry_policy.h"
+#include "graph/generators.h"
+#include "sim/fault.h"
+#include "sim/problem.h"
+
+namespace recon::core {
+namespace {
+
+using graph::NodeId;
+using sim::FaultModel;
+using sim::FaultOptions;
+using sim::Problem;
+using sim::RequestOutcome;
+
+Problem ba_problem(int seed, NodeId n = 120) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 25;
+  opts.base_acceptance = 0.4;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(n, 4, seed),
+                               graph::EdgeProbModel::uniform(0.3, 0.95), seed + 1),
+      opts);
+}
+
+Problem er_problem(int seed, NodeId n = 120) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 25;
+  opts.base_acceptance = 0.4;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, 4 * n, seed),
+                               graph::EdgeProbModel::uniform(0.3, 0.95), seed + 1),
+      opts);
+}
+
+void expect_traces_equal(const sim::AttackTrace& a, const sim::AttackTrace& b) {
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (std::size_t i = 0; i < a.batches.size(); ++i) {
+    EXPECT_EQ(a.batches[i].requests, b.batches[i].requests) << "batch " << i;
+    EXPECT_EQ(a.batches[i].accepted, b.batches[i].accepted) << "batch " << i;
+    EXPECT_EQ(a.batches[i].outcome, b.batches[i].outcome) << "batch " << i;
+    EXPECT_DOUBLE_EQ(a.batches[i].cost, b.batches[i].cost) << "batch " << i;
+    EXPECT_DOUBLE_EQ(a.batches[i].cumulative_cost, b.batches[i].cumulative_cost);
+    EXPECT_DOUBLE_EQ(a.batches[i].cumulative.total(), b.batches[i].cumulative.total());
+  }
+}
+
+/// Per-node count of attempt-consuming sends (delivered / timeout / dropped —
+/// everything except throttles and suspension bounces).
+std::map<NodeId, int> attempts_from_trace(const sim::AttackTrace& trace) {
+  std::map<NodeId, int> attempts;
+  for (const auto& b : trace.batches) {
+    for (std::size_t i = 0; i < b.requests.size(); ++i) {
+      const auto o = b.outcome.empty()
+                         ? RequestOutcome::kDelivered
+                         : static_cast<RequestOutcome>(b.outcome[i]);
+      if (o == RequestOutcome::kDelivered || o == RequestOutcome::kTimeout ||
+          o == RequestOutcome::kDropped) {
+        ++attempts[b.requests[i]];
+      }
+    }
+  }
+  return attempts;
+}
+
+int count_outcomes(const sim::AttackTrace& trace, RequestOutcome which) {
+  int n = 0;
+  for (const auto& b : trace.batches) {
+    for (std::uint8_t o : b.outcome) {
+      if (o == static_cast<std::uint8_t>(which)) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(FaultOptions, ValidatesRates) {
+  FaultOptions bad;
+  bad.timeout_rate = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.timeout_rate = 0.6;
+  bad.drop_rate = 0.6;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);  // sums past 1
+  FaultOptions ok;
+  ok.timeout_rate = 0.3;
+  ok.drop_rate = 0.3;
+  ok.throttle_rate = 0.3;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(FaultModel, ResolveIsDeterministicAndRestorable) {
+  FaultOptions fo;
+  fo.timeout_rate = 0.2;
+  fo.drop_rate = 0.2;
+  fo.throttle_rate = 0.2;
+  fo.seed = 99;
+  FaultModel a(fo);
+  std::vector<RequestOutcome> first;
+  for (NodeId u = 0; u < 50; ++u) first.push_back(a.resolve(u % 7));
+  const auto mid = a.state();
+  std::vector<RequestOutcome> tail;
+  for (NodeId u = 0; u < 50; ++u) tail.push_back(a.resolve(u % 7));
+
+  FaultModel b(fo);
+  b.restore(mid);
+  for (NodeId u = 0; u < 50; ++u) EXPECT_EQ(b.resolve(u % 7), tail[u]);
+
+  FaultModel c(fo);  // fresh model replays the whole stream
+  for (NodeId u = 0; u < 50; ++u) EXPECT_EQ(c.resolve(u % 7), first[u]);
+}
+
+TEST(FaultModel, SuspensionTripsAndLocksOut) {
+  FaultOptions fo;
+  fo.suspension.max_requests = 3;
+  fo.suspension.window_ticks = 2;
+  fo.suspension.lockout_ticks = 4;
+  FaultModel m(fo);
+  EXPECT_EQ(m.resolve(0), RequestOutcome::kDelivered);
+  EXPECT_EQ(m.resolve(1), RequestOutcome::kDelivered);
+  EXPECT_EQ(m.resolve(2), RequestOutcome::kDelivered);
+  EXPECT_EQ(m.resolve(3), RequestOutcome::kSuspended);  // 4th in window trips
+  EXPECT_TRUE(m.suspended());
+  EXPECT_EQ(m.counters().lockouts, 1u);
+  EXPECT_EQ(m.resolve(4), RequestOutcome::kSuspended);  // bounces while locked
+  m.advance_ticks(m.suspended_until() - m.tick());
+  EXPECT_FALSE(m.suspended());
+  EXPECT_EQ(m.resolve(5), RequestOutcome::kDelivered);
+}
+
+TEST(FaultRun, ZeroRatesAreBitIdenticalToPlainRunner) {
+  const Problem p = ba_problem(3);
+  const sim::World w(p, 17);
+  PmArest s1(PmArestOptions{.batch_size = 6, .allow_retries = true});
+  const auto plain = run_attack(p, w, s1, 40.0);
+
+  FaultOptions fo;  // all rates zero, no suspension
+  FaultModel fm(fo);
+  AttackRunOptions ro;
+  ro.fault = &fm;
+  PmArest s2(PmArestOptions{.batch_size = 6, .allow_retries = true});
+  const auto faulted = run_attack(p, w, s2, 40.0, ro);
+  expect_traces_equal(plain, faulted);
+  // The fault-free fast path leaves no outcome annotations behind.
+  for (const auto& b : faulted.batches) EXPECT_TRUE(b.outcome.empty());
+
+  // Default options are exactly the legacy runner too.
+  PmArest s3(PmArestOptions{.batch_size = 6, .allow_retries = true});
+  const auto defaulted = run_attack(p, w, s3, 40.0, AttackRunOptions{});
+  expect_traces_equal(plain, defaulted);
+}
+
+TEST(FaultRun, TimeoutsConsumeAttemptsAndBudgetWithoutBenefit) {
+  const Problem p = ba_problem(4);
+  const sim::World w(p, 5);
+  FaultOptions fo;
+  fo.timeout_rate = 1.0;
+  FaultModel fm(fo);
+  AttackRunOptions ro;
+  ro.fault = &fm;
+  PmArest s(PmArestOptions{.batch_size = 5, .allow_retries = true,
+                           .max_attempts_per_node = 2});
+  const auto trace = run_attack(p, w, s, 30.0, ro);
+  EXPECT_DOUBLE_EQ(trace.total_benefit(), 0.0);  // nothing ever delivered
+  EXPECT_GT(trace.total_cost(), 0.0);            // but round trips were paid for
+  EXPECT_EQ(count_outcomes(trace, RequestOutcome::kTimeout),
+            static_cast<int>(trace.total_requests()));
+  for (const auto& [u, a] : attempts_from_trace(trace)) EXPECT_LE(a, 2) << u;
+}
+
+TEST(FaultRun, ThrottlesChargeBudgetButConsumeNoAttempts) {
+  const Problem p = ba_problem(4);
+  const sim::World w(p, 5);
+  FaultOptions fo;
+  fo.throttle_rate = 1.0;
+  FaultModel fm(fo);
+  AttackRunOptions ro;
+  ro.fault = &fm;
+  PmArest s(PmArestOptions{.batch_size = 5, .max_attempts_per_node = 1});
+  const auto trace = run_attack(p, w, s, 20.0, ro);
+  EXPECT_DOUBLE_EQ(trace.total_benefit(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.total_cost(), 20.0);  // budget fully burned on bounces
+  // A node can be re-requested past its attempt cap because throttles never
+  // reach the user — that is what distinguishes them from timeouts.
+  EXPECT_EQ(count_outcomes(trace, RequestOutcome::kThrottled),
+            static_cast<int>(trace.total_requests()));
+  for (const auto& [u, a] : attempts_from_trace(trace)) EXPECT_EQ(a, 0) << u;
+}
+
+TEST(FaultRun, SuspensionLockoutIsWaitedOutAndUncharged) {
+  const Problem p = ba_problem(6);
+  const sim::World w(p, 7);
+  FaultOptions fo;
+  fo.suspension.max_requests = 8;
+  fo.suspension.window_ticks = 2;
+  fo.suspension.lockout_ticks = 3;
+  FaultModel fm(fo);
+  AttackRunOptions ro;
+  ro.fault = &fm;
+  PmArest s(PmArestOptions{.batch_size = 10, .allow_retries = true});
+  const auto trace = run_attack(p, w, s, 40.0, ro);
+  EXPECT_GT(fm.counters().lockouts, 0u);
+  EXPECT_GT(fm.counters().bounced, 0u);
+  // Bounced requests are free: total cost counts only non-suspended sends.
+  std::size_t charged = 0;
+  for (const auto& b : trace.batches) {
+    for (std::size_t i = 0; i < b.requests.size(); ++i) {
+      const auto o = b.outcome.empty()
+                         ? RequestOutcome::kDelivered
+                         : static_cast<RequestOutcome>(b.outcome[i]);
+      if (o != RequestOutcome::kSuspended) ++charged;
+    }
+  }
+  EXPECT_DOUBLE_EQ(trace.total_cost(), static_cast<double>(charged));
+  EXPECT_LE(trace.total_cost(), 40.0 + 1e-9);
+  EXPECT_GT(trace.total_benefit(), 0.0);  // the attack still makes progress
+}
+
+TEST(RetryPolicy, DelaysAreDeterministicAndBounded) {
+  RetryPolicy p;
+  p.backoff = RetryBackoff::kExponential;
+  p.base_delay = 1.0;
+  p.multiplier = 2.0;
+  p.max_delay = 8.0;
+  p.jitter = 0.5;
+  p.validate();
+  for (NodeId u = 0; u < 20; ++u) {
+    for (std::uint32_t a = 1; a <= 6; ++a) {
+      const double d1 = p.delay_for(u, a);
+      const double d2 = p.delay_for(u, a);
+      EXPECT_DOUBLE_EQ(d1, d2);  // pure in (node, attempt)
+      EXPECT_GE(d1, 0.0);
+      EXPECT_LE(d1, 8.0 * 1.5 + 1e-9);  // max_delay * (1 + jitter)
+    }
+  }
+  // Without jitter the ladder is exactly base * mult^(a-1), capped.
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.delay_for(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.delay_for(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(p.delay_for(0, 4), 8.0);
+  EXPECT_DOUBLE_EQ(p.delay_for(0, 6), 8.0);  // capped
+}
+
+// Theorem 4 regression: at matched seeds, allowing retries never hurts the
+// expected benefit — on BA and on ER topologies, with and without faults.
+TEST(Theorem4, RetriesDoNotHurtOnBarabasiAlbert) {
+  const Problem p = ba_problem(11);
+  auto factory = [](bool retries) {
+    return [retries](int) {
+      PmArestOptions o;
+      o.batch_size = 5;
+      o.allow_retries = retries;
+      return std::make_unique<PmArest>(o);
+    };
+  };
+  const auto without = run_monte_carlo(p, factory(false), 6, 60.0, 21);
+  const auto with = run_monte_carlo(p, factory(true), 6, 60.0, 21);
+  EXPECT_GE(with.mean_benefit(), without.mean_benefit() - 1e-9);
+}
+
+TEST(Theorem4, RetriesDoNotHurtOnErdosRenyi) {
+  const Problem p = er_problem(12);
+  auto factory = [](bool retries) {
+    return [retries](int) {
+      PmArestOptions o;
+      o.batch_size = 5;
+      o.allow_retries = retries;
+      return std::make_unique<PmArest>(o);
+    };
+  };
+  const auto without = run_monte_carlo(p, factory(false), 6, 60.0, 22);
+  const auto with = run_monte_carlo(p, factory(true), 6, 60.0, 22);
+  EXPECT_GE(with.mean_benefit(), without.mean_benefit() - 1e-9);
+}
+
+TEST(Theorem4, RetriesHelpUnderFaultsWithBackoff) {
+  const Problem p = ba_problem(13);
+  FaultOptions fo;
+  fo.timeout_rate = 0.25;
+  fo.seed = 7;
+  RetryPolicy retry;
+  retry.backoff = RetryBackoff::kFixed;
+  retry.base_delay = 1.0;
+  auto factory = [](bool retries) {
+    return [retries](int) {
+      PmArestOptions o;
+      o.batch_size = 5;
+      o.allow_retries = retries;
+      return std::make_unique<PmArest>(o);
+    };
+  };
+  const auto without =
+      run_monte_carlo(p, factory(false), 6, 60.0, 23, nullptr, &fo, nullptr);
+  const auto with =
+      run_monte_carlo(p, factory(true), 6, 60.0, 23, nullptr, &fo, &retry);
+  EXPECT_GE(with.mean_benefit(), without.mean_benefit() - 1e-9);
+}
+
+// The sync and rolling-window runners share attempt-bookkeeping semantics:
+// timeouts/drops consume attempt indices, throttles do not, and the per-node
+// attempt cap binds in both.
+TEST(FaultRun, AttemptBookkeepingAgreesBetweenSyncAndAsync) {
+  const Problem p = ba_problem(14);
+  const sim::World w(p, 9);
+  FaultOptions fo;
+  fo.timeout_rate = 0.25;
+  fo.throttle_rate = 0.2;
+  fo.seed = 31;
+  RetryPolicy retry;
+  retry.backoff = RetryBackoff::kFixed;
+  retry.base_delay = 1.0;
+
+  FaultModel sync_fm(fo);
+  AttackRunOptions ro;
+  ro.fault = &sync_fm;
+  ro.retry = &retry;
+  PmArest s(PmArestOptions{.batch_size = 5, .allow_retries = true,
+                           .max_attempts_per_node = 2});
+  const auto sync_trace = run_attack(p, w, s, 40.0, ro);
+
+  FaultModel async_fm(fo);
+  AsyncAttackOptions ao;
+  ao.window = 5;
+  ao.mean_delay = 10.0;
+  ao.delay_model = ResponseDelayModel::kFixed;
+  ao.allow_retries = true;
+  ao.max_attempts_per_node = 2;
+  ao.fault = &async_fm;
+  ao.retry = &retry;
+  const auto async_res = run_async_attack(p, w, ao, 40.0);
+
+  for (const auto* trace : {&sync_trace, &async_res.trace}) {
+    // Attempt caps hold even under fault churn...
+    for (const auto& [u, a] : attempts_from_trace(*trace)) EXPECT_LE(a, 2) << u;
+    // ...and every charged outcome (everything but suspension) hits budget.
+    std::size_t entries = 0;
+    for (const auto& b : trace->batches) entries += b.requests.size();
+    EXPECT_DOUBLE_EQ(trace->total_cost(), static_cast<double>(entries));
+    EXPECT_GT(count_outcomes(*trace, RequestOutcome::kTimeout), 0);
+    EXPECT_GT(count_outcomes(*trace, RequestOutcome::kThrottled), 0);
+  }
+}
+
+}  // namespace
+}  // namespace recon::core

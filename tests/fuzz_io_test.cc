@@ -68,9 +68,10 @@ TEST(FuzzIo, TraceParserNeverCrashes) {
       "#recon-trace v1\n"
       "trace 0\n"
       "batch sel=0.01 cost=3 reqs=1:1,2:0,3:1 df=1.5 dx=0.5 de=0.25\n"
-      "batch sel=0.02 cost=2 reqs=4:1,5:0 df=1 dx=0 de=0\n"
+      "batch sel=0.02 cost=2 reqs=4:1,5:0:2 df=1 dx=0 de=0\n"
       "trace 1\n"
-      "batch sel=0.01 cost=1 reqs=7:1 df=1 dx=0 de=0\n";
+      "batch sel=0.01 cost=1 reqs=7:1 df=1 dx=0 de=0\n"
+      "end 2\n";
   util::Rng rng(23);
   int parsed = 0, rejected = 0;
   for (int trial = 0; trial < 400; ++trial) {
@@ -113,6 +114,156 @@ TEST(FuzzIo, ProblemParserNeverCrashes) {
   }
   EXPECT_GT(parsed + rejected, 0);
   EXPECT_GT(rejected, 0);  // most mutations must be caught
+}
+
+// Truncation at any line boundary must be rejected, not silently parsed as
+// a shorter-but-valid object. The `end` footer makes this detectable.
+TEST(FuzzIo, TruncatedProblemRejected) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 6;
+  opts.seed = 5;
+  const sim::Problem p = sim::make_problem(graph::erdos_renyi_gnm(20, 40, 2), opts);
+  std::stringstream base;
+  sim::write_problem(base, p);
+  const std::string valid = base.str();
+
+  // Sanity: the complete file parses.
+  {
+    std::stringstream in(valid);
+    EXPECT_NO_THROW(sim::read_problem(in));
+  }
+  // Drop trailing lines one at a time; every prefix must throw.
+  std::string s = valid;
+  for (int cut = 0; cut < 5; ++cut) {
+    const std::size_t last_nl = s.find_last_of('\n', s.size() - 2);
+    if (last_nl == std::string::npos) break;
+    s.resize(last_nl + 1);
+    std::stringstream in(s);
+    EXPECT_THROW(sim::read_problem(in), std::runtime_error)
+        << "accepted a file truncated to " << s.size() << " bytes";
+  }
+  // Mid-line truncation of the targets section must also throw.
+  const std::size_t tpos = valid.find("targets");
+  ASSERT_NE(tpos, std::string::npos);
+  const std::size_t tend = valid.find('\n', tpos);
+  std::string midline = valid.substr(0, tend - 2);
+  std::stringstream in(midline);
+  EXPECT_THROW(sim::read_problem(in), std::runtime_error);
+}
+
+TEST(FuzzIo, TruncatedTraceRejected) {
+  const std::string valid =
+      "#recon-trace v1\n"
+      "trace 0\n"
+      "batch sel=0.01 cost=3 reqs=1:1,2:0 df=1.5 dx=0.5 de=0.25\n"
+      "batch sel=0.02 cost=2 reqs=4:1 df=1 dx=0 de=0\n"
+      "end 1\n";
+  {
+    std::stringstream in(valid);
+    EXPECT_NO_THROW(sim::read_traces(in));
+  }
+  // Missing footer (cut at a line boundary).
+  {
+    std::stringstream in(valid.substr(0, valid.find("end 1")));
+    EXPECT_THROW(sim::read_traces(in), std::runtime_error);
+  }
+  // Footer trace count disagrees with body.
+  {
+    std::stringstream in(
+        "#recon-trace v1\ntrace 0\n"
+        "batch sel=0 cost=1 reqs=1:1 df=1 dx=0 de=0\nend 2\n");
+    EXPECT_THROW(sim::read_traces(in), std::runtime_error);
+  }
+  // Content after the footer.
+  {
+    std::stringstream in(valid + "trace 1\n");
+    EXPECT_THROW(sim::read_traces(in), std::runtime_error);
+  }
+}
+
+TEST(FuzzIo, BadHeadersRejected) {
+  for (const char* header :
+       {"", "#recon-trace v0\n", "#recon-trace v2\n", "recon-trace v1\n",
+        "#recon-problem v1\n"}) {
+    std::stringstream in(std::string(header) + "trace 0\nend 1\n");
+    EXPECT_THROW(sim::read_traces(in), std::runtime_error) << header;
+  }
+  for (const char* header :
+       {"", "#recon-problem v0\n", "#recon-problem v2\n", "#recon-trace v1\n"}) {
+    std::stringstream in(std::string(header) + "graph 1 0\nend\n");
+    EXPECT_THROW(sim::read_problem(in), std::runtime_error) << header;
+  }
+}
+
+TEST(FuzzIo, TraceRejectsMalformedFields) {
+  const char* cases[] = {
+      // accept flag not 0/1
+      "#recon-trace v1\ntrace 0\nbatch sel=0 cost=1 reqs=1:2 df=1 dx=0 de=0\nend 1\n",
+      // outcome out of range
+      "#recon-trace v1\ntrace 0\nbatch sel=0 cost=1 reqs=1:1:9 df=1 dx=0 de=0\nend 1\n",
+      // negative node id
+      "#recon-trace v1\ntrace 0\nbatch sel=0 cost=1 reqs=-1:1 df=1 dx=0 de=0\nend 1\n",
+      // junk in a numeric field
+      "#recon-trace v1\ntrace 0\nbatch sel=0x cost=1 reqs=1:1 df=1 dx=0 de=0\nend 1\n",
+      // batch before any trace
+      "#recon-trace v1\nbatch sel=0 cost=1 reqs=1:1 df=1 dx=0 de=0\nend 0\n",
+      // unknown record kind
+      "#recon-trace v1\ntrace 0\nbogus\nend 1\n",
+  };
+  for (const char* text : cases) {
+    std::stringstream in(text);
+    EXPECT_THROW(sim::read_traces(in), std::runtime_error) << text;
+  }
+}
+
+TEST(FuzzIo, ProblemRejectsOversizedCounts) {
+  // Targets count larger than n must fail before allocating.
+  std::stringstream in(
+      "#recon-problem v1\ngraph 3 1\ne 0 1 0.5\n"
+      "targets 99 0 1 2\nacceptance uniform 0.5\nbenefit paper\nend\n");
+  EXPECT_THROW(sim::read_problem(in), std::runtime_error);
+  // attrs with the wrong number of values must fail.
+  std::stringstream in2(
+      "#recon-problem v1\ngraph 3 1\ne 0 1 0.5\n"
+      "targets 1 0\nacceptance uniform 0.5\nbenefit paper\n"
+      "attrs 2 7 7 7\nend\n");
+  EXPECT_THROW(sim::read_problem(in2), std::runtime_error);
+}
+
+// Fault-outcome round trip: the optional third field survives write→read and
+// fault-free batches keep the compact two-field form.
+TEST(FuzzIo, TraceOutcomeRoundTrip) {
+  sim::AttackTrace t;
+  sim::BatchRecord b1;
+  b1.requests = {3, 5};
+  b1.accepted = {1, 0};
+  b1.delta.friends = 1.0;
+  b1.cost = 2.0;
+  sim::BatchRecord b2;
+  b2.requests = {7, 9, 11};
+  b2.accepted = {0, 0, 1};
+  b2.outcome = {0, 1, 0};  // node 9 timed out
+  b2.delta.friends = 1.0;
+  b2.cost = 3.0;
+  t.batches = {b1, b2};
+  // Fix cumulative fields the way run_attack would.
+  t.batches[0].cumulative = t.batches[0].delta;
+  t.batches[0].cumulative_cost = t.batches[0].cost;
+  t.batches[1].cumulative = t.batches[0].cumulative;
+  t.batches[1].cumulative += t.batches[1].delta;
+  t.batches[1].cumulative_cost = t.batches[0].cost + t.batches[1].cost;
+
+  std::stringstream ss;
+  sim::write_traces(ss, {t});
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("9:0:1"), std::string::npos);
+  EXPECT_NE(text.find("3:1,5:0 "), std::string::npos);  // two-field fast path
+  const auto loaded = sim::read_traces(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded[0].batches.size(), 2u);
+  EXPECT_TRUE(loaded[0].batches[0].outcome.empty());
+  EXPECT_EQ(loaded[0].batches[1].outcome, b2.outcome);
+  EXPECT_EQ(loaded[0].batches[1].requests, b2.requests);
 }
 
 }  // namespace

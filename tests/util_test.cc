@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "util/env.h"
@@ -353,6 +354,50 @@ TEST(ThreadPool, BusyNanosAccumulates) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_GT(pool.busy_nanos(), 1'000'000u);  // > 1ms recorded
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::size_t i) {
+                                   if (i == 137) throw std::runtime_error("boom");
+                                 },
+                                 /*grain=*/8),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelReducePropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_reduce(0, 1000, 0,
+                                    [](int& acc, std::size_t lo, std::size_t hi) {
+                                      if (lo <= 500 && 500 < hi) {
+                                        throw std::logic_error("bad chunk");
+                                      }
+                                      acc += static_cast<int>(hi - lo);
+                                    },
+                                    /*grain=*/8),
+               std::logic_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 100, [](std::size_t) { throw std::runtime_error("x"); });
+    FAIL() << "expected the worker exception to rethrow on the caller";
+  } catch (const std::runtime_error&) {
+  }
+  // The pool must survive a failed job: all workers keep draining tasks.
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(0, 500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const auto partials =
+      pool.parallel_reduce(0, 1000, std::uint64_t{0},
+                           [](std::uint64_t& acc, std::size_t lo, std::size_t hi) {
+                             acc += hi - lo;
+                           });
+  std::uint64_t total = 0;
+  for (auto p : partials) total += p;
+  EXPECT_EQ(total, 1000u);
 }
 
 TEST(Env, DefaultsWhenUnset) {
