@@ -18,6 +18,13 @@
 // delays; it reports the attack's wall-clock makespan alongside the usual
 // trace, so the benefit-vs-time frontier (Table IV's subject) can be mapped
 // for any window size.
+//
+// Thread compatibility: run_async_attack is a pure function of its inputs
+// with no shared mutable counters — the event clock, the in-flight queue,
+// and the per-run Rng all live on the caller's stack, so concurrent calls
+// (e.g. sweeping window sizes from the pool) are safe as long as each call
+// gets its own FaultModel (see sim/fault.h; the model's send counter is
+// deliberately unsynchronized state).
 #pragma once
 
 #include <cstdint>

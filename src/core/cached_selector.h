@@ -17,6 +17,14 @@
 // Equivalence contract (tested): CachedSelector::select_batch returns the
 // same batch as core::batch_select for every observation sequence, provided
 // the observation is only mutated through notify_accept / notify_reject.
+//
+// Thread compatibility: the memo tables (cached_, dirty_) are not guarded by
+// a mutex on purpose — during the parallel rescore each pool worker writes a
+// disjoint index range of both vectors (data-race-free by partitioning, not
+// locking; TSan-verified in cached_selector_test), and the only cross-thread
+// write is the atomic rescore counter. Outside select_batch the selector is
+// single-thread confined: callers must not invoke notify_* / select_batch
+// concurrently on one instance.
 #pragma once
 
 #include <atomic>

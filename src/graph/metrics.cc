@@ -84,6 +84,7 @@ std::size_t largest_component_size(const Graph& g) {
   std::unordered_map<std::uint32_t, std::size_t> counts;
   for (std::uint32_t l : labels) ++counts[l];
   std::size_t best = 0;
+  // lint:hash-order-ok(max over values is commutative; no order-sensitive output)
   for (const auto& [l, c] : counts) best = std::max(best, c);
   return best;
 }

@@ -125,6 +125,8 @@ std::vector<std::pair<graph::NodeId, double>> vulnerable_users(
   std::vector<std::pair<graph::NodeId, double>> ranked;
   ranked.reserve(counts.size());
   const double denom = traces.empty() ? 1.0 : static_cast<double>(traces.size());
+  // lint:hash-order-ok(ranked is fully re-sorted below with a total-order
+  // comparator (frequency desc, node asc), so hash order cannot leak)
   for (const auto& [u, c] : counts) {
     ranked.emplace_back(u, static_cast<double>(c) / denom);
   }

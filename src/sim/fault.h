@@ -25,6 +25,13 @@
 // small State struct. A tick is one unit of the runner's logical clock: a
 // batch round for the synchronous runner, a resolved event for the
 // rolling-window runner.
+//
+// Thread compatibility: FaultModel is deliberately unsynchronized. The
+// sliding-window State (sends_, tick_, window_, counters_) mutates on every
+// resolve(), and the attack runners own exactly one model per run on one
+// thread; sharing an instance across threads without an external util::Mutex
+// (see util/thread_annotations.h) would both race and — worse for this repo's
+// guarantees — make the send-counter draw order scheduling-dependent.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "solver/saa.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
@@ -98,14 +99,21 @@ double scenario_benefit(const sim::Observation& obs, const Scenario& scenario,
   std::unordered_set<EdgeId> counted_edges;
   std::unordered_set<NodeId> counted_fofs;
   std::unordered_set<NodeId> accepted;
+  std::vector<NodeId> accepted_order;
   for (NodeId u : batch) {
     if (obs.is_friend(u)) {
       throw std::invalid_argument("scenario_benefit: batch contains a friend");
     }
-    if (scenario.accept[u]) accepted.insert(u);
+    if (scenario.accept[u] && accepted.insert(u).second) {
+      accepted_order.push_back(u);
+    }
   }
+  // Accumulate in sorted node order, never hash order: the float sum below
+  // is order-sensitive in the last ulp, and iterating the unordered_set
+  // would leak the hash seed / insertion history into the objective.
+  std::sort(accepted_order.begin(), accepted_order.end());
 
-  for (NodeId u : accepted) {
+  for (NodeId u : accepted_order) {
     total += benefit.bf[u];
     if (obs.is_fof(u)) total -= benefit.bfof[u];  // upgrade
     const auto nbrs = g.neighbors(u);

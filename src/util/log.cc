@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "util/env.h"
+#include "util/thread_annotations.h"
 
 namespace recon::util {
 
@@ -49,8 +49,8 @@ void set_log_level(LogLevel level) noexcept {
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  static Mutex mu;  // serializes whole lines onto stderr
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

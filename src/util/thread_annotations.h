@@ -1,0 +1,130 @@
+// Clang Thread Safety Analysis annotations, plus an annotated mutex wrapper.
+//
+// The repo's headline guarantees — bit-identical parallel vs. sequential
+// batch_select and bit-identical checkpoint-resume — depend on strict lock
+// discipline in the handful of places that share mutable state across
+// threads. Clang's -Wthread-safety analysis proves that discipline at
+// compile time, but only for mutex types it can see through. libstdc++'s
+// std::mutex / std::lock_guard carry no capability attributes, so this
+// header provides:
+//
+//  * RECON_* annotation macros (CAPABILITY, GUARDED_BY, REQUIRES, ACQUIRE,
+//    RELEASE, ...) that expand to clang attributes under clang and to
+//    nothing under every other compiler (gcc builds are unaffected);
+//  * util::Mutex — a std::mutex wrapper annotated as a capability, so
+//    GUARDED_BY(mutex_member) is enforced at every access site;
+//  * util::MutexLock — an annotated RAII guard (scoped capability).
+//
+// Use util::Mutex + RECON_GUARDED_BY for any member guarded by a mutex; the
+// invariant linter (tools/lint_invariants.py, rule `guard`) rejects classes
+// that declare a mutex member without either a GUARDED_BY annotation in the
+// same class or an explicit `// lint:guard-ok(reason)` waiver. CI compiles
+// with `clang++ -Wthread-safety` and RECON_WERROR=ON, so a missing or wrong
+// annotation fails the build. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RECON_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define RECON_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define RECON_CAPABILITY(x) RECON_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define RECON_SCOPED_CAPABILITY RECON_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Data member requires the given capability to be held for access.
+#define RECON_GUARDED_BY(x) RECON_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member: the pointed-to data requires the capability.
+#define RECON_PT_GUARDED_BY(x) RECON_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Documents (and checks) lock acquisition order between two capabilities.
+#define RECON_ACQUIRED_BEFORE(...) \
+  RECON_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define RECON_ACQUIRED_AFTER(...) \
+  RECON_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held on entry (and stay held).
+#define RECON_REQUIRES(...) \
+  RECON_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define RECON_REQUIRES_SHARED(...) \
+  RECON_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on exit.
+#define RECON_ACQUIRE(...) \
+  RECON_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define RECON_ACQUIRE_SHARED(...) \
+  RECON_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability held on entry.
+#define RECON_RELEASE(...) \
+  RECON_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define RECON_RELEASE_SHARED(...) \
+  RECON_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the success value.
+#define RECON_TRY_ACQUIRE(...) \
+  RECON_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define RECON_EXCLUDES(...) RECON_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Asserts (runtime-checked by the caller) that the capability is held.
+#define RECON_ASSERT_CAPABILITY(x) \
+  RECON_THREAD_ANNOTATION_IMPL(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RECON_RETURN_CAPABILITY(x) RECON_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// explain why in an adjacent comment.
+#define RECON_NO_THREAD_SAFETY_ANALYSIS \
+  RECON_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+namespace recon::util {
+
+/// std::mutex with capability annotations, so clang's thread-safety
+/// analysis can verify GUARDED_BY contracts at every access site. Drop-in
+/// for std::mutex wherever the mutex guards annotated state; plain
+/// std::mutex remains fine for locks that guard no members (e.g. a
+/// condition-variable handshake over atomics).
+class RECON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RECON_ACQUIRE() { m_.lock(); }
+  void unlock() RECON_RELEASE() { m_.unlock(); }
+  bool try_lock() RECON_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for APIs that need the native type (condition
+  /// variables). Callers using this bypass the static analysis.
+  std::mutex& native() RECON_RETURN_CAPABILITY(this) { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock for util::Mutex, annotated as a scoped capability (the
+/// annotated analogue of std::lock_guard<std::mutex>).
+class RECON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RECON_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RECON_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace recon::util

@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace recon::util {
 
 /// Move-only type-erased `void()` callable with small-buffer storage.
@@ -190,8 +192,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<TaskFunction> deque;
+    Mutex mutex;
+    std::deque<TaskFunction> deque RECON_GUARDED_BY(mutex);
   };
 
   template <typename Body>
@@ -227,9 +229,14 @@ class ThreadPool {
     // First exception thrown by any chunk; remaining chunks are skipped (the
     // claim loop still drains them so the join accounting stays exact) and
     // the exception rethrows on the joining caller after every helper exits.
+    // The slot is a local with annotated members, so the thread-safety
+    // analysis checks the capture and rethrow sites like any guarded state.
+    struct ErrorSlot {
+      Mutex mutex;
+      std::exception_ptr first RECON_GUARDED_BY(mutex);
+    };
     std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    ErrorSlot error;
     auto run_slot = [&](unsigned slot) {
       for (;;) {
         const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
@@ -240,8 +247,8 @@ class ThreadPool {
           try {
             chunk(lo, hi, slot);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (first_error == nullptr) first_error = std::current_exception();
+            MutexLock lock(error.mutex);
+            if (error.first == nullptr) error.first = std::current_exception();
             failed.store(true, std::memory_order_release);
           }
         }
@@ -265,7 +272,16 @@ class ThreadPool {
            helpers_done.load(std::memory_order_acquire) < helpers) {
       if (!try_run_one_task(/*account_busy=*/false)) std::this_thread::yield();
     }
-    if (failed.load(std::memory_order_acquire)) std::rethrow_exception(first_error);
+    if (failed.load(std::memory_order_acquire)) {
+      // Every helper has exited, but read the slot under its mutex anyway:
+      // the lock discipline is what the static analysis certifies.
+      std::exception_ptr err;
+      {
+        MutexLock lock(error.mutex);
+        err = error.first;
+      }
+      std::rethrow_exception(err);
+    }
   }
 
   void push_task(TaskFunction task);
@@ -277,6 +293,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> submit_cursor_{0};
   std::atomic<std::size_t> pending_{0};
+  // lint:guard-ok(sleep_mutex_ guards no members: it only orders the sleep
+  // condition variable against the pending_/stop_ atomics so notifies are
+  // never lost; all shared pool state is atomic or per-Worker guarded)
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
   std::atomic<bool> stop_{false};

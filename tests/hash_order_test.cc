@@ -1,0 +1,116 @@
+// Regression tests for hash-order determinism (tools/lint_invariants.py rule
+// `hash-order`): paths that consume unordered containers must produce
+// bit-identical output regardless of the containers' iteration order.
+//
+// libstdc++ fixes its hash seed per process, so the practical way hash order
+// varies is through insertion history — the same elements inserted in a
+// different order land in different bucket-chain positions. Every test here
+// therefore drives the audited path with permuted insertion orders and
+// asserts exact (bitwise, via EXPECT_EQ on doubles) equality. Before
+// scenario_benefit switched to sorted extraction, the permuted runs disagreed
+// in the last ulp of the float accumulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "graph/generators.h"
+#include "metrics/rrs.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+#include "solver/saa.h"
+#include "util/rng.h"
+
+namespace recon {
+namespace {
+
+using graph::NodeId;
+using sim::Observation;
+using sim::Problem;
+
+Problem small_problem(int seed, graph::NodeId n = 24, graph::EdgeId m = 60) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 8;
+  opts.base_acceptance = 0.6;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::erdos_renyi_gnm(n, m, seed),
+                               graph::EdgeProbModel::uniform(0.2, 0.9), seed + 1),
+      opts);
+}
+
+TEST(HashOrder, ScenarioBenefitInvariantToBatchOrder) {
+  const Problem p = small_problem(11);
+  Observation obs(p);
+  const auto scenarios = solver::sample_scenarios(obs, 40, 7);
+
+  std::vector<NodeId> batch{0, 3, 5, 8, 12, 17, 21};
+  std::vector<double> reference;
+  reference.reserve(scenarios.size());
+  for (const auto& sc : scenarios) {
+    reference.push_back(solver::scenario_benefit(obs, sc, batch));
+  }
+
+  // Each permutation of the batch feeds the accepted-set hash table a
+  // different insertion history; the benefit must not move a single bit.
+  std::mt19937 perm_rng(123);  // shuffling test inputs only, not simulation
+  for (int trial = 0; trial < 8; ++trial) {
+    std::shuffle(batch.begin(), batch.end(), perm_rng);
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      EXPECT_EQ(solver::scenario_benefit(obs, scenarios[s], batch), reference[s])
+          << "scenario " << s << " trial " << trial;
+    }
+  }
+}
+
+TEST(HashOrder, SaaObjectiveInvariantToBatchOrder) {
+  const Problem p = small_problem(12);
+  Observation obs(p);
+  const auto scenarios = solver::sample_scenarios(obs, 60, 9);
+  std::vector<NodeId> batch{1, 2, 6, 9, 13, 18};
+  const double reference = solver::saa_objective(obs, scenarios, batch);
+  std::vector<NodeId> reversed(batch.rbegin(), batch.rend());
+  EXPECT_EQ(solver::saa_objective(obs, scenarios, reversed), reference);
+  std::vector<NodeId> rotated(batch.begin() + 3, batch.end());
+  rotated.insert(rotated.end(), batch.begin(), batch.begin() + 3);
+  EXPECT_EQ(solver::saa_objective(obs, scenarios, rotated), reference);
+}
+
+sim::AttackTrace trace_over(const std::vector<NodeId>& nodes) {
+  sim::AttackTrace t;
+  sim::BatchRecord b;
+  for (NodeId u : nodes) {
+    b.requests.push_back(u);
+    b.accepted.push_back(1);
+  }
+  b.cost = static_cast<double>(nodes.size());
+  b.cumulative_cost = b.cost;
+  t.batches.push_back(std::move(b));
+  return t;
+}
+
+TEST(HashOrder, VulnerableUsersInvariantToTraceOrder) {
+  // The counts/last_trace hash maps see a different insertion order when the
+  // traces are permuted, but the ranking (frequency desc, node asc — a total
+  // order) must be identical, including for tied frequencies.
+  std::vector<sim::AttackTrace> traces{
+      trace_over({4, 2, 9}),
+      trace_over({2, 7, 9, 4}),
+      trace_over({9, 1}),
+      trace_over({7, 4}),
+  };
+  const auto reference = metrics::vulnerable_users(traces, 16);
+  ASSERT_FALSE(reference.empty());
+
+  std::vector<sim::AttackTrace> permuted{traces[2], traces[0], traces[3], traces[1]};
+  const auto again = metrics::vulnerable_users(permuted, 16);
+  ASSERT_EQ(again.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(again[i].first, reference[i].first) << "rank " << i;
+    EXPECT_EQ(again[i].second, reference[i].second) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace recon

@@ -1,0 +1,6 @@
+// time(nullptr) as a seed source is the classic nondeterminism bug: two
+// runs with identical flags produce different traces.
+// lint-expect: clock
+#include <ctime>
+
+long long wall_seed() { return static_cast<long long>(time(nullptr)); }

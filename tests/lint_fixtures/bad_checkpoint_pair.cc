@@ -1,0 +1,12 @@
+// A strategy that saves state but cannot restore it resumes from a
+// checkpoint with silently reset internals — the runs diverge.
+// lint-expect: checkpoint-pair
+#include <string>
+
+class HalfCheckpointed {
+ public:
+  std::string save_state() const { return counter_repr_; }
+
+ private:
+  std::string counter_repr_;
+};

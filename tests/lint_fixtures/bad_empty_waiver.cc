@@ -1,0 +1,15 @@
+// A waiver without a written reason is not a waiver: the pragma grammar
+// requires lint:<rule>-ok(<why>). The underlying finding must also still
+// fire, since the malformed waiver grants no coverage.
+// lint-expect: waiver
+// lint-expect: hash-order
+#include <unordered_set>
+#include <vector>
+
+std::vector<int> drain(const std::unordered_set<int>& src_copy) {
+  std::unordered_set<int> seen = src_copy;
+  std::vector<int> out;
+  // lint:hash-order-ok()
+  for (int v : seen) out.push_back(v);
+  return out;
+}

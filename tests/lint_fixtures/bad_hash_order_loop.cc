@@ -1,0 +1,14 @@
+// Iterating an unordered container into an ordered output leaks the hash
+// seed / insertion history into results. Both loop shapes must be caught.
+// lint-expect: hash-order
+// lint-expect: hash-order
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> drain(const std::unordered_map<int, int>& src_copy) {
+  std::unordered_map<int, int> counts = src_copy;
+  std::vector<int> out;
+  for (const auto& [key, value] : counts) out.push_back(key + value);
+  for (auto it = counts.begin(); it != counts.end(); ++it) out.push_back(it->first);
+  return out;
+}

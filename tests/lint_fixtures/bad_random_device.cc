@@ -1,0 +1,9 @@
+// std::random_device is entropy the checkpoint cannot capture; all
+// randomness must come from util::Rng streams derived from the run seed.
+// lint-expect: randomness
+#include <random>
+
+unsigned draw_seed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,6 @@
+// Deliberately introduces std::rand(): unseeded process-global randomness
+// would make attack runs irreproducible and checkpoint-resume lossy.
+// lint-expect: randomness
+#include <cstdlib>
+
+int draw_noise() { return std::rand() % 100; }

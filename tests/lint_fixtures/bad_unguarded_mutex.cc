@@ -1,0 +1,15 @@
+// A mutex member with no RECON_GUARDED_BY annotation gives clang's
+// -Wthread-safety nothing to enforce: the lock discipline exists only in
+// the author's head. This is also what "removing a GUARDED_BY" degrades to.
+// lint-expect: guard
+#include <cstddef>
+#include <mutex>
+
+class SharedCounter {
+ public:
+  void bump();
+
+ private:
+  std::mutex mutex_;
+  std::size_t count_ = 0;
+};

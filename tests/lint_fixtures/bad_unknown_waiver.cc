@@ -1,0 +1,5 @@
+// Waivers must name a real rule; typos would otherwise silently waive
+// nothing while looking authoritative in review.
+// lint-expect: waiver
+// lint:hashorder-ok(misspelled rule name)
+int id(int x) { return x; }

@@ -1,0 +1,12 @@
+// Overriding both save_state and restore_state satisfies the checkpoint
+// symmetry rule.
+#include <string>
+
+class FullyCheckpointed {
+ public:
+  std::string save_state() const { return counter_repr_; }
+  void restore_state(const std::string& blob) { counter_repr_ = blob; }
+
+ private:
+  std::string counter_repr_;
+};

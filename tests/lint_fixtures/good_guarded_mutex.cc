@@ -1,0 +1,16 @@
+// The annotated pattern: util::Mutex plus RECON_GUARDED_BY on every member
+// the mutex protects. Clang's -Wthread-safety then rejects unlocked access;
+// the linter only checks that the annotation exists at all. (Fixtures are
+// linted, not compiled, so the macros are stand-ins here.)
+#include <cstddef>
+#define RECON_GUARDED_BY(x)
+namespace util { class Mutex {}; }
+
+class GuardedCounter {
+ public:
+  void bump();
+
+ private:
+  util::Mutex mutex_;
+  std::size_t count_ RECON_GUARDED_BY(mutex_) = 0;
+};

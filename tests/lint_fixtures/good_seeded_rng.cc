@@ -1,0 +1,16 @@
+// Seeded, stream-derived randomness is the sanctioned pattern. Mentions of
+// std::rand or steady_clock::now in comments or string literals must not
+// trip the lexical scan: "std::rand() is banned" stays a string.
+#include <cstdint>
+#include <string>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+std::string describe() {
+  Rng rng(0x5EED);
+  (void)rng;
+  return "std::rand() and time(nullptr) are banned here";
+}

@@ -1,0 +1,16 @@
+// The approved pattern for order-sensitive consumption of an unordered
+// container: extract keys, sort, then iterate the sorted vector (see
+// watts_strogatz in src/graph/generators.cc). Iterator-pair construction
+// into a vector is not an iteration loop and must not be flagged.
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+std::vector<int> drain_sorted(const std::unordered_set<int>& src_copy) {
+  std::unordered_set<int> seen = src_copy;
+  std::vector<int> keys(seen.begin(), seen.end());
+  std::sort(keys.begin(), keys.end());
+  std::vector<int> out;
+  for (int v : keys) out.push_back(v);
+  return out;
+}

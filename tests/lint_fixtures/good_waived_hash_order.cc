@@ -1,0 +1,13 @@
+// A correctly waived hash-order loop: the waiver names the rule and gives
+// a reason, which may continue across comment lines up to the close paren.
+#include <cstddef>
+#include <unordered_map>
+
+std::size_t total(const std::unordered_map<int, std::size_t>& src_copy) {
+  std::unordered_map<int, std::size_t> counts = src_copy;
+  std::size_t sum = 0;
+  // lint:hash-order-ok(integer sum is commutative and associative, so the
+  // iteration order cannot change the result)
+  for (const auto& [key, count] : counts) sum += count;
+  return sum;
+}

@@ -1,0 +1,440 @@
+#!/usr/bin/env python3
+"""Determinism & concurrency invariant linter for the recon codebase.
+
+The repo guarantees bit-identical parallel vs. sequential batch selection and
+bit-identical checkpoint-resume. The bug classes that break those guarantees
+are statically detectable, and this linter rejects them at CI time:
+
+  randomness       std::rand / srand / std::random_device. All randomness must
+                   flow through util::Rng (seeded, counter-based) so runs are
+                   reproducible and checkpointable.
+  clock            Raw steady_clock/system_clock/high_resolution_clock::now()
+                   or argless time(). Wall-clock reads must go through
+                   util::WallTimer (and thus be visible as deadline code);
+                   anything else risks timing leaking into selection.
+  hash-order       Range-for / iterator loops over std::unordered_{map,set}
+                   variables. Hash-order iteration leaks the hash seed and
+                   insertion history into whatever the loop produces; extract
+                   and sort keys first, or waive with a written reason.
+  checkpoint-pair  A class overriding Strategy::save_state must also override
+                   restore_state (and vice versa), or resume silently loses
+                   state.
+  guard            A class declaring a mutex member must annotate at least one
+                   member RECON_GUARDED_BY(that mutex) (util/thread_annotations.h)
+                   so clang -Wthread-safety has something to enforce, or waive
+                   with a reason stating what the mutex is for.
+  waiver           Malformed waivers: unknown rule name or empty reason.
+
+Waiver grammar (one per flagged construct, on the flagged line or in the
+comment block immediately above it; the reason may continue onto following
+comment lines until the closing parenthesis):
+
+    // lint:<rule>-ok(<non-empty reason>)
+
+Usage:
+    lint_invariants.py [PATH...]        lint .h/.cc files (default: src/)
+    lint_invariants.py --selftest DIR   check fixture expectations in DIR
+    lint_invariants.py --list-rules     print rule ids and summaries
+
+Exit status: 0 clean, 1 findings (or selftest mismatch), 2 usage error.
+Pure standard-library Python: no libclang dependency, so it runs identically
+on dev boxes and CI. The matching is lexical (comments/strings stripped,
+brace-matched class bodies), which the fixture selftest in
+tests/lint_fixtures/ keeps honest.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+RULES = {
+    "randomness": "banned randomness source (use util::Rng)",
+    "clock": "raw wall-clock read (use util::WallTimer)",
+    "hash-order": "iteration over unordered container (sort keys first)",
+    "checkpoint-pair": "save_state without restore_state (or vice versa)",
+    "guard": "mutex member without a RECON_GUARDED_BY annotation",
+    "waiver": "malformed waiver pragma",
+}
+
+# Files (repo-relative, '/'-separated suffix match) exempt from specific
+# rules. Keep this list short and justified.
+ALLOWLIST = {
+    "randomness": (
+        "src/util/rng.h",   # the sanctioned randomness wrapper itself
+        "src/util/rng.cc",
+    ),
+    "clock": (
+        "src/util/timer.h",   # the sanctioned WallTimer wrapper itself
+        "src/solver/bnb.cc",  # deadline code (reads time via WallTimer today;
+        "src/solver/fob.cc",  # allowlisted so deadline checks can evolve)
+    ),
+    "guard": (
+        # The annotated Mutex wrapper necessarily owns a raw std::mutex.
+        "src/util/thread_annotations.h",
+    ),
+}
+
+BANNED = {
+    "randomness": [
+        (re.compile(r"\bstd\s*::\s*rand\b"), "std::rand"),
+        (re.compile(r"(?<![\w:])srand\s*\("), "srand"),
+        (re.compile(r"\brandom_device\b"), "std::random_device"),
+    ],
+    "clock": [
+        (re.compile(r"\bsteady_clock\s*::\s*now\b"), "steady_clock::now"),
+        (re.compile(r"\bsystem_clock\s*::\s*now\b"), "system_clock::now"),
+        (
+            re.compile(r"\bhigh_resolution_clock\s*::\s*now\b"),
+            "high_resolution_clock::now",
+        ),
+        (
+            re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+            "argless time()",
+        ),
+    ],
+}
+
+WAIVER_RE = re.compile(r"lint:([a-z-]+)-ok\(")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;()]*?>\s+(\w+)\s*[;({=]"
+)
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:RECON_\w+\s*(?:\([^)]*\))?\s*)?(\w+)[^;{()]*\{"
+)
+MUTEX_MEMBER_RE = re.compile(r"\b(?:std\s*::\s*mutex|util\s*::\s*Mutex|Mutex)\s+(\w+)\s*;")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def is_comment_line(raw_line: str) -> bool:
+    s = raw_line.strip()
+    return s.startswith("//") or s.startswith("*") or s.startswith("/*") or s == ""
+
+
+class Waivers:
+    """Parses `// lint:<rule>-ok(reason)` pragmas and the lines they cover.
+
+    A waiver covers its own line, every following comment line, and the first
+    non-comment line after it (the flagged construct). Reasons may span
+    multiple comment lines up to the closing parenthesis and must be
+    non-empty; violations surface as `waiver` findings.
+    """
+
+    def __init__(self, path: str, raw_lines: list[str], findings: list[Finding]):
+        # rule -> set of covered 1-based line numbers
+        self.covered: dict[str, set[int]] = {r: set() for r in RULES}
+        self.used: set[tuple[str, int]] = set()
+        self._declared: list[tuple[str, int]] = []  # (rule, pragma line)
+        for idx, raw in enumerate(raw_lines):
+            for m in WAIVER_RE.finditer(raw):
+                rule = m.group(1)
+                if rule not in RULES or rule == "waiver":
+                    findings.append(
+                        Finding(path, idx + 1, "waiver",
+                                f"unknown rule '{rule}' in waiver pragma"))
+                    continue
+                reason = self._extract_reason(raw_lines, idx, m.end())
+                if reason is None or not reason.strip():
+                    findings.append(
+                        Finding(path, idx + 1, "waiver",
+                                f"waiver for '{rule}' must carry a non-empty "
+                                "reason: lint:" + rule + "-ok(<why>)"))
+                    continue
+                self._declared.append((rule, idx + 1))
+                # Cover from the pragma line through the first non-comment line.
+                j = idx
+                self.covered[rule].add(j + 1)
+                while j + 1 < len(raw_lines) and is_comment_line(raw_lines[j + 1]):
+                    j += 1
+                    self.covered[rule].add(j + 1)
+                if j + 1 < len(raw_lines):
+                    self.covered[rule].add(j + 2)
+
+    @staticmethod
+    def _extract_reason(raw_lines: list[str], idx: int, start: int) -> str | None:
+        """Reason text from `start` up to the matching ')', possibly spanning
+        following comment lines. Returns None if never closed."""
+        depth = 1
+        parts: list[str] = []
+        line = raw_lines[idx]
+        pos = start
+        for _ in range(8):  # reasons longer than 8 lines are a smell anyway
+            while pos < len(line):
+                c = line[pos]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        parts.append(line[start:pos])
+                        return " ".join(parts)
+                pos += 1
+            parts.append(line[start:])
+            idx += 1
+            if idx >= len(raw_lines) or not is_comment_line(raw_lines[idx]):
+                return None
+            line = raw_lines[idx]
+            start = pos = line.find("//") + 2 if "//" in line else 0
+        return None
+
+    def waived(self, rule: str, line: int) -> bool:
+        if line in self.covered.get(rule, ()):
+            self.used.add((rule, line))
+            return True
+        return False
+
+
+def class_bodies(code: str):
+    """Yields (name, class_offset, body_offset, body_text) for each
+    class/struct with a braced body in comment-stripped `code`. Nested bodies
+    are yielded too."""
+    for m in CLASS_RE.finditer(code):
+        open_brace = m.end() - 1
+        depth = 0
+        for i in range(open_brace, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield m.group(2), m.start(), open_brace + 1, code[open_brace + 1:i]
+                    break
+
+
+def line_of(code: str, offset: int) -> int:
+    return code.count("\n", 0, offset) + 1
+
+
+def lint_file(path: str, findings: list[Finding]) -> None:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    code = strip_comments_and_strings(text)
+    code_lines = code.splitlines()
+    rel = os.path.normpath(path).replace(os.sep, "/")
+    waivers = Waivers(rel, raw_lines, findings)
+
+    def allowlisted(rule: str) -> bool:
+        return any(rel.endswith(sfx) for sfx in ALLOWLIST.get(rule, ()))
+
+    # --- randomness / clock bans -------------------------------------------
+    for rule, patterns in BANNED.items():
+        if allowlisted(rule):
+            continue
+        for lineno, cline in enumerate(code_lines, 1):
+            for pat, label in patterns:
+                if pat.search(cline) and not waivers.waived(rule, lineno):
+                    findings.append(
+                        Finding(rel, lineno, rule,
+                                f"{label} is banned: {RULES[rule]}"))
+
+    # --- hash-order iteration ----------------------------------------------
+    unordered_names = {m.group(1) for m in UNORDERED_DECL_RE.finditer(code)}
+    if unordered_names:
+        names = "|".join(re.escape(n) for n in sorted(unordered_names))
+        range_for = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\*?\s*)?(" + names + r")\s*\)")
+        iter_for = re.compile(
+            r"\bfor\s*\([^;)]*=\s*(" + names + r")\s*\.\s*c?begin\s*\(")
+        for lineno, cline in enumerate(code_lines, 1):
+            for pat in (range_for, iter_for):
+                m = pat.search(cline)
+                if m and not waivers.waived("hash-order", lineno):
+                    findings.append(
+                        Finding(rel, lineno, "hash-order",
+                                f"loop over unordered container '{m.group(1)}': "
+                                "iteration order depends on the hash seed and "
+                                "insertion history; extract+sort keys, or waive "
+                                "with lint:hash-order-ok(reason)"))
+
+    # --- class-body rules: checkpoint-pair and guard ------------------------
+    seen_guard: set[int] = set()
+    seen_pair: set[int] = set()
+    for name, start, body_start, body in class_bodies(code):
+        cls_line = line_of(code, start)
+        # checkpoint-pair: overriding one of save_state/restore_state only.
+        has_save = re.search(r"\bsave_state\s*\(", body) is not None
+        has_restore = re.search(r"\brestore_state\s*\(", body) is not None
+        if has_save != has_restore and cls_line not in seen_pair:
+            seen_pair.add(cls_line)
+            missing = "restore_state" if has_save else "save_state"
+            present = "save_state" if has_save else "restore_state"
+            if not waivers.waived("checkpoint-pair", cls_line):
+                findings.append(
+                    Finding(rel, cls_line, "checkpoint-pair",
+                            f"class {name} overrides {present} but not "
+                            f"{missing}; checkpoint-resume would silently "
+                            "lose or mis-restore strategy state"))
+        # guard: every mutex member needs a GUARDED_BY(it) in the same body.
+        if allowlisted("guard"):
+            continue
+        for mm in MUTEX_MEMBER_RE.finditer(body):
+            mutex_name = mm.group(1)
+            member_line = line_of(code, body_start + mm.start())
+            if member_line in seen_guard:
+                continue
+            guarded = re.search(
+                r"\bRECON(?:_PT)?_GUARDED_BY\s*\(\s*" + re.escape(mutex_name)
+                + r"\s*\)", body)
+            if guarded is None:
+                seen_guard.add(member_line)
+                if not waivers.waived("guard", member_line):
+                    findings.append(
+                        Finding(rel, member_line, "guard",
+                                f"mutex member '{mutex_name}' in {name} guards "
+                                "no annotated member; add RECON_GUARDED_BY("
+                                f"{mutex_name}) to the guarded fields (see "
+                                "util/thread_annotations.h) or waive with "
+                                "lint:guard-ok(reason)"))
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    out: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith((".h", ".cc", ".cpp", ".hpp")):
+                        out.append(os.path.join(root, f))
+        else:
+            print(f"lint_invariants: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def run_lint(paths: list[str]) -> int:
+    findings: list[Finding] = []
+    files = collect_files(paths)
+    for path in files:
+        lint_file(path, findings)
+    for f in sorted(findings, key=lambda x: (x.path, x.line)):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: OK ({len(files)} files clean)")
+    return 0
+
+
+EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([a-z-]+)")
+
+
+def run_selftest(fixture_dir: str) -> int:
+    """Every fixture declares its expected findings with `// lint-expect: rule`
+    lines; `good_*` fixtures declare none and must lint clean. A fixture that
+    over- or under-reports fails the selftest, so the linter cannot rot."""
+    files = collect_files([fixture_dir])
+    if not files:
+        print(f"lint_invariants --selftest: no fixtures in {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        expected = sorted(EXPECT_RE.findall(raw))
+        findings: list[Finding] = []
+        lint_file(path, findings)
+        actual = sorted(f.rule for f in findings)
+        status = "ok"
+        if actual != expected:
+            failures += 1
+            status = "FAIL"
+        print(f"[{status}] {os.path.basename(path)}: expected {expected or '[]'}, "
+              f"got {actual or '[]'}")
+        if status == "FAIL":
+            for f2 in findings:
+                print(f"    {f2.path}:{f2.line}: [{f2.rule}] {f2.message}")
+    if failures:
+        print(f"lint_invariants --selftest: {failures}/{len(files)} fixtures "
+              "FAILED", file=sys.stderr)
+        return 1
+    print(f"lint_invariants --selftest: all {len(files)} fixtures behave as "
+          "expected")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--list-rules" in argv:
+        for rule, summary in RULES.items():
+            print(f"{rule:16} {summary}")
+        return 0
+    if "--selftest" in argv:
+        i = argv.index("--selftest")
+        if i + 1 >= len(argv):
+            print("usage: lint_invariants.py --selftest DIR", file=sys.stderr)
+            return 2
+        return run_selftest(argv[i + 1])
+    paths = [a for a in argv if not a.startswith("-")]
+    return run_lint(paths or ["src"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
