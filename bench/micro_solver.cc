@@ -2,6 +2,10 @@
 // sampling/evaluation, greedy vs exact FOB, and the LP-based MIP.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/branch_tree.h"
 #include "graph/generators.h"
 #include "sim/observation.h"
 #include "sim/problem.h"
@@ -117,6 +121,55 @@ void BM_MipLpBnb(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MipLpBnb);
+
+/// First `size` non-friend nodes: a deterministic batch for the tree benches.
+std::vector<graph::NodeId> nonfriend_prefix(const sim::Observation& obs,
+                                            std::size_t size) {
+  std::vector<graph::NodeId> batch;
+  const auto n = obs.problem().graph.num_nodes();
+  for (graph::NodeId u = 0; u < n && batch.size() < size; ++u) {
+    if (!obs.is_friend(u)) batch.push_back(u);
+  }
+  return batch;
+}
+
+void BM_BranchTreeParallel(benchmark::State& state) {
+  // One Γ evaluation over a 2^14-branch expectation tree; arg = worker
+  // threads (0 = sequential path, no pool). The returned double is
+  // bit-identical across all of these — solver_parallel_test enforces it —
+  // so the runs differ only in wall-clock.
+  const auto problem = solver_problem(105);
+  sim::Observation obs(problem);
+  const auto batch = nonfriend_prefix(obs, 15);
+  const graph::NodeId target = batch.back();
+  const std::vector<graph::NodeId> prefix(batch.begin(), batch.end() - 1);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::branch_tree_gamma(
+        obs, prefix, target, core::MarginalPolicy::kWeighted, pool.get()));
+  }
+}
+BENCHMARK(BM_BranchTreeParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_SaaScenarioParallel(benchmark::State& state) {
+  // One SAA objective over 2000 scenarios; arg = worker threads (0 =
+  // sequential). Scenario evaluations fan out through parallel_reduce and
+  // merge order-insensitively (sorted sum), so the mean is bit-identical.
+  const auto problem = solver_problem(105);
+  sim::Observation obs(problem);
+  const auto scenarios = solver::sample_scenarios(obs, 2000, 3);
+  const auto batch = nonfriend_prefix(obs, 6);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+  const solver::SaaEvalOptions eval{pool.get(), /*antithetic_pairs=*/false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::saa_objective(obs, scenarios, batch, eval));
+  }
+}
+BENCHMARK(BM_SaaScenarioParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(8);
 
 }  // namespace
 

@@ -85,6 +85,32 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
 
+  // Block C: the literal branch tree again, but with its subtrees fanned out
+  // across a worker pool — the paper's exponential cost is what the parallel
+  // engine amortizes, which is what makes larger k reachable at all (see
+  // EXPERIMENTS.md, "Table III at larger k"). One dataset keeps the smoke
+  // runtime sane; batches are bit-identical to block B's at equal k.
+  separator("-- (C) one batch, parallel branch tree (first network) --");
+  if (!small.empty()) {
+    const auto& [cname, cproblem] = small.front();
+    for (int k : {8, 10}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        util::ThreadPool pool(threads);
+        std::vector<std::string> row{std::to_string(k) + " (T=" +
+                                     std::to_string(threads) + ")"};
+        const sim::Observation obs(cproblem);
+        core::BranchTreeOptions opts;
+        opts.batch_size = k;
+        opts.pool = &pool;
+        util::WallTimer wall;
+        (void)core::branch_tree_select(obs, opts);
+        row.push_back(util::format_fixed(wall.seconds(), 3));
+        row.resize(problems.size() + 1);
+        table.add_row(std::move(row));
+      }
+    }
+  }
+
   bench::emit(table, cfg, "Table III: mean compute time in seconds");
   std::printf(
       "Block B reproduces the paper's superlinear growth in k (its Rust\n"

@@ -1,11 +1,74 @@
 #include "core/batch_select.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <queue>
+
+#include "util/timer.h"
 
 namespace recon::core {
 
 using graph::NodeId;
+
+namespace {
+
+/// Process-wide calibration for adaptive shard sizing: an EWMA of the
+/// measured scoring cost per work unit (one unit ~ one adjacency-row entry
+/// walked by the gamma kernel), in nanoseconds. Updated after every
+/// parallel scoring pass; read when planning the next one. Relaxed atomics:
+/// racing updates at worst mix two recent measurements, and the value only
+/// steers shard *layout*, which provably cannot change the selected batch
+/// (the frontier pop order is a strict total order on (score, node)).
+std::atomic<std::uint64_t> g_measured_nanos_per_unit{64};
+
+double shard_nanos_per_unit() {
+  return static_cast<double>(
+      g_measured_nanos_per_unit.load(std::memory_order_relaxed));
+}
+
+void record_shard_pass(std::uint64_t pass_nanos, double pass_work) {
+  if (pass_work <= 0.0 || pass_nanos == 0) return;
+  const double observed = static_cast<double>(pass_nanos) / pass_work;
+  const double old = static_cast<double>(
+      g_measured_nanos_per_unit.load(std::memory_order_relaxed));
+  const double blended = 0.75 * old + 0.25 * observed;
+  g_measured_nanos_per_unit.store(
+      static_cast<std::uint64_t>(std::max(1.0, blended)),
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::vector<std::size_t> plan_score_shards(const std::vector<double>& work,
+                                           std::size_t parties,
+                                           double nanos_per_unit,
+                                           double target_shard_nanos) {
+  std::vector<std::size_t> bounds{0};
+  const std::size_t n = work.size();
+  if (n == 0) return bounds;
+  if (parties == 0) parties = 1;
+  double total = 0.0;
+  for (const double w : work) total += w;
+  // Aim each shard at ~target_shard_nanos of measured scoring time: long
+  // enough to amortize a task dispatch, short enough that one hub-heavy
+  // shard cannot straggle the whole pass. Clamp to between 4 shards per
+  // participant (steal balance) and 32 (dispatch overhead).
+  double target = target_shard_nanos / std::max(nanos_per_unit, 1e-3);
+  target = std::min(target, total / static_cast<double>(parties * 4));
+  target = std::max(target, total / static_cast<double>(parties * 32));
+  target = std::max(target, 1.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += work[i];
+    if (acc >= target && i + 1 < n) {
+      bounds.push_back(i + 1);
+      acc = 0.0;
+    }
+  }
+  bounds.push_back(n);
+  return bounds;
+}
 
 std::vector<NodeId> batch_candidates(const sim::Observation& obs, bool allow_retries,
                                      std::uint32_t max_attempts_per_node,
@@ -244,20 +307,36 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
     // merged frontier. Output is bit-identical to the sequential path: the
     // shard layout only changes *where* an entry sits, never the total order
     // in which entries are popped.
+    //
+    // Shard boundaries are adaptive (plan_score_shards): equal estimated
+    // work per shard — degree-weighted, so hub-heavy ranges split finer
+    // than low-degree tails — sized against the measured ns-per-unit of
+    // previous passes. Each pass feeds its own measurement back.
     const std::size_t n = candidates.size();
     const std::size_t parties = static_cast<std::size_t>(options.pool->size()) + 1;
-    const std::size_t shard_size =
-        std::max<std::size_t>(64, (n + parties * 4 - 1) / (parties * 4));
-    const std::size_t num_shards = (n + shard_size - 1) / shard_size;
+    const auto& g = problem.graph;
+    std::vector<double> work(n);
+    double total_work = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      work[i] = 1.0 + static_cast<double>(g.degree(candidates[i]));
+      total_work += work[i];
+    }
+    const std::vector<std::size_t> bounds =
+        plan_score_shards(work, parties, shard_nanos_per_unit());
+    const std::size_t num_shards = bounds.size() - 1;
     const std::size_t keep = static_cast<std::size_t>(options.batch_size);
 
     std::vector<ShardFrontier> shards(num_shards);
+    std::atomic<std::uint64_t> pass_nanos{0};
     const GammaKernel kernel(obs, state, options.policy);
     options.pool->parallel_for(
         0, num_shards,
         [&](std::size_t s) {
-          const std::size_t lo = s * shard_size;
-          const std::size_t hi = std::min(n, lo + shard_size);
+          // Reporting-only wall clock: the measurement calibrates future
+          // shard layouts, and layout cannot change the selected batch.
+          const util::WallTimer shard_timer;
+          const std::size_t lo = bounds[s];
+          const std::size_t hi = bounds[s + 1];
           ShardFrontier& sf = shards[s];
           sf.head.reserve(std::min(keep, hi - lo));
           // Min-heap on head (worst entry on top) caps the sorted portion at
@@ -281,8 +360,13 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
             }
           }
           std::sort(sf.head.begin(), sf.head.end(), ranks_before);
+          pass_nanos.fetch_add(shard_timer.nanos(), std::memory_order_relaxed);
         },
         /*grain=*/1);
+    // Shard times overlap in wall-clock, but the EWMA wants *cost*, not
+    // latency: the summed per-shard nanos over the summed work is exactly
+    // the average ns each work unit cost this pass.
+    record_shard_pass(pass_nanos.load(std::memory_order_relaxed), total_work);
 
     MergedFrontier frontier(std::move(shards));
     return lazy_pick_loop(obs, options, state, budget, frontier, score_of);

@@ -64,4 +64,22 @@ std::vector<graph::NodeId> batch_candidates(const sim::Observation& obs,
                                             std::uint32_t max_attempts_per_node,
                                             double max_cost);
 
+/// Shard boundaries for the parallel scoring pass: shard s covers
+/// candidates [bounds[s], bounds[s+1]), bounds.front() == 0 and
+/// bounds.back() == work.size(). Shards hold roughly equal *estimated
+/// work* (work[i] models candidate i's scoring cost — the gamma kernel
+/// walks the adjacency row, so batch_select uses 1 + degree), not equal
+/// candidate counts: a hub-heavy prefix of a BA candidate list is split
+/// into many small shards while the low-degree tail coarsens. The target
+/// work per shard aims each shard at ~`target_shard_nanos` of measured
+/// scoring time (`nanos_per_unit` comes from a process-wide calibration of
+/// previous passes), clamped to between 4 and 32 shards per participant.
+/// The plan only decides *where* candidates sit, never the (score, node)
+/// frontier order, so selected batches are identical under every plan.
+/// Exposed for tests and the shard-size benchmarks.
+std::vector<std::size_t> plan_score_shards(const std::vector<double>& work,
+                                           std::size_t parties,
+                                           double nanos_per_unit,
+                                           double target_shard_nanos = 100000.0);
+
 }  // namespace recon::core

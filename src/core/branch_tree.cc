@@ -13,6 +13,13 @@ using graph::NodeId;
 
 namespace {
 
+/// Subtrees with at most 2^kSubtreeLeafBits branches are evaluated
+/// sequentially; above that the expectation tree splits in half (see
+/// subtree_expectation). 6 keeps a leaf around ~64 branch_delta calls —
+/// enough work to amortize a task dispatch, small enough that a pool can
+/// fan a k=10 tree into 16 subtree tasks.
+constexpr std::uint32_t kSubtreeLeafBits = 6;
+
 /// Δb(u | ω, R_E, U) for the branch encoded by `mask` over `batch`.
 /// Reconstructs U[v] (product over accepted batch members adjacent to v of
 /// 1 − p̂) and the R_E membership test from the mask.
@@ -78,10 +85,39 @@ double branch_delta(const sim::Observation& obs, const std::vector<NodeId>& batc
   return obs.acceptance_prob(u) * inner;
 }
 
+/// Expectation mass of the branch subtree covering masks [lo, hi) — the
+/// subtree of the accept/reject tree whose root fixes the high-order mask
+/// bits (the most recently selected batch members; the split keeps subtree
+/// mask ranges contiguous). The summation shape is FIXED: ranges larger
+/// than 2^kSubtreeLeafBits split in half and merge with one addition in
+/// child order (reject half first, accept half second); leaf ranges
+/// accumulate left-to-right. The shape depends only on |batch|, never on
+/// the thread count, so the parallel fan-out below merges partials along
+/// the identical tree and the result is bit-exact at any parallelism.
+double subtree_expectation(const sim::Observation& obs, const std::vector<NodeId>& batch,
+                           const std::vector<double>& batch_q, std::uint32_t lo,
+                           std::uint32_t hi, NodeId u, MarginalPolicy policy) {
+  if (hi - lo <= (1u << kSubtreeLeafBits)) {
+    double total = 0.0;
+    for (std::uint32_t mask = lo; mask < hi; ++mask) {
+      double gamma_branch = 1.0;
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        gamma_branch *= (mask & (1u << j)) ? batch_q[j] : 1.0 - batch_q[j];
+      }
+      if (gamma_branch <= 0.0) continue;
+      total += gamma_branch * branch_delta(obs, batch, mask, u, policy);
+    }
+    return total;
+  }
+  const std::uint32_t mid = lo + (hi - lo) / 2;
+  return subtree_expectation(obs, batch, batch_q, lo, mid, u, policy) +
+         subtree_expectation(obs, batch, batch_q, mid, hi, u, policy);
+}
+
 }  // namespace
 
 double branch_tree_gamma(const sim::Observation& obs, const std::vector<NodeId>& batch,
-                         NodeId u, MarginalPolicy policy) {
+                         NodeId u, MarginalPolicy policy, util::ThreadPool* pool) {
   if (batch.size() > 24) {
     throw std::invalid_argument("branch_tree_gamma: batch too large to enumerate");
   }
@@ -90,16 +126,39 @@ double branch_tree_gamma(const sim::Observation& obs, const std::vector<NodeId>&
     batch_q[j] = obs.acceptance_prob(batch[j]);
   }
   const std::uint32_t num_branches = 1u << batch.size();
-  double total = 0.0;
-  for (std::uint32_t mask = 0; mask < num_branches; ++mask) {
-    double gamma_branch = 1.0;
-    for (std::size_t j = 0; j < batch.size(); ++j) {
-      gamma_branch *= (mask & (1u << j)) ? batch_q[j] : 1.0 - batch_q[j];
+
+  // Parallel subtree fan-out: cut the tree at its top levels into 2^depth
+  // independent subtrees (one task each), deep enough to feed every
+  // participant a few tasks but never below the sequential leaf cutoff.
+  if (pool != nullptr && batch.size() > kSubtreeLeafBits + 1) {
+    const std::uint32_t max_depth =
+        static_cast<std::uint32_t>(batch.size()) - kSubtreeLeafBits;
+    std::uint32_t depth = 0;
+    const std::uint32_t want = 4u * (pool->size() + 1);
+    while (depth < max_depth && (1u << depth) < want) ++depth;
+    const std::uint32_t leaves = 1u << depth;
+    const std::uint32_t stride = num_branches >> depth;
+    std::vector<double> partials(leaves);
+    pool->parallel_for(
+        0, leaves,
+        [&](std::size_t s) {
+          const auto lo = static_cast<std::uint32_t>(s) * stride;
+          partials[s] =
+              subtree_expectation(obs, batch, batch_q, lo, lo + stride, u, policy);
+        },
+        /*grain=*/1);
+    // Deterministic merge: fold adjacent partials pairwise, bottom-up. The
+    // ranges are equal power-of-two halves, so this reproduces exactly the
+    // association subtree_expectation would have used sequentially.
+    for (std::uint32_t width = leaves; width > 1; width /= 2) {
+      for (std::uint32_t i = 0; i < width / 2; ++i) {
+        partials[i] = partials[2 * i] + partials[2 * i + 1];
+      }
     }
-    if (gamma_branch <= 0.0) continue;
-    total += gamma_branch * branch_delta(obs, batch, mask, u, policy);
+    return partials[0];
   }
-  return total;
+
+  return subtree_expectation(obs, batch, batch_q, 0, num_branches, u, policy);
 }
 
 std::vector<NodeId> branch_tree_select(const sim::Observation& obs,
@@ -113,10 +172,17 @@ std::vector<NodeId> branch_tree_select(const sim::Observation& obs,
   std::vector<std::uint8_t> taken(obs.problem().graph.num_nodes(), 0);
   std::vector<double> scores(candidates.size());
   while (batch.size() < static_cast<std::size_t>(options.batch_size)) {
+    // Two parallel axes share the pool: candidates fan out across workers,
+    // and each candidate's expectation tree fans out into subtree tasks
+    // (which matters in the late rounds, where few candidates remain but
+    // each tree has 2^|batch| branches). Nested joins are deadlock-free —
+    // a blocked participant steals — and scores are bit-identical either
+    // way because the summation shape is fixed.
     auto score_one = [&](std::size_t i) {
       scores[i] = taken[candidates[i]]
                       ? -1.0
-                      : branch_tree_gamma(obs, batch, candidates[i], options.policy);
+                      : branch_tree_gamma(obs, batch, candidates[i], options.policy,
+                                          options.pool);
     };
     if (options.pool != nullptr) {
       options.pool->parallel_for(0, candidates.size(), score_one);

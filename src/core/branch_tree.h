@@ -24,9 +24,16 @@ namespace recon::core {
 /// Γ(u | A) computed by explicit enumeration of all 2^|batch| branches.
 /// `batch` is the ordered list of already-selected nodes. Requires
 /// |batch| <= 24.
+///
+/// With a pool, the expectation tree is cut at its top levels into
+/// independent subtree tasks (contiguous mask ranges) that fan out across
+/// the workers; partial expectations merge pairwise in fixed child order
+/// along the same summation tree the sequential path uses, so the returned
+/// double is bit-identical at every thread count (see docs/API.md,
+/// "Solver parallelism").
 double branch_tree_gamma(const sim::Observation& obs,
                          const std::vector<graph::NodeId>& batch, graph::NodeId u,
-                         MarginalPolicy policy);
+                         MarginalPolicy policy, util::ThreadPool* pool = nullptr);
 
 struct BranchTreeOptions {
   int batch_size = 5;

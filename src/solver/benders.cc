@@ -243,7 +243,8 @@ BendersResult solve_fob_benders(const sim::Observation& obs,
       for (std::size_t i = 0; i < n; ++i) {
         if (x[i] > 0.5) batch.push_back(candidates[i]);
       }
-      const double value = saa_objective(obs, scenarios, batch);
+      const double value = saa_objective(obs, scenarios, batch,
+                                         {options.pool, /*antithetic_pairs=*/false});
       if (value > incumbent) {
         incumbent = value;
         incumbent_batch = std::move(batch);

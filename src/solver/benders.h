@@ -35,6 +35,9 @@ struct BendersOptions {
   std::size_t max_cuts = 200;        ///< per B&B node
   double tolerance = 1e-6;           ///< master-vs-recourse convergence gap
   std::uint64_t max_bnb_nodes = 20'000;
+  /// Parallelize incumbent SAA evaluations across scenarios (nullptr =
+  /// sequential); values are bit-identical at any thread count.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct BendersResult {

@@ -77,6 +77,7 @@ std::vector<NodeId> FallbackStrategy::next_batch(const sim::Observation& obs,
         exact.max_nodes = options_.max_bnb_nodes;
         exact.candidate_cap = options_.candidate_cap;
         exact.deadline_seconds = options_.exact_deadline_seconds;
+        exact.pool = options_.pool;
         const FobResult r = fob_exact(obs, scenarios, batch_k, candidates, exact);
         if (r.exact && !r.batch.empty()) {
           ++counts_.exact;
@@ -89,7 +90,7 @@ std::vector<NodeId> FallbackStrategy::next_batch(const sim::Observation& obs,
       }
       if (options_.saa_deadline_seconds > 0.0) {
         const FobResult r = fob_greedy(obs, scenarios, batch_k, candidates,
-                                       options_.saa_deadline_seconds);
+                                       options_.saa_deadline_seconds, options_.pool);
         if (!r.timed_out && !r.batch.empty()) {
           ++counts_.saa_greedy;
           RECON_LOG(kInfo) << "fallback: batch " << round_ << " tier=saa-greedy";
@@ -109,6 +110,7 @@ std::vector<NodeId> FallbackStrategy::next_batch(const sim::Observation& obs,
   bs.allow_retries = options_.allow_retries;
   bs.max_attempts_per_node = 0;  // match fob_candidates (no cap)
   bs.remaining_budget = remaining_budget;
+  bs.pool = options_.pool;
   std::vector<NodeId> batch = core::batch_select(obs, bs);
   if (!batch.empty()) {
     ++counts_.lazy_greedy;

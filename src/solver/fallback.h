@@ -42,6 +42,11 @@ struct FallbackOptions {
   std::size_t candidate_cap = 0;
   core::MarginalPolicy floor_policy = core::MarginalPolicy::kWeighted;
   std::uint64_t seed = 0x5AA;
+  /// Shared pool for every tier: SAA scenario fan-out in the exact and
+  /// greedy tiers, parallel lazy greedy in the floor tier (nullptr =
+  /// sequential everywhere). Batches are bit-identical with and without a
+  /// pool; only which tier wins a wall-clock deadline can differ.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// How many batches each tier ended up solving.

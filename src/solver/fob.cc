@@ -23,9 +23,10 @@ std::vector<NodeId> fob_candidates(const sim::Observation& obs, bool allow_retri
 
 FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                      std::size_t k, const std::vector<NodeId>& candidates,
-                     double deadline_seconds) {
+                     double deadline_seconds, util::ThreadPool* pool) {
   FobResult result;
   if (k == 0 || candidates.empty()) return result;
+  const SaaEvalOptions eval{pool, /*antithetic_pairs=*/false};
   util::WallTimer timer;
   const auto past_deadline = [&] {
     return deadline_seconds > 0.0 && timer.seconds() > deadline_seconds;
@@ -51,7 +52,7 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
       result.timed_out = true;
       break;
     }
-    const double v = saa_objective(obs, scenarios, {candidates[i]});
+    const double v = saa_objective(obs, scenarios, {candidates[i]}, eval);
     if (v > 0.0) heap.push({v, i, 0});
   }
   while (batch.size() < k && !heap.empty()) {
@@ -64,7 +65,7 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
     if (top.stamp != batch.size()) {
       std::vector<NodeId> with = batch;
       with.push_back(candidates[top.index]);
-      top.gain = saa_objective(obs, scenarios, with) - current;
+      top.gain = saa_objective(obs, scenarios, with, eval) - current;
       top.stamp = batch.size();
       if (top.gain <= 0.0) continue;
       if (!heap.empty() && top.gain < heap.top().gain) {
@@ -76,7 +77,8 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
     current += top.gain;
   }
   result.batch = std::move(batch);
-  result.objective = result.batch.empty() ? 0.0 : saa_objective(obs, scenarios, result.batch);
+  result.objective =
+      result.batch.empty() ? 0.0 : saa_objective(obs, scenarios, result.batch, eval);
   return result;
 }
 
@@ -84,8 +86,9 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
                     std::size_t k, const std::vector<NodeId>& candidates,
                     const FobExactOptions& options) {
   util::WallTimer timer;
+  const SaaEvalOptions eval{options.pool, /*antithetic_pairs=*/false};
   FobResult greedy = fob_greedy(obs, scenarios, k, candidates,
-                                options.deadline_seconds);
+                                options.deadline_seconds, options.pool);
   if (greedy.timed_out) {
     greedy.exact = false;
     return greedy;  // no time left for the search; partial greedy incumbent
@@ -102,7 +105,7 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
       greedy.timed_out = true;
       return greedy;
     }
-    ranked.emplace_back(saa_objective(obs, scenarios, {u}), u);
+    ranked.emplace_back(saa_objective(obs, scenarios, {u}, eval), u);
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;
@@ -139,11 +142,11 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
   oracle.num_items = pool;
   oracle.cardinality = k;
   oracle.evaluate = [&](const std::vector<std::size_t>& chosen) {
-    return saa_objective(obs, scenarios, to_nodes(chosen));
+    return saa_objective(obs, scenarios, to_nodes(chosen), eval);
   };
   oracle.bound = [&](const std::vector<std::size_t>& chosen, std::size_t next) {
     const double base =
-        chosen.empty() ? 0.0 : saa_objective(obs, scenarios, to_nodes(chosen));
+        chosen.empty() ? 0.0 : saa_objective(obs, scenarios, to_nodes(chosen), eval);
     const std::size_t need = k - chosen.size();
     const std::size_t take = std::min(need, pool - next);
     return base + (prefix[next + take] - prefix[next]);

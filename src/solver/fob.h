@@ -33,10 +33,12 @@ std::vector<graph::NodeId> fob_candidates(const sim::Observation& obs,
 
 /// Lazy-greedy FOB over the SAA objective. With `deadline_seconds` > 0 the
 /// solve stops at the deadline and returns the partial batch built so far
-/// (timed_out reports whether that happened).
+/// (timed_out reports whether that happened). A pool parallelizes every
+/// SAA evaluation across scenarios (bit-identical objective values, so the
+/// selected batch is identical too).
 FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                      std::size_t k, const std::vector<graph::NodeId>& candidates,
-                     double deadline_seconds = 0.0);
+                     double deadline_seconds = 0.0, util::ThreadPool* pool = nullptr);
 
 struct FobExactOptions {
   std::uint64_t max_nodes = 2'000'000;  ///< B&B node cap
@@ -49,6 +51,10 @@ struct FobExactOptions {
   /// timeout the greedy incumbent is returned with exact=false,
   /// timed_out=true.
   double deadline_seconds = 0.0;
+  /// Parallelize the SAA objective across scenarios (nullptr = sequential).
+  /// Objective values — and therefore the search tree and the returned
+  /// batch — are bit-identical at any thread count.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Exact FOB via branch and bound (falls back to the greedy incumbent if the

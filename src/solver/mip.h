@@ -35,6 +35,9 @@ struct MipResult {
 
 struct MipOptions {
   std::uint64_t max_nodes = 100'000;
+  /// Parallelize incumbent SAA evaluations across scenarios (nullptr =
+  /// sequential); values are bit-identical at any thread count.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Builds the scenario-expanded LP relaxation (x continuous in [0,1]).

@@ -142,12 +142,88 @@ double scenario_benefit(const sim::Observation& obs, const Scenario& scenario,
   return total;
 }
 
+namespace {
+
+/// Canonical order-insensitive reduction: sum in ascending value order.
+/// Every evaluation of the same scenario set produces the same multiset of
+/// unit benefits (each unit is computed independently, bit-identically), so
+/// sorting before summing makes the total exactly invariant to how the
+/// units were produced — thread count, chunk-to-worker assignment, or a
+/// permutation of the scenario order. Ascending order is also the
+/// numerically kind one (small magnitudes first).
+double sorted_sum(std::vector<double>& units) {
+  std::sort(units.begin(), units.end());
+  double total = 0.0;
+  for (const double v : units) total += v;
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> scenario_benefits(const sim::Observation& obs,
+                                      const std::vector<Scenario>& scenarios,
+                                      const std::vector<NodeId>& batch,
+                                      util::ThreadPool* pool) {
+  std::vector<double> out(scenarios.size());
+  auto eval = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      out[s] = scenario_benefit(obs, scenarios[s], batch);
+    }
+  };
+  if (pool != nullptr && scenarios.size() > 1) {
+    pool->parallel_for(0, scenarios.size(), eval);
+  } else {
+    eval(0, scenarios.size());
+  }
+  return out;
+}
+
 double saa_objective(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                      const std::vector<NodeId>& batch) {
+  return saa_objective(obs, scenarios, batch, SaaEvalOptions{});
+}
+
+double saa_objective(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                     const std::vector<NodeId>& batch, const SaaEvalOptions& options) {
   if (scenarios.empty()) throw std::invalid_argument("saa_objective: no scenarios");
-  double total = 0.0;
-  for (const auto& sc : scenarios) total += scenario_benefit(obs, sc, batch);
-  return total / static_cast<double>(scenarios.size());
+  if (options.antithetic_pairs && scenarios.size() % 2 != 0) {
+    // Guard for the antithetic-pair chunking hazard: an odd count means the
+    // trailing scenario has no (U, 1-U) complement, so "pairs as units"
+    // would silently mis-pair every unit after a split. Refuse loudly.
+    throw std::invalid_argument(
+        "saa_objective: antithetic evaluation needs an even scenario count "
+        "(a (U,1-U) pair must never be split)");
+  }
+  // The reduction unit is one scenario, or one whole antithetic pair: the
+  // pair's two members are evaluated back-to-back inside the same chunk
+  // body, so no chunk boundary — whatever the grain — can separate them.
+  const std::size_t stride = options.antithetic_pairs ? 2 : 1;
+  const std::size_t num_units = scenarios.size() / stride;
+  auto unit_value = [&](std::size_t i) {
+    double v = scenario_benefit(obs, scenarios[i * stride], batch);
+    if (stride == 2) v += scenario_benefit(obs, scenarios[i * stride + 1], batch);
+    return v;
+  };
+
+  std::vector<double> units;
+  if (options.pool != nullptr && num_units > 1) {
+    // parallel_reduce hands chunks to participants dynamically, so which
+    // partial absorbed which unit is nondeterministic; each partial
+    // therefore collects raw unit values, and the merge (concatenate, then
+    // sorted_sum) is insensitive to that assignment.
+    auto partials = options.pool->parallel_reduce<std::vector<double>>(
+        0, num_units, {}, [&](std::vector<double>& acc, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) acc.push_back(unit_value(i));
+        });
+    units.reserve(num_units);
+    for (auto& part : partials) {
+      units.insert(units.end(), part.begin(), part.end());
+    }
+  } else {
+    units.reserve(num_units);
+    for (std::size_t i = 0; i < num_units; ++i) units.push_back(unit_value(i));
+  }
+  return sorted_sum(units) / static_cast<double>(scenarios.size());
 }
 
 double kleywegt_sample_bound(std::size_t n, std::size_t k, double epsilon, double alpha,

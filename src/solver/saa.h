@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/observation.h"
+#include "util/thread_pool.h"
 
 namespace recon::sim {
 class Observation;
@@ -45,9 +46,42 @@ std::vector<Scenario> sample_scenarios_antithetic(const sim::Observation& obs,
 double scenario_benefit(const sim::Observation& obs, const Scenario& scenario,
                         const std::vector<graph::NodeId>& batch);
 
+/// How saa_objective / scenario_benefits evaluate the scenario set.
+struct SaaEvalOptions {
+  /// Fan scenario_benefit across the pool (nullptr = sequential). The mean
+  /// is bit-identical at every thread count AND under any permutation of
+  /// the scenario order (of whole pairs, in antithetic mode): per-unit
+  /// benefits are merged order-insensitively by summing them in ascending
+  /// value order — see docs/API.md, "Solver parallelism".
+  util::ThreadPool* pool = nullptr;
+  /// The scenarios came from sample_scenarios_antithetic: (2i, 2i+1) is a
+  /// complementary (U, 1-U) pair. Each pair is reduced as ONE unit —
+  /// benefit(2i) + benefit(2i+1), evaluated inside a single chunk — so no
+  /// chunk boundary can ever separate a pair and the variance reduction
+  /// survives parallel evaluation. Requires an even scenario count
+  /// (std::invalid_argument otherwise — the guard that keeps an odd split
+  /// from silently de-pairing the sample).
+  bool antithetic_pairs = false;
+};
+
+/// Per-scenario benefits, out[s] = scenario_benefit(obs, scenarios[s],
+/// batch); evaluated across `pool` when given. Each entry is bit-identical
+/// to the sequential call (scenarios are evaluated independently).
+std::vector<double> scenario_benefits(const sim::Observation& obs,
+                                      const std::vector<Scenario>& scenarios,
+                                      const std::vector<graph::NodeId>& batch,
+                                      util::ThreadPool* pool = nullptr);
+
 /// SAA objective: mean scenario_benefit over `scenarios`.
 double saa_objective(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                      const std::vector<graph::NodeId>& batch);
+
+/// SAA objective with explicit evaluation options (parallel scenario
+/// fan-out, antithetic pair-aware reduction). The 3-argument overload is
+/// equivalent to passing default options.
+double saa_objective(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
+                     const std::vector<graph::NodeId>& batch,
+                     const SaaEvalOptions& options);
 
 /// Kleywegt et al. sample-size bound (paper Eq. 16): the number of samples T
 /// guaranteeing the SAA optimum is ε-optimal with probability ≥ 1 − α,

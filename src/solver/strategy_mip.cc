@@ -67,7 +67,8 @@ std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,
 
   FobResult fob;
   if (options_.greedy_only) {
-    fob = fob_greedy(obs, scenarios, batch_k, candidates);
+    fob = fob_greedy(obs, scenarios, batch_k, candidates,
+                     /*deadline_seconds=*/0.0, options_.pool);
   } else if (options_.use_benders) {
     // Cap the candidate pool the same way fob_exact does.
     std::vector<NodeId> pool = candidates;
@@ -75,7 +76,10 @@ std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,
       std::vector<std::pair<double, NodeId>> ranked;
       ranked.reserve(pool.size());
       for (NodeId u : pool) {
-        ranked.emplace_back(saa_objective(obs, scenarios, {u}), u);
+        ranked.emplace_back(
+            saa_objective(obs, scenarios, {u},
+                          {options_.pool, /*antithetic_pairs=*/false}),
+            u);
       }
       std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
         if (a.first != b.first) return a.first > b.first;
@@ -87,7 +91,9 @@ std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,
         pool.push_back(ranked[i].second);
       }
     }
-    const BendersResult b = solve_fob_benders(obs, scenarios, batch_k, pool);
+    BendersOptions bopts;
+    bopts.pool = options_.pool;
+    const BendersResult b = solve_fob_benders(obs, scenarios, batch_k, pool, bopts);
     fob.batch = b.batch;
     fob.objective = b.objective;
     fob.exact = b.optimal;
@@ -96,6 +102,7 @@ std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,
     FobExactOptions exact;
     exact.max_nodes = options_.max_bnb_nodes;
     exact.candidate_cap = options_.candidate_cap;
+    exact.pool = options_.pool;
     fob = fob_exact(obs, scenarios, batch_k, candidates, exact);
     all_exact_ = all_exact_ && fob.exact;
   }

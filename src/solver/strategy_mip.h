@@ -27,6 +27,9 @@ struct MipStrategyOptions {
   /// two-stage program solved the textbook way).
   bool use_benders = false;
   std::uint64_t seed = 0x5AA;
+  /// Parallelize the per-batch SAA solves across scenarios (nullptr =
+  /// sequential). Selected batches are bit-identical at any thread count.
+  util::ThreadPool* pool = nullptr;
 };
 
 class MipBatchStrategy : public core::Strategy {

@@ -1,0 +1,164 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory-order
+// treatment after Lê, Pop, Cohen & Zappa Nardelli, PPoPP'13), holding items
+// by pointer.
+//
+// Single owner pushes and pops at the *bottom* (LIFO — the owner re-runs its
+// most recent work while it is still cache-hot); any number of thieves steal
+// from the *top* (FIFO — a thief takes the oldest, likely-largest task).
+// Every operation is lock-free: the only contended instruction is a
+// compare-exchange on `top_`, and only when the deque is nearly empty. This
+// replaces the mutex-per-push/pop worker queues the thread pool used before,
+// which serialized fine-grained submissions behind a lock even when owner
+// and thieves touched disjoint ends.
+//
+// Items are word-sized pointers on purpose. The element race inherent to
+// Chase-Lev — owner and thief may both read a slot before the CAS on `top_`
+// decides who owns it — is benign for a pointer (the loser discards the
+// value) but would be undefined for a move-only object; callers transfer
+// ownership of the pointee with the pointer.
+//
+// Memory-order protocol (no standalone fences — every ordering obligation
+// sits on an atomic operation, which both the C++ memory model and TSan
+// reason about precisely):
+//
+//  * push_bottom stores the slot relaxed, then bottom_ with release. A
+//    thief's seq_cst load of bottom_ that observes the new value therefore
+//    also sees the slot pointer and the fully-constructed pointee.
+//  * pop_bottom reserves with a seq_cst store of the decremented bottom_
+//    and then a seq_cst load of top_: the seq_cst total order forbids the
+//    store-load reordering that would let the owner and a thief both take
+//    the last item.
+//  * steal re-validates the slot it read with a seq_cst CAS on top_; if the
+//    CAS loses, the (possibly stale) pointer is discarded unread. Only a
+//    bottom_ value written by push (release) or by the pop reservation
+//    (seq_cst) can lead to a winning CAS, so a winning thief always has a
+//    happens-before edge covering the slot it took.
+//
+// The ring grows geometrically; retired rings are kept until destruction
+// (a thief may still be reading one), which bounds wasted memory at 2x the
+// high-water ring size.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace recon::util {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    rings_.push_back(new Ring(cap));
+    ring_.store(rings_.back(), std::memory_order_relaxed);
+  }
+
+  ~ChaseLevDeque() {
+    for (Ring* r : rings_) delete r;
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Takes ownership of `item` until a pop/steal returns it.
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+      ring = grow(ring, t, b);
+    }
+    ring->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. LIFO: returns the most recently pushed item, or nullptr.
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: race thieves for it through the top_ CAS.
+      // lint:lockfree-ok(owner/thief tie-break on the final element; the
+      // seq_cst store-then-load above already ordered this pop against
+      // concurrent steals — see the file-top memory-order protocol, which
+      // util_test exercises under the TSan CI job)
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief got there first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. FIFO: returns the oldest item, or nullptr when the deque
+  /// is empty or the steal lost a race (callers treat both as "try
+  /// elsewhere").
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    T* item = ring->slot(t).load(std::memory_order_relaxed);
+    // lint:lockfree-ok(thieves serialize on top_: a winning CAS proves the
+    // slot read above was covered by the owner's release store of bottom_,
+    // a losing CAS discards the possibly-stale pointer unread — see the
+    // file-top memory-order protocol, exercised by util_test under TSan CI)
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; `item` may be stale — discard it
+    }
+    return item;
+  }
+
+  /// Approximate (racy) emptiness check; exact when called by the owner
+  /// with no concurrent thieves.
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    ~Ring() { delete[] slots; }
+    std::atomic<T*>& slot(std::int64_t index) {
+      return slots[static_cast<std::size_t>(index) & mask];
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::atomic<T*>* const slots;
+  };
+
+  /// Owner only: doubles the ring, copying the live range [t, b). The old
+  /// ring stays allocated (a thief may be mid-read); indices it serves
+  /// correctly are exactly those a thief can still win a CAS for.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    rings_.push_back(bigger);
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<Ring*> rings_;  ///< owner-only; freed at destruction
+};
+
+}  // namespace recon::util

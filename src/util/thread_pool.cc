@@ -30,19 +30,23 @@ ThreadPool::~ThreadPool() {
   }
   sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Workers only exit once pending_ hit zero, so the deques are empty; drain
+  // defensively anyway so a future early-exit path cannot leak tasks.
+  for (auto& q : queues_) {
+    while (TaskFunction* leftover = q.deque.pop_bottom()) delete leftover;
+  }
 }
 
 void ThreadPool::push_task(TaskFunction task) {
-  std::size_t target;
   if (tls_pool == this) {
-    target = tls_worker_index;  // worker submits to its own deque
+    // Worker submit: lock-free push onto the bottom of its own deque. The
+    // LIFO end keeps nested-join chunks cache-hot for this worker while
+    // thieves peel the oldest tasks off the top.
+    queues_[tls_worker_index].deque.push_bottom(
+        new TaskFunction(std::move(task)));
   } else {
-    target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-  }
-  {
-    Worker& w = queues_[target];
-    MutexLock lock(w.mutex);
-    w.deque.push_back(std::move(task));
+    MutexLock lock(inject_mutex_);
+    inject_.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   // The empty critical section orders the increment against a worker that is
@@ -56,21 +60,29 @@ void ThreadPool::push_task(TaskFunction task) {
 bool ThreadPool::try_run_one_task(bool account_busy) {
   if (pending_.load(std::memory_order_acquire) == 0) return false;
   const std::size_t n = queues_.size();
-  const std::size_t home = tls_pool == this ? tls_worker_index : 0;
+  const bool is_worker = tls_pool == this;
+  const std::size_t home = is_worker ? tls_worker_index : 0;
   TaskFunction task;
-  // Own deque back first (LIFO keeps caches warm), then steal siblings'
-  // fronts (FIFO takes the oldest, likely-largest unit of work).
-  for (std::size_t probe = 0; probe < n && !task; ++probe) {
-    Worker& q = queues_[(home + probe) % n];
-    MutexLock lock(q.mutex);
-    if (q.deque.empty()) continue;
-    if (probe == 0) {
-      task = std::move(q.deque.back());
-      q.deque.pop_back();
-    } else {
-      task = std::move(q.deque.front());
-      q.deque.pop_front();
+  TaskFunction* owned = nullptr;
+  // Own deque bottom first (LIFO keeps caches warm), then the injection
+  // queue, then steal siblings' tops (FIFO takes the oldest, likely-largest
+  // unit of work). Non-workers have no own deque; they drain the injection
+  // queue and steal.
+  if (is_worker) owned = queues_[home].deque.pop_bottom();
+  if (owned == nullptr) {
+    MutexLock lock(inject_mutex_);
+    if (!inject_.empty()) {
+      task = std::move(inject_.front());
+      inject_.pop_front();
     }
+  }
+  for (std::size_t probe = is_worker ? 1 : 0; probe < n && owned == nullptr && !task;
+       ++probe) {
+    owned = queues_[(home + probe) % n].deque.steal_top();
+  }
+  if (owned != nullptr) {
+    task = std::move(*owned);
+    delete owned;
   }
   if (!task) return false;
   pending_.fetch_sub(1, std::memory_order_release);

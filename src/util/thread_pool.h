@@ -5,12 +5,15 @@
 // records the wall time it spends executing tasks, so callers can compute
 // utilization = busy_time / (threads * elapsed).
 //
-// Structure: every worker owns a deque guarded by a small mutex. Workers pop
-// their own deque LIFO and steal FIFO from siblings when empty, so bursts of
-// submissions spread across the pool without funnelling through one global
-// lock. Blocking joins (parallel_for / parallel_reduce) never sleep: the
-// calling thread executes chunks itself and steals unrelated pool tasks
-// while waiting, which makes nested parallel sections deadlock-free.
+// Structure: every worker owns a lock-free Chase-Lev deque
+// (util/chase_lev_deque.h). Workers pop their own deque LIFO and steal FIFO
+// from siblings when empty, so bursts of submissions spread across the pool
+// without funnelling through a lock; the only mutex on the task path is a
+// small injection queue for submissions from threads that are not pool
+// workers (Chase-Lev's bottom end is single-owner). Blocking joins
+// (parallel_for / parallel_reduce) never sleep: the calling thread executes
+// chunks itself and steals unrelated pool tasks while waiting, which makes
+// nested parallel sections deadlock-free.
 #pragma once
 
 #include <atomic>
@@ -28,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/chase_lev_deque.h"
 #include "util/thread_annotations.h"
 
 namespace recon::util {
@@ -191,9 +195,11 @@ class ThreadPool {
   }
 
  private:
+  /// One per worker thread. The deque holds heap-allocated TaskFunctions:
+  /// Chase-Lev transfers word-sized pointers, so the pool allocates on push
+  /// and deletes after execution (the deque itself never touches pointees).
   struct Worker {
-    Mutex mutex;
-    std::deque<TaskFunction> deque RECON_GUARDED_BY(mutex);
+    ChaseLevDeque<TaskFunction> deque;
   };
 
   template <typename Body>
@@ -291,7 +297,12 @@ class ThreadPool {
 
   std::vector<Worker> queues_;  // one per worker; fixed after construction
   std::vector<std::thread> workers_;
-  std::atomic<std::size_t> submit_cursor_{0};
+  // External submissions land here (only a pool worker may push the bottom
+  // of its own Chase-Lev deque); workers drain it after their own deque and
+  // before stealing. Uncontended in the hot path: tasks spawned *by* pool
+  // work (nested joins, worker-side submits) go through the lock-free deques.
+  Mutex inject_mutex_;
+  std::deque<TaskFunction> inject_ RECON_GUARDED_BY(inject_mutex_);
   std::atomic<std::size_t> pending_{0};
   // lint:guard-ok(sleep_mutex_ guards no members: it only orders the sleep
   // condition variable against the pending_/stop_ atomics so notifies are

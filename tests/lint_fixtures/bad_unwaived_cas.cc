@@ -1,0 +1,15 @@
+// A bare CAS loop is a lock-free algorithm with no stated protocol: nothing
+// says who owns which end, what a losing exchange means, or why the memory
+// orders are sufficient — exactly the code that passes every test until the
+// one interleaving that corrupts a task pointer.
+// lint-expect: lockfree
+#include <atomic>
+
+int pop_count(std::atomic<int>& counter) {
+  int seen = counter.load(std::memory_order_relaxed);
+  while (!counter.compare_exchange_weak(seen, seen - 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+  }
+  return seen;
+}

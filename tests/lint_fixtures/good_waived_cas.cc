@@ -1,0 +1,14 @@
+// The atomic-guarded pattern the repo sanctions: a CAS carrying a waiver
+// that documents the ownership protocol and memory-order argument at the
+// call site (the Chase-Lev deque's steal path is the real instance).
+#include <atomic>
+
+bool claim_ticket(std::atomic<int>& next, int mine) {
+  // lint:lockfree-ok(single-writer ticket handoff: each claimant CASes only
+  // its own precomputed ticket value, so a losing exchange means another
+  // claimant already advanced past it and the claim is simply abandoned;
+  // acq_rel pairs with the release publish of the ticket state)
+  return next.compare_exchange_strong(mine, mine + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/chase_lev_deque.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -398,6 +399,116 @@ TEST(ThreadPool, PoolUsableAfterException) {
   std::uint64_t total = 0;
   for (auto p : partials) total += p;
   EXPECT_EQ(total, 1000u);
+}
+
+TEST(ChaseLevDeque, OwnerPopIsLifo) {
+  ChaseLevDeque<int> dq;
+  int vals[5] = {0, 1, 2, 3, 4};
+  for (int& v : vals) dq.push_bottom(&v);
+  for (int expect = 4; expect >= 0; --expect) {
+    int* got = dq.pop_bottom();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, expect);
+  }
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(ChaseLevDeque, StealIsFifo) {
+  ChaseLevDeque<int> dq;
+  int vals[5] = {0, 1, 2, 3, 4};
+  for (int& v : vals) dq.push_bottom(&v);
+  for (int expect = 0; expect < 5; ++expect) {
+    int* got = dq.steal_top();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, expect);
+  }
+  EXPECT_EQ(dq.steal_top(), nullptr);
+}
+
+TEST(ChaseLevDeque, GrowthPreservesEveryItem) {
+  // Start at the minimum ring and push far past it: every item must come
+  // back exactly once, in LIFO order, across multiple doublings.
+  ChaseLevDeque<int> dq(/*initial_capacity=*/2);
+  std::vector<int> vals(1000);
+  for (int i = 0; i < 1000; ++i) {
+    vals[static_cast<std::size_t>(i)] = i;
+    dq.push_bottom(&vals[static_cast<std::size_t>(i)]);
+  }
+  for (int expect = 999; expect >= 0; --expect) {
+    int* got = dq.pop_bottom();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, expect);
+  }
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLevDeque, InterleavedPushPopSteal) {
+  ChaseLevDeque<int> dq;
+  int vals[6] = {0, 1, 2, 3, 4, 5};
+  dq.push_bottom(&vals[0]);
+  dq.push_bottom(&vals[1]);
+  EXPECT_EQ(*dq.steal_top(), 0);   // oldest
+  EXPECT_EQ(*dq.pop_bottom(), 1);  // newest
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+  dq.push_bottom(&vals[2]);
+  dq.push_bottom(&vals[3]);
+  dq.push_bottom(&vals[4]);
+  EXPECT_EQ(*dq.pop_bottom(), 4);
+  EXPECT_EQ(*dq.steal_top(), 2);
+  EXPECT_EQ(*dq.pop_bottom(), 3);
+  dq.push_bottom(&vals[5]);
+  EXPECT_EQ(*dq.steal_top(), 5);  // single element reachable from either end
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(ChaseLevDeque, ConcurrentStealStressRecoversEachItemOnce) {
+  // One owner pushes and pops at the bottom while thieves hammer the top:
+  // every item must be taken exactly once, by exactly one thread. This is
+  // the test the TSan CI job leans on to validate the memory-order protocol.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> dq(/*initial_capacity=*/4);
+  std::vector<int> vals(kItems);
+  std::vector<std::atomic<int>> taken(kItems);
+  std::atomic<int> remaining{kItems};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (int* got = dq.steal_top()) {
+          taken[static_cast<std::size_t>(*got)].fetch_add(1);
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    });
+  }
+
+  // Owner: push in bursts, popping some back — exercises the last-element
+  // CAS race and ring growth under live thieves.
+  for (int i = 0; i < kItems; ++i) {
+    vals[static_cast<std::size_t>(i)] = i;
+    dq.push_bottom(&vals[static_cast<std::size_t>(i)]);
+    if (i % 3 == 2) {
+      if (int* got = dq.pop_bottom()) {
+        taken[static_cast<std::size_t>(*got)].fetch_add(1);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+  while (remaining.load(std::memory_order_acquire) > 0) {
+    if (int* got = dq.pop_bottom()) {
+      taken[static_cast<std::size_t>(*got)].fetch_add(1);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  for (auto& th : thieves) th.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(taken[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+  EXPECT_TRUE(dq.empty());
 }
 
 TEST(Env, DefaultsWhenUnset) {

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Captures the parallel solver-engine speedup numbers into
+# BENCH_solver_parallel.json (google-benchmark JSON format).
+#
+# Runs the branch-tree subtree fan-out (BM_BranchTreeParallel) and the SAA
+# scenario parallel_reduce (BM_SaaScenarioParallel) from bench/micro_solver,
+# each at the sequential baseline (arg 0, no pool) and worker counts 1/2/8.
+# The speedup claim is real_time(arg 0) / real_time(arg T); thread counts
+# beyond the machine's core count saturate at ~core-count speedup, so read
+# the JSON's per-run arg against nproc. Results are bit-identical across all
+# configurations (enforced by solver_parallel_test), so only time moves.
+#
+# Usage: tools/bench_solver_parallel.sh [build_dir] [out.json]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_solver_parallel.json}"
+BIN="$BUILD_DIR/bench/micro_solver"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target micro_solver)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_BranchTreeParallel|BM_SaaScenarioParallel' \
+  --benchmark_repetitions="${RECON_BENCH_REPS:-1}" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -23,6 +23,11 @@ are statically detectable, and this linter rejects them at CI time:
                    member RECON_GUARDED_BY(that mutex) (util/thread_annotations.h)
                    so clang -Wthread-safety has something to enforce, or waive
                    with a reason stating what the mutex is for.
+  lockfree         compare_exchange_{strong,weak} outside a waiver. Hand-rolled
+                   CAS loops must document their ownership protocol and
+                   memory-order argument at the call site (and be exercised
+                   under TSan); everything else should use util::Mutex or the
+                   thread-pool primitives.
   waiver           Malformed waivers: unknown rule name or empty reason.
 
 Waiver grammar (one per flagged construct, on the flagged line or in the
@@ -56,6 +61,7 @@ RULES = {
     "hash-order": "iteration over unordered container (sort keys first)",
     "checkpoint-pair": "save_state without restore_state (or vice versa)",
     "guard": "mutex member without a RECON_GUARDED_BY annotation",
+    "lockfree": "hand-rolled CAS without a documented protocol",
     "waiver": "malformed waiver pragma",
 }
 
@@ -93,6 +99,16 @@ BANNED = {
         (
             re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
             "argless time()",
+        ),
+    ],
+    # Lock-free algorithms are where determinism and memory-safety bugs hide
+    # from every test that doesn't hit the exact interleaving. A CAS is only
+    # acceptable next to a waiver stating the ownership protocol and
+    # memory-order argument (which also flags the site for TSan coverage).
+    "lockfree": [
+        (
+            re.compile(r"\bcompare_exchange_(?:strong|weak)\b"),
+            "compare_exchange",
         ),
     ],
 }
