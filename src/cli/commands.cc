@@ -4,6 +4,7 @@
 #include <memory>
 #include <ostream>
 
+#include "core/async_attack.h"
 #include "core/attack.h"
 #include "core/baselines.h"
 #include "core/checkpoint.h"
@@ -206,6 +207,120 @@ core::RetryPolicy parse_retry_policy(const util::Args& args, double budget) {
   return retry;
 }
 
+/// The --async flavor of cmd_attack: drives the rolling-window runner. Shares
+/// the fault/retry/checkpoint flags with the synchronous path; --stop-after
+/// and --checkpoint-every count resolved events instead of batch rounds.
+/// Throws on bad flags; the caller's try block turns that into exit code 1.
+int run_attack_async(const util::Args& args, const sim::Problem& problem,
+                     std::ostream& out) {
+  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const double budget = args.get_double("budget", 100.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const sim::FaultOptions fault = parse_fault_options(args);
+  const core::RetryPolicy retry = parse_retry_policy(args, budget);
+
+  core::AsyncAttackOptions ao;
+  ao.window = static_cast<int>(args.get_int("window", 5));
+  ao.mean_delay = args.get_double("mean-delay", 300.0);
+  const std::string dm = args.get("delay-model", "exp");
+  if (dm == "exp") {
+    ao.delay_model = core::ResponseDelayModel::kExponential;
+  } else if (dm == "fixed") {
+    ao.delay_model = core::ResponseDelayModel::kFixed;
+  } else {
+    throw std::invalid_argument("unknown --delay-model '" + dm + "' (exp|fixed)");
+  }
+  ao.allow_retries = args.has("retries");
+  ao.max_attempts_per_node =
+      static_cast<std::uint32_t>(args.get_int("max-attempts", 0));
+  ao.timeout_seconds = args.get_double("timeout", 0.0);
+  if (retry.active()) ao.retry = &retry;
+
+  const std::string ckpt_path = args.get("checkpoint", "");
+  const std::string resume_path = args.get("resume", "");
+  const auto stop_after = static_cast<std::uint64_t>(args.get_int("stop-after", 0));
+  const auto ckpt_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  const bool single_run =
+      !ckpt_path.empty() || !resume_path.empty() || stop_after > 0;
+  if (ckpt_every > 0 && ckpt_path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every needs --checkpoint FILE to write to");
+  }
+  if (single_run && runs != 1) {
+    throw std::invalid_argument(
+        "--checkpoint/--resume/--stop-after drive a single attack; pass "
+        "--runs 1");
+  }
+  ao.checkpoint_path = ckpt_path;
+  ao.checkpoint_every_events = ckpt_every;
+  ao.stop_after_events = stop_after;
+  core::AttackCheckpoint cp;
+  if (!resume_path.empty()) {
+    cp = core::read_checkpoint_file(resume_path);
+    ao.resume = &cp;
+  }
+
+  std::vector<sim::AttackTrace> traces;
+  double makespan = 0.0;
+  double accepts = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    // Match Monte-Carlo world seeding so --async --runs 1 reproduces run 0;
+    // the delay stream gets its own derived sub-seed per run (on resume the
+    // checkpoint's RNG state overrides it).
+    const std::uint64_t world_seed =
+        ao.resume != nullptr ? cp.world_seed
+                             : util::derive_seed(seed, static_cast<std::uint64_t>(r));
+    const sim::World world(problem, world_seed);
+    core::AsyncAttackOptions o = ao;
+    o.seed = util::derive_seed(seed, 0xA57C + static_cast<std::uint64_t>(r));
+    std::unique_ptr<sim::FaultModel> fm;
+    if (fault.any_faults()) {
+      sim::FaultOptions fo = fault;
+      fo.seed = util::derive_seed(fault.seed, static_cast<std::uint64_t>(r));
+      fm = std::make_unique<sim::FaultModel>(fo);
+      o.fault = fm.get();
+    }
+    auto res = core::run_async_attack(problem, world, o, budget);
+    makespan += res.makespan_seconds;
+    accepts += static_cast<double>(res.accepts);
+    traces.push_back(std::move(res.trace));
+    if (fm != nullptr && runs == 1) {
+      const auto& c = fm->counters();
+      out << "fault outcomes : delivered " << c.delivered << ", timeouts "
+          << c.timeouts << ", drops " << c.drops << ", throttles "
+          << c.throttles << ", bounced " << c.bounced << ", lockouts "
+          << c.lockouts << "\n";
+    }
+  }
+  if (!ckpt_path.empty()) out << "checkpoint     : " << ckpt_path << "\n";
+
+  out << "strategy rolling-window(W=" << ao.window << "), " << runs
+      << " runs, budget " << budget << "\n";
+  double benefit = 0.0;
+  double requests = 0.0;
+  sim::BenefitBreakdown total;
+  for (const auto& t : traces) {
+    benefit += t.total_benefit();
+    requests += static_cast<double>(t.total_requests());
+    total += t.final_breakdown();
+  }
+  const double n = static_cast<double>(traces.size());
+  out << "mean benefit   : " << util::format_fixed(benefit / n, 3) << "\n";
+  out << "mean requests  : " << util::format_fixed(requests / n, 1) << "\n";
+  out << "mean accepts   : " << util::format_fixed(accepts / n, 1) << "\n";
+  out << "mean makespan  : " << util::format_fixed(makespan / n, 1) << " s\n";
+  out << "mean breakdown : friends " << util::format_fixed(total.friends / n, 2)
+      << ", fofs " << util::format_fixed(total.fofs / n, 2) << ", edges "
+      << util::format_fixed(total.edges / n, 2) << "\n";
+  const std::string traces_path = args.get("traces", "");
+  if (!traces_path.empty()) {
+    sim::write_traces_file(traces_path, traces);
+    out << "traces written : " << traces_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int cmd_generate(const util::Args& args, std::ostream& out, std::ostream& err) {
@@ -233,6 +348,7 @@ int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err) {
       sim::write_problem_file(save_path, problem);
       out << "problem saved    : " << save_path << "\n";
     }
+    if (args.has("async")) return run_attack_async(args, problem, out);
     const auto factory = make_factory(args);
     const int runs = static_cast<int>(args.get_int("runs", 10));
     const double budget = args.get_double("budget", 100.0);
@@ -412,6 +528,10 @@ void print_usage(std::ostream& out) {
          "            checkpoint/resume (needs --runs 1):\n"
          "            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n"
          "            [--stop-after ROUNDS]\n"
+         "            rolling-window (event-driven) runner:\n"
+         "            [--async [--window W] [--mean-delay S] [--timeout S]\n"
+         "             [--delay-model exp|fixed]]  (checkpoint/resume applies;\n"
+         "             --stop-after/--checkpoint-every count resolved events)\n"
          "            fallback solver: [--fob-deadline-ms MS] [--saa-deadline-ms MS]\n"
          "  metrics   compute RRS / RT-RRS from a saved trace file\n"
          "            --traces FILE [--threshold Q] [--delay SECONDS]\n"

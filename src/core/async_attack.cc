@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <string>
 
 #include "core/batch_select.h"
 #include "core/batch_state.h"
@@ -76,6 +77,10 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
     throw std::invalid_argument("run_async_attack: negative delay");
   }
   if (options.retry != nullptr) options.retry->validate();
+  if (options.checkpoint_every_events > 0 && options.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "run_async_attack: checkpoint_every_events requires checkpoint_path");
+  }
   const bool retry_active = options.retry != nullptr && options.retry->active();
   sim::FaultModel* fault = options.fault;
   const double timeout_seconds = options.timeout_seconds > 0.0
@@ -83,9 +88,25 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
                                      : 4.0 * options.mean_delay;
   std::uint32_t attempt_cap = options.max_attempts_per_node;
   if (attempt_cap == 0) {
-    attempt_cap = options.allow_retries
-                      ? static_cast<std::uint32_t>(std::max(1.0, std::ceil(budget)))
-                      : 1;
+    if (!options.allow_retries) {
+      attempt_cap = 1;
+    } else {
+      // The cheapest node bounds how many attempts the budget can possibly
+      // fund; unit costs reduce this to the old ceil(budget) cap.
+      double min_cost = 1.0;
+      if (!problem.cost.empty()) {
+        min_cost = *std::min_element(problem.cost.begin(), problem.cost.end());
+      }
+      constexpr auto kMaxCap = std::numeric_limits<std::uint32_t>::max();
+      if (min_cost <= 0.0) {
+        attempt_cap = kMaxCap;
+      } else {
+        const double cap = std::ceil(budget / min_cost);
+        attempt_cap = cap >= static_cast<double>(kMaxCap)
+                          ? kMaxCap
+                          : static_cast<std::uint32_t>(std::max(1.0, cap));
+      }
+    }
   }
 
   sim::Observation obs(problem);
@@ -95,6 +116,7 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
 
   double now = 0.0;
   double spent = 0.0;
+  std::uint64_t events = 0;  ///< resolved events (the v2 record's `round`)
   // The in-flight set as a collapsed batch state; priority_queue has no
   // iteration, so a mirror list backs the rebuilds after each resolution.
   BatchState state(problem.graph.num_nodes());
@@ -103,6 +125,77 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
   auto rebuild = [&] {
     state.reset();
     for (const auto& o : mirror) state.select(obs, o.node, o.q_at_send);
+  };
+
+  if (options.resume != nullptr) {
+    const AttackCheckpoint& cp = *options.resume;
+    if (cp.budget != budget) {
+      throw std::runtime_error("run_async_attack: resume budget mismatch");
+    }
+    if (cp.world_seed != world.seed()) {
+      throw std::runtime_error(
+          "run_async_attack: resume world seed mismatch (rebuild the world "
+          "from the checkpointed seed)");
+    }
+    if (cp.has_async && cp.async.window != options.window) {
+      throw std::runtime_error(
+          "run_async_attack: resume window mismatch (checkpoint W=" +
+          std::to_string(cp.async.window) + ", options W=" +
+          std::to_string(options.window) + ")");
+    }
+    apply_async_checkpoint(cp, obs, fault);
+    delay_rng.restore_state(cp.async.rng_state);
+    now = cp.async.now;
+    spent = cp.spent;
+    events = cp.round;
+    result.trace = cp.trace;
+    result.requests_sent = static_cast<std::size_t>(cp.async.requests_sent);
+    result.accepts = static_cast<std::size_t>(cp.async.accepts);
+    result.makespan_seconds = now;
+    // Re-enqueue the outstanding requests in send order (the mirror's order
+    // fixes the order their batch-state corrections are applied).
+    for (const auto& r : cp.async.in_flight) {
+      Outstanding o;
+      o.completion_time = r.completion_time;
+      o.node = r.node;
+      o.q_at_send = r.q_at_send;
+      o.attempt = r.attempt;
+      o.outcome = static_cast<sim::RequestOutcome>(r.outcome);
+      mirror.push_back(o);
+      in_flight.push(o);
+    }
+    rebuild();
+  }
+
+  const auto snapshot_async = [&] {
+    AsyncCheckpointState a;
+    a.window = options.window;
+    a.now = now;
+    a.requests_sent = result.requests_sent;
+    a.accepts = result.accepts;
+    a.rng_state = delay_rng.save_state();
+    a.in_flight.reserve(mirror.size());
+    for (const auto& o : mirror) {
+      InFlightRequest r;
+      r.node = o.node;
+      r.attempt = o.attempt;
+      r.outcome = static_cast<std::uint8_t>(o.outcome);
+      r.q_at_send = o.q_at_send;
+      r.completion_time = o.completion_time;
+      a.in_flight.push_back(r);
+    }
+    return a;
+  };
+
+  const auto maybe_checkpoint = [&](bool force) {
+    if (options.checkpoint_path.empty()) return;
+    const bool periodic = options.checkpoint_every_events > 0 &&
+                          events % options.checkpoint_every_events == 0;
+    if (!force && !periodic) return;
+    write_checkpoint_file(
+        options.checkpoint_path,
+        make_async_checkpoint(obs, snapshot_async(), result.trace, budget,
+                              spent, events, world.seed(), fault));
   };
 
   auto send_one = [&]() -> bool {
@@ -169,9 +262,17 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
     // Advance time to the next response.
     const Outstanding done = in_flight.top();
     in_flight.pop();
-    mirror.erase(std::find_if(mirror.begin(), mirror.end(), [&](const Outstanding& o) {
-      return o.node == done.node && o.completion_time == done.completion_time;
-    }));
+    // Erasing end() (mirror/queue disagreement) would be UB — that can only
+    // mean a bookkeeping bug or a corrupted resume, so fail loudly instead.
+    const auto it =
+        std::find_if(mirror.begin(), mirror.end(), [&](const Outstanding& o) {
+          return o.node == done.node && o.completion_time == done.completion_time;
+        });
+    if (it == mirror.end()) {
+      throw std::logic_error(
+          "run_async_attack: in-flight mirror out of sync with event queue");
+    }
+    mirror.erase(it);
     now = done.completion_time;
     result.makespan_seconds = now;
     obs.set_clock(now);
@@ -219,14 +320,20 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
     record.delta = obs.benefit() - before;
     record.cumulative = obs.benefit();
     record.cost = problem.cost_of(done.node);
-    record.cumulative_cost =
-        result.trace.batches.empty()
-            ? record.cost
-            : result.trace.batches.back().cumulative_cost + record.cost;
+    // Send-time accounting, matching the synchronous runner: `spent` already
+    // includes every request charged so far (including ones still in flight),
+    // so both runners' cost curves report the same cumulative spend.
+    record.cumulative_cost = spent;
     result.trace.batches.push_back(std::move(record));
     if (fault != nullptr) fault->advance_ticks(1);
     // The observation changed: rebuild the in-flight expectation state.
     rebuild();
+    ++events;
+    maybe_checkpoint(/*force=*/false);
+    if (options.stop_after_events > 0 && events >= options.stop_after_events) {
+      maybe_checkpoint(/*force=*/true);
+      break;
+    }
   }
   return result;
 }

@@ -28,8 +28,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/marginal.h"
 #include "core/retry_policy.h"
 #include "sim/fault.h"
@@ -51,7 +53,10 @@ struct AsyncAttackOptions {
   double mean_delay = 300.0;       ///< mean response delay, seconds
   ResponseDelayModel delay_model = ResponseDelayModel::kExponential;
   bool allow_retries = false;
-  std::uint32_t max_attempts_per_node = 0;  ///< 0 = 1, or budget/1 w/ retries
+  /// Per-node attempt ceiling. 0 means no explicit cap: 1 attempt without
+  /// retries, otherwise ⌈budget / min node cost⌉ (the most attempts any node
+  /// could possibly be charged for under the budget).
+  std::uint32_t max_attempts_per_node = 0;
   MarginalPolicy policy = MarginalPolicy::kWeighted;
   std::uint64_t seed = 0xA53C;     ///< delay randomness
 
@@ -63,6 +68,20 @@ struct AsyncAttackOptions {
   double timeout_seconds = 0.0;
   /// Optional backoff for failed/throttled nodes, in seconds of event time.
   const RetryPolicy* retry = nullptr;
+
+  /// Checkpoint/resume. When `checkpoint_path` is set, a v2 checkpoint is
+  /// written there every `checkpoint_every_events` resolved events (0 = only
+  /// when `stop_after_events` fires). `stop_after_events` suspends the run
+  /// (with a forced checkpoint) after that many resolved events — outstanding
+  /// requests are serialized, not drained. `resume` points at a checkpoint
+  /// read with read_checkpoint_file; the run continues bit-identically to one
+  /// that never stopped (same trace, makespan, accepts). The world must be
+  /// rebuilt from the checkpoint's world seed and the options must match the
+  /// original run.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_events = 0;
+  std::uint64_t stop_after_events = 0;
+  const AttackCheckpoint* resume = nullptr;
 };
 
 struct AsyncAttackResult {

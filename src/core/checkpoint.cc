@@ -14,6 +14,7 @@ using graph::NodeId;
 namespace {
 
 constexpr const char* kHeader = "#recon-checkpoint v1";
+constexpr const char* kHeaderV2 = "#recon-checkpoint v2";
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("read_checkpoint: " + what);
@@ -54,15 +55,11 @@ double to_double(const std::string& s, const char* what) {
   }
 }
 
-}  // namespace
-
-AttackCheckpoint make_checkpoint(const sim::Observation& obs,
-                                 const Strategy& strategy,
-                                 const sim::AttackTrace& trace, double budget,
-                                 double spent, std::uint64_t round,
-                                 std::uint64_t world_seed,
-                                 const sim::FaultModel* fault) {
-  AttackCheckpoint cp;
+/// Captures the observation / budget / fault sections shared by both runner
+/// flavors into `cp`.
+void capture_common(AttackCheckpoint& cp, const sim::Observation& obs,
+                    double budget, double spent, std::uint64_t round,
+                    std::uint64_t world_seed, const sim::FaultModel* fault) {
   cp.world_seed = world_seed;
   cp.budget = budget;
   cp.spent = spent;
@@ -82,6 +79,62 @@ AttackCheckpoint make_checkpoint(const sim::Observation& obs,
     cp.has_fault = true;
     cp.fault = fault->state();
   }
+}
+
+/// Restores the observation / cooldown / fault state shared by both runner
+/// flavors; the fault-configuration check is common too.
+void restore_common(const AttackCheckpoint& cp, sim::Observation& obs,
+                    sim::FaultModel* fault, const char* who) {
+  if (cp.has_fault != (fault != nullptr)) {
+    throw std::runtime_error(
+        std::string(who) +
+        ": fault-model configuration differs from the checkpointed run "
+        "(fault injection must be enabled on resume iff it was enabled "
+        "originally)");
+  }
+  obs.restore(cp.node_states, cp.edge_states, cp.attempts, cp.friends);
+  obs.set_clock(cp.clock);
+  for (NodeId u = 0; u < static_cast<NodeId>(cp.retry_after.size()); ++u) {
+    if (cp.retry_after[u] != 0.0) obs.set_retry_after(u, cp.retry_after[u]);
+  }
+  if (fault != nullptr) fault->restore(cp.fault);
+}
+
+}  // namespace
+
+void InFlightRequest::serialize(std::ostream& out) const {
+  out << node << ':' << attempt << ':' << static_cast<int>(outcome) << ':'
+      << q_at_send << ':' << completion_time;
+}
+
+InFlightRequest InFlightRequest::deserialize(const std::string& token) {
+  std::size_t pos = 0;
+  std::string parts[5];
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t colon = token.find(':', pos);
+    if ((colon == std::string::npos) != (i == 4)) fail("bad inflight entry");
+    parts[i] = token.substr(pos, colon - pos);
+    pos = colon + 1;
+  }
+  InFlightRequest r;
+  r.node = static_cast<NodeId>(to_u64(parts[0], "inflight node"));
+  r.attempt = static_cast<std::uint32_t>(to_u64(parts[1], "inflight attempt"));
+  const std::uint64_t outcome = to_u64(parts[2], "inflight outcome");
+  if (outcome > 4) fail("inflight outcome out of range");
+  r.outcome = static_cast<std::uint8_t>(outcome);
+  r.q_at_send = to_double(parts[3], "inflight q");
+  r.completion_time = to_double(parts[4], "inflight completion time");
+  return r;
+}
+
+AttackCheckpoint make_checkpoint(const sim::Observation& obs,
+                                 const Strategy& strategy,
+                                 const sim::AttackTrace& trace, double budget,
+                                 double spent, std::uint64_t round,
+                                 std::uint64_t world_seed,
+                                 const sim::FaultModel* fault) {
+  AttackCheckpoint cp;
+  capture_common(cp, obs, budget, spent, round, world_seed, fault);
   cp.strategy_name = strategy.name();
   cp.strategy_state = strategy.save_state();
   if (cp.strategy_state.find('\n') != std::string::npos) {
@@ -91,31 +144,52 @@ AttackCheckpoint make_checkpoint(const sim::Observation& obs,
   return cp;
 }
 
+AttackCheckpoint make_async_checkpoint(const sim::Observation& obs,
+                                       const AsyncCheckpointState& async,
+                                       const sim::AttackTrace& trace,
+                                       double budget, double spent,
+                                       std::uint64_t events,
+                                       std::uint64_t world_seed,
+                                       const sim::FaultModel* fault) {
+  AttackCheckpoint cp;
+  capture_common(cp, obs, budget, spent, events, world_seed, fault);
+  cp.strategy_name = kAsyncCheckpointStrategy;
+  cp.has_async = true;
+  cp.async = async;
+  cp.trace = trace;
+  return cp;
+}
+
 void apply_checkpoint(const AttackCheckpoint& cp, sim::Observation& obs,
                       Strategy& strategy, sim::FaultModel* fault) {
+  if (cp.has_async) {
+    throw std::runtime_error(
+        "apply_checkpoint: checkpoint was taken by the rolling-window runner; "
+        "resume it through run_async_attack");
+  }
   if (cp.strategy_name != strategy.name()) {
     throw std::runtime_error("apply_checkpoint: checkpoint was taken with strategy '" +
                              cp.strategy_name + "' but resuming with '" +
                              strategy.name() + "'");
   }
-  if (cp.has_fault != (fault != nullptr)) {
-    throw std::runtime_error(
-        "apply_checkpoint: fault-model configuration differs from the "
-        "checkpointed run (fault injection must be enabled on resume iff it "
-        "was enabled originally)");
-  }
-  obs.restore(cp.node_states, cp.edge_states, cp.attempts, cp.friends);
-  obs.set_clock(cp.clock);
-  for (NodeId u = 0; u < static_cast<NodeId>(cp.retry_after.size()); ++u) {
-    if (cp.retry_after[u] != 0.0) obs.set_retry_after(u, cp.retry_after[u]);
-  }
+  restore_common(cp, obs, fault, "apply_checkpoint");
   if (!cp.strategy_state.empty()) strategy.restore_state(cp.strategy_state);
-  if (fault != nullptr) fault->restore(cp.fault);
+}
+
+void apply_async_checkpoint(const AttackCheckpoint& cp, sim::Observation& obs,
+                            sim::FaultModel* fault) {
+  if (!cp.has_async || cp.strategy_name != kAsyncCheckpointStrategy) {
+    throw std::runtime_error(
+        "apply_async_checkpoint: checkpoint was taken by the synchronous "
+        "runner (strategy '" + cp.strategy_name +
+        "'); resume it through run_attack");
+  }
+  restore_common(cp, obs, fault, "apply_async_checkpoint");
 }
 
 void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp) {
   out.precision(17);
-  out << kHeader << '\n';
+  out << (cp.has_async ? kHeaderV2 : kHeader) << '\n';
   out << "meta world-seed=" << cp.world_seed << " budget=" << cp.budget
       << " spent=" << cp.spent << " round=" << cp.round << " clock=" << cp.clock
       << '\n';
@@ -158,6 +232,18 @@ void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp) {
         << ',' << f.counters.drops << ',' << f.counters.throttles << ','
         << f.counters.bounced << ',' << f.counters.lockouts << '\n';
   }
+  if (cp.has_async) {
+    const auto& a = cp.async;
+    out << "async window=" << a.window << " now=" << a.now
+        << " sent=" << a.requests_sent << " accepts=" << a.accepts << '\n';
+    out << "rng " << a.rng_state << '\n';
+    out << "inflight " << a.in_flight.size();
+    for (const auto& r : a.in_flight) {
+      out << ' ';
+      r.serialize(out);
+    }
+    out << '\n';
+  }
   out << "strategy " << cp.strategy_name << '\n';
   out << "strategy-state " << cp.strategy_state << '\n';
   out << "end\n";
@@ -179,14 +265,21 @@ void write_checkpoint_file(const std::string& path, const AttackCheckpoint& cp) 
 
 AttackCheckpoint read_checkpoint(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
-    fail("missing/unsupported header (expected '" + std::string(kHeader) + "')");
+  int version = 0;
+  if (std::getline(in, line)) {
+    if (line == kHeader) version = 1;
+    if (line == kHeaderV2) version = 2;
+  }
+  if (version == 0) {
+    fail("missing/unsupported header (expected '" + std::string(kHeader) +
+         "' or '" + std::string(kHeaderV2) + "')");
   }
   AttackCheckpoint cp;
   bool saw_end = false;
   bool saw_meta = false, saw_nodes = false, saw_edges = false;
   bool saw_attempts = false, saw_friends = false, saw_cooldowns = false;
   bool saw_strategy = false, saw_state = false;
+  bool saw_async = false, saw_rng = false, saw_inflight = false;
   while (!saw_end && std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
@@ -302,6 +395,42 @@ AttackCheckpoint read_checkpoint(std::istream& in) {
       cp.fault.counters.throttles = vals[3];
       cp.fault.counters.bounced = vals[4];
       cp.fault.counters.lockouts = vals[5];
+    } else if (version >= 2 && kw == "async") {
+      const std::uint64_t window = to_u64(expect_kv(ls, "window"), "async window");
+      if (window == 0 || window > 1u << 20) fail("async window out of range");
+      cp.async.window = static_cast<int>(window);
+      cp.async.now = to_double(expect_kv(ls, "now"), "async now");
+      cp.async.requests_sent = to_u64(expect_kv(ls, "sent"), "async sent");
+      cp.async.accepts = to_u64(expect_kv(ls, "accepts"), "async accepts");
+      saw_async = true;
+    } else if (version >= 2 && kw == "rng") {
+      // Validate the blob as four full decimal words and store it in the
+      // canonical single-space form util::Rng::restore_state accepts.
+      std::string words[4];
+      for (auto& w : words) {
+        if (!(ls >> w)) fail("truncated rng line");
+        (void)to_u64(w, "rng word");
+      }
+      std::string junk;
+      if (ls >> junk) fail("trailing junk on rng line");
+      cp.async.rng_state =
+          words[0] + ' ' + words[1] + ' ' + words[2] + ' ' + words[3];
+      saw_rng = true;
+    } else if (version >= 2 && kw == "inflight") {
+      if (!saw_async) fail("inflight before async");
+      std::size_t count = 0;
+      if (!(ls >> count)) fail("bad inflight count");
+      if (count > static_cast<std::size_t>(cp.async.window)) {
+        fail("inflight count exceeds window");
+      }
+      cp.async.in_flight.clear();
+      cp.async.in_flight.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string token;
+        if (!(ls >> token)) fail("truncated inflight line");
+        cp.async.in_flight.push_back(InFlightRequest::deserialize(token));
+      }
+      saw_inflight = true;
     } else if (kw == "strategy") {
       // The name may contain spaces/parentheses: take the rest of the line.
       const std::size_t sp = line.find(' ');
@@ -319,6 +448,12 @@ AttackCheckpoint read_checkpoint(std::istream& in) {
   if (!saw_meta || !saw_nodes || !saw_edges || !saw_attempts || !saw_friends ||
       !saw_cooldowns || !saw_strategy || !saw_state) {
     fail("incomplete checkpoint (missing section)");
+  }
+  if (version >= 2) {
+    if (!saw_async || !saw_rng || !saw_inflight) {
+      fail("incomplete v2 checkpoint (missing async/rng/inflight section)");
+    }
+    cp.has_async = true;
   }
   // The embedded trace follows, as a complete trace document with its own
   // header and terminator (read_traces rejects truncation itself).

@@ -1,4 +1,4 @@
-// Checkpoint/resume for synchronous attack runs.
+// Checkpoint/resume for synchronous and rolling-window attack runs.
 //
 // A checkpoint captures everything needed to resume an interrupted attack
 // bit-identically: the observation's primary state, budget accounting, the
@@ -7,9 +7,11 @@
 // rebuilt), and the trace so far. World randomness is counter-based, so the
 // world itself is reconstructed from its seed by the caller.
 //
-// Versioned text format:
+// Versioned text format (v1 = synchronous runner; v2 adds the rolling-window
+// event-loop state — readers accept both, writers emit v1 unless async state
+// is present so synchronous checkpoints stay byte-identical):
 //
-//   #recon-checkpoint v1
+//   #recon-checkpoint v1            (or v2)
 //   meta world-seed=<u64> budget=<d> spent=<d> round=<u64> clock=<d>
 //   nodes <n> <digit string, one state per node>
 //   edges <m> <digit string, one state per edge>
@@ -17,10 +19,19 @@
 //   friends <count> f1 f2 ...           (acceptance order)
 //   cooldowns <count> u:t,...           (sparse; only future deadlines)
 //   fault sends=<u64> tick=<u64> until=<u64> window=t:c,... counters=...
+//   async window=<W> now=<d> sent=<u64> accepts=<u64>      (v2 only)
+//   rng <w0> <w1> <w2> <w3>                                (v2 only)
+//   inflight <count> u:a:o:q:t ...                         (v2 only)
 //   strategy <name>
 //   strategy-state <opaque single-line blob>
 //   end
 //   <embedded trace: full #recon-trace v1 document, own terminator>
+//
+// In a v2 record `round` counts resolved events, the `async` line carries the
+// event clock and result tallies, `rng` is the delay stream's xoshiro256**
+// state (util::Rng::save_state), and `inflight` lists the outstanding
+// requests in send order (node, frozen attempt index, resolved outcome,
+// acceptance probability at send, absolute completion time).
 //
 // Readers reject truncated or inconsistent files with std::runtime_error.
 #pragma once
@@ -36,6 +47,42 @@
 #include "sim/trace.h"
 
 namespace recon::core {
+
+/// Strategy-name sentinel recorded in rolling-window (v2) checkpoints; the
+/// async runner has no Strategy object, and the sentinel makes cross-runner
+/// resume attempts fail with the usual mismatch diagnostic.
+inline constexpr const char kAsyncCheckpointStrategy[] = "rolling-window";
+
+/// One outstanding request of the rolling-window event loop, frozen at
+/// snapshot time. Everything needed to replay its resolution is here: the
+/// fault outcome and completion time were decided at send.
+struct InFlightRequest {
+  graph::NodeId node = 0;
+  std::uint32_t attempt = 0;      ///< attempt index frozen at send
+  std::uint8_t outcome = 0;       ///< sim::RequestOutcome at resolution
+  double q_at_send = 0.0;         ///< acceptance probability frozen at send
+  double completion_time = 0.0;   ///< absolute event time of the response
+
+  bool operator==(const InFlightRequest&) const = default;
+
+  /// Writes the single token `u:a:o:q:t` (stream precision applies).
+  void serialize(std::ostream& out) const;
+  /// Parses a token produced by serialize(); throws std::runtime_error.
+  static InFlightRequest deserialize(const std::string& token);
+};
+
+/// Event-loop state of the rolling-window runner beyond what the synchronous
+/// record carries; present iff AttackCheckpoint::has_async.
+struct AsyncCheckpointState {
+  int window = 0;                  ///< the run's W, validated on resume
+  double now = 0.0;                ///< event clock (== makespan so far)
+  std::uint64_t requests_sent = 0;
+  std::uint64_t accepts = 0;
+  std::string rng_state;           ///< delay-RNG blob (util::Rng::save_state)
+  /// Outstanding requests in send order — the order their collapsed
+  /// batch-state corrections were applied, which resume must replay.
+  std::vector<InFlightRequest> in_flight;
+};
 
 struct AttackCheckpoint {
   std::uint64_t world_seed = 0;
@@ -57,6 +104,9 @@ struct AttackCheckpoint {
   std::string strategy_name;   ///< for mismatch diagnostics only
   std::string strategy_state;  ///< opaque Strategy::save_state() blob
 
+  bool has_async = false;      ///< v2 record with rolling-window state
+  AsyncCheckpointState async;
+
   sim::AttackTrace trace;
 };
 
@@ -68,12 +118,31 @@ AttackCheckpoint make_checkpoint(const sim::Observation& obs,
                                  std::uint64_t world_seed,
                                  const sim::FaultModel* fault);
 
+/// Snapshots a rolling-window run (a v2 record): `events` counts resolved
+/// events and lands in the `round` field, the strategy sections carry the
+/// kAsyncCheckpointStrategy sentinel. `fault` may be null.
+AttackCheckpoint make_async_checkpoint(const sim::Observation& obs,
+                                       const AsyncCheckpointState& async,
+                                       const sim::AttackTrace& trace,
+                                       double budget, double spent,
+                                       std::uint64_t events,
+                                       std::uint64_t world_seed,
+                                       const sim::FaultModel* fault);
+
 /// Applies a checkpoint to a freshly-constructed observation / begun strategy
 /// / freshly-constructed fault model. `strategy.begin()` must have been
 /// called first. Throws std::runtime_error on strategy-name mismatch and
-/// std::invalid_argument on inconsistent state.
+/// std::invalid_argument on inconsistent state. Rejects rolling-window (v2)
+/// checkpoints — those resume through run_async_attack.
 void apply_checkpoint(const AttackCheckpoint& cp, sim::Observation& obs,
                       Strategy& strategy, sim::FaultModel* fault);
+
+/// Rolling-window variant: restores the observation and fault model from a
+/// v2 checkpoint (the event-loop state in `cp.async` is consumed by
+/// run_async_attack itself). Rejects synchronous checkpoints and fault-model
+/// configuration mismatches with std::runtime_error.
+void apply_async_checkpoint(const AttackCheckpoint& cp, sim::Observation& obs,
+                            sim::FaultModel* fault);
 
 void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp);
 /// Atomic write: writes to `path`.tmp then renames, so an interrupted writer

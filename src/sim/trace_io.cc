@@ -17,6 +17,7 @@ void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
   out.precision(17);
   for (std::size_t t = 0; t < traces.size(); ++t) {
     out << "trace " << t << '\n';
+    double prev_cost = 0.0;
     for (const auto& b : traces[t].batches) {
       out << "batch sel=" << b.select_seconds << " cost=" << b.cost << " reqs=";
       for (std::size_t i = 0; i < b.requests.size(); ++i) {
@@ -29,7 +30,17 @@ void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
         }
       }
       out << " df=" << b.delta.friends << " dx=" << b.delta.fofs
-          << " de=" << b.delta.edges << '\n';
+          << " de=" << b.delta.edges;
+      // Send-time cost accounting (the rolling-window runner charges requests
+      // when they are sent, so mid-trace cumulative cost can run ahead of the
+      // resolved records) gets an explicit field; batches whose cumulative
+      // cost is the plain running sum keep the original line, so synchronous
+      // trace files stay byte-identical.
+      if (b.cumulative_cost != prev_cost + b.cost) {
+        out << " ccost=" << b.cumulative_cost;
+      }
+      prev_cost = b.cumulative_cost;
+      out << '\n';
     }
   }
   // Explicit terminator so a truncated file is detectable: a tail cut at a
@@ -165,6 +176,17 @@ std::vector<AttackTrace> read_traces(std::istream& in) {
     b.delta.friends = parse_field(df_tok, "df", lineno);
     b.delta.fofs = parse_field(dx_tok, "dx", lineno);
     b.delta.edges = parse_field(de_tok, "de", lineno);
+    // Optional send-time cumulative-cost override; anything else after the
+    // delta fields is junk.
+    std::string cc_tok;
+    bool has_ccost = false;
+    double ccost = 0.0;
+    if (ls >> cc_tok) {
+      ccost = parse_field(cc_tok, "ccost", lineno);
+      has_ccost = true;
+      std::string junk;
+      if (ls >> junk) fail_at("trailing junk after ccost", lineno);
+    }
     // Recompute cumulative fields.
     AttackTrace& trace = traces.back();
     const BenefitBreakdown prev =
@@ -173,7 +195,7 @@ std::vector<AttackTrace> read_traces(std::istream& in) {
         trace.batches.empty() ? 0.0 : trace.batches.back().cumulative_cost;
     b.cumulative = prev;
     b.cumulative += b.delta;
-    b.cumulative_cost = prev_cost + b.cost;
+    b.cumulative_cost = has_ccost ? ccost : prev_cost + b.cost;
     trace.batches.push_back(std::move(b));
   }
   if (!saw_end) {

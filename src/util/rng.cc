@@ -1,9 +1,41 @@
 #include "util/rng.h"
 
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
 
 namespace recon::util {
+
+std::string Xoshiro256StarStar::save_state() const {
+  std::ostringstream out;
+  out << state_[0] << ' ' << state_[1] << ' ' << state_[2] << ' ' << state_[3];
+  return out.str();
+}
+
+void Xoshiro256StarStar::restore_state(const std::string& blob) {
+  std::istringstream in(blob);
+  std::array<std::uint64_t, 4> words{};
+  for (auto& w : words) {
+    std::string token;
+    if (!(in >> token)) {
+      throw std::invalid_argument("Rng::restore_state: bad state blob");
+    }
+    try {
+      std::size_t used = 0;
+      w = std::stoull(token, &used);
+      if (used != token.size() || token[0] == '-' || token[0] == '+') {
+        throw std::invalid_argument("bad word");
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("Rng::restore_state: bad state blob");
+    }
+  }
+  std::string extra;
+  if (in >> extra) {
+    throw std::invalid_argument("Rng::restore_state: trailing junk in blob");
+  }
+  set_state_words(words);
+}
 
 std::uint64_t Xoshiro256StarStar::below(std::uint64_t n) noexcept {
   // Lemire's nearly-divisionless method.

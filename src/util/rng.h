@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace recon::util {
@@ -111,6 +112,13 @@ class Xoshiro256StarStar {
   void set_state_words(const std::array<std::uint64_t, 4>& words) noexcept {
     for (int i = 0; i < 4; ++i) state_[i] = words[i];
   }
+
+  /// One-line textual snapshot of the four state words ("w0 w1 w2 w3"), the
+  /// form checkpoint records embed. restore_state resumes the stream exactly
+  /// where save_state left it; it throws std::invalid_argument on anything
+  /// but four full decimal words.
+  std::string save_state() const;
+  void restore_state(const std::string& blob);
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

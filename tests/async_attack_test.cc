@@ -1,12 +1,15 @@
 // Tests for the event-driven rolling-window attack.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
 #include "core/async_attack.h"
 #include "core/attack.h"
 #include "core/m_arest.h"
 #include "core/pm_arest.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "sim/problem.h"
 
@@ -43,6 +46,11 @@ TEST(AsyncAttack, WindowOneIsExactlySequential) {
   for (std::size_t i = 0; i < seq.batches.size(); ++i) {
     EXPECT_EQ(async.trace.batches[i].requests, seq.batches[i].requests);
     EXPECT_EQ(async.trace.batches[i].accepted, seq.batches[i].accepted);
+    // Cost accounting matches too: with W = 1 the send-time cumulative cost
+    // equals the synchronous per-round spend.
+    EXPECT_DOUBLE_EQ(async.trace.batches[i].cost, seq.batches[i].cost);
+    EXPECT_DOUBLE_EQ(async.trace.batches[i].cumulative_cost,
+                     seq.batches[i].cumulative_cost);
   }
   EXPECT_DOUBLE_EQ(async.trace.total_benefit(), seq.total_benefit());
   // Sequential pays one full delay per request.
@@ -142,6 +150,57 @@ TEST(AsyncAttack, NeverTwoInFlightToSameNode) {
       }
     }
   }
+}
+
+TEST(AsyncAttack, CostCurveUsesSendTimeAccountingLikeSyncRunner) {
+  // Both runners charge a request the moment it is sent. With W = k = budget
+  // the whole budget is in flight before the first response, so every
+  // resolved record reports the full spend — exactly what the synchronous
+  // k-batch reports for its single round.
+  const Problem p = async_problem(8, 120);
+  const sim::World w(p, 17);
+  AsyncAttackOptions opts;
+  opts.window = 10;
+  const auto async = run_async_attack(p, w, opts, 10.0);
+  ASSERT_EQ(async.trace.batches.size(), 10u);
+  for (const auto& b : async.trace.batches) {
+    EXPECT_DOUBLE_EQ(b.cumulative_cost, 10.0);
+  }
+  PmArest batch(PmArestOptions{.batch_size = 10});
+  const auto sync = run_attack(p, w, batch, 10.0);
+  ASSERT_EQ(sync.batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(sync.batches.back().cumulative_cost,
+                   async.trace.batches.back().cumulative_cost);
+}
+
+TEST(AsyncAttack, DefaultAttemptCapScalesWithRequestCost) {
+  // Quarter-cost requests: a budget of 2.5 funds 10 attempts, so the default
+  // cap must be ceil(budget / min cost) = 10, not the unit-cost ceil(budget)
+  // = 3 (which would strand budget once every node hit 3 attempts).
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  Problem p;
+  p.graph = b.build();
+  p.targets = {0, 1, 2};
+  p.is_target.assign(3, 1);
+  p.benefit = sim::make_paper_benefit(p.graph, p.is_target);
+  p.acceptance = sim::make_constant_acceptance(0.05);
+  p.cost.assign(3, 0.25);
+  const sim::World w(p, 19);
+  AsyncAttackOptions opts;
+  opts.window = 1;
+  opts.allow_retries = true;
+  const auto r = run_async_attack(p, w, opts, 2.5);
+  // With the old cap the run would stall at 3 nodes x 3 attempts = 9 sends.
+  EXPECT_EQ(r.requests_sent, 10u);
+  std::map<NodeId, int> attempts;
+  for (const auto& batch : r.trace.batches) {
+    for (NodeId u : batch.requests) ++attempts[u];
+  }
+  int max_attempts = 0;
+  for (const auto& [u, a] : attempts) max_attempts = std::max(max_attempts, a);
+  EXPECT_GT(max_attempts, 3);
 }
 
 TEST(AsyncAttack, Validation) {

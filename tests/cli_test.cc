@@ -233,6 +233,72 @@ TEST(Cli, CheckpointResumeRoundTrip) {
   EXPECT_EQ(benefit_line(full_out), benefit_line(resumed_out));
 }
 
+TEST(Cli, AsyncAttackReportsMakespan) {
+  const std::string graph_path = "/tmp/recon_cli_async_g.txt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "100", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string out, err;
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--async", "--window",
+                 "8", "--budget", "25", "--runs", "2", "--mean-delay", "100"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("strategy rolling-window(W=8)"), std::string::npos);
+  EXPECT_NE(out.find("mean makespan"), std::string::npos);
+  EXPECT_NE(out.find("mean accepts"), std::string::npos);
+  // Bad delay model is rejected with the flag's vocabulary in the message.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--async",
+                 "--delay-model", "bogus"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("--delay-model"), std::string::npos);
+  // Checkpoint flags demand a single run, like the synchronous path.
+  EXPECT_EQ(run({"attack", "--graph", graph_path.c_str(), "--async",
+                 "--checkpoint", "/tmp/recon_cli_async_bad.ckpt"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("--runs 1"), std::string::npos);
+}
+
+TEST(Cli, AsyncCheckpointResumeRoundTrip) {
+  const std::string graph_path = "/tmp/recon_cli_async_ckpt_g.txt";
+  const std::string problem_path = "/tmp/recon_cli_async_ckpt.problem";
+  const std::string ckpt_path = "/tmp/recon_cli_async_ckpt.ckpt";
+  ASSERT_EQ(run({"generate", "--model", "ba", "--nodes", "100", "--out",
+                 graph_path.c_str()}),
+            0);
+  std::string full_out;
+  ASSERT_EQ(run({"attack", "--graph", graph_path.c_str(), "--async", "--window",
+                 "5", "--budget", "30", "--runs", "1", "--fault-timeout", "0.2",
+                 "--save-problem", problem_path.c_str()},
+                &full_out),
+            0);
+  // Interrupt after 7 resolved events (mid-window), then resume; the final
+  // numbers must match the uninterrupted run exactly.
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--async",
+                 "--window", "5", "--budget", "30", "--runs", "1",
+                 "--fault-timeout", "0.2", "--stop-after", "7", "--checkpoint",
+                 ckpt_path.c_str()}),
+            0);
+  std::string resumed_out, err;
+  ASSERT_EQ(run({"attack", "--problem", problem_path.c_str(), "--async",
+                 "--window", "5", "--budget", "30", "--runs", "1",
+                 "--fault-timeout", "0.2", "--resume", ckpt_path.c_str()},
+                &resumed_out, &err),
+            0)
+      << err;
+  const auto line = [](const std::string& s, const char* key) {
+    const auto pos = s.find(key);
+    EXPECT_NE(pos, std::string::npos) << key;
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(line(full_out, "mean benefit"), line(resumed_out, "mean benefit"));
+  EXPECT_EQ(line(full_out, "mean makespan"), line(resumed_out, "mean makespan"));
+  EXPECT_EQ(line(full_out, "mean requests"), line(resumed_out, "mean requests"));
+  EXPECT_EQ(line(full_out, "mean accepts"), line(resumed_out, "mean accepts"));
+}
+
 TEST(Cli, AttackFallbackStrategyRuns) {
   const std::string graph_path = "/tmp/recon_cli_fb_g.txt";
   ASSERT_EQ(run({"generate", "--model", "er", "--nodes", "50", "--edges", "120",

@@ -1,0 +1,11 @@
+// A checkpoint record that can serialize itself but not parse the token back
+// writes state no reader will ever restore — resume silently drops it.
+// lint-expect: checkpoint-pair
+#include <iosfwd>
+
+struct WriteOnlyRecord {
+  unsigned node = 0;
+  double completion_time = 0.0;
+
+  void serialize(std::ostream& out) const;
+};

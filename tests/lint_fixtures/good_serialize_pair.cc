@@ -1,0 +1,12 @@
+// A checkpoint record with both directions of its token codec lints clean:
+// whatever serialize writes, deserialize can read back on resume.
+#include <iosfwd>
+#include <string>
+
+struct RoundTripRecord {
+  unsigned node = 0;
+  double completion_time = 0.0;
+
+  void serialize(std::ostream& out) const;
+  static RoundTripRecord deserialize(const std::string& token);
+};

@@ -16,9 +16,10 @@ are statically detectable, and this linter rejects them at CI time:
                    variables. Hash-order iteration leaks the hash seed and
                    insertion history into whatever the loop produces; extract
                    and sort keys first, or waive with a written reason.
-  checkpoint-pair  A class overriding Strategy::save_state must also override
-                   restore_state (and vice versa), or resume silently loses
-                   state.
+  checkpoint-pair  A class declaring one side of a checkpoint field pair —
+                   save_state/restore_state (Strategy state blobs) or
+                   serialize/deserialize (record tokens) — must declare the
+                   other, or resume silently loses state.
   guard            A class declaring a mutex member must annotate at least one
                    member RECON_GUARDED_BY(that mutex) (util/thread_annotations.h)
                    so clang -Wthread-safety has something to enforce, or waive
@@ -59,7 +60,8 @@ RULES = {
     "randomness": "banned randomness source (use util::Rng)",
     "clock": "raw wall-clock read (use util::WallTimer)",
     "hash-order": "iteration over unordered container (sort keys first)",
-    "checkpoint-pair": "save_state without restore_state (or vice versa)",
+    "checkpoint-pair": "one-sided save_state/restore_state or "
+                       "serialize/deserialize pair",
     "guard": "mutex member without a RECON_GUARDED_BY annotation",
     "lockfree": "hand-rolled CAS without a documented protocol",
     "waiver": "malformed waiver pragma",
@@ -112,6 +114,13 @@ BANNED = {
         ),
     ],
 }
+
+# Field pairs the checkpoint-pair rule enforces inside a class body: a class
+# writing state must also be able to read it back (and vice versa).
+CHECKPOINT_PAIRS = (
+    ("save_state", "restore_state"),  # Strategy/Rng opaque state blobs
+    ("serialize", "deserialize"),     # checkpoint record tokens
+)
 
 WAIVER_RE = re.compile(r"lint:([a-z-]+)-ok\(")
 UNORDERED_DECL_RE = re.compile(
@@ -329,22 +338,25 @@ def lint_file(path: str, findings: list[Finding]) -> None:
 
     # --- class-body rules: checkpoint-pair and guard ------------------------
     seen_guard: set[int] = set()
-    seen_pair: set[int] = set()
+    seen_pair: set[tuple[int, str]] = set()
     for name, start, body_start, body in class_bodies(code):
         cls_line = line_of(code, start)
-        # checkpoint-pair: overriding one of save_state/restore_state only.
-        has_save = re.search(r"\bsave_state\s*\(", body) is not None
-        has_restore = re.search(r"\brestore_state\s*\(", body) is not None
-        if has_save != has_restore and cls_line not in seen_pair:
-            seen_pair.add(cls_line)
-            missing = "restore_state" if has_save else "save_state"
-            present = "save_state" if has_save else "restore_state"
+        # checkpoint-pair: declaring one side of a serialization pair only.
+        # (\bserialize does not match inside "deserialize": no word boundary.)
+        for writer, reader in CHECKPOINT_PAIRS:
+            has_writer = re.search(r"\b" + writer + r"\s*\(", body) is not None
+            has_reader = re.search(r"\b" + reader + r"\s*\(", body) is not None
+            if has_writer == has_reader or (cls_line, writer) in seen_pair:
+                continue
+            seen_pair.add((cls_line, writer))
+            present = writer if has_writer else reader
+            missing = reader if has_writer else writer
             if not waivers.waived("checkpoint-pair", cls_line):
                 findings.append(
                     Finding(rel, cls_line, "checkpoint-pair",
-                            f"class {name} overrides {present} but not "
+                            f"class {name} declares {present} but not "
                             f"{missing}; checkpoint-resume would silently "
-                            "lose or mis-restore strategy state"))
+                            "lose or mis-restore this state"))
         # guard: every mutex member needs a GUARDED_BY(it) in the same body.
         if allowlisted("guard"):
             continue
