@@ -1,0 +1,142 @@
+// Microbenchmarks for the `#recon-graph v1` binary substrate: text-parse vs
+// binary-map load paths, trusted (no-verify) reopen latency, and scoring
+// throughput on degree-sorted vs as-built vertex layouts.
+//
+// "Cold" here means a fully *verified* open — checksum plus structure
+// validation touch every payload page, so it bounds the first-open cost on a
+// warm page cache. "Trusted" skips both and is the steady-state reopen cost
+// (pages fault lazily). tools/bench_graph_substrate.sh captures these into
+// BENCH_graph_substrate.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/batch_select.h"
+#include "graph/datasets.h"
+#include "graph/format.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "sim/observation.h"
+#include "sim/problem.h"
+
+namespace {
+
+using namespace recon;
+
+struct SubstrateFiles {
+  std::string text;        // edge list, as-built labeling
+  std::string keep_bin;    // binary, as-built labeling
+  std::string sorted_bin;  // binary, degree-sorted labeling
+};
+
+/// Generates the BA(m=8) instance for `n` once per process and materializes
+/// all three on-disk forms of it.
+const SubstrateFiles& files_for(graph::NodeId n) {
+  static std::map<graph::NodeId, SubstrateFiles> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  SubstrateFiles f;
+  const std::string stem = "/tmp/recon_bench_substrate_" + std::to_string(n);
+  f.text = stem + ".txt";
+  f.keep_bin = stem + "_keep.bin";
+  f.sorted_bin = stem + "_sorted.bin";
+
+  graph::GraphBinaryWriteOptions keep;
+  keep.layout = graph::GraphLayout::kKeep;
+  graph::stream_barabasi_albert_binary(f.keep_bin, n, 8,
+                                       graph::EdgeProbModel::uniform(0.2, 0.9),
+                                       1234, keep);
+  const graph::Graph g = graph::map_graph_binary_file(f.keep_bin);
+  graph::write_edge_list_file(f.text, g);
+  graph::write_graph_binary_file(f.sorted_bin, g);  // default: degree-sorted
+  return cache.emplace(n, std::move(f)).first->second;
+}
+
+void BM_LoadTextParse(benchmark::State& state) {
+  const auto& f = files_for(static_cast<graph::NodeId>(state.range(0)));
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const graph::Graph g = graph::read_edge_list_file(f.text);
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_LoadTextParse)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_LoadBinaryVerified(benchmark::State& state) {
+  const auto& f = files_for(static_cast<graph::NodeId>(state.range(0)));
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const graph::Graph g = graph::map_graph_binary_file(f.sorted_bin);
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_LoadBinaryVerified)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_LoadBinaryTrusted(benchmark::State& state) {
+  const auto& f = files_for(static_cast<graph::NodeId>(state.range(0)));
+  graph::GraphBinaryReadOptions ro;
+  ro.verify_checksum = false;
+  ro.validate_structure = false;
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const graph::Graph g = graph::map_graph_binary_file(f.sorted_bin, ro);
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_LoadBinaryTrusted)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+sim::Problem substrate_problem(graph::Graph g) {
+  sim::Problem p;
+  for (graph::NodeId t = 0; t < g.num_nodes(); t += 50) p.targets.push_back(t);
+  p.is_target.assign(g.num_nodes(), 0);
+  for (graph::NodeId t : p.targets) p.is_target[t] = 1;
+  p.benefit = sim::make_uniform_benefit(g);
+  p.acceptance = sim::make_constant_acceptance(0.4);
+  p.graph = std::move(g);
+  return p;
+}
+
+/// One full greedy batch (k=16) from a fresh observation: the scoring pass
+/// walks every candidate's adjacency row, so layout locality dominates.
+void score_layout(benchmark::State& state, const std::string& path) {
+  const sim::Problem p = substrate_problem(graph::map_graph_binary_file(path));
+  const sim::Observation obs(p);
+  core::BatchSelectOptions options;
+  options.batch_size = 16;
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    selected += core::batch_select(obs, options).size();
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.graph.num_edges()));
+}
+
+void BM_BatchSelectUnsortedLayout(benchmark::State& state) {
+  score_layout(state, files_for(static_cast<graph::NodeId>(state.range(0))).keep_bin);
+}
+BENCHMARK(BM_BatchSelectUnsortedLayout)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchSelectSortedLayout(benchmark::State& state) {
+  score_layout(state, files_for(static_cast<graph::NodeId>(state.range(0))).sorted_bin);
+}
+BENCHMARK(BM_BatchSelectSortedLayout)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,6 +12,8 @@
 #include "core/pm_arest.h"
 #include "core/retry_policy.h"
 #include "defense/detector.h"
+#include "graph/datasets.h"
+#include "graph/format.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
@@ -85,7 +87,11 @@ sim::Problem load_problem(const util::Args& args) {
   if (path.empty()) {
     throw std::invalid_argument("--graph FILE or --problem FILE is required");
   }
-  graph::Graph g = graph::read_edge_list_file(path);
+  // Binary `#recon-graph v1` files are sniffed by magic and mapped zero-copy;
+  // anything else parses as a text edge list.
+  graph::Graph g = graph::is_graph_binary_file(path)
+                       ? graph::map_graph_binary_file(path)
+                       : graph::read_edge_list_file(path);
   sim::ProblemOptions opts;
   opts.num_targets = static_cast<std::size_t>(args.get_int("targets", 50));
   const std::string mode = args.get("target-mode", "ball");
@@ -505,6 +511,137 @@ int cmd_audit(const util::Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+namespace {
+
+graph::GraphBinaryWriteOptions parse_layout(const util::Args& args) {
+  graph::GraphBinaryWriteOptions wo;
+  const std::string layout = args.get("layout", "degree");
+  if (layout == "degree") wo.layout = graph::GraphLayout::kDegreeSorted;
+  else if (layout == "keep") wo.layout = graph::GraphLayout::kKeep;
+  else throw std::invalid_argument("unknown --layout '" + layout + "' (degree|keep)");
+  return wo;
+}
+
+/// Loads --in as either a binary `#recon-graph v1` file (mmap) or a text
+/// edge list, sniffed by magic. --no-verify skips the binary checksum +
+/// structure validation (trusted reopens of files this tool just wrote).
+graph::Graph load_graph_arg(const util::Args& args) {
+  const std::string path = args.get("in", "");
+  if (path.empty()) throw std::invalid_argument("--in FILE is required");
+  if (graph::is_graph_binary_file(path)) {
+    graph::GraphBinaryReadOptions ro;
+    if (args.has("no-verify")) {
+      ro.verify_checksum = false;
+      ro.validate_structure = false;
+    }
+    return graph::map_graph_binary_file(path, ro);
+  }
+  return graph::read_edge_list_file(path);
+}
+
+graph::EdgeProbModel parse_stream_probs(const util::Args& args) {
+  const std::string probs = args.get("probs", "const");
+  if (probs == "const") {
+    return graph::EdgeProbModel::constant(args.get_double("p", 1.0));
+  }
+  if (probs == "uniform") {
+    return graph::EdgeProbModel::uniform(args.get_double("plo", 0.2),
+                                         args.get_double("phi", 0.9));
+  }
+  if (probs == "beta") {
+    return graph::EdgeProbModel::beta(args.get_double("alpha", 2.0),
+                                      args.get_double("beta", 5.0));
+  }
+  throw std::invalid_argument("unknown --probs '" + probs +
+                              "' (const|uniform|beta; structural needs the "
+                              "non-streaming `generate` command)");
+}
+
+void print_binary_info(const graph::GraphBinaryInfo& info, const std::string& path,
+                       std::ostream& out) {
+  out << path << ": " << info.num_nodes << " nodes, " << info.num_edges
+      << " edges, layout " << (info.relabeled ? "degree-sorted" : "as-built")
+      << ", attributes " << info.attribute_dim << ", " << info.file_bytes
+      << " bytes\n";
+}
+
+}  // namespace
+
+int cmd_graph(const util::Args& args, std::ostream& out, std::ostream& err) {
+  try {
+    // Args strips the leading "graph" token, so the subcommand is the first
+    // positional.
+    const auto& pos = args.positional();
+    const std::string sub = pos.empty() ? "" : pos[0];
+    if (sub == "convert") {
+      const std::string out_path = args.get("out", "");
+      if (out_path.empty()) throw std::invalid_argument("--out FILE is required");
+      const graph::Graph g = load_graph_arg(args);
+      const auto info = graph::write_graph_binary_file(out_path, g, parse_layout(args));
+      print_binary_info(info, out_path, out);
+      return 0;
+    }
+    if (sub == "info") {
+      const std::string path = args.get("in", "");
+      if (path.empty()) throw std::invalid_argument("--in FILE is required");
+      if (graph::is_graph_binary_file(path)) {
+        // Header-only probe: does not fault in the payload.
+        print_binary_info(graph::probe_graph_binary_file(path), path, out);
+      } else {
+        const graph::Graph g = graph::read_edge_list_file(path);
+        out << path << ": text edge list, " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges\n";
+      }
+      return 0;
+    }
+    if (sub == "export") {
+      const std::string out_path = args.get("out", "");
+      if (out_path.empty()) throw std::invalid_argument("--out FILE is required");
+      graph::Graph g = load_graph_arg(args);
+      if (g.is_relabeled() && !args.has("keep-labels")) {
+        // Undo the on-disk degree-sorted relabeling so the exported edge
+        // list matches the graph as originally ingested.
+        std::vector<graph::NodeId> to_orig(g.num_nodes());
+        for (graph::NodeId u = 0; u < g.num_nodes(); ++u) to_orig[u] = g.orig_id(u);
+        g = graph::remap_graph(g, to_orig);
+      }
+      graph::write_edge_list_file(out_path, g);
+      out << "wrote " << out_path << ": " << g.num_nodes() << " nodes, "
+          << g.num_edges() << " edges\n";
+      return 0;
+    }
+    if (sub == "gen") {
+      const std::string out_path = args.get("out", "");
+      if (out_path.empty()) throw std::invalid_argument("--out FILE is required");
+      const std::string model = args.get("model", "ba");
+      const auto n = static_cast<graph::NodeId>(args.get_int("nodes", 1000000));
+      const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      const auto probs = parse_stream_probs(args);
+      graph::GraphBinaryInfo info;
+      if (model == "ba") {
+        info = graph::stream_barabasi_albert_binary(
+            out_path, n, static_cast<graph::NodeId>(args.get_int("m", 5)), probs,
+            seed, parse_layout(args));
+      } else if (model == "er") {
+        info = graph::stream_erdos_renyi_binary(
+            out_path, n, static_cast<graph::EdgeId>(args.get_int("edges", 5 * n)),
+            probs, seed, parse_layout(args));
+      } else {
+        throw std::invalid_argument("unknown --model '" + model +
+                                    "' (ba|er stream straight to binary; other "
+                                    "models go through `generate` + convert)");
+      }
+      print_binary_info(info, out_path, out);
+      return 0;
+    }
+    throw std::invalid_argument("unknown graph subcommand '" + sub +
+                                "' (convert|info|export|gen)");
+  } catch (const std::exception& e) {
+    err << "graph: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 void print_usage(std::ostream& out) {
   out << "recon — adaptive reconnaissance-attack toolkit (ICDCS'17 reproduction)\n"
          "usage: recon <command> [--flags]\n\n"
@@ -533,6 +670,14 @@ void print_usage(std::ostream& out) {
          "             [--delay-model exp|fixed]]  (checkpoint/resume applies;\n"
          "             --stop-after/--checkpoint-every count resolved events)\n"
          "            fallback solver: [--fob-deadline-ms MS] [--saa-deadline-ms MS]\n"
+         "  graph     `#recon-graph v1` binary substrate tooling\n"
+         "            convert --in GRAPH --out BIN [--layout degree|keep]\n"
+         "            info    --in FILE            (header-only probe on binary)\n"
+         "            export  --in BIN --out TXT [--keep-labels]\n"
+         "            gen     --model ba|er --nodes N --out BIN [--m M|--edges E]\n"
+         "                    [--probs const|uniform|beta ...] [--seed S]\n"
+         "            (--graph everywhere auto-detects text vs binary;\n"
+         "             binary opens add --no-verify to skip checksum+validation)\n"
          "  metrics   compute RRS / RT-RRS from a saved trace file\n"
          "            --traces FILE [--threshold Q] [--delay SECONDS]\n"
          "  audit     recommend defender monitor placements\n"
@@ -550,6 +695,7 @@ int dispatch(int argc, const char* const* argv, std::ostream& out, std::ostream&
   if (cmd == "attack") return cmd_attack(args, out, err);
   if (cmd == "metrics") return cmd_metrics(args, out, err);
   if (cmd == "audit") return cmd_audit(args, out, err);
+  if (cmd == "graph") return cmd_graph(args, out, err);
   if (cmd == "help" || cmd == "--help") {
     print_usage(out);
     return 0;

@@ -9,6 +9,10 @@
 //                  [--targets 50] [--retries] [--traces out.traces]
 //   recon metrics  --traces out.traces [--threshold 20] [--delay 300]
 //   recon audit    --graph g.txt [--monitors 10] [--budget 100]
+//   recon graph    convert|info|export|gen — `#recon-graph v1` binary tooling
+//
+// `--graph FILE` everywhere accepts either a text edge list or a binary
+// `#recon-graph v1` file; the format is sniffed from the leading magic.
 #pragma once
 
 #include <iosfwd>
@@ -22,6 +26,7 @@ int cmd_generate(const util::Args& args, std::ostream& out, std::ostream& err);
 int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err);
 int cmd_metrics(const util::Args& args, std::ostream& out, std::ostream& err);
 int cmd_audit(const util::Args& args, std::ostream& out, std::ostream& err);
+int cmd_graph(const util::Args& args, std::ostream& out, std::ostream& err);
 
 /// Prints usage for all commands.
 void print_usage(std::ostream& out);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <queue>
 
+#include "util/numa.h"
 #include "util/timer.h"
 
 namespace recon::core {
@@ -19,7 +21,7 @@ namespace {
 /// parallel scoring pass; read when planning the next one. Relaxed atomics:
 /// racing updates at worst mix two recent measurements, and the value only
 /// steers shard *layout*, which provably cannot change the selected batch
-/// (the frontier pop order is a strict total order on (score, node)).
+/// (the frontier pop order is a strict total order on (score, orig id)).
 std::atomic<std::uint64_t> g_measured_nanos_per_unit{64};
 
 double shard_nanos_per_unit() {
@@ -89,20 +91,24 @@ namespace {
 
 struct HeapEntry {
   double score;
-  NodeId node;
+  NodeId node;  ///< current (possibly relabeled) id, used for scoring
+  NodeId rank;  ///< original pre-relabeling id (Graph::orig_id), used for ties
   std::uint32_t stamp;  ///< batch size when the score was computed
 
   bool operator<(const HeapEntry& o) const noexcept {
     if (score != o.score) return score < o.score;
-    return node > o.node;  // deterministic tie-break: lower id wins
+    return rank > o.rank;  // deterministic tie-break: lower original id wins
   }
 };
 
 /// Strict total order used everywhere a "best candidate" is chosen: higher
-/// score first, lower node id on ties. Agrees with HeapEntry::operator<.
+/// score first, lower *original* node id on ties. Tie-breaking on orig_id
+/// (identity for never-relabeled graphs) makes the selected batch invariant
+/// under vertex relabelings such as the degree-sorted binary layout. Agrees
+/// with HeapEntry::operator<.
 inline bool ranks_before(const HeapEntry& a, const HeapEntry& b) noexcept {
   if (a.score != b.score) return a.score > b.score;
-  return a.node < b.node;
+  return a.rank < b.rank;
 }
 
 /// One shard of the parallel frontier: the worker's top-k entries sorted by
@@ -120,19 +126,20 @@ struct ShardFrontier {
 struct CursorRef {
   double score;
   NodeId node;
+  NodeId rank;
   std::uint32_t shard;
 
   bool operator<(const CursorRef& o) const noexcept {
     if (score != o.score) return score < o.score;
-    return node > o.node;
+    return rank > o.rank;
   }
 };
 
 /// Shared lazy-greedy pick loop. `frontier` must behave like the single
 /// priority queue of the sequential algorithm: pop_best removes and returns
-/// the maximum by (score, node id), best_score peeks at the new maximum.
-/// Because (score, node) is a strict total order, any frontier organization
-/// with these two operations yields a bit-identical selection sequence.
+/// the maximum by (score, original node id), best_score peeks at the new
+/// maximum. Because (score, orig id) is a strict total order, any frontier
+/// organization with these two operations yields a bit-identical selection sequence.
 template <typename Frontier, typename ScoreFn>
 std::vector<NodeId> lazy_pick_loop(const sim::Observation& obs,
                                    const BatchSelectOptions& options,
@@ -191,7 +198,8 @@ class MergedFrontier {
       : shards_(std::move(shards)) {
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
       if (!shards_[s].head.empty()) {
-        cursors_.push({shards_[s].head[0].score, shards_[s].head[0].node, s});
+        cursors_.push({shards_[s].head[0].score, shards_[s].head[0].node,
+                       shards_[s].head[0].rank, s});
       }
     }
   }
@@ -209,8 +217,10 @@ class MergedFrontier {
     const bool from_repush =
         cursors_.empty() ||
         (!repush_.empty() &&
-         ranks_before({repush_.top().score, repush_.top().node, 0},
-                      {cursors_.top().score, cursors_.top().node, 0}));
+         ranks_before(
+             {repush_.top().score, repush_.top().node, repush_.top().rank, 0},
+             {cursors_.top().score, cursors_.top().node, cursors_.top().rank,
+              0}));
     if (from_repush) {
       HeapEntry top = repush_.top();
       repush_.pop();
@@ -219,7 +229,7 @@ class MergedFrontier {
     const CursorRef c = cursors_.top();
     cursors_.pop();
     advance_shard(c.shard);
-    return {c.score, c.node, 0};  // shard entries carry initial scores
+    return {c.score, c.node, c.rank, 0};  // shard entries carry initial scores
   }
 
  private:
@@ -233,7 +243,8 @@ class MergedFrontier {
       sf.overflow.clear();
       sf.cursor = 0;
     }
-    cursors_.push({sf.head[sf.cursor].score, sf.head[sf.cursor].node, s});
+    cursors_.push({sf.head[sf.cursor].score, sf.head[sf.cursor].node,
+                   sf.head[sf.cursor].rank, s});
   }
 
   std::vector<ShardFrontier> shards_;
@@ -286,7 +297,9 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (taken[i] || scores[i] <= 0.0) continue;
         if (best == candidates.size() || scores[i] > scores[best] ||
-            (scores[i] == scores[best] && candidates[i] < candidates[best])) {
+            (scores[i] == scores[best] &&
+             problem.graph.orig_id(candidates[i]) <
+                 problem.graph.orig_id(candidates[best]))) {
           best = i;
         }
       }
@@ -329,40 +342,60 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
     std::vector<ShardFrontier> shards(num_shards);
     std::atomic<std::uint64_t> pass_nanos{0};
     const GammaKernel kernel(obs, state, options.policy);
-    options.pool->parallel_for(
-        0, num_shards,
-        [&](std::size_t s) {
-          // Reporting-only wall clock: the measurement calibrates future
-          // shard layouts, and layout cannot change the selected batch.
-          const util::WallTimer shard_timer;
-          const std::size_t lo = bounds[s];
-          const std::size_t hi = bounds[s + 1];
-          ShardFrontier& sf = shards[s];
-          sf.head.reserve(std::min(keep, hi - lo));
-          // Min-heap on head (worst entry on top) caps the sorted portion at
-          // k entries; the rest lands in overflow, sorted only if needed.
-          for (std::size_t i = lo; i < hi; ++i) {
-            const NodeId u = candidates[i];
-            double sc = kernel.score(u, obs.acceptance_prob(u));
-            if (options.cost_sensitive) sc /= problem.cost_of(u);
-            if (sc <= 0.0) continue;
-            const HeapEntry e{sc, u, 0};
-            if (sf.head.size() < keep) {
-              sf.head.push_back(e);
-              std::push_heap(sf.head.begin(), sf.head.end(), ranks_before);
-            } else if (ranks_before(e, sf.head.front())) {
-              std::pop_heap(sf.head.begin(), sf.head.end(), ranks_before);
-              sf.overflow.push_back(sf.head.back());
-              sf.head.back() = e;
-              std::push_heap(sf.head.begin(), sf.head.end(), ranks_before);
-            } else {
-              sf.overflow.push_back(e);
-            }
-          }
-          std::sort(sf.head.begin(), sf.head.end(), ranks_before);
-          pass_nanos.fetch_add(shard_timer.nanos(), std::memory_order_relaxed);
-        },
-        /*grain=*/1);
+    auto score_shard = [&](std::size_t s) {
+      // Reporting-only wall clock: the measurement calibrates future
+      // shard layouts, and layout cannot change the selected batch.
+      const util::WallTimer shard_timer;
+      const std::size_t lo = bounds[s];
+      const std::size_t hi = bounds[s + 1];
+      ShardFrontier& sf = shards[s];
+      // First touch happens here, inside the scoring task: on the pinned
+      // path the head/overflow pages land on the executing worker's node.
+      sf.head.reserve(std::min(keep, hi - lo));
+      // Min-heap on head (worst entry on top) caps the sorted portion at
+      // k entries; the rest lands in overflow, sorted only if needed.
+      for (std::size_t i = lo; i < hi; ++i) {
+        const NodeId u = candidates[i];
+        double sc = kernel.score(u, obs.acceptance_prob(u));
+        if (options.cost_sensitive) sc /= problem.cost_of(u);
+        if (sc <= 0.0) continue;
+        const HeapEntry e{sc, u, g.orig_id(u), 0};
+        if (sf.head.size() < keep) {
+          sf.head.push_back(e);
+          std::push_heap(sf.head.begin(), sf.head.end(), ranks_before);
+        } else if (ranks_before(e, sf.head.front())) {
+          std::pop_heap(sf.head.begin(), sf.head.end(), ranks_before);
+          sf.overflow.push_back(sf.head.back());
+          sf.head.back() = e;
+          std::push_heap(sf.head.begin(), sf.head.end(), ranks_before);
+        } else {
+          sf.overflow.push_back(e);
+        }
+      }
+      std::sort(sf.head.begin(), sf.head.end(), ranks_before);
+      pass_nanos.fetch_add(shard_timer.nanos(), std::memory_order_relaxed);
+    };
+    const bool pin_shards =
+        options.numa_aware && util::numa_topology().num_nodes > 1;
+    if (pin_shards) {
+      // NUMA path: shard s always runs on worker floor(s * W / S). Shards
+      // are contiguous candidate ranges and numa_node_of_worker maps
+      // contiguous workers to one node, so each node scores a contiguous
+      // slice of the pool and re-touches the same pages pass after pass.
+      // Trades work-stealing balance for locality; selection is
+      // bit-identical either way (the frontier order is a total order).
+      const unsigned workers = options.pool->size();
+      std::vector<std::future<void>> done;
+      done.reserve(num_shards);
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const auto worker = static_cast<unsigned>(s * workers / num_shards);
+        done.push_back(
+            options.pool->submit_pinned(worker, [&score_shard, s] { score_shard(s); }));
+      }
+      for (auto& f : done) f.get();
+    } else {
+      options.pool->parallel_for(0, num_shards, score_shard, /*grain=*/1);
+    }
     // Shard times overlap in wall-clock, but the EWMA wants *cost*, not
     // latency: the summed per-shard nanos over the summed work is exactly
     // the average ns each work unit cost this pass.
@@ -376,7 +409,7 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
   HeapFrontier frontier;
   for (NodeId u : candidates) {
     const double s = score_of(u);
-    if (s > 0.0) frontier.push({s, u, 0});
+    if (s > 0.0) frontier.push({s, u, problem.graph.orig_id(u), 0});
   }
   return lazy_pick_loop(obs, options, state, budget, frontier, score_of);
 }

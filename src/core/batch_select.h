@@ -48,6 +48,13 @@ struct BatchSelectOptions {
   util::ThreadPool* pool = nullptr;
   /// Rescore every candidate each round via the pool instead of lazy greedy.
   bool parallel_eager = false;
+  /// Pin shard-scoring tasks to fixed workers (ThreadPool::submit_pinned) so
+  /// each shard's frontier memory first-touches the scoring worker's NUMA
+  /// node. Takes effect only when util::numa_topology() reports more than
+  /// one node (RECON_NUMA builds or an RECON_NUMA_NODES override); the
+  /// selected batch is bit-identical either way, so this is purely a memory
+  /// placement decision.
+  bool numa_aware = true;
 };
 
 /// Selects up to options.batch_size nodes to request, greedily maximizing

@@ -51,10 +51,11 @@ std::vector<NodeId> CachedSelector::select_batch(int batch_size, bool allow_retr
   struct Entry {
     double score;
     NodeId node;
+    NodeId rank;  ///< original id: ties resolve identically across relabelings
     std::uint32_t stamp;
     bool operator<(const Entry& o) const noexcept {
       if (score != o.score) return score < o.score;
-      return node > o.node;
+      return rank > o.rank;
     }
   };
 
@@ -87,7 +88,7 @@ std::vector<NodeId> CachedSelector::select_batch(int batch_size, bool allow_retr
   std::priority_queue<Entry> heap;
   for (NodeId u : candidates) {
     const double s = base_score(u);  // exact at batch start (cache + dirty)
-    if (s > 0.0) heap.push({s, u, 0});
+    if (s > 0.0) heap.push({s, u, problem.graph.orig_id(u), 0});
   }
 
   std::vector<NodeId> batch;

@@ -96,10 +96,11 @@ std::vector<Pick> select_fleet_batch(const MultiObservation& obs,
   struct Entry {
     double score;
     NodeId node;
+    NodeId rank;  ///< original id: ties resolve identically across relabelings
     std::uint32_t stamp;
     bool operator<(const Entry& o) const noexcept {
       if (score != o.score) return score < o.score;
-      return node > o.node;
+      return rank > o.rank;
     }
   };
   std::priority_queue<Entry> heap;
@@ -108,7 +109,7 @@ std::vector<Pick> select_fleet_batch(const MultiObservation& obs,
     const Pick p = best_bot(u);
     if (p.attacker < 0) continue;
     const double s = state.gamma(obs.shared(), u, options.policy, p.q);
-    if (s > 0.0) heap.push({s, u, 0});
+    if (s > 0.0) heap.push({s, u, problem.graph.orig_id(u), 0});
   }
   while (static_cast<int>(picks.size()) < fleet_k && !heap.empty()) {
     Entry top = heap.top();

@@ -38,6 +38,16 @@ class GraphBuilder {
   /// edges are retained).
   Graph build() const;
 
+  /// Zero-copy CSR assembly for streaming generators: consumes parallel edge
+  /// arrays that are already *unique* (no duplicate pairs in either
+  /// orientation). Endpoints are canonicalized in place; edges are counting-
+  /// sorted by (u, v) — O(n + m log maxdeg) and no second copy of the edge
+  /// list, versus build()'s retained pending arrays plus comparison sort.
+  /// Throws std::invalid_argument on self-loops, out-of-range ids, bad
+  /// probabilities, duplicate edges, or length mismatches.
+  static Graph from_unique_edges(NodeId num_nodes, std::vector<NodeId> us,
+                                 std::vector<NodeId> vs, std::vector<double> ps);
+
  private:
   NodeId num_nodes_;
   std::vector<NodeId> us_, vs_;   // canonicalized: us_[i] < vs_[i]

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -99,6 +101,124 @@ Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed,
                                  util::derive_seed(seed, 0xE0));
   }
   return ds;
+}
+
+namespace {
+
+/// Per-edge probability draw for the streaming generators. Structural probs
+/// need the finished topology (jaccard over final neighborhoods), which a
+/// streaming pass does not have.
+double stream_prob(const EdgeProbModel& model, util::Rng& rng) {
+  switch (model.kind) {
+    case EdgeProbModel::Kind::kConstant:
+      return std::clamp(model.a, 0.0, 1.0);
+    case EdgeProbModel::Kind::kUniform:
+      return std::clamp(model.a + (model.b - model.a) * rng.uniform(), 0.0, 1.0);
+    case EdgeProbModel::Kind::kBeta:
+      return std::clamp(sample_beta(model.a, model.b, rng), 0.0, 1.0);
+    case EdgeProbModel::Kind::kStructural:
+      throw std::invalid_argument(
+          "streaming generators: structural edge probabilities need the full "
+          "graph; use a constant/uniform/beta model");
+  }
+  throw std::invalid_argument("streaming generators: unknown prob model");
+}
+
+}  // namespace
+
+GraphBinaryInfo stream_barabasi_albert_binary(
+    const std::string& path, NodeId n, NodeId m_per_node,
+    const EdgeProbModel& probs, std::uint64_t seed,
+    const GraphBinaryWriteOptions& options) {
+  if (m_per_node == 0) {
+    throw std::invalid_argument("stream_barabasi_albert_binary: m == 0");
+  }
+  if (n < m_per_node + 1) {
+    throw std::invalid_argument("stream_barabasi_albert_binary: n too small");
+  }
+  util::Rng rng(seed);
+  const NodeId seed_nodes = m_per_node + 1;
+  const std::size_t clique_edges =
+      static_cast<std::size_t>(seed_nodes) * (seed_nodes - 1) / 2;
+  const std::size_t total =
+      clique_edges + static_cast<std::size_t>(n - seed_nodes) * m_per_node;
+
+  std::vector<NodeId> us, vs;
+  std::vector<double> ps;
+  us.reserve(total);
+  vs.reserve(total);
+  ps.reserve(total);
+  // Repeated-endpoint list: a uniform pick samples proportionally to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * total);
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      us.push_back(u);
+      vs.push_back(v);
+      ps.push_back(stream_prob(probs, rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> picks;
+  std::unordered_set<NodeId> chosen;
+  for (NodeId u = seed_nodes; u < n; ++u) {
+    picks.clear();
+    chosen.clear();
+    while (picks.size() < m_per_node) {
+      const NodeId v = endpoints[rng.below(endpoints.size())];
+      if (chosen.insert(v).second) picks.push_back(v);
+    }
+    for (NodeId v : picks) {
+      us.push_back(v);  // canonical: targets predate u
+      vs.push_back(u);
+      ps.push_back(stream_prob(probs, rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  endpoints.clear();
+  endpoints.shrink_to_fit();
+
+  const Graph g = GraphBuilder::from_unique_edges(n, std::move(us),
+                                                  std::move(vs), std::move(ps));
+  return write_graph_binary_file(path, g, options);
+}
+
+GraphBinaryInfo stream_erdos_renyi_binary(const std::string& path, NodeId n,
+                                          EdgeId m, const EdgeProbModel& probs,
+                                          std::uint64_t seed,
+                                          const GraphBinaryWriteOptions& options) {
+  if (n < 2 && m > 0) {
+    throw std::invalid_argument("stream_erdos_renyi_binary: n too small");
+  }
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("stream_erdos_renyi_binary: m too large");
+  }
+  util::Rng rng(seed);
+  std::vector<NodeId> us, vs;
+  std::vector<double> ps;
+  us.reserve(m);
+  vs.reserve(m);
+  ps.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  while (seen.size() < m) {
+    auto u = static_cast<NodeId>(rng.below(n));
+    auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert((static_cast<std::uint64_t>(u) << 32) | v).second) continue;
+    us.push_back(u);
+    vs.push_back(v);
+    ps.push_back(stream_prob(probs, rng));
+  }
+  seen.clear();
+
+  const Graph g = GraphBuilder::from_unique_edges(n, std::move(us),
+                                                  std::move(vs), std::move(ps));
+  return write_graph_binary_file(path, g, options);
 }
 
 }  // namespace recon::graph

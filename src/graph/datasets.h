@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/format.h"
+#include "graph/generators.h"
 #include "graph/graph.h"
 
 namespace recon::graph {
@@ -55,5 +57,24 @@ std::string dataset_name(DatasetId id);
 /// use p_e = 1 instead (deterministic topology knowledge).
 Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed,
                      bool uniform_probs = false);
+
+// SNAP-scale streaming generators: generate -> CSR -> `#recon-graph v1`
+// binary file, with no text edge list and no retained pending-edge copy
+// (GraphBuilder::from_unique_edges consumes the arrays in place). This is
+// how million-node campaign inputs are produced: the file is then mapped
+// zero-copy with map_graph_binary_file. Deterministic per seed. `probs`
+// must be a streamable model (constant / uniform / beta) — structural
+// probabilities need the finished topology, so kStructural is rejected.
+
+/// Streams Barabási–Albert (attachment m_per_node) with n nodes to `path`.
+GraphBinaryInfo stream_barabasi_albert_binary(
+    const std::string& path, NodeId n, NodeId m_per_node,
+    const EdgeProbModel& probs, std::uint64_t seed,
+    const GraphBinaryWriteOptions& options = {});
+
+/// Streams Erdős–Rényi G(n, m) with exactly m distinct edges to `path`.
+GraphBinaryInfo stream_erdos_renyi_binary(
+    const std::string& path, NodeId n, EdgeId m, const EdgeProbModel& probs,
+    std::uint64_t seed, const GraphBinaryWriteOptions& options = {});
 
 }  // namespace recon::graph

@@ -1,46 +1,149 @@
 #include "graph/io.h"
 
+#include <algorithm>
+#include <charconv>
 #include <fstream>
-#include <sstream>
+#include <iterator>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/builder.h"
 
 namespace recon::graph {
 
-Graph read_edge_list(std::istream& in, NodeId num_nodes) {
+namespace {
+
+// Single-pass tokenizer over a fully-buffered edge list. Compared to the
+// old one-istringstream-per-line parser this is one allocation and one scan
+// for the whole file, which is what makes `recon graph convert` on a
+// million-node text file parse-bound rather than allocator-bound.
+//
+// Grammar per line (SNAP-compatible):
+//   '#' starts a comment running to end of line
+//   blank / comment-only lines are skipped
+//   otherwise: <u> <v> [<p>] [ignored trailing tokens]
+// Self-loops are silently dropped, as SNAP loaders do. Malformed or
+// out-of-range ids and probabilities are hard errors with line numbers —
+// silently truncating a 64-bit id to 32 bits would corrupt the graph.
+class EdgeListScanner {
+ public:
+  EdgeListScanner(const char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
   struct Rec {
     NodeId u, v;
     double p;
   };
-  std::vector<Rec> recs;
-  NodeId max_id = 0;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    // Strip comments and blank lines.
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    long long u64 = -1, v64 = -1;
+
+  /// Scans one line; false at end of input. Comment-only lines produce
+  /// has_edge = false.
+  bool next_line(Rec& rec, bool& has_edge) {
+    if (p_ == end_) return false;
+    ++lineno_;
+    const char* line_end = p_;
+    while (line_end != end_ && *line_end != '\n') ++line_end;
+    const char* cur = p_;
+    p_ = line_end == end_ ? line_end : line_end + 1;
+
+    cur = skip_ws(cur, line_end);
+    if (cur == line_end || *cur == '#') {
+      has_edge = false;
+      return true;
+    }
+    const NodeId u = parse_id(cur, line_end, "source");
+    cur = skip_ws(cur, line_end);
+    if (cur == line_end || *cur == '#') {
+      throw error("missing target id");
+    }
+    const NodeId v = parse_id(cur, line_end, "target");
+    cur = skip_ws(cur, line_end);
     double p = 1.0;
-    if (!(ls >> u64)) continue;  // blank / comment-only line
-    if (!(ls >> v64)) {
-      throw std::runtime_error("read_edge_list: missing target id at line " +
-                               std::to_string(lineno));
+    if (cur != line_end && *cur != '#') {
+      p = parse_prob(cur, line_end);
+      // Trailing tokens (timestamps etc. in SNAP exports) are ignored.
     }
-    if (!(ls >> p)) p = 1.0;
-    if (u64 < 0 || v64 < 0) {
-      throw std::runtime_error("read_edge_list: negative node id at line " +
-                               std::to_string(lineno));
+    rec = {u, v, p};
+    has_edge = true;
+    return true;
+  }
+
+  std::size_t lineno() const { return lineno_; }
+
+ private:
+  static const char* skip_ws(const char* cur, const char* end) {
+    while (cur != end &&
+           (*cur == ' ' || *cur == '\t' || *cur == '\r' || *cur == '\v' ||
+            *cur == '\f')) {
+      ++cur;
     }
-    const auto u = static_cast<NodeId>(u64);
-    const auto v = static_cast<NodeId>(v64);
-    if (u == v) continue;  // silently drop self-loops, as SNAP loaders do
-    recs.push_back({u, v, p});
-    max_id = std::max(max_id, std::max(u, v));
+    return cur;
+  }
+
+  std::runtime_error error(const std::string& what) const {
+    return std::runtime_error("read_edge_list: " + what + " at line " +
+                              std::to_string(lineno_));
+  }
+
+  NodeId parse_id(const char*& cur, const char* end, const char* which) {
+    if (cur != end && *cur == '-') {
+      throw error(std::string("negative ") + which + " node id");
+    }
+    if (cur != end && *cur == '+') ++cur;  // istream-compatible leniency
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(cur, end, value);
+    if (ec == std::errc::invalid_argument || ptr == cur) {
+      throw error(std::string("malformed ") + which + " node id");
+    }
+    // kInvalidNode is reserved and num_nodes = max_id + 1 must also fit.
+    if (ec == std::errc::result_out_of_range || value >= kInvalidNode) {
+      throw error(std::string(which) + " node id " +
+                  std::string(cur, ptr - cur) +
+                  " out of range (ids must be < " +
+                  std::to_string(kInvalidNode) + ")");
+    }
+    if (ptr != end && !is_separator(*ptr)) {
+      throw error(std::string("malformed ") + which + " node id");
+    }
+    cur = ptr;
+    return static_cast<NodeId>(value);
+  }
+
+  double parse_prob(const char*& cur, const char* end) {
+    double value = 1.0;
+    const auto [ptr, ec] = std::from_chars(cur, end, value);
+    if (ec == std::errc::invalid_argument || ptr == cur ||
+        (ptr != end && !is_separator(*ptr))) {
+      throw error("malformed probability");
+    }
+    if (ec == std::errc::result_out_of_range || !(value >= 0.0 && value <= 1.0)) {
+      throw error("probability outside [0,1]");
+    }
+    cur = ptr;
+    return value;
+  }
+
+  static bool is_separator(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' ||
+           c == '#';
+  }
+
+  const char* p_;
+  const char* end_;
+  std::size_t lineno_ = 0;
+};
+
+Graph parse_edge_list(const char* data, std::size_t size, NodeId num_nodes) {
+  EdgeListScanner scanner(data, size);
+  std::vector<EdgeListScanner::Rec> recs;
+  NodeId max_id = 0;
+  EdgeListScanner::Rec rec{};
+  bool has_edge = false;
+  while (scanner.next_line(rec, has_edge)) {
+    if (!has_edge) continue;
+    if (rec.u == rec.v) continue;
+    recs.push_back(rec);
+    max_id = std::max(max_id, std::max(rec.u, rec.v));
   }
   const NodeId n = num_nodes != 0 ? num_nodes : (recs.empty() ? 0 : max_id + 1);
   GraphBuilder builder(n);
@@ -48,8 +151,16 @@ Graph read_edge_list(std::istream& in, NodeId num_nodes) {
   return builder.build();
 }
 
+}  // namespace
+
+Graph read_edge_list(std::istream& in, NodeId num_nodes) {
+  std::string buf(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>{});
+  return parse_edge_list(buf.data(), buf.size(), num_nodes);
+}
+
 Graph read_edge_list_file(const std::string& path, NodeId num_nodes) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("read_edge_list_file: cannot open " + path);
   return read_edge_list(f, num_nodes);
 }
@@ -57,8 +168,14 @@ Graph read_edge_list_file(const std::string& path, NodeId num_nodes) {
 void write_edge_list(std::ostream& out, const Graph& g) {
   out << "# recon edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
       << " edges\n";
+  char buf[64];
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    out << g.edge_u(e) << ' ' << g.edge_v(e) << ' ' << g.edge_prob(e) << '\n';
+    // Shortest representation that round-trips exactly, so text -> binary
+    // -> text is lossless for probabilities.
+    const auto r = std::to_chars(buf, buf + sizeof(buf), g.edge_prob(e));
+    out << g.edge_u(e) << ' ' << g.edge_v(e) << ' ';
+    out.write(buf, r.ptr - buf);
+    out.put('\n');
   }
 }
 

@@ -1,0 +1,69 @@
+// Read-only memory-mapped file with RAII unmap and bounds-checked access.
+//
+// The binary graph substrate (graph/format.h) maps multi-hundred-MB CSR
+// arenas and hands raw typed pointers into them to hot scoring loops, so the
+// wrapper's job is to make every pointer derivation *checked*: a section
+// view is only produced after validating that the requested
+// [offset, offset + count * sizeof(T)) range lies inside the mapping and is
+// aligned for T. A truncated or corrupt file therefore fails loudly at load
+// time instead of faulting mid-campaign.
+//
+// Lifetime: consumers share the mapping via shared_ptr; the pages stay
+// mapped until the last Graph (or other view) holding the arena is
+// destroyed. Thread-compatibility: the mapping is immutable after open(), so
+// any number of threads may read through it concurrently without locking.
+//
+// Portability: POSIX mmap when available; otherwise open() falls back to
+// reading the whole file into an owned heap buffer (same interface, no
+// laziness). Either way the bytes are read-only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace recon::util {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Throws std::runtime_error when the file cannot
+  /// be opened, stat-ed, or mapped. An empty file maps to size() == 0.
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+  /// True when backed by a real mmap (false on the buffered fallback).
+  bool is_mmap() const noexcept { return mapped_; }
+
+  /// Typed view of `count` elements of T starting at byte `offset`.
+  /// Throws std::out_of_range when the range escapes the file or the offset
+  /// is misaligned for T (the file format aligns all sections to 8 bytes).
+  template <typename T>
+  const T* range(std::size_t offset, std::size_t count) const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "mapped sections must be trivially copyable");
+    check_range(offset, count, sizeof(T), alignof(T));
+    return reinterpret_cast<const T*>(data_ + offset);
+  }
+
+ private:
+  MappedFile(std::string path, const std::byte* data, std::size_t size,
+             bool mapped) noexcept
+      : path_(std::move(path)), data_(data), size_(size), mapped_(mapped) {}
+
+  void check_range(std::size_t offset, std::size_t count, std::size_t elem_size,
+                   std::size_t align) const;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace recon::util

@@ -1,0 +1,133 @@
+#include "util/numa.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+
+#if defined(RECON_NUMA) && defined(__linux__)
+#define RECON_NUMA_SYSFS 1
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstdio>
+#include <string>
+#endif
+
+namespace recon::util {
+
+namespace {
+
+#if RECON_NUMA_SYSFS
+/// Parses a sysfs cpulist ("0-3,8,10-11") into cpu indices.
+std::vector<unsigned> parse_cpulist(const std::string& text) {
+  std::vector<unsigned> cpus;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    unsigned lo = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      lo = lo * 10 + static_cast<unsigned>(text[i++] - '0');
+    }
+    unsigned hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      hi = 0;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        hi = hi * 10 + static_cast<unsigned>(text[i++] - '0');
+      }
+    }
+    for (unsigned c = lo; c <= hi && c - lo < 4096; ++c) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+bool read_small_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  const std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  out.assign(buf, got);
+  return true;
+}
+#endif  // RECON_NUMA_SYSFS
+
+NumaTopology detect() {
+  NumaTopology topo;
+  // Tier 1: explicit override for deterministic testing of the pinning
+  // logic on hosts with no (or unknown) NUMA hardware.
+  const std::int64_t forced = env_int("RECON_NUMA_NODES", 0);
+  if (forced > 0) {
+    topo.num_nodes = static_cast<unsigned>(std::min<std::int64_t>(forced, 64));
+    return topo;
+  }
+#if RECON_NUMA_SYSFS
+  // Tier 2: sysfs probing. node directories are dense from node0.
+  std::vector<std::vector<unsigned>> node_cpus;
+  for (unsigned node = 0; node < 64; ++node) {
+    std::string text;
+    if (!read_small_file("/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist",
+                         text)) {
+      break;
+    }
+    node_cpus.push_back(parse_cpulist(text));
+  }
+  if (node_cpus.size() > 1) {
+    topo.num_nodes = static_cast<unsigned>(node_cpus.size());
+    unsigned max_cpu = 0;
+    for (const auto& cpus : node_cpus) {
+      for (unsigned c : cpus) max_cpu = std::max(max_cpu, c);
+    }
+    topo.cpu_of_node.assign(max_cpu + 1, 0);
+    for (unsigned node = 0; node < node_cpus.size(); ++node) {
+      for (unsigned c : node_cpus[node]) topo.cpu_of_node[c] = node;
+    }
+    topo.can_bind = true;
+  }
+#endif
+  return topo;
+}
+
+}  // namespace
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = detect();
+  return topo;
+}
+
+unsigned numa_node_of_worker(std::size_t worker, std::size_t num_workers) {
+  const unsigned nodes = numa_topology().num_nodes;
+  if (nodes <= 1 || num_workers == 0) return 0;
+  // Contiguous blocks: workers [0, ceil(w/n)) on node 0, the next block on
+  // node 1, ... — adjacent workers share a node, matching the contiguous
+  // candidate ranges plan_score_shards hands out.
+  const std::size_t per_node = (num_workers + nodes - 1) / nodes;
+  return static_cast<unsigned>(std::min<std::size_t>(worker / per_node, nodes - 1));
+}
+
+bool bind_current_thread_to_node(unsigned node) {
+#if RECON_NUMA_SYSFS
+  const NumaTopology& topo = numa_topology();
+  if (!topo.can_bind || node >= topo.num_nodes) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (unsigned c = 0; c < topo.cpu_of_node.size(); ++c) {
+    if (topo.cpu_of_node[c] == node) {
+      CPU_SET(c, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace recon::util

@@ -1,0 +1,49 @@
+// NUMA topology detection for shard pinning.
+//
+// The parallel selector partitions the candidate pool into shards and wants
+// each shard's frontier memory resident on the socket that scores it. This
+// header exposes just enough topology for that: how many NUMA nodes exist
+// and which node a given worker should call home.
+//
+// Three detection tiers, in order:
+//   1. RECON_NUMA_NODES=<k> environment override — forces a k-node topology.
+//      This is how the pinning code paths are exercised deterministically on
+//      single-socket CI hosts (the mapping logic is identical; only the OS
+//      binding becomes a no-op).
+//   2. When built with -DRECON_NUMA=ON (CMake option `numa`): sysfs probing
+//      of /sys/devices/system/node/node*/cpulist, plus best-effort worker
+//      binding via pthread_setaffinity_np.
+//   3. Portable fallback: a single node, every bind a no-op. Behavior is
+//      identical to the pre-NUMA code path.
+//
+// Shard placement stays deterministic regardless of tier: shard -> node is a
+// pure function of (shard index, node count), never of runtime migration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace recon::util {
+
+struct NumaTopology {
+  /// Detected node count; always >= 1.
+  unsigned num_nodes = 1;
+  /// cpu -> node map from sysfs; empty when unknown (fallback/env tiers).
+  std::vector<unsigned> cpu_of_node;
+  /// True when binding threads to nodes can actually take effect.
+  bool can_bind = false;
+};
+
+/// Cached topology, detected once per process (thread-safe).
+const NumaTopology& numa_topology();
+
+/// Home node for worker `worker` of `num_workers`: contiguous blocks of
+/// workers map to consecutive nodes, so workers sharing a node are adjacent
+/// (matches how plan_score_shards hands out contiguous candidate ranges).
+unsigned numa_node_of_worker(std::size_t worker, std::size_t num_workers);
+
+/// Best-effort: bind the calling thread to the CPUs of `node`. Returns true
+/// when a real binding was installed (tier 2 only); no-op otherwise.
+bool bind_current_thread_to_node(unsigned node);
+
+}  // namespace recon::util

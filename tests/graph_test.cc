@@ -79,6 +79,74 @@ TEST(GraphBuilder, DuplicateEdgesMergeWithMaxProb) {
   EXPECT_DOUBLE_EQ(g.edge_prob(0), 0.9);
 }
 
+TEST(GraphBuilder, ReuseAfterBuildRetainsPendingEdges) {
+  // The documented contract: build() is const, the builder may be reused,
+  // and its pending edges carry over into the next build().
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(1, 2, 0.6);
+  const Graph first = b.build();
+  EXPECT_EQ(first.num_edges(), 2u);
+  EXPECT_EQ(b.num_pending_edges(), 2u);
+  EXPECT_TRUE(b.has_pending_edge(1, 0));  // either orientation
+
+  b.add_edge(2, 3, 0.7);
+  const Graph second = b.build();
+  EXPECT_EQ(second.num_edges(), 3u);
+  EXPECT_TRUE(second.has_edge(0, 1));
+  EXPECT_TRUE(second.has_edge(2, 3));
+  // The first build is an immutable snapshot, unaffected by later edges.
+  EXPECT_EQ(first.num_edges(), 2u);
+  EXPECT_FALSE(first.has_edge(2, 3));
+
+  // Rebuilding with no interleaved mutation reproduces the same graph.
+  const Graph third = b.build();
+  ASSERT_EQ(third.num_edges(), second.num_edges());
+  for (EdgeId e = 0; e < second.num_edges(); ++e) {
+    EXPECT_EQ(third.edge_u(e), second.edge_u(e));
+    EXPECT_EQ(third.edge_v(e), second.edge_v(e));
+    EXPECT_DOUBLE_EQ(third.edge_prob(e), second.edge_prob(e));
+  }
+}
+
+TEST(GraphBuilder, FromUniqueEdgesMatchesBuild) {
+  GraphBuilder b(6);
+  b.add_edge(0, 3, 0.5);
+  b.add_edge(5, 1, 0.25);
+  b.add_edge(2, 4, 1.0);
+  b.add_edge(0, 1, 0.75);
+  const Graph via_build = b.build();
+  // Same edges, uncanonicalized orientation and arbitrary order.
+  const Graph via_arrays = GraphBuilder::from_unique_edges(
+      6, {3, 1, 2, 1}, {0, 5, 4, 0}, {0.5, 0.25, 1.0, 0.75});
+  ASSERT_EQ(via_arrays.num_edges(), via_build.num_edges());
+  for (EdgeId e = 0; e < via_build.num_edges(); ++e) {
+    EXPECT_EQ(via_arrays.edge_u(e), via_build.edge_u(e));
+    EXPECT_EQ(via_arrays.edge_v(e), via_build.edge_v(e));
+    EXPECT_DOUBLE_EQ(via_arrays.edge_prob(e), via_build.edge_prob(e));
+  }
+  for (NodeId u = 0; u < 6; ++u) {
+    const auto na = via_arrays.neighbors(u);
+    const auto nb = via_build.neighbors(u);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(GraphBuilder, FromUniqueEdgesRejectsBadInput) {
+  // Duplicates (same or reversed orientation) are an error here, unlike
+  // build()'s max-probability merge: streaming callers dedup at the source.
+  EXPECT_THROW(GraphBuilder::from_unique_edges(3, {0, 1}, {1, 0}, {0.5, 0.6}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphBuilder::from_unique_edges(3, {0}, {0}, {0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphBuilder::from_unique_edges(2, {0}, {5}, {0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphBuilder::from_unique_edges(2, {0}, {1}, {1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphBuilder::from_unique_edges(2, {0}, {1}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
 TEST(GraphBuilder, RejectsBadInput) {
   GraphBuilder b(3);
   EXPECT_THROW(b.add_edge(0, 0), std::invalid_argument);

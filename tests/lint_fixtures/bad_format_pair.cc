@@ -1,0 +1,16 @@
+// Fixture: defines the writer side of a binary format without the reader in
+// the same translation unit — a layout change here could silently desync the
+// two sides.
+// lint-expect: format-pair
+#include <string>
+
+struct TraceBinaryInfo {
+  unsigned records = 0;
+};
+
+TraceBinaryInfo write_trace_binary_file(const std::string& path, int records) {
+  TraceBinaryInfo info;
+  info.records = static_cast<unsigned>(records);
+  (void)path;
+  return info;
+}

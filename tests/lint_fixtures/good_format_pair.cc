@@ -1,0 +1,29 @@
+// Fixture: writer and reader of a binary format defined side by side in one
+// translation unit, plus call sites and declarations that must NOT count as
+// definitions.
+#include <string>
+
+struct TraceBinaryInfo {
+  unsigned records = 0;
+};
+
+// A declaration (ends in ';') is not a definition and is never flagged.
+TraceBinaryInfo write_trace_binary_file(const std::string& path, int records);
+
+TraceBinaryInfo write_trace_binary_file(const std::string& path, int records) {
+  TraceBinaryInfo info;
+  info.records = static_cast<unsigned>(records);
+  (void)path;
+  return info;
+}
+
+int map_trace_binary_file(const std::string& path) {
+  (void)path;
+  return 0;
+}
+
+int reuse_both(const std::string& path) {
+  // Call sites don't count as definitions either.
+  write_trace_binary_file(path, 3);
+  return map_trace_binary_file(path);
+}

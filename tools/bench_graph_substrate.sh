@@ -1,0 +1,30 @@
+#!/bin/sh
+# Captures the graph-substrate load/scoring numbers into
+# BENCH_graph_substrate.json (google-benchmark JSON format).
+#
+# Covers the three load paths (text parse, fully-verified binary map — the
+# cold bound, trusted no-verify reopen — the warm bound) and the scoring
+# throughput of one greedy batch on the degree-sorted vs as-built layouts,
+# at n=10k and n=100k BA(m=8) instances. The headline claim is
+# real_time(BM_LoadTextParse) / real_time(BM_LoadBinaryVerified) >= 10 at
+# matching n.
+#
+# Usage: tools/bench_graph_substrate.sh [build_dir] [out.json]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_graph_substrate.json}"
+BIN="$BUILD_DIR/bench/bench_graph_substrate"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_graph_substrate)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_Load|BM_BatchSelect' \
+  --benchmark_repetitions="${RECON_BENCH_REPS:-1}" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -20,6 +20,11 @@ are statically detectable, and this linter rejects them at CI time:
                    save_state/restore_state (Strategy state blobs) or
                    serialize/deserialize (record tokens) — must declare the
                    other, or resume silently loses state.
+  format-pair      A file defining one side of a binary-format function pair
+                   (write_<fmt>_binary_file / map_<fmt>_binary_file) must
+                   define the other in the same translation unit, so a layout
+                   change necessarily updates writer, reader, and checksum
+                   together.
   guard            A class declaring a mutex member must annotate at least one
                    member RECON_GUARDED_BY(that mutex) (util/thread_annotations.h)
                    so clang -Wthread-safety has something to enforce, or waive
@@ -62,6 +67,8 @@ RULES = {
     "hash-order": "iteration over unordered container (sort keys first)",
     "checkpoint-pair": "one-sided save_state/restore_state or "
                        "serialize/deserialize pair",
+    "format-pair": "binary-format writer defined without its reader "
+                   "(or vice versa) in the same file",
     "guard": "mutex member without a RECON_GUARDED_BY annotation",
     "lockfree": "hand-rolled CAS without a documented protocol",
     "waiver": "malformed waiver pragma",
@@ -121,6 +128,13 @@ CHECKPOINT_PAIRS = (
     ("save_state", "restore_state"),  # Strategy/Rng opaque state blobs
     ("serialize", "deserialize"),     # checkpoint record tokens
 )
+
+# format-pair: a *definition* of write_<fmt>_binary_file or
+# map_<fmt>_binary_file (parameter list followed by a body brace; plain
+# declarations end in ';' and don't match). Both sides of a format must live
+# in one translation unit so no layout change can touch only one of them.
+FORMAT_FN_DEF_RE = re.compile(
+    r"\b(write|map)_(\w+?)_binary_file\s*\([^;{]*\)\s*\{", re.S)
 
 WAIVER_RE = re.compile(r"lint:([a-z-]+)-ok\(")
 UNORDERED_DECL_RE = re.compile(
@@ -335,6 +349,24 @@ def lint_file(path: str, findings: list[Finding]) -> None:
                                 "iteration order depends on the hash seed and "
                                 "insertion history; extract+sort keys, or waive "
                                 "with lint:hash-order-ok(reason)"))
+
+    # --- format-pair: binary writer/reader defined in the same file ---------
+    defs: dict[str, dict[str, int]] = {}  # fmt stem -> side -> first def line
+    for m in FORMAT_FN_DEF_RE.finditer(code):
+        side, stem = m.group(1), m.group(2)
+        defs.setdefault(stem, {}).setdefault(side, line_of(code, m.start()))
+    for stem, sides in sorted(defs.items()):
+        if len(sides) == 2:
+            continue
+        side, lineno = next(iter(sides.items()))
+        other = "map" if side == "write" else "write"
+        if not waivers.waived("format-pair", lineno):
+            findings.append(
+                Finding(rel, lineno, "format-pair",
+                        f"{side}_{stem}_binary_file is defined here without "
+                        f"{other}_{stem}_binary_file; keep the binary writer "
+                        "and reader in one file so a layout change updates "
+                        "both sides and the checksum together"))
 
     # --- class-body rules: checkpoint-pair and guard ------------------------
     seen_guard: set[int] = set()
