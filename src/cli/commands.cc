@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <csignal>
 #include <exception>
 #include <memory>
 #include <ostream>
@@ -8,6 +9,8 @@
 #include "core/attack.h"
 #include "core/baselines.h"
 #include "core/checkpoint.h"
+#include "core/checkpoint_chain.h"
+#include "core/supervisor.h"
 #include "core/m_arest.h"
 #include "core/pm_arest.h"
 #include "core/retry_policy.h"
@@ -24,6 +27,8 @@
 #include "sim/trace_io.h"
 #include "solver/fallback.h"
 #include "solver/strategy_mip.h"
+#include "util/crashpoint.h"
+#include "util/fs.h"
 #include "util/table.h"
 
 namespace recon::cli {
@@ -213,6 +218,59 @@ core::RetryPolicy parse_retry_policy(const util::Args& args, double budget) {
   return retry;
 }
 
+/// --checkpoint (and the supervised chain base) must point into an existing
+/// directory; catching that up front beats failing at the first snapshot
+/// mid-campaign.
+void validate_checkpoint_dir(const std::string& path) {
+  if (path.empty()) return;
+  const std::string dir = util::parent_dir(path);
+  if (!util::directory_exists(dir)) {
+    throw std::invalid_argument(
+        "--checkpoint '" + path + "': directory '" + dir +
+        "' does not exist — create it first (snapshots are published "
+        "atomically into that directory from the first checkpoint on)");
+  }
+}
+
+/// Graceful-stop flag set by SIGINT/SIGTERM in supervised workers and polled
+/// through the runners' should_stop hook.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// Prints the synchronous-attack summary block and writes --traces.
+void print_sync_summary(const util::Args& args, const std::string& strategy_name,
+                        int runs, double budget,
+                        const std::vector<sim::AttackTrace>& traces,
+                        std::ostream& out) {
+  out << "strategy " << strategy_name << ", " << runs << " runs, budget "
+      << budget << "\n";
+  double benefit = 0.0;
+  double requests = 0.0;
+  sim::BenefitBreakdown total;
+  for (const auto& t : traces) {
+    benefit += t.total_benefit();
+    requests += static_cast<double>(t.total_requests());
+    total += t.final_breakdown();
+  }
+  const double n = static_cast<double>(traces.size());
+  out << "mean benefit   : " << util::format_fixed(benefit / n, 3) << "\n";
+  out << "mean requests  : " << util::format_fixed(requests / n, 1) << "\n";
+  out << "mean breakdown : friends " << util::format_fixed(total.friends / n, 2)
+      << ", fofs " << util::format_fixed(total.fofs / n, 2) << ", edges "
+      << util::format_fixed(total.edges / n, 2) << "\n";
+  const std::string traces_path = args.get("traces", "");
+  if (!traces_path.empty()) {
+    sim::write_traces_file(traces_path, traces);
+    out << "traces written : " << traces_path << "\n";
+  }
+}
+
 /// The --async flavor of cmd_attack: drives the rolling-window runner. Shares
 /// the fault/retry/checkpoint flags with the synchronous path; --stop-after
 /// and --checkpoint-every count resolved events instead of batch rounds.
@@ -258,6 +316,7 @@ int run_attack_async(const util::Args& args, const sim::Problem& problem,
         "--checkpoint/--resume/--stop-after drive a single attack; pass "
         "--runs 1");
   }
+  validate_checkpoint_dir(ckpt_path);
   ao.checkpoint_path = ckpt_path;
   ao.checkpoint_every_events = ckpt_every;
   ao.stop_after_events = stop_after;
@@ -327,6 +386,193 @@ int run_attack_async(const util::Args& args, const sim::Problem& problem,
   return 0;
 }
 
+/// Supervised synchronous worker: one forked attempt of the campaign,
+/// checkpointing into the generation chain. Returns the child's exit code.
+int supervised_sync_worker(const util::Args& args, const sim::Problem& problem,
+                           core::CheckpointChain& chain,
+                           const core::AttackCheckpoint* resume,
+                           std::ostream& out) {
+  const double budget = args.get_double("budget", 100.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const sim::FaultOptions fault = parse_fault_options(args);
+  const core::RetryPolicy retry = parse_retry_policy(args, budget);
+  const auto factory = make_factory(args);
+
+  core::AttackRunOptions ro;
+  ro.checkpoint_chain = &chain;
+  ro.checkpoint_every_rounds =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 1));
+  ro.resume = resume;
+  ro.should_stop = [] { return g_stop_requested != 0; };
+  std::unique_ptr<sim::FaultModel> fm;
+  if (fault.any_faults()) {
+    sim::FaultOptions fo = fault;
+    fo.seed = util::derive_seed(fault.seed, 0);
+    fm = std::make_unique<sim::FaultModel>(fo);
+    ro.fault = fm.get();
+  }
+  if (retry.active()) ro.retry = &retry;
+
+  const std::uint64_t world_seed =
+      resume != nullptr ? resume->world_seed : util::derive_seed(seed, 0);
+  const sim::World world(problem, world_seed);
+  auto strategy = factory(0);
+  sim::AttackTrace trace =
+      core::run_attack(problem, world, *strategy, budget, ro);
+  if (g_stop_requested != 0) {
+    out << "supervised attack: stop requested; final snapshot in chain "
+        << chain.base_path() << "\n";
+    out.flush();
+    return core::kWorkerStopExit;
+  }
+  std::vector<sim::AttackTrace> traces;
+  traces.push_back(std::move(trace));
+  print_sync_summary(args, strategy->name(), 1, budget, traces, out);
+  out.flush();
+  return 0;
+}
+
+/// Supervised rolling-window worker — the --async counterpart.
+int supervised_async_worker(const util::Args& args, const sim::Problem& problem,
+                            core::CheckpointChain& chain,
+                            const core::AttackCheckpoint* resume,
+                            std::ostream& out) {
+  const double budget = args.get_double("budget", 100.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const sim::FaultOptions fault = parse_fault_options(args);
+  const core::RetryPolicy retry = parse_retry_policy(args, budget);
+
+  core::AsyncAttackOptions ao;
+  ao.window = static_cast<int>(args.get_int("window", 5));
+  ao.mean_delay = args.get_double("mean-delay", 300.0);
+  const std::string dm = args.get("delay-model", "exp");
+  if (dm == "exp") {
+    ao.delay_model = core::ResponseDelayModel::kExponential;
+  } else if (dm == "fixed") {
+    ao.delay_model = core::ResponseDelayModel::kFixed;
+  } else {
+    throw std::invalid_argument("unknown --delay-model '" + dm + "' (exp|fixed)");
+  }
+  ao.allow_retries = args.has("retries");
+  ao.max_attempts_per_node =
+      static_cast<std::uint32_t>(args.get_int("max-attempts", 0));
+  ao.timeout_seconds = args.get_double("timeout", 0.0);
+  if (retry.active()) ao.retry = &retry;
+  ao.checkpoint_chain = &chain;
+  ao.checkpoint_every_events =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 1));
+  ao.resume = resume;
+  ao.should_stop = [] { return g_stop_requested != 0; };
+  ao.seed = util::derive_seed(seed, 0xA57C);
+  std::unique_ptr<sim::FaultModel> fm;
+  if (fault.any_faults()) {
+    sim::FaultOptions fo = fault;
+    fo.seed = util::derive_seed(fault.seed, 0);
+    fm = std::make_unique<sim::FaultModel>(fo);
+    ao.fault = fm.get();
+  }
+
+  const std::uint64_t world_seed =
+      resume != nullptr ? resume->world_seed : util::derive_seed(seed, 0);
+  const sim::World world(problem, world_seed);
+  auto res = core::run_async_attack(problem, world, ao, budget);
+  if (g_stop_requested != 0) {
+    out << "supervised attack: stop requested; final snapshot in chain "
+        << chain.base_path() << "\n";
+    out.flush();
+    return core::kWorkerStopExit;
+  }
+  out << "strategy rolling-window(W=" << ao.window << "), 1 runs, budget "
+      << budget << "\n";
+  out << "mean benefit   : "
+      << util::format_fixed(res.trace.total_benefit(), 3) << "\n";
+  out << "mean requests  : "
+      << util::format_fixed(static_cast<double>(res.trace.total_requests()), 1)
+      << "\n";
+  out << "mean accepts   : "
+      << util::format_fixed(static_cast<double>(res.accepts), 1) << "\n";
+  out << "mean makespan  : " << util::format_fixed(res.makespan_seconds, 1)
+      << " s\n";
+  const sim::BenefitBreakdown total = res.trace.final_breakdown();
+  out << "mean breakdown : friends " << util::format_fixed(total.friends, 2)
+      << ", fofs " << util::format_fixed(total.fofs, 2) << ", edges "
+      << util::format_fixed(total.edges, 2) << "\n";
+  const std::string traces_path = args.get("traces", "");
+  if (!traces_path.empty()) {
+    sim::write_traces_file(traces_path, {res.trace});
+    out << "traces written : " << traces_path << "\n";
+  }
+  out.flush();
+  return 0;
+}
+
+/// `recon attack --supervise`: runs the campaign under core::run_supervised,
+/// forking a worker per attempt and resuming from the last good generation
+/// after every crash. The worker installs SIGINT/SIGTERM handlers that make
+/// the runner write a final forced snapshot and exit kWorkerStopExit.
+int run_attack_supervised(const util::Args& args, const sim::Problem& problem,
+                          std::ostream& out, std::ostream& err) {
+  const std::string ckpt_path = args.get("checkpoint", "");
+  if (ckpt_path.empty()) {
+    throw std::invalid_argument(
+        "--supervise needs --checkpoint FILE (the generation-chain base "
+        "path; generations land beside it as FILE.gen-N)");
+  }
+  validate_checkpoint_dir(ckpt_path);
+  if (args.get_int("runs", 1) != 1) {
+    throw std::invalid_argument(
+        "--supervise drives a single campaign; pass --runs 1");
+  }
+  if (args.has("resume") || args.has("stop-after")) {
+    throw std::invalid_argument(
+        "--supervise resumes from its own generation chain; drop "
+        "--resume/--stop-after");
+  }
+
+  core::CheckpointChainOptions co;
+  co.max_generations =
+      static_cast<std::size_t>(args.get_int("checkpoint-gens", 3));
+  core::CheckpointChain chain(ckpt_path, co);
+
+  core::SuperviseOptions so;
+  so.max_restarts = static_cast<int>(args.get_int("max-restarts", 8));
+  so.backoff_base_seconds = args.get_double("backoff-base", 0.5);
+  so.backoff_multiplier = args.get_double("backoff-mult", 2.0);
+  so.backoff_max_seconds = args.get_double("backoff-max", 30.0);
+  so.crash_loop_threshold =
+      static_cast<int>(args.get_int("crash-loop-threshold", 3));
+
+  const bool async = args.has("async");
+  const auto result = core::run_supervised(
+      chain, so,
+      [&](const core::AttackCheckpoint* resume, int attempt) -> int {
+        g_stop_requested = 0;
+        install_stop_handlers();
+        try {
+          return async
+                     ? supervised_async_worker(args, problem, chain, resume, out)
+                     : supervised_sync_worker(args, problem, chain, resume, out);
+        } catch (const std::exception& e) {
+          err << "attack (supervised worker, attempt " << attempt
+              << "): " << e.what() << "\n";
+          return 1;
+        }
+      });
+  if (result.exit_code == 0) {
+    out << "supervisor     : completed after " << result.restarts
+        << " restart(s)\n";
+  } else if (result.exit_code == core::kWorkerStopExit) {
+    out << "supervisor     : stopped on request after " << result.restarts
+        << " restart(s); rerun --supervise to continue\n";
+  } else if (result.crash_loop) {
+    err << "supervisor     : crash loop (no checkpoint progress); giving up\n";
+  } else if (result.restart_budget_exhausted) {
+    err << "supervisor     : restart budget exhausted after " << result.restarts
+        << " restart(s)\n";
+  }
+  return result.exit_code;
+}
+
 }  // namespace
 
 int cmd_generate(const util::Args& args, std::ostream& out, std::ostream& err) {
@@ -354,6 +600,9 @@ int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err) {
       sim::write_problem_file(save_path, problem);
       out << "problem saved    : " << save_path << "\n";
     }
+    if (args.has("supervise")) {
+      return run_attack_supervised(args, problem, out, err);
+    }
     if (args.has("async")) return run_attack_async(args, problem, out);
     const auto factory = make_factory(args);
     const int runs = static_cast<int>(args.get_int("runs", 10));
@@ -378,6 +627,7 @@ int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err) {
           "--checkpoint/--resume/--stop-after drive a single attack; pass "
           "--runs 1");
     }
+    validate_checkpoint_dir(ckpt_path);
 
     std::vector<sim::AttackTrace> traces;
     if (single_run) {
@@ -419,27 +669,7 @@ int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err) {
       traces = std::move(mc.traces);
     }
 
-    out << "strategy " << factory(0)->name() << ", " << runs << " runs, budget "
-        << budget << "\n";
-    double benefit = 0.0;
-    double requests = 0.0;
-    sim::BenefitBreakdown total;
-    for (const auto& t : traces) {
-      benefit += t.total_benefit();
-      requests += static_cast<double>(t.total_requests());
-      total += t.final_breakdown();
-    }
-    const double n = static_cast<double>(traces.size());
-    out << "mean benefit   : " << util::format_fixed(benefit / n, 3) << "\n";
-    out << "mean requests  : " << util::format_fixed(requests / n, 1) << "\n";
-    out << "mean breakdown : friends " << util::format_fixed(total.friends / n, 2)
-        << ", fofs " << util::format_fixed(total.fofs / n, 2) << ", edges "
-        << util::format_fixed(total.edges / n, 2) << "\n";
-    const std::string traces_path = args.get("traces", "");
-    if (!traces_path.empty()) {
-      sim::write_traces_file(traces_path, traces);
-      out << "traces written : " << traces_path << "\n";
-    }
+    print_sync_summary(args, factory(0)->name(), runs, budget, traces, out);
     return 0;
   } catch (const std::exception& e) {
     err << "attack: " << e.what() << "\n";
@@ -451,7 +681,10 @@ int cmd_metrics(const util::Args& args, std::ostream& out, std::ostream& err) {
   try {
     const std::string path = args.get("traces", "");
     if (path.empty()) throw std::invalid_argument("--traces FILE is required");
-    const auto traces = sim::read_traces_file(path);
+    // --recover tolerates a torn trailing record / missing end marker (the
+    // state a crash mid-append leaves) instead of failing the whole read.
+    const auto traces = args.has("recover") ? sim::read_traces_file_recover(path)
+                                            : sim::read_traces_file(path);
     if (traces.empty()) throw std::invalid_argument("no traces in file");
     const double threshold = args.get_double("threshold", 20.0);
     const double delay = args.get_double("delay", 300.0);
@@ -642,6 +875,15 @@ int cmd_graph(const util::Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+int cmd_crashpoints(std::ostream& out) {
+  // One site per line: tools/chaos_sweep.sh iterates this list, arming each
+  // site via RECON_CRASH_AT=<site>:<n>.
+  for (const auto& site : util::crashpoint::all_sites()) {
+    out << site << "\n";
+  }
+  return 0;
+}
+
 void print_usage(std::ostream& out) {
   out << "recon — adaptive reconnaissance-attack toolkit (ICDCS'17 reproduction)\n"
          "usage: recon <command> [--flags]\n\n"
@@ -665,6 +907,11 @@ void print_usage(std::ostream& out) {
          "            checkpoint/resume (needs --runs 1):\n"
          "            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n"
          "            [--stop-after ROUNDS]\n"
+         "            supervised self-healing runner (forks a worker per\n"
+         "            attempt, resumes from the last good generation):\n"
+         "            [--supervise --checkpoint BASE [--checkpoint-gens G]\n"
+         "             [--max-restarts N] [--crash-loop-threshold C]\n"
+         "             [--backoff-base S --backoff-mult M --backoff-max S]]\n"
          "            rolling-window (event-driven) runner:\n"
          "            [--async [--window W] [--mean-delay S] [--timeout S]\n"
          "             [--delay-model exp|fixed]]  (checkpoint/resume applies;\n"
@@ -680,8 +927,13 @@ void print_usage(std::ostream& out) {
          "             binary opens add --no-verify to skip checksum+validation)\n"
          "  metrics   compute RRS / RT-RRS from a saved trace file\n"
          "            --traces FILE [--threshold Q] [--delay SECONDS]\n"
+         "            [--recover]  (truncate a torn trailing record instead\n"
+         "             of failing on a crash-interrupted file)\n"
          "  audit     recommend defender monitor placements\n"
-         "            --graph FILE [--monitors M] [--budget B] [--runs R]\n";
+         "            --graph FILE [--monitors M] [--budget B] [--runs R]\n"
+         "  crashpoints  list the registered crash-injection sites\n"
+         "            (arm one with RECON_CRASH_AT=<site>:<n>; the n-th\n"
+         "             execution kills the process — see docs/API.md)\n";
 }
 
 int dispatch(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -696,6 +948,7 @@ int dispatch(int argc, const char* const* argv, std::ostream& out, std::ostream&
   if (cmd == "metrics") return cmd_metrics(args, out, err);
   if (cmd == "audit") return cmd_audit(args, out, err);
   if (cmd == "graph") return cmd_graph(args, out, err);
+  if (cmd == "crashpoints") return cmd_crashpoints(out);
   if (cmd == "help" || cmd == "--help") {
     print_usage(out);
     return 0;

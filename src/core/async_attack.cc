@@ -9,6 +9,7 @@
 
 #include "core/batch_select.h"
 #include "core/batch_state.h"
+#include "core/checkpoint_chain.h"
 #include "util/rng.h"
 
 namespace recon::core {
@@ -77,9 +78,11 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
     throw std::invalid_argument("run_async_attack: negative delay");
   }
   if (options.retry != nullptr) options.retry->validate();
-  if (options.checkpoint_every_events > 0 && options.checkpoint_path.empty()) {
+  if (options.checkpoint_every_events > 0 && options.checkpoint_path.empty() &&
+      options.checkpoint_chain == nullptr) {
     throw std::invalid_argument(
-        "run_async_attack: checkpoint_every_events requires checkpoint_path");
+        "run_async_attack: checkpoint_every_events requires checkpoint_path "
+        "or checkpoint_chain");
   }
   const bool retry_active = options.retry != nullptr && options.retry->active();
   sim::FaultModel* fault = options.fault;
@@ -188,14 +191,20 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
   };
 
   const auto maybe_checkpoint = [&](bool force) {
-    if (options.checkpoint_path.empty()) return;
+    if (options.checkpoint_path.empty() && options.checkpoint_chain == nullptr) {
+      return;
+    }
     const bool periodic = options.checkpoint_every_events > 0 &&
                           events % options.checkpoint_every_events == 0;
     if (!force && !periodic) return;
-    write_checkpoint_file(
-        options.checkpoint_path,
+    const AttackCheckpoint cp =
         make_async_checkpoint(obs, snapshot_async(), result.trace, budget,
-                              spent, events, world.seed(), fault));
+                              spent, events, world.seed(), fault);
+    if (options.checkpoint_chain != nullptr) {
+      options.checkpoint_chain->write(cp);
+    } else {
+      write_checkpoint_file(options.checkpoint_path, cp);
+    }
   };
 
   auto send_one = [&]() -> bool {
@@ -232,6 +241,10 @@ AsyncAttackResult run_async_attack(const sim::Problem& problem,
   };
 
   for (;;) {
+    if (options.should_stop && options.should_stop()) {
+      maybe_checkpoint(/*force=*/true);
+      break;
+    }
     // Fill the window.
     while (static_cast<int>(in_flight.size()) < options.window && send_one()) {
     }

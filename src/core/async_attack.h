@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,8 @@
 #include "sim/world.h"
 
 namespace recon::core {
+
+class CheckpointChain;
 
 /// Response-delay models for the event loop (kept local to core — the
 /// metrics module has an equivalent enum for post-hoc trace scoring).
@@ -81,6 +84,13 @@ struct AsyncAttackOptions {
   std::string checkpoint_path;
   std::uint64_t checkpoint_every_events = 0;
   std::uint64_t stop_after_events = 0;
+  /// When set, snapshots publish rotated generations through the chain
+  /// (core/checkpoint_chain.h) instead of `checkpoint_path`. Borrowed.
+  CheckpointChain* checkpoint_chain = nullptr;
+  /// Cooperative stop: polled once per resolved event; on true the runner
+  /// writes a forced snapshot (outstanding requests serialized) and
+  /// returns. The supervised CLI wires SIGINT/SIGTERM through this.
+  std::function<bool()> should_stop;
   const AttackCheckpoint* resume = nullptr;
 };
 

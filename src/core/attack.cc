@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/checkpoint_chain.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -23,9 +24,11 @@ sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world
                             const AttackRunOptions& options) {
   if (budget <= 0.0) throw std::invalid_argument("run_attack: budget must be positive");
   if (options.retry != nullptr) options.retry->validate();
-  if (options.checkpoint_every_rounds > 0 && options.checkpoint_path.empty()) {
+  if (options.checkpoint_every_rounds > 0 && options.checkpoint_path.empty() &&
+      options.checkpoint_chain == nullptr) {
     throw std::invalid_argument(
-        "run_attack: checkpoint_every_rounds requires checkpoint_path");
+        "run_attack: checkpoint_every_rounds requires checkpoint_path or "
+        "checkpoint_chain");
   }
   sim::FaultModel* fault = options.fault;
   const bool retry_active = options.retry != nullptr && options.retry->active();
@@ -55,17 +58,27 @@ sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world
   }
 
   const auto maybe_checkpoint = [&](bool force) {
-    if (options.checkpoint_path.empty()) return;
+    if (options.checkpoint_path.empty() && options.checkpoint_chain == nullptr) {
+      return;
+    }
     const bool periodic = options.checkpoint_every_rounds > 0 &&
                           round % options.checkpoint_every_rounds == 0;
     if (!force && !periodic) return;
-    write_checkpoint_file(
-        options.checkpoint_path,
-        make_checkpoint(obs, strategy, trace, budget, spent, round,
-                        world.seed(), fault));
+    const AttackCheckpoint cp = make_checkpoint(
+        obs, strategy, trace, budget, spent, round, world.seed(), fault);
+    if (options.checkpoint_chain != nullptr) {
+      options.checkpoint_chain->write(cp);
+    } else {
+      write_checkpoint_file(options.checkpoint_path, cp);
+    }
   };
 
   while (spent < budget) {
+    if (options.should_stop && options.should_stop()) {
+      maybe_checkpoint(/*force=*/true);
+      RECON_LOG(kInfo) << "run_attack: stop requested at round " << round;
+      break;
+    }
     // Wait out an account suspension: bump the clock straight to the end of
     // the lockout (requests sent meanwhile would bounce anyway).
     if (fault != nullptr && fault->suspended()) {

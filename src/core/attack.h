@@ -24,6 +24,8 @@
 
 namespace recon::core {
 
+class CheckpointChain;
+
 /// Optional robustness machinery for a single synchronous attack run. With
 /// everything defaulted the runner is byte-for-byte the plain Alg. 1 loop.
 struct AttackRunOptions {
@@ -41,6 +43,14 @@ struct AttackRunOptions {
   /// (0 = only on stop_after_rounds). Writes are atomic (tmp + rename).
   std::uint64_t checkpoint_every_rounds = 0;
   std::string checkpoint_path;
+  /// When set, snapshots publish rotated generations through the chain
+  /// (core/checkpoint_chain.h) instead of the single `checkpoint_path`
+  /// file; `checkpoint_every_rounds` applies unchanged. Borrowed.
+  CheckpointChain* checkpoint_chain = nullptr;
+  /// Cooperative stop: polled once per completed round. When it returns
+  /// true the runner writes a forced snapshot and returns the trace so
+  /// far — the supervised CLI wires SIGINT/SIGTERM through this.
+  std::function<bool()> should_stop;
   /// Resume from a previously-written checkpoint: the world must be built
   /// from the checkpointed seed and the strategy/fault configuration must
   /// match. The resumed run's trace is bit-identical to an uninterrupted

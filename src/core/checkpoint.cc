@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "sim/trace_io.h"
+#include "util/crashpoint.h"
+#include "util/fs.h"
 
 namespace recon::core {
 
@@ -75,6 +77,8 @@ void capture_common(AttackCheckpoint& cp, const sim::Observation& obs,
   cp.edge_states.assign(obs.edge_states().begin(), obs.edge_states().end());
   cp.friends.assign(obs.friends().begin(), obs.friends().end());
   cp.retry_after.assign(obs.retry_after().begin(), obs.retry_after().end());
+  cp.has_benefit = true;
+  cp.benefit = obs.benefit();
   if (fault != nullptr) {
     cp.has_fault = true;
     cp.fault = fault->state();
@@ -93,6 +97,7 @@ void restore_common(const AttackCheckpoint& cp, sim::Observation& obs,
         "originally)");
   }
   obs.restore(cp.node_states, cp.edge_states, cp.attempts, cp.friends);
+  if (cp.has_benefit) obs.restore_benefit(cp.benefit);
   obs.set_clock(cp.clock);
   for (NodeId u = 0; u < static_cast<NodeId>(cp.retry_after.size()); ++u) {
     if (cp.retry_after[u] != 0.0) obs.set_retry_after(u, cp.retry_after[u]);
@@ -216,6 +221,10 @@ void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp) {
     if (cp.retry_after[u] != 0.0) out << ' ' << u << ':' << cp.retry_after[u];
   }
   out << '\n';
+  if (cp.has_benefit) {
+    out << "benefit friends=" << cp.benefit.friends << " fofs=" << cp.benefit.fofs
+        << " edges=" << cp.benefit.edges << '\n';
+  }
   if (cp.has_fault) {
     const auto& f = cp.fault;
     out << "fault sends=" << f.sends << " tick=" << f.tick
@@ -251,16 +260,27 @@ void write_checkpoint(std::ostream& out, const AttackCheckpoint& cp) {
 }
 
 void write_checkpoint_file(const std::string& path, const AttackCheckpoint& cp) {
+  // Serialize first so the torn-write crash point leaves a deterministic
+  // prefix (header line only) on disk.
+  std::ostringstream buf;
+  write_checkpoint(buf, cp);
+  const std::string body = buf.str();
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream f(tmp);
+    std::ofstream f(tmp, std::ios::binary);
     if (!f) throw std::runtime_error("write_checkpoint_file: cannot open " + tmp);
-    write_checkpoint(f, cp);
+    RECON_CRASH_POINT("ckpt.tmp-open");
+    const std::size_t first_line = body.find('\n') + 1;
+    f.write(body.data(), static_cast<std::streamsize>(first_line));
+    f.flush();
+    RECON_CRASH_POINT("ckpt.tmp-torn");
+    f.write(body.data() + first_line,
+            static_cast<std::streamsize>(body.size() - first_line));
+    f.flush();
     if (!f) throw std::runtime_error("write_checkpoint_file: write failed: " + tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("write_checkpoint_file: rename to " + path + " failed");
-  }
+  RECON_CRASH_POINT("ckpt.tmp-written");
+  util::durable_rename(tmp, path);
 }
 
 AttackCheckpoint read_checkpoint(std::istream& in) {
@@ -359,6 +379,11 @@ AttackCheckpoint read_checkpoint(std::istream& in) {
         cp.retry_after[u] = to_double(pair.substr(colon + 1), "cooldown time");
       }
       saw_cooldowns = true;
+    } else if (kw == "benefit") {
+      cp.benefit.friends = to_double(expect_kv(ls, "friends"), "benefit friends");
+      cp.benefit.fofs = to_double(expect_kv(ls, "fofs"), "benefit fofs");
+      cp.benefit.edges = to_double(expect_kv(ls, "edges"), "benefit edges");
+      cp.has_benefit = true;
     } else if (kw == "fault") {
       cp.has_fault = true;
       cp.fault.sends = to_u64(expect_kv(ls, "sends"), "fault sends");

@@ -18,6 +18,8 @@
 //   attempts <count> u:a,...            (sparse; only nonzero counters)
 //   friends <count> f1 f2 ...           (acceptance order)
 //   cooldowns <count> u:t,...           (sparse; only future deadlines)
+//   benefit friends=<d> fofs=<d> edges=<d>   (exact accumulator; optional in
+//                                             old files — see AttackCheckpoint)
 //   fault sends=<u64> tick=<u64> until=<u64> window=t:c,... counters=...
 //   async window=<W> now=<d> sent=<u64> accepts=<u64>      (v2 only)
 //   rng <w0> <w1> <w2> <w3>                                (v2 only)
@@ -97,6 +99,13 @@ struct AttackCheckpoint {
   std::vector<std::uint32_t> attempts;
   std::vector<graph::NodeId> friends;   ///< acceptance order
   std::vector<double> retry_after;      ///< empty when no cooldown was ever set
+
+  /// Exact accumulated benefit at snapshot time. Restoring this verbatim —
+  /// rather than recomputing from node/edge states, which sums in a different
+  /// order — is what makes resumed traces byte-identical. Absent in files
+  /// written before the section existed; restore falls back to the recompute.
+  bool has_benefit = false;
+  sim::BenefitBreakdown benefit;
 
   bool has_fault = false;
   sim::FaultModel::State fault;

@@ -1,0 +1,188 @@
+#include "core/supervisor.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+
+#include "util/crashpoint.h"
+#include "util/log.h"
+
+namespace recon::core {
+
+namespace {
+
+volatile std::sig_atomic_t g_pending_signal = 0;
+
+void record_signal(int sig) { g_pending_signal = sig; }
+
+/// Deterministic bounded-exponential backoff, slept in one nanosleep call
+/// (resumed across EINTR so signal forwarding does not shorten it; a
+/// pending stop signal aborts the wait instead).
+void backoff_sleep(const SuperviseOptions& o, int restart_index) {
+  double seconds = o.backoff_base_seconds;
+  for (int i = 1; i < restart_index; ++i) {
+    seconds *= o.backoff_multiplier;
+    if (seconds >= o.backoff_max_seconds) break;
+  }
+  seconds = std::min(seconds, o.backoff_max_seconds);
+  if (seconds <= 0.0) return;
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) * 1e9);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    if (g_pending_signal != 0) return;
+  }
+}
+
+struct ScopedSignalHandlers {
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+  ScopedSignalHandlers() {
+    struct sigaction sa {};
+    sa.sa_handler = record_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: waitpid must wake on a signal
+    sigaction(SIGINT, &sa, &old_int);
+    sigaction(SIGTERM, &sa, &old_term);
+  }
+  ~ScopedSignalHandlers() {
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGTERM, &old_term, nullptr);
+  }
+};
+
+}  // namespace
+
+SuperviseResult run_supervised(CheckpointChain& chain,
+                               const SuperviseOptions& options,
+                               const SupervisedWorker& worker) {
+  if (options.crash_loop_threshold < 1) {
+    throw std::invalid_argument(
+        "run_supervised: crash_loop_threshold must be >= 1");
+  }
+  if (options.max_restarts < 0) {
+    throw std::invalid_argument("run_supervised: max_restarts must be >= 0");
+  }
+  g_pending_signal = 0;
+  ScopedSignalHandlers handlers;
+
+  SuperviseResult result;
+  std::optional<std::uint64_t> prev_round;
+  int no_progress = 0;
+  for (int attempt = 0;; ++attempt) {
+    std::optional<LoadedGeneration> good = chain.load_last_good();
+    if (attempt > 0) {
+      const bool progressed =
+          good.has_value() &&
+          (!prev_round.has_value() || good->checkpoint.round > *prev_round);
+      no_progress = progressed ? 0 : no_progress + 1;
+      if (no_progress >= options.crash_loop_threshold) {
+        RECON_LOG(kError) << "supervisor: crash loop — " << no_progress
+                          << " consecutive crashes with no checkpoint "
+                             "progress; giving up";
+        result.crash_loop = true;
+        result.exit_code = 1;
+        return result;
+      }
+    }
+    if (good.has_value()) prev_round = good->checkpoint.round;
+
+    // Flush all stdio before forking so buffered output is not duplicated
+    // by the child's exit path.
+    std::cout.flush();
+    std::cerr.flush();
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      throw std::runtime_error("run_supervised: fork failed");
+    }
+    if (pid == 0) {
+      // Child. Environment crash arming applies to the first attempt only;
+      // a restarted worker must not re-kill itself at the same site.
+      if (attempt > 0) {
+        ::unsetenv(util::crashpoint::kEnvVar);
+        util::crashpoint::disarm();
+      }
+      int code = 1;
+      try {
+        code = worker(good.has_value() ? &good->checkpoint : nullptr, attempt);
+      } catch (const std::exception& e) {
+        RECON_LOG(kError) << "supervised worker: " << e.what();
+        code = 1;
+      } catch (...) {
+        code = 1;
+      }
+      std::cout.flush();
+      std::cerr.flush();
+      std::fflush(nullptr);
+      // _exit: the parent's atexit handlers and stream destructors must not
+      // run again in the child.
+      ::_exit(code);
+    }
+
+    int status = 0;
+    for (;;) {
+      const pid_t w = ::waitpid(pid, &status, 0);
+      if (w == pid) break;
+      if (w < 0 && errno == EINTR) {
+        if (g_pending_signal != 0) {
+          // Forward the stop request; the worker's handlers write a final
+          // forced snapshot and exit with kWorkerStopExit.
+          ::kill(pid, g_pending_signal);
+        }
+        continue;
+      }
+      throw std::runtime_error("run_supervised: waitpid failed");
+    }
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      result.exit_code = 0;
+      return result;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerStopExit) {
+      RECON_LOG(kInfo) << "supervisor: worker stopped gracefully on request";
+      result.exit_code = kWorkerStopExit;
+      return result;
+    }
+
+    // Crash (injected kill, real crash, signal, or nonzero failure).
+    ++result.restarts;
+    if (WIFSIGNALED(status)) {
+      RECON_LOG(kWarn) << "supervisor: worker killed by signal "
+                       << WTERMSIG(status) << " (attempt " << attempt << ")";
+    } else {
+      RECON_LOG(kWarn) << "supervisor: worker exited with status "
+                       << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+                       << " (attempt " << attempt << ")";
+    }
+    if (g_pending_signal != 0) {
+      // A stop was requested and the worker is gone; do not restart.
+      result.exit_code = kWorkerStopExit;
+      return result;
+    }
+    if (result.restarts > options.max_restarts) {
+      RECON_LOG(kError) << "supervisor: restart budget exhausted ("
+                        << options.max_restarts << "); giving up";
+      result.restart_budget_exhausted = true;
+      result.exit_code = 1;
+      return result;
+    }
+    backoff_sleep(options, result.restarts);
+    if (g_pending_signal != 0) {
+      result.exit_code = kWorkerStopExit;
+      return result;
+    }
+  }
+}
+
+}  // namespace recon::core

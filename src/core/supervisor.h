@@ -1,0 +1,78 @@
+// Self-healing supervised execution: fork a worker per attempt, resume it
+// from the last good checkpoint generation when it crashes.
+//
+// The supervisor is the process-level half of the crash-resilience layer:
+// the checkpoint chain (core/checkpoint_chain.h) guarantees a trustworthy
+// snapshot always exists; run_supervised guarantees somebody restarts the
+// worker from it. Each attempt runs in a forked child so a crash — a real
+// one or an injected crash point (util/crashpoint.h) — never takes the
+// supervisor down with it. Restarts are bounded two ways:
+//
+//   * a restart budget (max_restarts) caps total crashes, and
+//   * crash-loop detection gives up after `crash_loop_threshold`
+//     consecutive crashes with no checkpoint progress (the resumed round
+//     never advanced), catching deterministic crashers long before the
+//     budget runs out.
+//
+// Backoff between restarts is a deterministic bounded-exponential sequence
+// (base * multiplier^i, capped), slept with nanosleep — no wall-clock reads,
+// so the restart schedule is reproducible.
+//
+// SIGINT/SIGTERM: the supervisor forwards a pending stop signal to the
+// worker; a worker that wants graceful stop semantics (final forced
+// snapshot, then exit) returns kWorkerStopExit, which the supervisor
+// reports without restarting. Crash-injection note: the RECON_CRASH_AT
+// environment arming applies to the first attempt only — restarted workers
+// run with it cleared, so an env-armed chaos sweep recovers instead of
+// crash-looping on the same site forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/checkpoint.h"
+#include "core/checkpoint_chain.h"
+
+namespace recon::core {
+
+/// Exit status a worker uses to report "stopped gracefully on request
+/// after writing a final snapshot" (EX_TEMPFAIL: rerun to continue). The
+/// supervisor passes it through without restarting.
+inline constexpr int kWorkerStopExit = 75;
+
+struct SuperviseOptions {
+  /// Worker restarts after crashes before giving up. 0 = never restart.
+  int max_restarts = 8;
+  double backoff_base_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 30.0;
+  /// Consecutive crashes without checkpoint progress before declaring a
+  /// crash loop. Must be >= 1.
+  int crash_loop_threshold = 3;
+};
+
+struct SuperviseResult {
+  /// 0 = worker completed; kWorkerStopExit = graceful stop on signal;
+  /// 1 = restart budget exhausted or crash loop detected.
+  int exit_code = 0;
+  int restarts = 0;
+  bool crash_loop = false;
+  bool restart_budget_exhausted = false;
+};
+
+/// Worker body, executed in a forked child. `resume` is the last good
+/// generation (null on a fresh start); `attempt` counts launches from 0.
+/// The return value becomes the child's exit status: 0 done,
+/// kWorkerStopExit graceful stop, anything else a failure the supervisor
+/// treats like a crash. Thrown exceptions exit the child with status 1.
+using SupervisedWorker =
+    std::function<int(const AttackCheckpoint* resume, int attempt)>;
+
+/// Runs `worker` under supervision until it completes, stops gracefully,
+/// or the restart bounds trip. The chain is loaded (and corrupt
+/// generations quarantined) before every launch.
+SuperviseResult run_supervised(CheckpointChain& chain,
+                               const SuperviseOptions& options,
+                               const SupervisedWorker& worker);
+
+}  // namespace recon::core

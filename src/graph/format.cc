@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "graph/builder.h"
+#include "util/crashpoint.h"
+#include "util/fs.h"
 #include "util/mmap_file.h"
 
 namespace recon::graph {
@@ -297,6 +299,8 @@ GraphBinaryInfo write_graph_binary_file(const std::string& path, const Graph& g,
   try {
     fwrite_checked(kMagic, kMagicBytes, f, path);
     fwrite_checked(&h, sizeof(h), f, path);
+    if (std::fflush(f) != 0) fail(path, "flush failed");
+    RECON_CRASH_POINT("graph.tmp-torn");
     fwrite_checked(table.data(), table.size() * sizeof(SectionTableEntry), f,
                    path);
     for (const auto& s : sections) {
@@ -313,10 +317,10 @@ GraphBinaryInfo write_graph_binary_file(const std::string& path, const Graph& g,
     std::remove(tmp.c_str());
     fail(path, "close failed");
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    fail(path, "rename from " + tmp + " failed");
-  }
+  RECON_CRASH_POINT("graph.tmp-written");
+  // Durable publish: fsync the tmp file, rename, fsync the directory — a
+  // crash after return can no longer lose the file.
+  util::durable_rename(tmp, path);
 
   GraphBinaryInfo info;
   info.num_nodes = n;

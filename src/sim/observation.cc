@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -155,6 +156,23 @@ void Observation::restore(std::span<const NodeState> node_states,
   benefit_ = recompute_benefit();
   retry_after_.clear();
   clock_ = 0.0;
+}
+
+void Observation::restore_benefit(const BenefitBreakdown& exact) {
+  // The recomputed value and the incrementally-accumulated one may disagree
+  // only by summation-order rounding; anything larger means the checkpointed
+  // value does not belong to this state.
+  const auto close = [](double a, double b) {
+    const double tol = 1e-9 * (1.0 + std::max(std::abs(a), std::abs(b)));
+    return std::abs(a - b) <= tol;
+  };
+  if (!close(exact.friends, benefit_.friends) || !close(exact.fofs, benefit_.fofs) ||
+      !close(exact.edges, benefit_.edges)) {
+    throw std::invalid_argument(
+        "Observation::restore_benefit: checkpointed benefit disagrees with the "
+        "restored state beyond rounding tolerance");
+  }
+  benefit_ = exact;
 }
 
 }  // namespace recon::sim

@@ -131,6 +131,16 @@ class Observation {
                std::span<const std::uint32_t> attempts,
                std::span<const graph::NodeId> friends_in_order);
 
+  /// Overrides the benefit accumulator with the exact value carried by a
+  /// checkpoint. restore() recomputes the benefit from scratch, which sums
+  /// the same terms in a different order than the incremental accounting and
+  /// can differ in the last bits — enough to perturb subsequent trace deltas
+  /// and break bit-identical resume. Must be called right after restore();
+  /// throws std::invalid_argument when `exact` disagrees with the recomputed
+  /// value beyond floating-point reassociation tolerance (a corrupt value,
+  /// not drift).
+  void restore_benefit(const BenefitBreakdown& exact);
+
  private:
   const Problem* problem_;
   std::vector<NodeState> node_state_;

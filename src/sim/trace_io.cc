@@ -4,6 +4,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/crashpoint.h"
+#include "util/fs.h"
+#include "util/log.h"
+
 namespace recon::sim {
 
 namespace {
@@ -49,10 +53,26 @@ void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
 }
 
 void write_traces_file(const std::string& path, const std::vector<AttackTrace>& traces) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("write_traces_file: cannot open " + path);
-  write_traces(f, traces);
-  if (!f) throw std::runtime_error("write_traces_file: write failed: " + path);
+  // Atomic durable publish (tmp + durable_rename): an interrupted writer
+  // leaves the previous trace file intact, never a torn one.
+  std::ostringstream buf;
+  write_traces(buf, traces);
+  const std::string body = buf.str();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    if (!f) throw std::runtime_error("write_traces_file: cannot open " + tmp);
+    const std::size_t first_line = body.find('\n') + 1;
+    f.write(body.data(), static_cast<std::streamsize>(first_line));
+    f.flush();
+    RECON_CRASH_POINT("trace.tmp-torn");
+    f.write(body.data() + first_line,
+            static_cast<std::streamsize>(body.size() - first_line));
+    f.flush();
+    if (!f) throw std::runtime_error("write_traces_file: write failed: " + tmp);
+  }
+  RECON_CRASH_POINT("trace.tmp-written");
+  util::durable_rename(tmp, path);
 }
 
 namespace {
@@ -95,120 +115,172 @@ std::uint64_t parse_unsigned(const std::string& token, const char* what,
   }
 }
 
-}  // namespace
+/// Parses one non-empty document line into `traces`/`saw_end`; throws via
+/// fail_at on malformed input.
+void parse_trace_line(const std::string& line, std::size_t lineno,
+                      std::vector<AttackTrace>& traces, bool& saw_end) {
+  if (saw_end) fail_at("content after 'end' marker", lineno);
+  std::istringstream ls(line);
+  std::string kind;
+  ls >> kind;
+  if (kind == "trace") {
+    traces.emplace_back();
+    return;
+  }
+  if (kind == "end") {
+    std::string count_tok;
+    ls >> count_tok;
+    const std::uint64_t count = parse_unsigned(count_tok, "end count", lineno);
+    if (count != traces.size()) {
+      fail_at("trace count mismatch (file is truncated or corrupt)", lineno);
+    }
+    saw_end = true;
+    return;
+  }
+  if (kind != "batch") fail_at("unknown record '" + kind + "'", lineno);
+  if (traces.empty()) fail_at("batch before trace", lineno);
+  std::string sel_tok, cost_tok, reqs_tok, df_tok, dx_tok, de_tok;
+  ls >> sel_tok >> cost_tok >> reqs_tok >> df_tok >> dx_tok >> de_tok;
+  BatchRecord b;
+  b.select_seconds = parse_field(sel_tok, "sel", lineno);
+  b.cost = parse_field(cost_tok, "cost", lineno);
+  if (reqs_tok.rfind("reqs=", 0) != 0) fail_at("expected reqs=", lineno);
+  const std::string reqs = reqs_tok.substr(5);
+  bool any_outcome = false;
+  std::size_t pos = 0;
+  while (pos < reqs.size()) {
+    const std::size_t comma = reqs.find(',', pos);
+    const std::string entry = reqs.substr(pos, comma - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) fail_at("bad request entry", lineno);
+    const std::size_t colon2 = entry.find(':', colon + 1);
+    const std::string accept_tok =
+        entry.substr(colon + 1, colon2 == std::string::npos
+                                    ? std::string::npos
+                                    : colon2 - colon - 1);
+    if (accept_tok != "0" && accept_tok != "1") {
+      fail_at("accept flag must be 0 or 1", lineno);
+    }
+    const std::uint64_t node = parse_unsigned(entry.substr(0, colon),
+                                              "request node id", lineno);
+    if (node > static_cast<std::uint64_t>(graph::kInvalidNode)) {
+      fail_at("request node id out of range", lineno);
+    }
+    std::uint8_t outcome = 0;
+    if (colon2 != std::string::npos) {
+      const std::uint64_t o =
+          parse_unsigned(entry.substr(colon2 + 1), "request outcome", lineno);
+      if (o > 4) fail_at("request outcome out of range", lineno);
+      outcome = static_cast<std::uint8_t>(o);
+    }
+    b.requests.push_back(static_cast<graph::NodeId>(node));
+    b.accepted.push_back(accept_tok == "1" ? 1 : 0);
+    b.outcome.push_back(outcome);
+    if (outcome != 0) any_outcome = true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  // Fault-free batches keep the empty-outcome fast-path representation.
+  if (!any_outcome) b.outcome.clear();
+  b.delta.friends = parse_field(df_tok, "df", lineno);
+  b.delta.fofs = parse_field(dx_tok, "dx", lineno);
+  b.delta.edges = parse_field(de_tok, "de", lineno);
+  // Optional send-time cumulative-cost override; anything else after the
+  // delta fields is junk.
+  std::string cc_tok;
+  bool has_ccost = false;
+  double ccost = 0.0;
+  if (ls >> cc_tok) {
+    ccost = parse_field(cc_tok, "ccost", lineno);
+    has_ccost = true;
+    std::string junk;
+    if (ls >> junk) fail_at("trailing junk after ccost", lineno);
+  }
+  // Recompute cumulative fields.
+  AttackTrace& trace = traces.back();
+  const BenefitBreakdown prev =
+      trace.batches.empty() ? BenefitBreakdown{} : trace.batches.back().cumulative;
+  const double prev_cost =
+      trace.batches.empty() ? 0.0 : trace.batches.back().cumulative_cost;
+  b.cumulative = prev;
+  b.cumulative += b.delta;
+  b.cumulative_cost = has_ccost ? ccost : prev_cost + b.cost;
+  trace.batches.push_back(std::move(b));
+}
 
-std::vector<AttackTrace> read_traces(std::istream& in) {
+/// Shared reader. In recovery mode a malformed *final* content line (the
+/// torn tail a crash mid-append leaves behind) is truncated away and a
+/// missing `end` marker is tolerated — both with explicit log lines.
+/// Mid-file corruption and `end`-count mismatches still throw in both
+/// modes: those mean data loss recovery cannot paper over.
+std::vector<AttackTrace> read_traces_impl(std::istream& in, bool recover) {
   std::string line;
-  std::size_t lineno = 1;
   if (!std::getline(in, line) || line != kHeader) {
     throw std::runtime_error(
         "read_traces: missing/unsupported header (expected '" +
         std::string(kHeader) + "')");
   }
+  // Pull the whole document in up front: recovery must know whether a
+  // malformed line is the very tail of the file or mid-file corruption.
+  std::vector<std::string> lines;
+  std::size_t last_content = 0;  // 1-based index of the last non-empty line
+  while (std::getline(in, line)) {
+    lines.push_back(std::move(line));
+    if (!lines.back().empty()) last_content = lines.size();
+  }
   std::vector<AttackTrace> traces;
   bool saw_end = false;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    if (saw_end) fail_at("content after 'end' marker", lineno);
-    std::istringstream ls(line);
-    std::string kind;
-    ls >> kind;
-    if (kind == "trace") {
-      traces.emplace_back();
-      continue;
+  bool dropped_tail = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t lineno = i + 2;  // the header was line 1
+    if (lines[i].empty()) continue;
+    try {
+      parse_trace_line(lines[i], lineno, traces, saw_end);
+    } catch (const std::exception& e) {
+      // Only the final content line can be a torn append; an `end` line
+      // that fails means missing traces, not a partial record.
+      const bool torn_tail = recover && i + 1 == last_content &&
+                             lines[i].rfind("end", 0) != 0;
+      if (!torn_tail) throw;
+      RECON_LOG(kWarn) << "read_traces: truncating partial trailing record "
+                          "at line "
+                       << lineno << " (" << e.what() << ")";
+      dropped_tail = true;
     }
-    if (kind == "end") {
-      std::string count_tok;
-      ls >> count_tok;
-      const std::uint64_t count = parse_unsigned(count_tok, "end count", lineno);
-      if (count != traces.size()) {
-        fail_at("trace count mismatch (file is truncated or corrupt)", lineno);
-      }
-      saw_end = true;
-      continue;
-    }
-    if (kind != "batch") fail_at("unknown record '" + kind + "'", lineno);
-    if (traces.empty()) fail_at("batch before trace", lineno);
-    std::string sel_tok, cost_tok, reqs_tok, df_tok, dx_tok, de_tok;
-    ls >> sel_tok >> cost_tok >> reqs_tok >> df_tok >> dx_tok >> de_tok;
-    BatchRecord b;
-    b.select_seconds = parse_field(sel_tok, "sel", lineno);
-    b.cost = parse_field(cost_tok, "cost", lineno);
-    if (reqs_tok.rfind("reqs=", 0) != 0) fail_at("expected reqs=", lineno);
-    const std::string reqs = reqs_tok.substr(5);
-    bool any_outcome = false;
-    std::size_t pos = 0;
-    while (pos < reqs.size()) {
-      const std::size_t comma = reqs.find(',', pos);
-      const std::string entry = reqs.substr(pos, comma - pos);
-      const std::size_t colon = entry.find(':');
-      if (colon == std::string::npos) fail_at("bad request entry", lineno);
-      const std::size_t colon2 = entry.find(':', colon + 1);
-      const std::string accept_tok =
-          entry.substr(colon + 1, colon2 == std::string::npos
-                                      ? std::string::npos
-                                      : colon2 - colon - 1);
-      if (accept_tok != "0" && accept_tok != "1") {
-        fail_at("accept flag must be 0 or 1", lineno);
-      }
-      const std::uint64_t node = parse_unsigned(entry.substr(0, colon),
-                                                "request node id", lineno);
-      if (node > static_cast<std::uint64_t>(graph::kInvalidNode)) {
-        fail_at("request node id out of range", lineno);
-      }
-      std::uint8_t outcome = 0;
-      if (colon2 != std::string::npos) {
-        const std::uint64_t o =
-            parse_unsigned(entry.substr(colon2 + 1), "request outcome", lineno);
-        if (o > 4) fail_at("request outcome out of range", lineno);
-        outcome = static_cast<std::uint8_t>(o);
-      }
-      b.requests.push_back(static_cast<graph::NodeId>(node));
-      b.accepted.push_back(accept_tok == "1" ? 1 : 0);
-      b.outcome.push_back(outcome);
-      if (outcome != 0) any_outcome = true;
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-    // Fault-free batches keep the empty-outcome fast-path representation.
-    if (!any_outcome) b.outcome.clear();
-    b.delta.friends = parse_field(df_tok, "df", lineno);
-    b.delta.fofs = parse_field(dx_tok, "dx", lineno);
-    b.delta.edges = parse_field(de_tok, "de", lineno);
-    // Optional send-time cumulative-cost override; anything else after the
-    // delta fields is junk.
-    std::string cc_tok;
-    bool has_ccost = false;
-    double ccost = 0.0;
-    if (ls >> cc_tok) {
-      ccost = parse_field(cc_tok, "ccost", lineno);
-      has_ccost = true;
-      std::string junk;
-      if (ls >> junk) fail_at("trailing junk after ccost", lineno);
-    }
-    // Recompute cumulative fields.
-    AttackTrace& trace = traces.back();
-    const BenefitBreakdown prev =
-        trace.batches.empty() ? BenefitBreakdown{} : trace.batches.back().cumulative;
-    const double prev_cost =
-        trace.batches.empty() ? 0.0 : trace.batches.back().cumulative_cost;
-    b.cumulative = prev;
-    b.cumulative += b.delta;
-    b.cumulative_cost = has_ccost ? ccost : prev_cost + b.cost;
-    trace.batches.push_back(std::move(b));
   }
   if (!saw_end) {
-    throw std::runtime_error(
-        "read_traces: missing 'end' marker — file is truncated");
+    if (!recover) {
+      throw std::runtime_error(
+          "read_traces: missing 'end' marker — file is truncated");
+    }
+    RECON_LOG(kWarn) << "read_traces: missing 'end' marker — recovered "
+                     << traces.size() << " trace(s)"
+                     << (dropped_tail ? " after dropping a torn tail record"
+                                      : "");
   }
   return traces;
+}
+
+}  // namespace
+
+std::vector<AttackTrace> read_traces(std::istream& in) {
+  return read_traces_impl(in, /*recover=*/false);
+}
+
+std::vector<AttackTrace> read_traces_recover(std::istream& in) {
+  return read_traces_impl(in, /*recover=*/true);
 }
 
 std::vector<AttackTrace> read_traces_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("read_traces_file: cannot open " + path);
   return read_traces(f);
+}
+
+std::vector<AttackTrace> read_traces_file_recover(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_traces_file: cannot open " + path);
+  return read_traces_recover(f);
 }
 
 }  // namespace recon::sim

@@ -29,4 +29,12 @@ void write_traces_file(const std::string& path, const std::vector<AttackTrace>& 
 std::vector<AttackTrace> read_traces(std::istream& in);
 std::vector<AttackTrace> read_traces_file(const std::string& path);
 
+/// Torn-tail recovery for crash-interrupted files: a partial trailing
+/// record is truncated to the last complete one and a missing `end` marker
+/// is tolerated, each with an explicit log line. Mid-file corruption and
+/// trace-count mismatches still throw — those mean lost data, not a torn
+/// append.
+std::vector<AttackTrace> read_traces_recover(std::istream& in);
+std::vector<AttackTrace> read_traces_file_recover(const std::string& path);
+
 }  // namespace recon::sim

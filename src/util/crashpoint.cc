@@ -1,0 +1,158 @@
+#include "util/crashpoint.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/thread_annotations.h"
+
+namespace recon::util::crashpoint {
+
+namespace {
+
+/// The central site table. One entry per RECON_CRASH_POINT in the tree;
+/// the chaos sweep's coverage check (crash_recovery_test.cc) fails when an
+/// instrumented site is missing here or a listed site never fires.
+constexpr std::array kSites = {
+    // core/checkpoint.cc — single-file atomic checkpoint publish.
+    "ckpt.tmp-open",          // tmp file created, nothing written
+    "ckpt.tmp-torn",          // header flushed, body missing (torn tmp)
+    "ckpt.tmp-written",       // tmp complete, not yet fsync'd/renamed
+    // core/checkpoint_chain.cc — generation-chain publish.
+    "chain.tmp-open",         // generation tmp created, nothing written
+    "chain.tmp-torn",         // header flushed, body+footer missing
+    "chain.tmp-written",      // generation tmp complete incl. footer
+    "chain.gen-published",    // generation renamed in, manifest stale
+    "chain.manifest-written", // manifest renamed in, pruning pending
+    "chain.pruned",           // old generations pruned, write complete
+    // util/fs.cc — inside every durable_rename.
+    "durable.fsynced",        // source fsync'd, rename pending
+    "durable.renamed",        // renamed in, parent dir fsync pending
+    // sim/trace_io.cc — trace-file publish.
+    "trace.tmp-torn",         // header flushed, records+footer missing
+    "trace.tmp-written",      // tmp complete incl. end footer
+    // graph/format.cc — binary graph publish.
+    "graph.tmp-torn",         // magic+header flushed, sections missing
+    "graph.tmp-written",      // tmp complete, rename pending
+};
+
+struct Registry {
+  Mutex mutex;
+  std::array<std::uint64_t, kSites.size()> counts RECON_GUARDED_BY(mutex) = {};
+  bool armed RECON_GUARDED_BY(mutex) = false;
+  std::size_t armed_site RECON_GUARDED_BY(mutex) = 0;
+  std::uint64_t armed_remaining RECON_GUARDED_BY(mutex) = 0;
+  bool env_checked RECON_GUARDED_BY(mutex) = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::size_t site_index(const std::string& site) {
+  for (std::size_t i = 0; i < kSites.size(); ++i) {
+    if (site == kSites[i]) return i;
+  }
+  throw std::invalid_argument("crashpoint: unknown site '" + site +
+                              "' (see util/crashpoint.cc's site table)");
+}
+
+/// Parses `<site>:<n>` from RECON_CRASH_AT; throws on malformed input so a
+/// typo'd sweep cannot silently run without injection.
+void consume_env(Registry& r) RECON_REQUIRES(r.mutex) {
+  r.env_checked = true;
+  const char* v = std::getenv(kEnvVar);
+  if (v == nullptr || *v == '\0') return;
+  const std::string spec(v);
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    throw std::runtime_error(std::string(kEnvVar) + "='" + spec +
+                             "': expected <site>:<n>");
+  }
+  std::uint64_t nth = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') {
+      throw std::runtime_error(std::string(kEnvVar) + "='" + spec +
+                               "': hit count must be a positive integer");
+    }
+    nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (nth == 0) {
+    throw std::runtime_error(std::string(kEnvVar) + "='" + spec +
+                             "': hit count must be >= 1");
+  }
+  r.armed = true;
+  r.armed_site = site_index(spec.substr(0, colon));
+  r.armed_remaining = nth;
+}
+
+[[noreturn]] void die(const char* site) {
+  // Bypass stdio buffering: the message must land even though we _exit.
+  std::string msg = "crashpoint: killing process at '";
+  msg += site;
+  msg += "'\n";
+  [[maybe_unused]] const auto n = ::write(STDERR_FILENO, msg.data(), msg.size());
+  // _exit skips destructors, stream flushes, and atexit handlers — the
+  // closest in-process stand-in for SIGKILL / power loss.
+  ::_exit(kExitCode);
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_sites() {
+  static const std::vector<std::string> sites(kSites.begin(), kSites.end());
+  return sites;
+}
+
+void hit(const char* site) {
+  Registry& r = registry();
+  bool fire = false;
+  {
+    MutexLock lock(r.mutex);
+    if (!r.env_checked) consume_env(r);
+    const std::size_t idx = site_index(site);
+    ++r.counts[idx];
+    if (r.armed && r.armed_site == idx && --r.armed_remaining == 0) {
+      r.armed = false;
+      fire = true;
+    }
+  }
+  if (fire) die(site);
+}
+
+void arm(const std::string& site, std::uint64_t nth) {
+  if (nth == 0) throw std::invalid_argument("crashpoint::arm: nth must be >= 1");
+  const std::size_t idx = site_index(site);
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  r.env_checked = true;  // programmatic arming overrides the environment
+  r.armed = true;
+  r.armed_site = idx;
+  r.armed_remaining = nth;
+}
+
+void disarm() {
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  r.env_checked = true;
+  r.armed = false;
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  const std::size_t idx = site_index(site);
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  return r.counts[idx];
+}
+
+void reset_counts() {
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  r.counts.fill(0);
+}
+
+}  // namespace recon::util::crashpoint

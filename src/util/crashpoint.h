@@ -1,0 +1,68 @@
+// Deterministic crash-point injection for durability testing.
+//
+// Every durable-state boundary in the repo (checkpoint tmp-write/rename,
+// generation-chain publish, trace write, graph binary write) is
+// instrumented with a named crash point:
+//
+//     RECON_CRASH_POINT("ckpt.tmp-written");
+//
+// In normal operation a crash point only bumps a per-site hit counter.
+// When *armed* — via the environment (`RECON_CRASH_AT=<site>:<n>`) or
+// programmatically (`crashpoint::arm(site, n)`) — the n-th execution of
+// that site kills the process with `_exit(crashpoint::kExitCode)`,
+// bypassing destructors, stream flushes, and atexit handlers: exactly the
+// torn state a power cut or SIGKILL would leave. The chaos sweep
+// (tests/crash_recovery_test.cc, tools/chaos_sweep.sh) enumerates every
+// registered site, kills there, and asserts recovery is bit-identical.
+//
+// Site names live in the central registry below (`all_sites()`), so tests
+// can enumerate sites without first executing them; the chaos test's
+// coverage check asserts every registered site actually fires, keeping the
+// list honest. Sites are cheap (one mutex-guarded counter bump) and only
+// sit on cold I/O paths — never in selection or scoring loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recon::util::crashpoint {
+
+/// Exit status used by an armed crash point (and by nothing else in the
+/// toolkit), so supervisors and tests can recognize an injected kill.
+inline constexpr int kExitCode = 42;
+
+/// Environment variable consulted on the first hit: `<site>:<n>` arms the
+/// n-th execution of `site` (n >= 1). A malformed value throws
+/// std::runtime_error at first use — a silently ignored typo would make a
+/// chaos sweep vacuously pass.
+inline constexpr const char kEnvVar[] = "RECON_CRASH_AT";
+
+/// Every site compiled into the binary, in a fixed order. The chaos sweep
+/// iterates this list; adding an instrumentation site means adding it here
+/// (the coverage test fails otherwise).
+const std::vector<std::string>& all_sites();
+
+/// Records one execution of `site`; kills the process iff armed for it.
+/// Called via RECON_CRASH_POINT.
+void hit(const char* site);
+
+/// Arms `site` to kill the process on its `nth` execution (counted from 1,
+/// from this call). Overrides any environment arming. Throws
+/// std::invalid_argument for unknown sites or nth == 0.
+void arm(const std::string& site, std::uint64_t nth);
+
+/// Disarms any armed site (environment arming stays consumed).
+void disarm();
+
+/// Executions of `site` since process start (or the last reset).
+std::uint64_t hit_count(const std::string& site);
+
+/// Zeroes all hit counters (does not disarm).
+void reset_counts();
+
+}  // namespace recon::util::crashpoint
+
+/// Marks a durable-state boundary. `site` must be a literal registered in
+/// crashpoint.cc's site table.
+#define RECON_CRASH_POINT(site) ::recon::util::crashpoint::hit(site)

@@ -1,0 +1,50 @@
+// Durable filesystem primitives for the crash-resilience layer.
+//
+// Every durable-state writer in the repo (checkpoints, checkpoint
+// generations, traces, graph binaries) publishes through the same
+// tmp-write + durable_rename sequence: the tmp file is fsync'd, renamed
+// into place, and the parent directory is fsync'd so the rename itself
+// survives a power cut. A crash at any point leaves either the old
+// complete file or the new complete file — never a torn one.
+//
+// The invariant linter (tools/lint_invariants.py, rule `durable-write`)
+// rejects raw std::rename calls outside this file so no writer can
+// regress to a non-durable publish.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recon::util {
+
+/// fsyncs `from`, renames it onto `to`, then fsyncs `to`'s parent
+/// directory. Throws std::runtime_error on any failure (the tmp file is
+/// left in place for inspection). Both paths must be on one filesystem.
+void durable_rename(const std::string& from, const std::string& to);
+
+/// fsyncs an existing file by path. Throws std::runtime_error on failure.
+void fsync_file(const std::string& path);
+
+/// fsyncs the directory containing `path` so a just-renamed entry is
+/// durable. Throws std::runtime_error on failure.
+void fsync_parent_dir(const std::string& path);
+
+/// The directory component of `path` ("." when there is no slash).
+std::string parent_dir(const std::string& path);
+
+/// True iff `path` exists and is a directory.
+bool directory_exists(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool path_exists(const std::string& path);
+
+/// Whole file as bytes. Throws std::runtime_error when unreadable.
+std::string read_file_bytes(const std::string& path);
+
+/// Byte-wise FNV-1a over `bytes` bytes — the footer-checksum scheme shared
+/// with graph/format.cc's word-wise variant (same prime/offset basis,
+/// byte-granular so it covers text files of any length).
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace recon::util

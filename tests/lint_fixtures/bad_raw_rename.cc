@@ -1,0 +1,10 @@
+// Publishing a checkpoint with a bare rename: nothing forces the file
+// contents or the new directory entry to disk, so a crash right after the
+// rename can leave the destination torn or pointing at lost data.
+// lint-expect: durable-write
+#include <cstdio>
+#include <string>
+
+void publish(const std::string& tmp, const std::string& path) {
+  std::rename(tmp.c_str(), path.c_str());
+}

@@ -1,0 +1,12 @@
+// The sanctioned publish path: util::durable_rename fsyncs the file, renames,
+// then fsyncs the parent directory, so the publish survives a crash at any
+// point. Calling it is not a raw rename and lints clean.
+#include <string>
+
+namespace util {
+void durable_rename(const std::string& from, const std::string& to);
+}
+
+void publish(const std::string& tmp, const std::string& path) {
+  util::durable_rename(tmp, path);
+}

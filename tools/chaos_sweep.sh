@@ -1,0 +1,155 @@
+#!/bin/sh
+# End-to-end chaos sweep over the CLI: for every registered crash-injection
+# site, arm it via RECON_CRASH_AT, run the supervised attack runner, let the
+# supervisor fork a fresh worker that resumes from the last good checkpoint
+# generation, and require the recovered trace file to be byte-identical to
+# an uninterrupted reference run (after normalizing the wall-clock sel=
+# fields). Also exercises:
+#
+#   * graph-binary publish kills (graph.* sites fire in `recon graph gen`,
+#     which has no supervisor — the check is that a rerun simply succeeds
+#     and the first kill never left a torn file behind),
+#   * SIGTERM graceful stop: the supervised run is killed mid-flight, must
+#     exit with the worker-stop status (75), and a follow-up supervised run
+#     must complete from the snapshot with an identical trace.
+#
+# The crash_recovery_test gtest binary covers the same ground in-process;
+# this script is the integration-level proof that the shipped CLI heals.
+#
+# Usage: tools/chaos_sweep.sh [build_dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+RECON="$BUILD_DIR/tools/recon"
+if [ ! -x "$RECON" ]; then
+  echo "error: $RECON not built (cmake --build $BUILD_DIR --target recon_cli_bin)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d /tmp/recon_chaos_XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+ATTACK_FLAGS="--runs 1 --budget 40 --k 5 --seed 7"
+SUPERVISE_FLAGS="--supervise --checkpoint-every 1 --backoff-base 0.01 --backoff-mult 1.5 --backoff-max 0.05"
+
+# sel= is the one wall-clock field in a trace line; normalize it away so the
+# comparison is over pure attack content.
+normalize() {
+  sed 's/sel=[^ ]*/sel=X/g' "$1"
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+"$RECON" generate --model ba --nodes 80 --out "$WORK/g.txt" --seed 3 >/dev/null
+
+echo "== reference runs =="
+"$RECON" attack --graph "$WORK/g.txt" $ATTACK_FLAGS \
+  --traces "$WORK/ref_sync.traces" >/dev/null
+"$RECON" attack --graph "$WORK/g.txt" $ATTACK_FLAGS --async --window 4 \
+  --traces "$WORK/ref_async.traces" >/dev/null
+
+sweep_one() {
+  mode="$1" site="$2" nth="$3"
+  case "$mode" in
+    async) extra="--async --window 4"; ref="$WORK/ref_async.traces" ;;
+    *)     extra="";                   ref="$WORK/ref_sync.traces" ;;
+  esac
+  dir="$WORK/sweep.$mode.$site.$nth"
+  mkdir "$dir"
+  # The injected kill exits the worker with status 42; the supervisor
+  # restarts it with the arming cleared and must finish with status 0.
+  if ! RECON_CRASH_AT="$site:$nth" "$RECON" attack --graph "$WORK/g.txt" \
+      $ATTACK_FLAGS $extra $SUPERVISE_FLAGS --checkpoint "$dir/chain" \
+      --traces "$dir/got.traces" >"$dir/log" 2>&1; then
+    cat "$dir/log" >&2
+    fail "$mode $site:$nth — supervised run exited nonzero"
+  fi
+  normalize "$ref" > "$dir/ref.norm"
+  normalize "$dir/got.traces" > "$dir/got.norm"
+  cmp -s "$dir/ref.norm" "$dir/got.norm" || \
+    fail "$mode $site:$nth — recovered trace differs from reference"
+  echo "ok: $mode $site:$nth"
+}
+
+echo "== supervised sweep: every site, sync and async =="
+for site in $("$RECON" crashpoints); do
+  case "$site" in
+    graph.*) continue ;;  # no graph publish inside `attack`; swept below
+    ckpt.*)  continue ;;  # chain.* supersedes single-file sites under --supervise
+  esac
+  sweep_one sync "$site" 1
+  sweep_one async "$site" 1
+done
+# Deeper kills: the n-th execution, so recovery starts from a mid-run
+# generation rather than round zero.
+sweep_one sync chain.gen-published 3
+sweep_one async durable.renamed 4
+
+echo "== graph binary publish kills =="
+for site in graph.tmp-torn graph.tmp-written; do
+  dir="$WORK/graph.$site"
+  mkdir "$dir"
+  if RECON_CRASH_AT="$site:1" "$RECON" graph gen --model ba --nodes 200 --m 4 \
+      --out "$dir/g.bin" --seed 5 >/dev/null 2>&1; then
+    fail "graph $site — armed run was expected to die"
+  fi
+  # The kill must not have published a torn file; the rerun publishes
+  # atomically and the result must verify.
+  "$RECON" graph gen --model ba --nodes 200 --m 4 --out "$dir/g.bin" --seed 5 \
+    >/dev/null
+  "$RECON" graph info --in "$dir/g.bin" >/dev/null || \
+    fail "graph $site — rerun left an unreadable file"
+  echo "ok: graph $site"
+done
+
+echo "== SIGTERM graceful stop + heal =="
+dir="$WORK/sigterm"
+mkdir "$dir"
+# Slow the worker down with a per-round retry fence so the TERM reliably
+# lands mid-run: arm a far-off crash point? No — just use a bigger budget.
+"$RECON" attack --graph "$WORK/g.txt" --runs 1 --budget 400 --k 5 --seed 7 \
+  $SUPERVISE_FLAGS --checkpoint "$dir/chain" --traces "$dir/got.traces" \
+  >"$dir/log" 2>&1 &
+pid=$!
+sleep 0.3
+kill -TERM "$pid" 2>/dev/null || true
+set +e
+wait "$pid"
+status=$?
+set -e
+if [ "$status" -ne 75 ] && [ "$status" -ne 0 ]; then
+  cat "$dir/log" >&2
+  fail "SIGTERM — expected graceful-stop status 75 (or 0 if it finished first), got $status"
+fi
+if [ "$status" -eq 75 ]; then
+  # The forced snapshot must let a follow-up supervised run complete.
+  "$RECON" attack --graph "$WORK/g.txt" --runs 1 --budget 400 --k 5 --seed 7 \
+    $SUPERVISE_FLAGS --checkpoint "$dir/chain" --traces "$dir/got.traces" \
+    >>"$dir/log" 2>&1 || { cat "$dir/log" >&2; fail "SIGTERM — resumed run failed"; }
+fi
+"$RECON" attack --graph "$WORK/g.txt" --runs 1 --budget 400 --k 5 --seed 7 \
+  --traces "$dir/ref.traces" >/dev/null
+normalize "$dir/ref.traces" > "$dir/ref.norm"
+normalize "$dir/got.traces" > "$dir/got.norm"
+cmp -s "$dir/ref.norm" "$dir/got.norm" || \
+  fail "SIGTERM — healed trace differs from uninterrupted reference"
+echo "ok: SIGTERM graceful stop"
+
+echo "== torn trace recovery via metrics --recover =="
+dir="$WORK/torn"
+mkdir "$dir"
+# Chop the reference file mid-final-line: strict read must fail, --recover
+# must truncate the torn record and keep going.
+bytes=$(wc -c < "$WORK/ref_sync.traces")
+head -c "$((bytes - 7))" "$WORK/ref_sync.traces" > "$dir/torn.traces"
+if "$RECON" metrics --traces "$dir/torn.traces" >/dev/null 2>&1; then
+  fail "metrics accepted a torn trace file without --recover"
+fi
+"$RECON" metrics --traces "$dir/torn.traces" --recover >/dev/null 2>&1 || \
+  fail "metrics --recover failed on a torn trace file"
+echo "ok: torn trace recovery"
+
+echo "chaos_sweep: all checks passed"

@@ -34,6 +34,12 @@ are statically detectable, and this linter rejects them at CI time:
                    memory-order argument at the call site (and be exercised
                    under TSan); everything else should use util::Mutex or the
                    thread-pool primitives.
+  durable-write    Raw std::rename / rename() calls. A bare rename publishes
+                   a file with no fsync of either the contents or the parent
+                   directory entry, so a crash can surface torn or lost data
+                   at the destination. All durable publishes must go through
+                   util::durable_rename (src/util/fs.cc), the one waived call
+                   site.
   waiver           Malformed waivers: unknown rule name or empty reason.
 
 Waiver grammar (one per flagged construct, on the flagged line or in the
@@ -71,6 +77,8 @@ RULES = {
                    "(or vice versa) in the same file",
     "guard": "mutex member without a RECON_GUARDED_BY annotation",
     "lockfree": "hand-rolled CAS without a documented protocol",
+    "durable-write": "raw rename() outside util::durable_rename "
+                     "(publishes without fsync; torn on crash)",
     "waiver": "malformed waiver pragma",
 }
 
@@ -119,6 +127,15 @@ BANNED = {
             re.compile(r"\bcompare_exchange_(?:strong|weak)\b"),
             "compare_exchange",
         ),
+    ],
+    # A rename publishes a file without any durability guarantee: neither the
+    # file contents nor the directory entry are fsync'd, so a crash can leave
+    # the destination pointing at lost or torn data. util::durable_rename
+    # (src/util/fs.cc) wraps the fsync/rename/fsync-parent dance and is the
+    # single sanctioned call site.
+    "durable-write": [
+        (re.compile(r"\bstd\s*::\s*rename\s*\("), "std::rename"),
+        (re.compile(r"(?<![\w:.>])rename\s*\("), "raw rename()"),
     ],
 }
 
