@@ -266,6 +266,9 @@ MonteCarloResult run_monte_carlo(const sim::Problem& problem,
     }
   };
   if (pool != nullptr) {
+    // lint:hotpath-ok(coarse per-replica fan-out, not a scoring kernel: each
+    // body iteration runs one whole attack, which legitimately checkpoints,
+    // logs, and reads deadline clocks on its own thread)
     pool->parallel_for(0, static_cast<std::size_t>(runs), run_range, /*grain=*/1);
   } else {
     run_range(0, static_cast<std::size_t>(runs));

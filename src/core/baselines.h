@@ -22,7 +22,11 @@ class RandomStrategy : public Strategy {
   void restore_state(const std::string& blob) override;
 
  private:
+  // lint:ckpt-coverage-ok(construction-time config; the harness rebuilds the
+  // strategy with the same batch size before calling restore_state)
   int batch_size_;
+  // lint:ckpt-coverage-ok(only re-seeds rng_ in begin(); save_state snapshots
+  // the live rng_ state words directly, which supersede the seed on resume)
   std::uint64_t seed_;
   util::Rng rng_;
 };

@@ -38,6 +38,8 @@ class MArest : public Strategy {
   }
 
  private:
+  // lint:ckpt-coverage-ok(construction-time config; all resumable state lives
+  // in inner_, whose save_state/restore_state this class delegates to)
   MArestOptions options_;
   PmArest inner_;  ///< PM-AReST with k = 1 (shares the cross-batch cache)
 };

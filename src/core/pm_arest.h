@@ -74,11 +74,21 @@ class PmArest : public Strategy {
   /// accept/reject notifications into the cached selector.
   void sync_cache(const sim::Observation& obs);
 
+  // lint:ckpt-coverage-ok(construction-time config; the harness rebuilds the
+  // strategy with identical options before calling restore_state)
   PmArestOptions options_;
+  // lint:ckpt-coverage-ok(re-derived in begin() from options_ and the
+  // fault-model retry budget on every run, including resumed ones)
   std::uint32_t attempt_cap_ = 0;
   util::Rng rng_;
+  // lint:ckpt-coverage-ok(cross-batch score cache, a pure function of the
+  // observation; sync_cache rebuilds it on the first post-resume batch)
   std::unique_ptr<CachedSelector> cache_;
+  // lint:ckpt-coverage-ok(transient pointer identity of the last-seen
+  // observation, only meaningful within one process lifetime)
   const sim::Observation* cache_obs_ = nullptr;
+  // lint:ckpt-coverage-ok(rebuilt by sync_cache diffing the observation's
+  // attempt counters from zero after the cache is reconstructed)
   std::vector<std::uint32_t> last_attempts_;
 };
 

@@ -71,6 +71,8 @@ class FallbackStrategy : public core::Strategy {
   const FallbackOptions& options() const noexcept { return options_; }
 
  private:
+  // lint:ckpt-coverage-ok(construction-time config; the harness rebuilds the
+  // strategy with identical options before calling restore_state)
   FallbackOptions options_;
   int round_ = 0;
   FallbackTierCounts counts_;

@@ -49,6 +49,8 @@ class MipBatchStrategy : public core::Strategy {
   bool all_exact() const noexcept { return all_exact_; }
 
  private:
+  // lint:ckpt-coverage-ok(construction-time config; the harness rebuilds the
+  // strategy with identical options before calling restore_state)
   MipStrategyOptions options_;
   int round_ = 0;
   bool all_exact_ = true;

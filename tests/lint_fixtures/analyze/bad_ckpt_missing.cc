@@ -1,0 +1,16 @@
+// Fixture: the class declares both checkpoint sides, but neither references
+// width_ — a resume would silently reset it. One ckpt-coverage finding at
+// the declaration.
+// analyze-expect: ckpt-coverage
+
+#include <string>
+
+class WindowState {
+ public:
+  std::string save_state() const { return std::to_string(cursor_); }
+  void restore_state(const std::string& blob) { cursor_ = std::stol(blob); }
+
+ private:
+  long cursor_ = 0;
+  long width_ = 8;
+};

@@ -1,0 +1,19 @@
+// Fixture: every way the crash-site registry can disagree with the arming
+// sites — a duplicate table entry, an armed site missing from the table, and
+// a table entry with no arming site left in the tree.
+// analyze-expect: crash-registry
+// analyze-expect: crash-registry
+// analyze-expect: crash-registry
+
+namespace {
+
+constexpr const char* kSites[] = {
+    "fixture.alpha",
+    "fixture.alpha",
+};
+
+}  // namespace
+
+void arm_beta() {
+  RECON_CRASH_POINT("fixture.beta");
+}

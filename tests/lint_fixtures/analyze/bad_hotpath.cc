@@ -1,0 +1,27 @@
+// Fixture: the parallel body logs directly, and the scoring helper it calls
+// opens a file stream and reads a raw clock — three hotpath findings: one at
+// the body's RECON_LOG, two inside score_one reached through the call graph.
+// analyze-expect: hotpath
+// analyze-expect: hotpath
+// analyze-expect: hotpath
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <vector>
+
+double score_one(std::size_t i) {
+  std::ofstream trace("trace.txt", std::ios::app);
+  const auto t = std::chrono::steady_clock::now();
+  trace << i << ' ' << t.time_since_epoch().count() << '\n';
+  return static_cast<double>(i);
+}
+
+void score_all(util::ThreadPool& pool, std::vector<double>& out) {
+  pool.parallel_for(0, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      RECON_LOG(kInfo, "scoring node");
+      out[i] = score_one(i);
+    }
+  }, /*grain=*/64);
+}

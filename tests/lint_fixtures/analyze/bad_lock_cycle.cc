@@ -1,0 +1,19 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — the classic AB/BA deadlock. The lockgraph pass must report one
+// cycle with a witness naming both sites.
+// analyze-expect: lockgraph
+
+struct Pair {
+  util::Mutex a_mu_;
+  util::Mutex b_mu_;
+};
+
+void forward(Pair& p) {
+  util::MutexLock la(p.a_mu_);
+  util::MutexLock lb(p.b_mu_);
+}
+
+void backward(Pair& p) {
+  util::MutexLock lb(p.b_mu_);
+  util::MutexLock la(p.a_mu_);
+}

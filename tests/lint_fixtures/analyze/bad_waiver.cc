@@ -1,0 +1,17 @@
+// Fixture: malformed analyzer waivers — a rule name no tool owns and an
+// empty reason. Both surface as waiver findings; neither suppresses
+// anything.
+// analyze-expect: waiver
+// analyze-expect: waiver
+
+struct Pair {
+  util::Mutex a_mu_;
+  util::Mutex b_mu_;
+};
+
+void ordered(Pair& p) {
+  // lint:lockchart-ok(rule name typo: no tool owns 'lockchart')
+  util::MutexLock la(p.a_mu_);
+  // lint:lockgraph-ok()
+  util::MutexLock lb(p.b_mu_);
+}

@@ -1,0 +1,19 @@
+// Fixture (cross-TU checkpoint coverage, 2/2): out-of-line bodies. The
+// restore side touches epoch_ only through set_epoch — a reference the
+// analyzer must find by resolving the same-class helper's body.
+
+#include "replay_counter.h"
+
+std::string ReplayCounter::save_state() const {
+  return std::to_string(epoch_) + ":" + std::to_string(steps_);
+}
+
+void ReplayCounter::restore_state(const std::string& blob) {
+  const auto colon = blob.find(':');
+  set_epoch(std::stol(blob.substr(0, colon)));
+  steps_ = std::stol(blob.substr(colon + 1));
+}
+
+void ReplayCounter::set_epoch(long e) {
+  epoch_ = e;
+}

@@ -1,0 +1,22 @@
+// Fixture (cross-TU checkpoint coverage, 1/2): the checkpoint pair is only
+// declared here; the bodies live in replay_counter.cc. epoch_ is referenced
+// through the set_epoch helper (the closure must count it), steps_ directly,
+// and scratch_ by neither side — exactly one finding.
+// analyze-expect: ckpt-coverage
+
+#pragma once
+
+#include <string>
+
+class ReplayCounter {
+ public:
+  std::string save_state() const;
+  void restore_state(const std::string& blob);
+
+ private:
+  void set_epoch(long e);
+
+  long epoch_ = 0;
+  long steps_ = 0;
+  long scratch_ = 0;
+};

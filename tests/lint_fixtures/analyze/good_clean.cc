@@ -1,0 +1,52 @@
+// Fixture: a file every analyzer pass accepts as-is. The checkpoint pair
+// references every member on both sides, the parallel body is pure
+// arithmetic, locks are always taken in one order, and there is no
+// crash-point machinery to cross-check.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+class WindowState {
+ public:
+  // Regression: a defaulted operator must not be mis-read as a member field
+  // named 'operator' (the '=' in 'operator==' is not an initializer).
+  bool operator==(const WindowState&) const = default;
+
+  std::string save_state() const {
+    return std::to_string(cursor_) + ":" + std::to_string(width_);
+  }
+  void restore_state(const std::string& blob) {
+    const auto colon = blob.find(':');
+    cursor_ = std::stol(blob.substr(0, colon));
+    width_ = std::stol(blob.substr(colon + 1));
+  }
+
+ private:
+  long cursor_ = 0;
+  long width_ = 8;
+};
+
+struct Shared {
+  util::Mutex head_mu_;
+  util::Mutex tail_mu_;
+};
+
+// Both functions take head before tail: the lock graph stays acyclic.
+void push_front(Shared& s) {
+  util::MutexLock head(s.head_mu_);
+  util::MutexLock tail(s.tail_mu_);
+}
+
+void push_back(Shared& s) {
+  util::MutexLock head(s.head_mu_);
+  util::MutexLock tail(s.tail_mu_);
+}
+
+void scale_all(util::ThreadPool& pool, std::vector<double>& out) {
+  pool.parallel_for(0, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = static_cast<double>(i) * 0.5;
+    }
+  }, /*grain=*/64);
+}

@@ -1,0 +1,14 @@
+// Fixture (cross-TU lock cycle, 3/3): rotate() holds j_mu_ across a call
+// into Queue::drain(), which acquires q_mu_ — the opposite order to
+// queue.cc's enqueue(), closing the cycle.
+
+#include "types.h"
+
+void Journal::record() {
+  util::MutexLock lock(j_mu_);
+}
+
+void Journal::rotate(Queue& q) {
+  util::MutexLock lock(j_mu_);
+  q.drain();
+}

@@ -1,0 +1,14 @@
+// Fixture (cross-TU lock cycle, 2/3): enqueue() holds q_mu_ across a call into
+// Journal::record(), which acquires j_mu_ — the Queue::q_mu_ -> Journal::j_mu_
+// half of the cycle.
+
+#include "types.h"
+
+void Queue::enqueue(Journal& j) {
+  util::MutexLock lock(q_mu_);
+  j.record();
+}
+
+void Queue::drain() {
+  util::MutexLock lock(q_mu_);
+}

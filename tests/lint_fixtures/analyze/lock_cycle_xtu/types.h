@@ -1,0 +1,26 @@
+// Fixture (cross-TU lock cycle, 1/3): two classes, one mutex each. The
+// cycle only exists through call edges that span queue.cc and journal.cc —
+// no single file shows both orders.
+// analyze-expect: lockgraph
+
+#pragma once
+
+class Journal;
+
+class Queue {
+ public:
+  void enqueue(Journal& j);
+  void drain();
+
+ private:
+  util::Mutex q_mu_;
+};
+
+class Journal {
+ public:
+  void record();
+  void rotate(Queue& q);
+
+ private:
+  util::Mutex j_mu_;
+};

@@ -1,0 +1,20 @@
+// Fixture: width_ is absent from both checkpoint sides but carries a waiver
+// naming why it is derived — the ckpt-coverage pass accepts the file.
+
+#include <string>
+
+class WindowState {
+ public:
+  std::string save_state() const { return std::to_string(cursor_); }
+  void restore_state(const std::string& blob) {
+    cursor_ = std::stol(blob);
+    width_ = derive_width(cursor_);
+  }
+
+ private:
+  static long derive_width(long cursor);
+  long cursor_ = 0;
+  // lint:ckpt-coverage-ok(pure function of cursor_, recomputed by
+  // restore_state via derive_width rather than stored)
+  long width_ = 8;
+};

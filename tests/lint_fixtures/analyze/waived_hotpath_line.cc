@@ -1,0 +1,25 @@
+// Fixture: one banned line inside a function reachable from a parallel body
+// carries a line-level waiver (exception-only path) — the traversal still
+// runs, but that site is accepted.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+double checked_score(std::size_t i, std::size_t limit) {
+  if (i >= limit) {
+    // lint:hotpath-ok(throw path only: the log fires at most once per run,
+    // immediately before the pool propagates the exception and stops)
+    RECON_LOG(kError, "score index out of range");
+    throw std::out_of_range("score index");
+  }
+  return static_cast<double>(i);
+}
+
+void score_all(util::ThreadPool& pool, std::vector<double>& out) {
+  pool.parallel_for(0, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = checked_score(i, out.size());
+    }
+  }, /*grain=*/64);
+}

@@ -1,0 +1,19 @@
+// Fixture: the body does blocking work, but the parallel call site is waived
+// as a coarse fan-out — the whole traversal from that root is skipped.
+
+#include <cstddef>
+#include <fstream>
+#include <vector>
+
+void snapshot_shard(std::size_t i);
+
+void snapshot_all(util::ThreadPool& pool, std::size_t shards) {
+  // lint:hotpath-ok(coarse fan-out: each iteration snapshots one whole shard
+  // to disk; this is a batch maintenance job, not a scoring kernel)
+  pool.parallel_for(0, shards, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      std::ofstream out("shard-" + std::to_string(i));
+      snapshot_shard(i);
+    }
+  }, /*grain=*/1);
+}

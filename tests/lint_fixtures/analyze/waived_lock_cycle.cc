@@ -1,0 +1,20 @@
+// Fixture: the same AB/BA shape as bad_lock_cycle.cc, but the out-of-order
+// acquisition carries a waiver stating the protocol that makes it safe — the
+// waived site contributes no edges, so no cycle remains.
+
+struct Pair {
+  util::Mutex a_mu_;
+  util::Mutex b_mu_;
+};
+
+void forward(Pair& p) {
+  util::MutexLock la(p.a_mu_);
+  util::MutexLock lb(p.b_mu_);
+}
+
+void backward(Pair& p) {
+  util::MutexLock lb(p.b_mu_);
+  // lint:lockgraph-ok(backward only runs at shutdown after every forward
+  // caller has joined, so the two orders can never interleave)
+  util::MutexLock la(p.a_mu_);
+}

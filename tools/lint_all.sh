@@ -1,0 +1,57 @@
+#!/bin/sh
+# Runs every static-analysis gate exactly as CI's lint job does: the
+# per-line invariant linter, the cross-TU program analyzer (all four
+# passes), both fixture selftests, and — availability-gated — clang-tidy
+# over an existing build tree's compile_commands.json. Run it from anywhere
+# before pushing; it exits non-zero on the first failing gate. The clang
+# -Wthread-safety build half of the lint job needs a clang configure and
+# stays in CI (see .github/workflows/ci.yml).
+#
+# Usage: tools/lint_all.sh [--dot FILE] [BUILD_DIR]
+#   --dot FILE   additionally export the whole-program lock-order graph
+#                (Graphviz) to FILE, as CI does for its build artifact.
+#   BUILD_DIR    build tree for the clang-tidy step (default: build);
+#                skipped with a notice when the tree or clang-tidy is absent.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+dot_args=""
+if [ "${1:-}" = "--dot" ]; then
+  [ $# -ge 2 ] || {
+    echo "usage: tools/lint_all.sh [--dot FILE] [BUILD_DIR]" >&2; exit 2; }
+  dot_args="--dot $2"
+  shift 2
+fi
+build_dir="${1:-build}"
+
+echo "==> lint_invariants (src/ tools/recon_cli.cc tests/)"
+python3 "$repo/tools/lint_invariants.py" \
+  "$repo/src" "$repo/tools/recon_cli.cc" "$repo/tests"
+
+echo "==> lint_invariants --selftest"
+python3 "$repo/tools/lint_invariants.py" --selftest "$repo/tests/lint_fixtures"
+
+echo "==> analyze_program (lockgraph ckpt-coverage hotpath crash-registry)"
+# shellcheck disable=SC2086  # dot_args is deliberately word-split
+python3 "$repo/tools/analyze_program.py" $dot_args \
+  "$repo/src" "$repo/tools/recon_cli.cc" "$repo/tests"
+
+echo "==> analyze_program --selftest"
+python3 "$repo/tools/analyze_program.py" --selftest \
+  "$repo/tests/lint_fixtures/analyze"
+
+echo "==> analyze_program --selftest-json"
+python3 "$repo/tools/analyze_program.py" --selftest-json \
+  "$repo/tests/lint_fixtures/analyze"
+
+if [ -f "$repo/$build_dir/compile_commands.json" ] || \
+   [ -f "$build_dir/compile_commands.json" ]; then
+  echo "==> clang-tidy ($build_dir)"
+  # run_clang_tidy.sh itself skips with a notice when clang-tidy is absent.
+  "$repo/tools/run_clang_tidy.sh" "$build_dir"
+else
+  echo "==> clang-tidy: skipped ($build_dir has no compile_commands.json;" \
+       "configure with cmake first to gate locally — CI always runs it)"
+fi
+
+echo "lint_all: every static-analysis gate passed"

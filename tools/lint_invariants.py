@@ -49,15 +49,20 @@ comment lines until the closing parenthesis):
     // lint:<rule>-ok(<non-empty reason>)
 
 Usage:
-    lint_invariants.py [PATH...]        lint .h/.cc files (default: src/)
+    lint_invariants.py [PATH...]        lint .h/.cc files
+                                        (default: src/ tools/recon_cli.cc
+                                        tests/ — fixture trees are pruned)
     lint_invariants.py --selftest DIR   check fixture expectations in DIR
     lint_invariants.py --list-rules     print rule ids and summaries
 
 Exit status: 0 clean, 1 findings (or selftest mismatch), 2 usage error.
 Pure standard-library Python: no libclang dependency, so it runs identically
 on dev boxes and CI. The matching is lexical (comments/strings stripped,
-brace-matched class bodies), which the fixture selftest in
-tests/lint_fixtures/ keeps honest.
+brace-matched class bodies) and shares its tokenizer, waiver grammar, and
+fixture harness with tools/analyze_program.py via tools/lintlib/, which the
+fixture selftest in tests/lint_fixtures/ keeps honest. Cross-TU properties
+(lock-order cycles, checkpoint field coverage, hot-path purity, crash-point
+registry honesty) live in analyze_program.py.
 """
 
 from __future__ import annotations
@@ -65,7 +70,14 @@ from __future__ import annotations
 import os
 import re
 import sys
-from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib.cpp import class_bodies  # noqa: E402
+from lintlib.findings import Finding, print_findings  # noqa: E402
+from lintlib.fixtures import run_selftest as _run_fixture_selftest  # noqa: E402
+from lintlib.source import SourceFile, collect_files  # noqa: E402
+from lintlib.waivers import Waivers  # noqa: E402
 
 RULES = {
     "randomness": "banned randomness source (use util::Rng)",
@@ -153,187 +165,18 @@ CHECKPOINT_PAIRS = (
 FORMAT_FN_DEF_RE = re.compile(
     r"\b(write|map)_(\w+?)_binary_file\s*\([^;{]*\)\s*\{", re.S)
 
-WAIVER_RE = re.compile(r"lint:([a-z-]+)-ok\(")
 UNORDERED_DECL_RE = re.compile(
     r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;()]*?>\s+(\w+)\s*[;({=]"
-)
-CLASS_RE = re.compile(
-    r"\b(class|struct)\s+(?:RECON_\w+\s*(?:\([^)]*\))?\s*)?(\w+)[^;{()]*\{"
 )
 MUTEX_MEMBER_RE = re.compile(r"\b(?:std\s*::\s*mutex|util\s*::\s*Mutex|Mutex)\s+(\w+)\s*;")
 
 
-@dataclass
-class Finding:
-    path: str
-    line: int  # 1-based
-    rule: str
-    message: str
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments and string/char literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line-comment | block-comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line-comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        elif state == "block-comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            out.append(" " if c != "\n" else "\n")
-        i += 1
-    return "".join(out)
-
-
-def is_comment_line(raw_line: str) -> bool:
-    s = raw_line.strip()
-    return s.startswith("//") or s.startswith("*") or s.startswith("/*") or s == ""
-
-
-class Waivers:
-    """Parses `// lint:<rule>-ok(reason)` pragmas and the lines they cover.
-
-    A waiver covers its own line, every following comment line, and the first
-    non-comment line after it (the flagged construct). Reasons may span
-    multiple comment lines up to the closing parenthesis and must be
-    non-empty; violations surface as `waiver` findings.
-    """
-
-    def __init__(self, path: str, raw_lines: list[str], findings: list[Finding]):
-        # rule -> set of covered 1-based line numbers
-        self.covered: dict[str, set[int]] = {r: set() for r in RULES}
-        self.used: set[tuple[str, int]] = set()
-        self._declared: list[tuple[str, int]] = []  # (rule, pragma line)
-        for idx, raw in enumerate(raw_lines):
-            for m in WAIVER_RE.finditer(raw):
-                rule = m.group(1)
-                if rule not in RULES or rule == "waiver":
-                    findings.append(
-                        Finding(path, idx + 1, "waiver",
-                                f"unknown rule '{rule}' in waiver pragma"))
-                    continue
-                reason = self._extract_reason(raw_lines, idx, m.end())
-                if reason is None or not reason.strip():
-                    findings.append(
-                        Finding(path, idx + 1, "waiver",
-                                f"waiver for '{rule}' must carry a non-empty "
-                                "reason: lint:" + rule + "-ok(<why>)"))
-                    continue
-                self._declared.append((rule, idx + 1))
-                # Cover from the pragma line through the first non-comment line.
-                j = idx
-                self.covered[rule].add(j + 1)
-                while j + 1 < len(raw_lines) and is_comment_line(raw_lines[j + 1]):
-                    j += 1
-                    self.covered[rule].add(j + 1)
-                if j + 1 < len(raw_lines):
-                    self.covered[rule].add(j + 2)
-
-    @staticmethod
-    def _extract_reason(raw_lines: list[str], idx: int, start: int) -> str | None:
-        """Reason text from `start` up to the matching ')', possibly spanning
-        following comment lines. Returns None if never closed."""
-        depth = 1
-        parts: list[str] = []
-        line = raw_lines[idx]
-        pos = start
-        for _ in range(8):  # reasons longer than 8 lines are a smell anyway
-            while pos < len(line):
-                c = line[pos]
-                if c == "(":
-                    depth += 1
-                elif c == ")":
-                    depth -= 1
-                    if depth == 0:
-                        parts.append(line[start:pos])
-                        return " ".join(parts)
-                pos += 1
-            parts.append(line[start:])
-            idx += 1
-            if idx >= len(raw_lines) or not is_comment_line(raw_lines[idx]):
-                return None
-            line = raw_lines[idx]
-            start = pos = line.find("//") + 2 if "//" in line else 0
-        return None
-
-    def waived(self, rule: str, line: int) -> bool:
-        if line in self.covered.get(rule, ()):
-            self.used.add((rule, line))
-            return True
-        return False
-
-
-def class_bodies(code: str):
-    """Yields (name, class_offset, body_offset, body_text) for each
-    class/struct with a braced body in comment-stripped `code`. Nested bodies
-    are yielded too."""
-    for m in CLASS_RE.finditer(code):
-        open_brace = m.end() - 1
-        depth = 0
-        for i in range(open_brace, len(code)):
-            if code[i] == "{":
-                depth += 1
-            elif code[i] == "}":
-                depth -= 1
-                if depth == 0:
-                    yield m.group(2), m.start(), open_brace + 1, code[open_brace + 1:i]
-                    break
-
-
-def line_of(code: str, offset: int) -> int:
-    return code.count("\n", 0, offset) + 1
-
-
 def lint_file(path: str, findings: list[Finding]) -> None:
-    with open(path, encoding="utf-8", errors="replace") as f:
-        text = f.read()
-    raw_lines = text.splitlines()
-    code = strip_comments_and_strings(text)
-    code_lines = code.splitlines()
-    rel = os.path.normpath(path).replace(os.sep, "/")
-    waivers = Waivers(rel, raw_lines, findings)
+    sf = SourceFile(path)
+    rel = sf.path
+    code = sf.code
+    code_lines = sf.code_lines
+    waivers = Waivers(rel, sf.raw_lines, findings, rules=RULES)
 
     def allowlisted(rule: str) -> bool:
         return any(rel.endswith(sfx) for sfx in ALLOWLIST.get(rule, ()))
@@ -371,7 +214,7 @@ def lint_file(path: str, findings: list[Finding]) -> None:
     defs: dict[str, dict[str, int]] = {}  # fmt stem -> side -> first def line
     for m in FORMAT_FN_DEF_RE.finditer(code):
         side, stem = m.group(1), m.group(2)
-        defs.setdefault(stem, {}).setdefault(side, line_of(code, m.start()))
+        defs.setdefault(stem, {}).setdefault(side, sf.line_of(m.start()))
     for stem, sides in sorted(defs.items()):
         if len(sides) == 2:
             continue
@@ -388,8 +231,9 @@ def lint_file(path: str, findings: list[Finding]) -> None:
     # --- class-body rules: checkpoint-pair and guard ------------------------
     seen_guard: set[int] = set()
     seen_pair: set[tuple[int, str]] = set()
-    for name, start, body_start, body in class_bodies(code):
-        cls_line = line_of(code, start)
+    for cb in class_bodies(code):
+        name, body, body_start = cb.name, cb.body, cb.body_start
+        cls_line = sf.line_of(cb.start)
         # checkpoint-pair: declaring one side of a serialization pair only.
         # (\bserialize does not match inside "deserialize": no word boundary.)
         for writer, reader in CHECKPOINT_PAIRS:
@@ -411,7 +255,7 @@ def lint_file(path: str, findings: list[Finding]) -> None:
             continue
         for mm in MUTEX_MEMBER_RE.finditer(body):
             mutex_name = mm.group(1)
-            member_line = line_of(code, body_start + mm.start())
+            member_line = sf.line_of(body_start + mm.start())
             if member_line in seen_guard:
                 continue
             guarded = re.search(
@@ -429,29 +273,12 @@ def lint_file(path: str, findings: list[Finding]) -> None:
                                 "lint:guard-ok(reason)"))
 
 
-def collect_files(paths: list[str]) -> list[str]:
-    out: list[str] = []
-    for p in paths:
-        if os.path.isfile(p):
-            out.append(p)
-        elif os.path.isdir(p):
-            for root, _dirs, files in os.walk(p):
-                for f in sorted(files):
-                    if f.endswith((".h", ".cc", ".cpp", ".hpp")):
-                        out.append(os.path.join(root, f))
-        else:
-            print(f"lint_invariants: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return out
-
-
 def run_lint(paths: list[str]) -> int:
     findings: list[Finding] = []
-    files = collect_files(paths)
+    files = collect_files(paths, tool="lint_invariants")
     for path in files:
         lint_file(path, findings)
-    for f in sorted(findings, key=lambda x: (x.path, x.line)):
-        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    print_findings(findings)
     if findings:
         print(f"lint_invariants: {len(findings)} finding(s) in "
               f"{len(files)} file(s)", file=sys.stderr)
@@ -466,36 +293,19 @@ EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([a-z-]+)")
 def run_selftest(fixture_dir: str) -> int:
     """Every fixture declares its expected findings with `// lint-expect: rule`
     lines; `good_*` fixtures declare none and must lint clean. A fixture that
-    over- or under-reports fails the selftest, so the linter cannot rot."""
-    files = collect_files([fixture_dir])
-    if not files:
-        print(f"lint_invariants --selftest: no fixtures in {fixture_dir}",
-              file=sys.stderr)
-        return 2
-    failures = 0
-    for path in files:
-        with open(path, encoding="utf-8") as f:
-            raw = f.read()
-        expected = sorted(EXPECT_RE.findall(raw))
+    over- or under-reports fails the selftest, so the linter cannot rot.
+    Only files directly in the fixture directory participate — subdirectories
+    (e.g. the analyzer's fixture groups under analyze/) belong to other
+    tools' selftests."""
+
+    def check(files: list[str]) -> list[Finding]:
         findings: list[Finding] = []
-        lint_file(path, findings)
-        actual = sorted(f.rule for f in findings)
-        status = "ok"
-        if actual != expected:
-            failures += 1
-            status = "FAIL"
-        print(f"[{status}] {os.path.basename(path)}: expected {expected or '[]'}, "
-              f"got {actual or '[]'}")
-        if status == "FAIL":
-            for f2 in findings:
-                print(f"    {f2.path}:{f2.line}: [{f2.rule}] {f2.message}")
-    if failures:
-        print(f"lint_invariants --selftest: {failures}/{len(files)} fixtures "
-              "FAILED", file=sys.stderr)
-        return 1
-    print(f"lint_invariants --selftest: all {len(files)} fixtures behave as "
-          "expected")
-    return 0
+        for path in files:
+            lint_file(path, findings)
+        return findings
+
+    return _run_fixture_selftest(fixture_dir, EXPECT_RE, check,
+                                 tool="lint_invariants")
 
 
 def main(argv: list[str]) -> int:
@@ -510,7 +320,7 @@ def main(argv: list[str]) -> int:
             return 2
         return run_selftest(argv[i + 1])
     paths = [a for a in argv if not a.startswith("-")]
-    return run_lint(paths or ["src"])
+    return run_lint(paths or ["src", "tools/recon_cli.cc", "tests"])
 
 
 if __name__ == "__main__":

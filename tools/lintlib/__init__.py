@@ -1,0 +1,21 @@
+"""Shared machinery for the repo's zero-dependency static-analysis tools.
+
+Two front ends sit on this package:
+
+  tools/lint_invariants.py   per-file lexical invariant rules (randomness,
+                             clock, hash-order, checkpoint-pair, format-pair,
+                             guard, lockfree, durable-write)
+  tools/analyze_program.py   cross-translation-unit passes (lockgraph,
+                             ckpt-coverage, hotpath, crash-registry)
+
+Both share one tokenizer (`source.strip_comments_and_strings`), one waiver
+grammar (`waivers.Waivers`: `// lint:<rule>-ok(reason)`), one finding type
+(`findings.Finding`) and one fixture-selftest harness (`fixtures`), so a
+grammar or tokenizer fix lands in every tool at once. Pure standard-library
+Python — no libclang — so results are identical on dev boxes and CI; the
+fixture selftests in tests/lint_fixtures/ keep the lexical matching honest.
+"""
+
+from __future__ import annotations
+
+__all__ = ["source", "findings", "waivers", "cpp", "fixtures"]

@@ -1,0 +1,502 @@
+"""Lexical C++ model shared by the invariant linter and the program analyzer.
+
+Everything here operates on comment/string-stripped code (source.py), with
+brace/paren matching instead of a real parser. That is deliberate: the tools
+must run identically everywhere with zero dependencies, and the fixture
+selftests pin the matching behaviour. The model extracts:
+
+  * class/struct bodies (brace-matched, nested bodies included),
+  * per-instance data-member declarations inside a class body,
+  * function definitions (free, qualified `Cls::fn`, and inline methods)
+    with their brace-matched bodies,
+  * call-site names inside a body (for the cross-TU call graph),
+  * lock-acquisition sites (util::MutexLock, std::lock_guard/unique_lock/
+    scoped_lock) and the brace scope each one covers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:RECON_\w+\s*(?:\([^)]*\))?\s*)?(\w+)[^;{()]*\{"
+)
+
+# Names that look like `name(...)` but never introduce a function definition.
+CONTROL_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "new", "delete", "throw", "static_assert", "case", "using",
+    "alignas", "noexcept", "requires", "assert", "defined", "co_await",
+    "co_return", "co_yield", "else", "do", "operator",
+})
+
+# Method names so pervasive on std containers/smart pointers that a call
+# edge on the bare name would connect nearly everything to nearly
+# everything. Calls to these never create cross-TU call-graph edges; a
+# project function deliberately named like one of these must be renamed to
+# participate in the analysis.
+CALL_NAME_STOPLIST = frozenset({
+    "begin", "end", "cbegin", "cend", "rbegin", "rend", "size", "empty",
+    "clear", "reserve", "resize", "push_back", "emplace_back", "emplace",
+    "pop_back", "pop_front", "push_front", "front", "back", "at", "find",
+    "count", "contains", "insert", "erase", "data", "c_str", "str", "get",
+    "reset", "release", "swap", "first", "second", "value", "has_value",
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "wait",
+    "notify_one", "notify_all", "lock", "unlock", "try_lock", "native",
+    "min", "max", "abs", "move", "forward", "make_unique", "make_shared",
+    "make_pair", "make_tuple", "to_string", "substr", "append", "assign",
+    "compare", "length", "rfind", "capacity", "shrink_to_fit", "fill",
+    "top", "pop", "push", "test", "set", "tie", "good", "bad", "fail",
+    "eof", "what", "joinable", "join", "detach", "void", "bool", "int",
+    "double", "float", "char", "unsigned", "long", "short", "auto",
+})
+
+
+def match_delim(code: str, open_idx: int, open_ch: str, close_ch: str) -> int:
+    """Index of the delimiter matching code[open_idx], or -1 if unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+@dataclass
+class ClassBody:
+    name: str
+    start: int        # offset of the class keyword
+    body_start: int   # offset just past the opening brace
+    body_end: int     # offset of the closing brace
+    body: str
+
+
+def class_bodies(code: str):
+    """Yields a ClassBody for each class/struct with a braced body in
+    comment-stripped `code`. Nested bodies are yielded too."""
+    for m in CLASS_RE.finditer(code):
+        open_brace = m.end() - 1
+        close = match_delim(code, open_brace, "{", "}")
+        if close >= 0:
+            yield ClassBody(m.group(2), m.start(), open_brace + 1, close,
+                            code[open_brace + 1:close])
+
+
+# ---------------------------------------------------------------------------
+# Data members
+
+
+_ACCESS_RE = re.compile(r"^\s*(?:public|private|protected)\s*:")
+_SKIP_STMT_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static\b|constexpr\b|enum\b|"
+    r"namespace\b|template\b|class\b|struct\b|union\b|~)")
+_TRAILING_ATTR_RE = re.compile(r"RECON_\w+\s*(?:\([^()]*\))?\s*$")
+_DECLARATOR_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*$")
+
+
+@dataclass
+class MemberField:
+    name: str
+    offset: int  # offset of the declarator name within the class body
+
+
+def member_fields(body: str) -> list[MemberField]:
+    """Per-instance data members declared at the top level of a class body.
+
+    Lexical: splits the body into top-level statements (inline method bodies
+    and nested classes are skipped wholesale), drops anything that looks like
+    a function declaration, an alias, or static/constexpr state, and keeps
+    the declarator name of what remains.
+    """
+    fields: list[MemberField] = []
+    stmt_start = 0
+    i, n = 0, len(body)
+    while i < n:
+        c = body[i]
+        if c in "{([":
+            close = match_delim(body, i, c, {"{": "}", "(": ")", "[": "]"}[c])
+            if close < 0:
+                break
+            if c == "{":
+                # An inline body `void f() { ... }` usually has no trailing
+                # ';': treat the close brace as a statement boundary unless a
+                # brace-init `= {...};` or `x{...};` follows with one.
+                j = close + 1
+                while j < n and body[j] in " \t\n":
+                    j += 1
+                if j < n and body[j] == ";":
+                    _flush_member(body, stmt_start, j, fields)
+                    i = stmt_start = j + 1
+                    continue
+                i = stmt_start = close + 1
+                continue
+            i = close + 1
+            continue
+        if c == ";":
+            _flush_member(body, stmt_start, i, fields)
+            stmt_start = i + 1
+        i += 1
+    return fields
+
+
+def _flush_member(body: str, start: int, end: int,
+                  fields: list[MemberField]) -> None:
+    stmt = body[start:end]
+    # Strip access-specifier labels that precede the statement.
+    while True:
+        m = _ACCESS_RE.match(stmt)
+        if m is None:
+            break
+        start += m.end()
+        stmt = body[start:end]
+    if not stmt.strip() or _SKIP_STMT_RE.match(stmt):
+        return
+    # `bool operator==(...) const = default;` would otherwise be cut at the
+    # '=' inside 'operator==' and mis-read as a field named 'operator'.
+    if re.search(r"\boperator\b", stmt):
+        return
+    # Cut at the initializer if any; what precedes is the declaration proper.
+    decl = stmt
+    for cut in ("=",):
+        idx = decl.find(cut)
+        if idx >= 0:
+            decl = decl[:idx]
+    # Brace/paren initializers were skipped by the statement walker, so a
+    # surviving '(' means a function declaration.
+    if "(" in decl:
+        return
+    # Drop trailing RECON_* attribute macros (e.g. RECON_GUARDED_BY(mu)).
+    while True:
+        m = _TRAILING_ATTR_RE.search(decl.rstrip())
+        if m is None:
+            break
+        decl = decl.rstrip()[:m.start()]
+    m = _DECLARATOR_RE.search(decl.rstrip())
+    if m is None:
+        return
+    name = m.group(1)
+    # A lone identifier is a label fragment or macro, not `Type name`.
+    if decl.rstrip().rstrip("[] \t\n") == name or name in CONTROL_KEYWORDS:
+        if decl.strip() == name:
+            return
+    fields.append(MemberField(name, start + decl.find(name)))
+
+
+# ---------------------------------------------------------------------------
+# Function definitions
+
+
+FN_NAME_RE = re.compile(
+    r"(~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(")
+_QUALIFIER_WORDS = frozenset({
+    "const", "noexcept", "override", "final", "mutable", "throw",
+    "requires", "try",
+})
+
+
+@dataclass
+class FunctionDef:
+    qname: str          # e.g. "PmArest::save_state" or "run_attack"
+    name: str           # simple name: "save_state"
+    cls: str | None     # class name from the qualifier or enclosing body
+    path: str
+    line: int           # 1-based line of the name
+    body_start: int     # offset just past the opening brace (file offsets)
+    body_end: int       # offset of the closing brace
+    body: str
+    annotations: str    # qualifier text between ')' and '{' (RECON_* etc.)
+    calls: set[str] = field(default_factory=set)
+
+
+def function_defs(code: str, path: str, line_of) -> list[FunctionDef]:
+    """Finds function definitions (name + brace-matched body) in stripped
+    code: free functions, out-of-line `Cls::fn` definitions, constructors
+    with member-init lists, and inline methods (class association is filled
+    in from enclosing class bodies)."""
+    classes = list(class_bodies(code))
+    defs: list[FunctionDef] = []
+    for m in FN_NAME_RE.finditer(code):
+        name = m.group(1)
+        simple = name.split("::")[-1].strip().lstrip("~")
+        if simple in CONTROL_KEYWORDS or not simple:
+            continue
+        open_p = m.end() - 1
+        close_p = match_delim(code, open_p, "(", ")")
+        if close_p < 0:
+            continue
+        body_open = _find_body_brace(code, close_p + 1)
+        if body_open is None:
+            continue
+        body_close = match_delim(code, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        cls = None
+        if "::" in name:
+            parts = [p.strip() for p in name.split("::")]
+            cls = parts[-2] if len(parts) >= 2 else None
+        else:
+            # Innermost class body containing the definition, if any.
+            best = None
+            for cb in classes:
+                if cb.body_start <= m.start() < cb.body_end:
+                    if best is None or cb.body_start > best.body_start:
+                        best = cb
+            if best is not None:
+                cls = best.name
+        qname = f"{cls}::{simple}" if cls else simple
+        defs.append(FunctionDef(
+            qname=qname, name=simple, cls=cls, path=path,
+            line=line_of(m.start()),
+            body_start=body_open + 1, body_end=body_close,
+            body=code[body_open + 1:body_close],
+            annotations=code[close_p + 1:body_open]))
+    return defs
+
+
+def _find_body_brace(code: str, i: int) -> int | None:
+    """From just past a parameter list's ')', walks qualifier tokens
+    (const/noexcept/override/RECON_* attributes/trailing return/member-init
+    lists) to the definition's opening '{'. Returns None for declarations
+    and call expressions."""
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c in " \t\n":
+            i += 1
+            continue
+        if c == "{":
+            return i
+        if c in ";,)]}":
+            return None
+        if c == ":":
+            if i + 1 < n and code[i + 1] == ":":
+                return None
+            # Constructor member-init list: `: a_(x), b_{y} {`.
+            i += 1
+            while i < n:
+                if code[i] in " \t\n,":
+                    i += 1
+                    continue
+                if code[i] == "{":
+                    # Brace could open an init `b_{y}` (identifier directly
+                    # before it) or the body. An init brace is always
+                    # preceded by an identifier character.
+                    k = i - 1
+                    while k >= 0 and code[k] in " \t\n":
+                        k -= 1
+                    if k >= 0 and (code[k].isalnum() or code[k] in "_>)"):
+                        prev = code[max(0, k - 16):k + 1]
+                        if not prev.rstrip().endswith(")"):
+                            close = match_delim(code, i, "{", "}")
+                            if close < 0:
+                                return None
+                            i = close + 1
+                            continue
+                    return i
+                if code[i] == "(":
+                    close = match_delim(code, i, "(", ")")
+                    if close < 0:
+                        return None
+                    i = close + 1
+                    continue
+                if code[i].isalnum() or code[i] in "_:<>":
+                    i += 1
+                    continue
+                return None
+            return None
+        if c == "-" and i + 1 < n and code[i + 1] == ">":
+            # Trailing return type: skip tokens until the body brace.
+            i += 2
+            while i < n and code[i] not in "{;":
+                i += 1
+            continue
+        if c == "(":  # noexcept(...), RECON_*(...)
+            close = match_delim(code, i, "(", ")")
+            if close < 0:
+                return None
+            i = close + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (code[j].isalnum() or code[j] == "_"):
+                j += 1
+            word = code[i:j]
+            if word in _QUALIFIER_WORDS or word.startswith("RECON_"):
+                i = j
+                continue
+            return None
+        if c in "=&":
+            # `= default` / `= delete` / ref-qualifiers: not a braced def.
+            return None
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Call sites
+
+
+CALL_RE = re.compile(r"(?<![\w:])([A-Za-z_]\w*)\s*\(")
+
+
+def called_names(body: str) -> set[str]:
+    """Simple names that appear as `name(` in a body, minus control keywords
+    and the std-container stoplist. Method calls (`x.name(`, `p->name(`)
+    are included; qualified tails (`ns::name(`) are captured by a separate
+    pass below."""
+    out: set[str] = set()
+    for m in CALL_RE.finditer(body):
+        name = m.group(1)
+        if name in CONTROL_KEYWORDS or name in CALL_NAME_STOPLIST:
+            continue
+        out.add(name)
+    for m in re.finditer(r"::\s*([A-Za-z_]\w*)\s*\(", body):
+        name = m.group(1)
+        if name in CONTROL_KEYWORDS or name in CALL_NAME_STOPLIST:
+            continue
+        out.add(name)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lock acquisitions
+
+
+ACQUIRE_RES = (
+    re.compile(r"\bMutexLock\s+\w+\s*\(\s*([^();]+?)\s*\)"),
+    re.compile(
+        r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock)\s*"
+        r"<[^>;]*>\s+\w+\s*\(\s*([^();]+?)\s*\)"),
+)
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:std\s*::\s*mutex|util\s*::\s*Mutex|Mutex)\s+(\w+)\s*;")
+LOCAL_MUTEX_RE = re.compile(
+    r"\b(?:static\s+)?(?:std\s*::\s*mutex|util\s*::\s*Mutex|Mutex)\s+(\w+)\s*;")
+
+
+@dataclass
+class Acquisition:
+    expr: str      # the constructor argument, e.g. "r.mutex" or "mu_"
+    leaf: str      # last identifier of the expression
+    offset: int    # offset within the scanned body
+    scope_end: int  # end offset of the enclosing brace scope
+
+
+def acquisitions(body: str) -> list[Acquisition]:
+    out: list[Acquisition] = []
+    pairs = brace_pairs(body)
+    for pat in ACQUIRE_RES:
+        for m in pat.finditer(body):
+            expr = m.group(1).strip()
+            leaf_m = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+            if leaf_m is None:
+                continue
+            out.append(Acquisition(
+                expr=expr, leaf=leaf_m.group(1), offset=m.start(),
+                scope_end=enclosing_scope_end(pairs, m.start(), len(body))))
+    out.sort(key=lambda a: a.offset)
+    return out
+
+
+def brace_pairs(body: str) -> list[tuple[int, int]]:
+    pairs: list[tuple[int, int]] = []
+    stack: list[int] = []
+    for i, c in enumerate(body):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            pairs.append((stack.pop(), i))
+    return pairs
+
+
+def enclosing_scope_end(pairs: list[tuple[int, int]], pos: int,
+                        default: int) -> int:
+    best = default
+    best_span = None
+    for open_i, close_i in pairs:
+        if open_i < pos < close_i:
+            span = close_i - open_i
+            if best_span is None or span < best_span:
+                best, best_span = close_i, span
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Call-argument and lambda helpers (parallel-root extraction)
+
+
+def call_args(code: str, open_paren: int) -> list[tuple[str, int]]:
+    """Splits the argument list opening at `open_paren` into (text, offset)
+    pairs at top-level commas."""
+    close = match_delim(code, open_paren, "(", ")")
+    if close < 0:
+        return []
+    args: list[tuple[str, int]] = []
+    depth = 0
+    start = open_paren + 1
+    i = start
+    while i <= close:
+        c = code[i]
+        if c in "([{<":
+            if c != "<" or _is_template_open(code, i):
+                depth += 1
+        elif c in ")]}>":
+            if c != ">" or _is_template_close(code, i):
+                depth -= 1
+        if (c == "," and depth == 0) or i == close:
+            args.append((code[start:i].strip(), start))
+            start = i + 1
+        i += 1
+    return args
+
+
+def _is_template_open(code: str, i: int) -> bool:
+    # Good enough: treat '<' as nesting only when directly after an
+    # identifier (template argument list), so comparisons don't unbalance.
+    return i > 0 and (code[i - 1].isalnum() or code[i - 1] == "_")
+
+
+def _is_template_close(code: str, i: int) -> bool:
+    return i > 0 and code[i - 1] != "-"  # exclude '->'
+
+
+LAMBDA_INTRO_RE = re.compile(r"\[[^\[\]]*\]")
+
+
+def lambda_body(code: str, lambda_start: int) -> tuple[str, int] | None:
+    """Given the offset of a lambda's '[', returns (body, body_offset)."""
+    m = LAMBDA_INTRO_RE.match(code, lambda_start)
+    if m is None:
+        return None
+    i = m.end()
+    n = len(code)
+    while i < n and code[i] in " \t\n":
+        i += 1
+    if i < n and code[i] == "(":
+        close = match_delim(code, i, "(", ")")
+        if close < 0:
+            return None
+        i = close + 1
+    while i < n and code[i] != "{":
+        if code[i] == ";":
+            return None
+        i += 1
+    if i >= n:
+        return None
+    close = match_delim(code, i, "{", "}")
+    if close < 0:
+        return None
+    return code[i + 1:close], i + 1
+
+
+def named_lambda(code: str, name: str) -> tuple[str, int] | None:
+    """Finds `auto name = [...](...) {...}` and returns its body."""
+    m = re.search(r"\b" + re.escape(name) + r"\s*=\s*\[", code)
+    if m is None:
+        return None
+    return lambda_body(code, m.end() - 1)

@@ -1,0 +1,51 @@
+"""The shared finding record and its reporting helpers.
+
+Findings sort by (path, line, rule, message) everywhere — terminal output,
+--json output, selftest comparisons — so no tool output can depend on dict
+or set iteration order (the same hash-order discipline the linter enforces
+on the C++ tree applies to the tooling itself).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+
+def sorted_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def print_findings(findings: list[Finding]) -> None:
+    for f in sorted_findings(findings):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+
+def findings_to_json(findings: list[Finding], *, tool: str,
+                     files_scanned: int, extra: dict | None = None) -> str:
+    """Stable JSON document: sorted findings, sorted keys, no hash-order
+    leakage (the analyze_json_stable test runs this under different
+    PYTHONHASHSEED values and asserts byte-identical output)."""
+    doc = {
+        "tool": tool,
+        "files_scanned": files_scanned,
+        "findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in sorted_findings(findings)
+        ],
+    }
+    if extra:
+        doc.update(extra)
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

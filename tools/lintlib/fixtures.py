@@ -1,0 +1,98 @@
+"""Fixture selftest harness shared by the linter and the analyzer.
+
+Every fixture declares its expected findings with marker comment lines
+(`// lint-expect: <rule>` for the invariant linter, `// analyze-expect:
+<rule>` for the program analyzer); `good_*` fixtures declare none and must
+come back clean. A fixture that over- or under-reports fails the selftest,
+so neither tool's lexical matching can rot.
+
+Two layouts are supported:
+
+  * flat (lint_invariants): every .cc/.h directly in the fixture directory
+    is one independent single-file fixture;
+  * grouped (analyze_program): a top-level file is a single-file fixture,
+    and a subdirectory is one multi-file fixture analyzed as a unit — that
+    is how the cross-TU passes (a lock cycle spanning two files, an
+    out-of-line restore_state missing a field) are pinned down.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+from .findings import Finding
+from .source import CXX_SUFFIXES
+
+
+def _fixture_files(directory: str) -> list[str]:
+    return sorted(
+        os.path.join(directory, f) for f in os.listdir(directory)
+        if f.endswith(CXX_SUFFIXES))
+
+
+def _walk_files(directory: str) -> list[str]:
+    out = []
+    for root, dirs, files in os.walk(directory):
+        dirs.sort()
+        out.extend(os.path.join(root, f) for f in sorted(files)
+                   if f.endswith(CXX_SUFFIXES))
+    return out
+
+
+def fixture_groups(directory: str, grouped: bool) -> list[tuple[str, list[str]]]:
+    """(display name, file list) per fixture. Flat layout: one file each.
+    Grouped layout: subdirectories become multi-file fixtures."""
+    groups: list[tuple[str, list[str]]] = []
+    for f in _fixture_files(directory):
+        groups.append((os.path.basename(f), [f]))
+    if grouped:
+        for entry in sorted(os.listdir(directory)):
+            full = os.path.join(directory, entry)
+            if os.path.isdir(full):
+                files = _walk_files(full)
+                if files:
+                    groups.append((entry + "/", files))
+    return groups
+
+
+def expected_rules(files: list[str], expect_re: re.Pattern) -> list[str]:
+    expected: list[str] = []
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            expected.extend(expect_re.findall(f.read()))
+    return sorted(expected)
+
+
+def run_selftest(directory: str, expect_re: re.Pattern, check,
+                 tool: str, grouped: bool = False) -> int:
+    """Runs `check(files) -> list[Finding]` per fixture and compares the
+    sorted rule multiset against the declared expectations. Returns an exit
+    status (0 ok, 1 mismatches, 2 empty directory)."""
+    groups = fixture_groups(directory, grouped)
+    if not groups:
+        print(f"{tool} --selftest: no fixtures in {directory}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for name, files in groups:
+        expected = expected_rules(files, expect_re)
+        findings: list[Finding] = check(files)
+        actual = sorted(f.rule for f in findings)
+        status = "ok"
+        if actual != expected:
+            failures += 1
+            status = "FAIL"
+        print(f"[{status}] {name}: expected {expected or '[]'}, "
+              f"got {actual or '[]'}")
+        if status == "FAIL":
+            for f2 in findings:
+                print(f"    {f2.path}:{f2.line}: [{f2.rule}] {f2.message}")
+    if failures:
+        print(f"{tool} --selftest: {failures}/{len(groups)} fixtures "
+              "FAILED", file=sys.stderr)
+        return 1
+    print(f"{tool} --selftest: all {len(groups)} fixtures behave as "
+          "expected")
+    return 0
