@@ -1,0 +1,168 @@
+// Runtime planner ablation: full PM-AReST campaigns with the dispatch pinned
+// to each selector (`--planner fixed:<s>`) versus the cost-model-driven
+// `--planner auto`, across batch sizes and graph families, plus a
+// million-node binary-substrate variant.
+//
+// The claim captured in BENCH_planner.json (tools/bench_planner.sh): auto
+// lands within a few percent of the best fixed strategy at every (graph, k)
+// point — one exploratory batch per non-preferred selector, then the cost
+// models converge — and beats the worst fixed strategy outright. The branch
+// tree is benchmarked only at small k: its 2^k cost is exactly why a fixed
+// wrong choice is expensive and why the planner's closed-form estimate
+// refuses it at scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/attack.h"
+#include "core/planner.h"
+#include "core/pm_arest.h"
+#include "graph/datasets.h"
+#include "graph/format.h"
+#include "graph/generators.h"
+#include "sim/problem.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace recon;
+
+enum class Family { kBa, kEr, kMillionBinary };
+
+sim::Problem make_problem_for(Family family, graph::NodeId n,
+                              std::uint64_t seed) {
+  sim::ProblemOptions opts;
+  opts.num_targets = std::max<std::size_t>(20, n / 50);
+  opts.base_acceptance = 0.35;
+  opts.seed = seed;
+  switch (family) {
+    case Family::kBa:
+      return sim::make_problem(
+          graph::assign_edge_probs(
+              graph::barabasi_albert(n, 4, static_cast<int>(seed)),
+              graph::EdgeProbModel::uniform(0.3, 0.95), seed + 1),
+          opts);
+    case Family::kEr:
+      return sim::make_problem(
+          graph::assign_edge_probs(
+              graph::erdos_renyi_gnm(n, 4 * static_cast<graph::EdgeId>(n),
+                                     static_cast<int>(seed)),
+              graph::EdgeProbModel::uniform(0.2, 0.9), seed + 1),
+          opts);
+    case Family::kMillionBinary: {
+      // The mmap-able CSR substrate: streamed to disk once per process,
+      // reopened trusted (no verify) like a production campaign would.
+      static std::string path;
+      if (path.empty()) {
+        path = "/tmp/recon_bench_planner_1m.bin";
+        graph::stream_barabasi_albert_binary(
+            path, n, 8, graph::EdgeProbModel::uniform(0.3, 0.95), 20170605,
+            graph::GraphBinaryWriteOptions{});
+      }
+      return sim::make_problem(graph::map_graph_binary_file(path), opts);
+    }
+  }
+  return sim::make_problem(graph::barabasi_albert(100, 4, 1), opts);
+}
+
+/// Problems are expensive to build (the million-node one especially); cache
+/// one per (family, n) for the whole bench process.
+const sim::Problem& problem_for(Family family, graph::NodeId n,
+                                std::uint64_t seed) {
+  static std::map<std::pair<int, graph::NodeId>, std::unique_ptr<sim::Problem>>
+      cache;
+  const auto key = std::make_pair(static_cast<int>(family), n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, std::make_unique<sim::Problem>(
+                               make_problem_for(family, n, seed)))
+             .first;
+  }
+  return *it->second;
+}
+
+struct CampaignSpec {
+  Family family;
+  graph::NodeId n;
+  int k;
+  double budget_batches;  ///< budget = k * budget_batches
+  core::PlannerMode mode;
+  core::PlanStrategy fixed;  ///< used when mode == kFixed
+};
+
+void run_campaign(benchmark::State& state, const CampaignSpec& spec) {
+  const sim::Problem& p = problem_for(spec.family, spec.n, 20170605);
+  const sim::World w(p, 42);
+  const double budget = static_cast<double>(spec.k) * spec.budget_batches;
+  double benefit = 0.0;
+  std::uint64_t batches = 0;
+  for (auto _ : state) {
+    core::PmArestOptions o;
+    o.batch_size = spec.k;
+    o.allow_retries = true;
+    o.planner.mode = spec.mode;
+    o.planner.fixed_strategy = spec.fixed;
+    core::PmArest strategy(o);
+    const auto trace = core::run_attack(p, w, strategy, budget);
+    benchmark::DoNotOptimize(trace.batches.size());
+    benefit = trace.total_benefit();
+    batches = trace.batches.size();
+  }
+  state.counters["benefit"] = benefit;
+  state.counters["batches"] = static_cast<double>(batches);
+}
+
+void register_point(const std::string& tag, Family family, graph::NodeId n,
+                    int k, double budget_batches, int iterations) {
+  struct Variant {
+    const char* name;
+    core::PlannerMode mode;
+    core::PlanStrategy fixed;
+  };
+  // The branch tree enumerates 2^k branches: benchmarked only where a fixed
+  // wrong choice is still finite (small k), skipped everywhere else.
+  std::vector<Variant> variants = {
+      {"fixed_cached", core::PlannerMode::kFixed,
+       core::PlanStrategy::kCollapsedCached},
+      {"fixed_uncached", core::PlannerMode::kFixed,
+       core::PlanStrategy::kCollapsedUncached},
+      {"auto", core::PlannerMode::kAuto, core::PlanStrategy::kCollapsedCached},
+  };
+  if (k <= 4 && family != Family::kMillionBinary) {
+    variants.insert(variants.begin() + 2,
+                    {"fixed_tree", core::PlannerMode::kFixed,
+                     core::PlanStrategy::kBranchTree});
+  }
+  for (const Variant& v : variants) {
+    const CampaignSpec spec{family, n, k, budget_batches, v.mode, v.fixed};
+    auto* b = benchmark::RegisterBenchmark(
+        ("BM_PlannerCampaign/" + tag + "/k" + std::to_string(k) + "/" + v.name)
+            .c_str(),
+        [spec](benchmark::State& state) { run_campaign(state, spec); });
+    b->Unit(benchmark::kMillisecond);
+    if (iterations > 0) b->Iterations(iterations);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // k sweep on the two synthetic families the paper evaluates.
+  for (const int k : {4, 8, 16}) {
+    register_point("ba", Family::kBa, 8000, k, 12.0, /*iterations=*/0);
+    register_point("er", Family::kEr, 8000, k, 12.0, /*iterations=*/0);
+  }
+  // Million-node binary substrate: few batches, one iteration — each
+  // uncached scoring pass walks ~17M adjacency entries.
+  register_point("ba1m", Family::kMillionBinary, 1'000'000, 8, 4.0,
+                 /*iterations=*/1);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "core/checkpoint_chain.h"
 #include "core/supervisor.h"
 #include "core/m_arest.h"
+#include "core/planner.h"
 #include "core/pm_arest.h"
 #include "core/retry_policy.h"
 #include "defense/detector.h"
@@ -110,18 +111,49 @@ sim::Problem load_problem(const util::Args& args) {
   return sim::make_problem(std::move(g), opts);
 }
 
+/// Parses `--planner off|auto|fixed:<strategy>` into planner options. The
+/// default (off) keeps every strategy's legacy flag-driven dispatch
+/// bit-identical to pre-planner builds.
+core::PlannerOptions parse_planner_options(const util::Args& args) {
+  core::PlannerOptions po;
+  const std::string spec = args.get("planner", "off");
+  if (spec == "off") return po;
+  if (spec == "auto") {
+    po.mode = core::PlannerMode::kAuto;
+    return po;
+  }
+  if (spec.rfind("fixed:", 0) == 0) {
+    core::PlanStrategy s = core::PlanStrategy::kCollapsedUncached;
+    if (core::parse_plan_strategy(spec.substr(6), &s)) {
+      po.mode = core::PlannerMode::kFixed;
+      po.fixed_strategy = s;
+      return po;
+    }
+  }
+  throw std::invalid_argument(
+      "bad --planner '" + spec +
+      "' (off|auto|fixed:<cached|uncached|tree|saa|exact|greedy>)");
+}
+
 core::StrategyFactory make_factory(const util::Args& args) {
   const std::string name = args.get("strategy", "pm");
   const int k = static_cast<int>(args.get_int("k", 10));
   const bool retries = args.has("retries");
   const auto max_attempts =
       static_cast<std::uint32_t>(args.get_int("max-attempts", 0));
+  const core::PlannerOptions planner = parse_planner_options(args);
+  if (planner.mode != core::PlannerMode::kOff && name != "pm" &&
+      name != "mip" && name != "fallback") {
+    throw std::invalid_argument(
+        "--planner requires --strategy pm, mip, or fallback");
+  }
   if (name == "pm") {
-    return [k, retries, max_attempts](int) {
+    return [k, retries, max_attempts, planner](int) {
       core::PmArestOptions o;
       o.batch_size = k;
       o.allow_retries = retries;
       o.max_attempts_per_node = max_attempts;
+      o.planner = planner;
       return std::make_unique<core::PmArest>(o);
     };
   }
@@ -144,13 +176,14 @@ core::StrategyFactory make_factory(const util::Args& args) {
   if (name == "mip" || name == "lshaped") {
     const auto samples = static_cast<std::size_t>(args.get_int("samples", 300));
     const bool benders = name == "lshaped";
-    return [k, retries, samples, benders](int) {
+    return [k, retries, samples, benders, planner](int) {
       solver::MipStrategyOptions o;
       o.batch_size = k;
       o.allow_retries = retries;
       o.scenarios_per_batch = samples;
       o.candidate_cap = 30;
       o.use_benders = benders;
+      o.planner = planner;
       return std::make_unique<solver::MipBatchStrategy>(o);
     };
   }
@@ -158,7 +191,7 @@ core::StrategyFactory make_factory(const util::Args& args) {
     const auto samples = static_cast<std::size_t>(args.get_int("samples", 300));
     const double fob_ms = args.get_double("fob-deadline-ms", 50.0);
     const double saa_ms = args.get_double("saa-deadline-ms", 50.0);
-    return [k, retries, samples, fob_ms, saa_ms](int) {
+    return [k, retries, samples, fob_ms, saa_ms, planner](int) {
       solver::FallbackOptions o;
       o.batch_size = k;
       o.allow_retries = retries;
@@ -166,6 +199,7 @@ core::StrategyFactory make_factory(const util::Args& args) {
       o.exact_deadline_seconds = fob_ms / 1000.0;
       o.saa_deadline_seconds = saa_ms / 1000.0;
       o.candidate_cap = 30;
+      o.planner = planner;
       return std::make_unique<solver::FallbackStrategy>(o);
     };
   }
@@ -917,6 +951,11 @@ void print_usage(std::ostream& out) {
          "             [--delay-model exp|fixed]]  (checkpoint/resume applies;\n"
          "             --stop-after/--checkpoint-every count resolved events)\n"
          "            fallback solver: [--fob-deadline-ms MS] [--saa-deadline-ms MS]\n"
+         "            runtime planner (strategy pm|mip|fallback; default off\n"
+         "            keeps the flag-driven dispatch bit-identical):\n"
+         "            [--planner off|auto|fixed:<cached|uncached|tree|saa|\n"
+         "             exact|greedy>]  (auto picks per batch from calibrated\n"
+         "             cost models; state rides in checkpoints)\n"
          "  graph     `#recon-graph v1` binary substrate tooling\n"
          "            convert --in GRAPH --out BIN [--layout degree|keep]\n"
          "            info    --in FILE            (header-only probe on binary)\n"

@@ -13,35 +13,6 @@ namespace recon::core {
 
 using graph::NodeId;
 
-namespace {
-
-/// Process-wide calibration for adaptive shard sizing: an EWMA of the
-/// measured scoring cost per work unit (one unit ~ one adjacency-row entry
-/// walked by the gamma kernel), in nanoseconds. Updated after every
-/// parallel scoring pass; read when planning the next one. Relaxed atomics:
-/// racing updates at worst mix two recent measurements, and the value only
-/// steers shard *layout*, which provably cannot change the selected batch
-/// (the frontier pop order is a strict total order on (score, orig id)).
-std::atomic<std::uint64_t> g_measured_nanos_per_unit{64};
-
-double shard_nanos_per_unit() {
-  return static_cast<double>(
-      g_measured_nanos_per_unit.load(std::memory_order_relaxed));
-}
-
-void record_shard_pass(std::uint64_t pass_nanos, double pass_work) {
-  if (pass_work <= 0.0 || pass_nanos == 0) return;
-  const double observed = static_cast<double>(pass_nanos) / pass_work;
-  const double old = static_cast<double>(
-      g_measured_nanos_per_unit.load(std::memory_order_relaxed));
-  const double blended = 0.75 * old + 0.25 * observed;
-  g_measured_nanos_per_unit.store(
-      static_cast<std::uint64_t>(std::max(1.0, blended)),
-      std::memory_order_relaxed);
-}
-
-}  // namespace
-
 std::vector<std::size_t> plan_score_shards(const std::vector<double>& work,
                                            std::size_t parties,
                                            double nanos_per_unit,
@@ -324,7 +295,11 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
     // Shard boundaries are adaptive (plan_score_shards): equal estimated
     // work per shard — degree-weighted, so hub-heavy ranges split finer
     // than low-degree tails — sized against the measured ns-per-unit of
-    // previous passes. Each pass feeds its own measurement back.
+    // previous passes (the caller's calibration instance, or the process-
+    // wide one). Each pass feeds its own measurement back.
+    ShardCalibration& calibration = options.calibration != nullptr
+                                        ? *options.calibration
+                                        : process_shard_calibration();
     const std::size_t n = candidates.size();
     const std::size_t parties = static_cast<std::size_t>(options.pool->size()) + 1;
     const auto& g = problem.graph;
@@ -335,7 +310,7 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
       total_work += work[i];
     }
     const std::vector<std::size_t> bounds =
-        plan_score_shards(work, parties, shard_nanos_per_unit());
+        plan_score_shards(work, parties, calibration.nanos_per_unit());
     const std::size_t num_shards = bounds.size() - 1;
     const std::size_t keep = static_cast<std::size_t>(options.batch_size);
 
@@ -343,8 +318,10 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
     std::atomic<std::uint64_t> pass_nanos{0};
     const GammaKernel kernel(obs, state, options.policy);
     auto score_shard = [&](std::size_t s) {
-      // Reporting-only wall clock: the measurement calibrates future
-      // shard layouts, and layout cannot change the selected batch.
+      // lint:hotpath-ok(sanctioned measurement site: one stopwatch per
+      // shard, two clock reads amortized over the whole shard's scoring;
+      // the reading calibrates future shard layouts and layout cannot
+      // change the selected batch)
       const util::WallTimer shard_timer;
       const std::size_t lo = bounds[s];
       const std::size_t hi = bounds[s + 1];
@@ -399,7 +376,8 @@ std::vector<NodeId> batch_select(const sim::Observation& obs,
     // Shard times overlap in wall-clock, but the EWMA wants *cost*, not
     // latency: the summed per-shard nanos over the summed work is exactly
     // the average ns each work unit cost this pass.
-    record_shard_pass(pass_nanos.load(std::memory_order_relaxed), total_work);
+    calibration.record_pass(pass_nanos.load(std::memory_order_relaxed),
+                            total_work);
 
     MergedFrontier frontier(std::move(shards));
     return lazy_pick_loop(obs, options, state, budget, frontier, score_of);

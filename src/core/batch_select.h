@@ -25,6 +25,7 @@
 
 #include "core/batch_state.h"
 #include "core/marginal.h"
+#include "core/planner.h"
 #include "sim/observation.h"
 #include "util/thread_pool.h"
 
@@ -55,6 +56,12 @@ struct BatchSelectOptions {
   /// selected batch is bit-identical either way, so this is purely a memory
   /// placement decision.
   bool numa_aware = true;
+  /// Shard-sizing calibration (measured ns per work unit) read when planning
+  /// the scoring shards and fed by each pass's measurement. nullptr uses the
+  /// process-wide `process_shard_calibration()`; planner-hosted campaigns
+  /// pass their own checkpointed instance. Purely a layout decision — the
+  /// selected batch is identical under every calibration value.
+  ShardCalibration* calibration = nullptr;
 };
 
 /// Selects up to options.batch_size nodes to request, greedily maximizing

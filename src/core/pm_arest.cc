@@ -7,18 +7,39 @@
 #include <stdexcept>
 
 #include "core/branch_tree.h"
+#include "util/timer.h"
 
 namespace recon::core {
 
 using graph::NodeId;
 
-PmArest::PmArest(PmArestOptions options) : options_(options), rng_(options.seed) {
+namespace {
+
+/// This host runs the greedy-floor selector variants only (the SAA tiers
+/// live in the fallback/MIP strategies).
+PlannerOptions host_planner_options(PlannerOptions po) {
+  po.admissible[static_cast<int>(PlanStrategy::kSaaGreedy)] = false;
+  po.admissible[static_cast<int>(PlanStrategy::kSaaExact)] = false;
+  return po;
+}
+
+}  // namespace
+
+PmArest::PmArest(PmArestOptions options)
+    : options_(options), rng_(options.seed),
+      planner_(host_planner_options(options.planner)) {
   if (options_.batch_size <= 0) {
     throw std::invalid_argument("PmArest: batch_size must be positive");
   }
   if (options_.vary_k_max > 0 &&
       (options_.vary_k_min <= 0 || options_.vary_k_min > options_.vary_k_max)) {
     throw std::invalid_argument("PmArest: bad varying-k range");
+  }
+  if (planner_.options().mode == PlannerMode::kFixed &&
+      !planner_.options()
+           .admissible[static_cast<int>(planner_.options().fixed_strategy)]) {
+    throw std::invalid_argument(
+        "PmArest: fixed planner strategy must be cached, uncached, or tree");
   }
 }
 
@@ -41,6 +62,7 @@ void PmArest::begin(const sim::Problem& problem, double budget) {
   cache_.reset();
   cache_obs_ = nullptr;
   last_attempts_.clear();
+  planner_.reset();
   if (options_.max_attempts_per_node != 0) {
     attempt_cap_ = options_.max_attempts_per_node;
   } else if (options_.allow_retries) {
@@ -59,6 +81,7 @@ std::string PmArest::save_state() const {
   const auto w = rng_.state_words();
   std::ostringstream ss;
   ss << "pmarest " << w[0] << ' ' << w[1] << ' ' << w[2] << ' ' << w[3];
+  if (planner_.enabled()) ss << ' ' << planner_.save_state();
   return ss.str();
 }
 
@@ -68,6 +91,17 @@ void PmArest::restore_state(const std::string& blob) {
   std::array<std::uint64_t, 4> w{};
   if (!(ss >> tag >> w[0] >> w[1] >> w[2] >> w[3]) || tag != "pmarest") {
     throw std::invalid_argument("PmArest::restore_state: bad state blob");
+  }
+  if (planner_.enabled()) {
+    std::string rest;
+    std::getline(ss, rest);
+    const std::size_t start = rest.find_first_not_of(' ');
+    if (start == std::string::npos) {
+      throw std::invalid_argument(
+          "PmArest::restore_state: planner enabled but state blob carries no "
+          "planner line");
+    }
+    planner_.restore_state(rest.substr(start));
   }
   rng_.set_state_words(w);
 }
@@ -101,9 +135,80 @@ void PmArest::sync_cache(const sim::Observation& obs) {
   }
 }
 
+std::vector<NodeId> PmArest::planned_batch(const sim::Observation& obs,
+                                           double remaining_budget, int k) {
+  const auto& g = obs.problem().graph;
+  const std::vector<NodeId> candidates = batch_candidates(
+      obs, options_.allow_retries, attempt_cap_, remaining_budget);
+  if (candidates.empty()) return {};
+
+  PlanFeatures f;
+  f.batch_size = k;
+  f.frontier_size = candidates.size();
+  for (const NodeId u : candidates) {
+    const auto deg = static_cast<double>(g.degree(u));
+    f.mean_degree += deg;
+    f.max_degree = std::max(f.max_degree, deg);
+  }
+  f.mean_degree /= static_cast<double>(candidates.size());
+
+  const PlanDecision decision = planner_.plan(f);
+  const double row = 1.0 + f.mean_degree;
+  const util::WallTimer timer;
+  std::vector<NodeId> batch;
+  double actual_work = 0.0;
+  switch (decision.strategy) {
+    case PlanStrategy::kCollapsedCached: {
+      sync_cache(obs);
+      const std::uint64_t before = cache_->rescore_count();
+      batch = cache_->select_batch(k, options_.allow_retries, attempt_cap_,
+                                   remaining_budget);
+      // Observed work = candidates actually rescored this batch (the dirty
+      // region), in the same row-walk units as the estimate — the ratio
+      // EWMA converges to the cache's dirty fraction.
+      actual_work =
+          static_cast<double>(cache_->rescore_count() - before) * row;
+      break;
+    }
+    case PlanStrategy::kCollapsedUncached: {
+      BatchSelectOptions bs;
+      bs.batch_size = k;
+      bs.policy = options_.policy;
+      bs.cost_sensitive = options_.cost_sensitive;
+      bs.allow_retries = options_.allow_retries;
+      bs.max_attempts_per_node = attempt_cap_;
+      bs.remaining_budget = remaining_budget;
+      bs.pool = options_.pool;
+      bs.calibration = &planner_.shard_calibration();
+      batch = batch_select(obs, bs);
+      actual_work = static_cast<double>(f.frontier_size) * row;
+      break;
+    }
+    case PlanStrategy::kBranchTree: {
+      BranchTreeOptions bt;
+      bt.batch_size = k;
+      bt.policy = options_.policy;
+      bt.allow_retries = options_.allow_retries;
+      bt.max_attempts_per_node = attempt_cap_;
+      bt.pool = options_.pool;
+      batch = branch_tree_select(obs, bt);
+      actual_work = decision.estimated_work;  // closed-form 2^k enumeration
+      break;
+    }
+    default:
+      throw std::logic_error("PmArest: planner chose an inadmissible strategy");
+  }
+  planner_.observe(decision, actual_work, timer.nanos(),
+                   /*overran_deadline=*/false);
+  return batch;
+}
+
 std::vector<NodeId> PmArest::next_batch(const sim::Observation& obs,
                                         double remaining_budget) {
   const int k = draw_batch_size();
+  if (planner_.enabled() && !options_.parallel_eager) {
+    return planned_batch(obs, remaining_budget, k);
+  }
   if (options_.use_branch_tree) {
     BranchTreeOptions bt;
     bt.batch_size = k;

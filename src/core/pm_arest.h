@@ -21,6 +21,7 @@
 
 #include "core/batch_select.h"
 #include "core/cached_selector.h"
+#include "core/planner.h"
 #include "core/strategy.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -51,6 +52,16 @@ struct PmArestOptions {
   util::ThreadPool* pool = nullptr;
   bool parallel_eager = false;
   std::uint64_t seed = 0x9d5f;  ///< randomness for varying batch sizes
+  /// Runtime planner (core/planner.h). Off (default): dispatch frozen by the
+  /// use_branch_tree / use_cache flags above, bit-identical to pre-planner
+  /// builds. Auto: per batch, the cheapest of {cached, uncached, tree} by
+  /// the calibrated cost models (cached and uncached select identical
+  /// batches — the cache is exactly equivalent — so only the branch tree
+  /// choice can alter a trace, and its 2^k cost model keeps it to tiny
+  /// frontiers). Fixed: pinned to one selector for parity runs. Ignored in
+  /// parallel_eager mode. The planner's shard calibration replaces the
+  /// process-wide one and is checkpointed with the strategy.
+  PlannerOptions planner = {};
 };
 
 class PmArest : public Strategy {
@@ -67,9 +78,12 @@ class PmArest : public Strategy {
   void restore_state(const std::string& blob) override;
 
   const PmArestOptions& options() const noexcept { return options_; }
+  const ExecutionPlanner& planner() const noexcept { return planner_; }
 
  private:
   int draw_batch_size();
+  std::vector<graph::NodeId> planned_batch(const sim::Observation& obs,
+                                           double remaining_budget, int k);
   /// Diffs the observation against the last-seen attempt counters and feeds
   /// accept/reject notifications into the cached selector.
   void sync_cache(const sim::Observation& obs);
@@ -90,6 +104,9 @@ class PmArest : public Strategy {
   // lint:ckpt-coverage-ok(rebuilt by sync_cache diffing the observation's
   // attempt counters from zero after the cache is reconstructed)
   std::vector<std::uint32_t> last_attempts_;
+  // lint:ckpt-coverage-ok(planner serializes itself; its blob is appended to
+  // this strategy's state line when the planner is enabled)
+  ExecutionPlanner planner_;
 };
 
 }  // namespace recon::core

@@ -244,7 +244,7 @@ BendersResult solve_fob_benders(const sim::Observation& obs,
         if (x[i] > 0.5) batch.push_back(candidates[i]);
       }
       const double value = saa_objective(obs, scenarios, batch,
-                                         {options.pool, /*antithetic_pairs=*/false});
+                                         {options.pool, options.antithetic});
       if (value > incumbent) {
         incumbent = value;
         incumbent_batch = std::move(batch);

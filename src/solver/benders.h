@@ -38,6 +38,9 @@ struct BendersOptions {
   /// Parallelize incumbent SAA evaluations across scenarios (nullptr =
   /// sequential); values are bit-identical at any thread count.
   util::ThreadPool* pool = nullptr;
+  /// The scenarios are antithetic (U, 1-U) pairs; evaluate each incumbent
+  /// with pair-aware reduction (SaaEvalOptions::antithetic_pairs).
+  bool antithetic = false;
 };
 
 struct BendersResult {

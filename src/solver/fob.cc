@@ -23,10 +23,15 @@ std::vector<NodeId> fob_candidates(const sim::Observation& obs, bool allow_retri
 
 FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                      std::size_t k, const std::vector<NodeId>& candidates,
-                     double deadline_seconds, util::ThreadPool* pool) {
+                     double deadline_seconds, util::ThreadPool* pool,
+                     bool antithetic) {
   FobResult result;
   if (k == 0 || candidates.empty()) return result;
-  const SaaEvalOptions eval{pool, /*antithetic_pairs=*/false};
+  const SaaEvalOptions eval{pool, antithetic};
+  const auto objective = [&](const std::vector<NodeId>& batch) {
+    ++result.saa_evals;
+    return saa_objective(obs, scenarios, batch, eval);
+  };
   util::WallTimer timer;
   const auto past_deadline = [&] {
     return deadline_seconds > 0.0 && timer.seconds() > deadline_seconds;
@@ -52,7 +57,7 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
       result.timed_out = true;
       break;
     }
-    const double v = saa_objective(obs, scenarios, {candidates[i]}, eval);
+    const double v = objective({candidates[i]});
     if (v > 0.0) heap.push({v, i, 0});
   }
   while (batch.size() < k && !heap.empty()) {
@@ -65,7 +70,7 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
     if (top.stamp != batch.size()) {
       std::vector<NodeId> with = batch;
       with.push_back(candidates[top.index]);
-      top.gain = saa_objective(obs, scenarios, with, eval) - current;
+      top.gain = objective(with) - current;
       top.stamp = batch.size();
       if (top.gain <= 0.0) continue;
       if (!heap.empty() && top.gain < heap.top().gain) {
@@ -77,8 +82,7 @@ FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& s
     current += top.gain;
   }
   result.batch = std::move(batch);
-  result.objective =
-      result.batch.empty() ? 0.0 : saa_objective(obs, scenarios, result.batch, eval);
+  result.objective = result.batch.empty() ? 0.0 : objective(result.batch);
   return result;
 }
 
@@ -86,14 +90,18 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
                     std::size_t k, const std::vector<NodeId>& candidates,
                     const FobExactOptions& options) {
   util::WallTimer timer;
-  const SaaEvalOptions eval{options.pool, /*antithetic_pairs=*/false};
+  const SaaEvalOptions eval{options.pool, options.antithetic};
+  std::uint64_t evals = 0;
   FobResult greedy = fob_greedy(obs, scenarios, k, candidates,
-                                options.deadline_seconds, options.pool);
+                                options.deadline_seconds, options.pool,
+                                options.antithetic);
+  evals += greedy.saa_evals;
   if (greedy.timed_out) {
     greedy.exact = false;
     return greedy;  // no time left for the search; partial greedy incumbent
   }
   if (k == 0 || candidates.empty()) return greedy;
+  greedy.saa_evals = 0;  // folded into the running `evals` total instead
 
   // Order candidates by decreasing singleton gain for pruning power, and
   // optionally cap the candidate pool.
@@ -103,8 +111,10 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
     if (options.deadline_seconds > 0.0 && (ranked.size() & 63) == 0 &&
         timer.seconds() > options.deadline_seconds) {
       greedy.timed_out = true;
+      greedy.saa_evals = evals;
       return greedy;
     }
+    ++evals;
     ranked.emplace_back(saa_objective(obs, scenarios, {u}, eval), u);
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -121,7 +131,10 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
     singleton[i] = ranked[i].first;
     items[i] = ranked[i].second;
   }
-  if (pool < k) return greedy;
+  if (pool < k) {
+    greedy.saa_evals = evals;
+    return greedy;
+  }
 
   // Suffix top-sums of singleton gains: bound_extra[i][r] = sum of the r
   // largest singleton gains among items i..end. Because items are sorted by
@@ -142,9 +155,11 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
   oracle.num_items = pool;
   oracle.cardinality = k;
   oracle.evaluate = [&](const std::vector<std::size_t>& chosen) {
+    ++evals;
     return saa_objective(obs, scenarios, to_nodes(chosen), eval);
   };
   oracle.bound = [&](const std::vector<std::size_t>& chosen, std::size_t next) {
+    if (!chosen.empty()) ++evals;
     const double base =
         chosen.empty() ? 0.0 : saa_objective(obs, scenarios, to_nodes(chosen), eval);
     const std::size_t need = k - chosen.size();
@@ -164,6 +179,7 @@ FobResult fob_exact(const sim::Observation& obs, const std::vector<Scenario>& sc
 
   FobResult result;
   result.nodes_explored = bnb.nodes_explored;
+  result.saa_evals = evals;
   result.exact = bnb.completed;
   result.timed_out = bnb.timed_out;
   if (bnb.best_value >= greedy.objective && !bnb.best_set.empty()) {

@@ -23,6 +23,10 @@ struct FobResult {
   std::vector<graph::NodeId> batch;
   double objective = 0.0;           ///< SAA objective of `batch`
   std::uint64_t nodes_explored = 0; ///< B&B nodes (0 for greedy)
+  /// SAA objective evaluations performed (singleton scoring, lazy-greedy
+  /// rescores, B&B oracle calls). Deterministic at every thread count for a
+  /// deadline-free solve — the planner's observed-work signal.
+  std::uint64_t saa_evals = 0;
   bool exact = false;               ///< true when B&B completed
   bool timed_out = false;           ///< a wall-clock deadline cut the solve short
 };
@@ -35,10 +39,13 @@ std::vector<graph::NodeId> fob_candidates(const sim::Observation& obs,
 /// solve stops at the deadline and returns the partial batch built so far
 /// (timed_out reports whether that happened). A pool parallelizes every
 /// SAA evaluation across scenarios (bit-identical objective values, so the
-/// selected batch is identical too).
+/// selected batch is identical too). Set `antithetic` when `scenarios` came
+/// from sample_scenarios_antithetic so every (U, 1-U) pair is reduced as one
+/// unit (see SaaEvalOptions::antithetic_pairs).
 FobResult fob_greedy(const sim::Observation& obs, const std::vector<Scenario>& scenarios,
                      std::size_t k, const std::vector<graph::NodeId>& candidates,
-                     double deadline_seconds = 0.0, util::ThreadPool* pool = nullptr);
+                     double deadline_seconds = 0.0, util::ThreadPool* pool = nullptr,
+                     bool antithetic = false);
 
 struct FobExactOptions {
   std::uint64_t max_nodes = 2'000'000;  ///< B&B node cap
@@ -55,6 +62,9 @@ struct FobExactOptions {
   /// Objective values — and therefore the search tree and the returned
   /// batch — are bit-identical at any thread count.
   util::ThreadPool* pool = nullptr;
+  /// The scenarios are antithetic (U, 1-U) pairs; evaluate each pair as one
+  /// reduction unit (SaaEvalOptions::antithetic_pairs).
+  bool antithetic = false;
 };
 
 /// Exact FOB via branch and bound (falls back to the greedy incumbent if the

@@ -1,0 +1,20 @@
+// Fixture: timing instrumentation in a hot scoring body. The parallel_for
+// receives a *named* lambda defined well above the call site; the WallTimer
+// construction inside it must be flagged at the construction line (the
+// named-lambda body offset), not at a call-site-relative line — a waiver
+// placed on the reported line has to land on the actual statement.
+// analyze-expect: hotpath
+
+#include <cstddef>
+#include <vector>
+
+void score_all(util::ThreadPool& pool, std::vector<double>& out) {
+  auto score_chunk = [&](std::size_t b, std::size_t e) {
+    const util::WallTimer chunk_timer;
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = static_cast<double>(i);
+    }
+    out[b] += chunk_timer.seconds();
+  };
+  pool.parallel_for(0, out.size(), score_chunk, /*grain=*/64);
+}

@@ -1,0 +1,21 @@
+// Fixture: a sanctioned measurement site. The per-shard stopwatch feeds a
+// calibration EWMA whose reading steers only work layout, never a selected
+// result, so the construction line carries a hotpath waiver and the pass
+// accepts it.
+
+#include <cstddef>
+#include <vector>
+
+void score_all(util::ThreadPool& pool, std::vector<double>& out,
+               std::vector<double>& shard_nanos) {
+  auto score_chunk = [&](std::size_t b, std::size_t e) {
+    // lint:hotpath-ok(calibration stopwatch: two clock reads amortized over
+    // the whole chunk; the measurement tunes future layout only)
+    const util::WallTimer chunk_timer;
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = static_cast<double>(i);
+    }
+    shard_nanos[b] = static_cast<double>(chunk_timer.nanos());
+  };
+  pool.parallel_for(0, out.size(), score_chunk, /*grain=*/64);
+}

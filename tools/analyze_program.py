@@ -133,6 +133,13 @@ HOT_BANNED = (
 HOT_BANNED_CLOCK = (
     (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)"
                 r"\s*::\s*now\b"), "raw clock read"),
+    # The timer wrappers read the same clocks: constructing one inside a hot
+    # body is timing instrumentation on the scoring path. Sanctioned
+    # measurement sites (e.g. the shard-calibration stopwatch, whose reading
+    # steers only layout and can never change a selected batch) carry a
+    # lint:hotpath-ok line waiver instead of a blanket allowlist entry.
+    (re.compile(r"\b(?:util\s*::\s*)?(?:WallTimer|ScopedTimer)\b"),
+     "wall-timer construction (wraps a raw clock read)"),
 )
 
 # Macro calls the lexical call scanner cannot see through: occurrences of the
@@ -519,6 +526,12 @@ class HotRoot:
     body: str
     af: AnalyzedFile
     fn_chain: tuple[str, ...]
+    # File offset of the body's first character when known (inline lambda,
+    # named lambda, kernel definition). Findings then anchor at the real
+    # source line of the banned construct — a named-lambda body defined far
+    # from its parallel_for call site would otherwise report call-site-
+    # relative lines, putting waivers on the wrong statement.
+    body_off: int | None = None
 
 
 def _hot_roots(prog: Program) -> list[HotRoot]:
@@ -535,28 +548,30 @@ def _hot_roots(prog: Program) -> list[HotRoot]:
             arg_text, arg_off = args[body_idx]
             line = af.sf.line_of(m.start())
             body = None
-            lb_idx = code.find("[", arg_off,
-                               arg_off + len(arg_text) + 1)
+            body_off = None
             if arg_text.startswith("["):
                 lb = cpp.lambda_body(code, code.index("[", arg_off))
                 if lb is not None:
-                    body = lb[0]
+                    body, body_off = lb
             elif re.fullmatch(r"[A-Za-z_]\w*", arg_text):
                 nl = cpp.named_lambda(code, arg_text)
                 if nl is not None:
-                    body = nl[0]
+                    body, body_off = nl
                 else:
                     for _oaf, fn in prog.defs_of(arg_text,
                                                  prefer_path=af.sf.path):
                         body = fn.body
+                        # Offsets only make sense within this root's file.
+                        if _oaf is af:
+                            body_off = fn.body_start
                         break
-            del lb_idx
             if body is None:
                 continue
             roots.append(HotRoot(
                 label=f"{kind} body at {af.sf.path}:{line}",
                 path=af.sf.path, line=line, body=body, af=af,
-                fn_chain=(f"{kind}@{af.sf.path}:{line}",)))
+                fn_chain=(f"{kind}@{af.sf.path}:{line}",),
+                body_off=body_off))
         for fn in af.functions:
             if fn.cls in HOT_ROOT_CLASSES or \
                     (fn.cls is None and fn.name in HOT_ROOT_FUNCTIONS):
@@ -564,7 +579,7 @@ def _hot_roots(prog: Program) -> list[HotRoot]:
                     label=f"scoring kernel {fn.qname} at "
                           f"{af.sf.path}:{fn.line}",
                     path=af.sf.path, line=fn.line, body=fn.body, af=af,
-                    fn_chain=(fn.qname,)))
+                    fn_chain=(fn.qname,), body_off=fn.body_start))
     roots.sort(key=lambda r: (r.path, r.line, r.label))
     return roots
 
@@ -573,8 +588,8 @@ def _scan_hot_body(af: AnalyzedFile, body: str, body_file_off: int | None,
                    chain: tuple[str, ...], root: HotRoot,
                    findings: list[Finding], reported: set) -> None:
     """Flags banned constructs in one body; offsets are file offsets when
-    body_file_off is given (a FunctionDef), else root-relative (a lambda —
-    the finding anchors at the root line)."""
+    body_file_off is given (a FunctionDef or a root with a known body
+    offset), else root-relative (the finding anchors at the root line)."""
     if any(af.sf.path.endswith(sfx) for sfx in HOT_FILE_ALLOWLIST):
         return
     banned = list(HOT_BANNED)
@@ -609,7 +624,7 @@ def pass_hotpath(prog: Program, findings: list[Finding]) -> None:
     for root in _hot_roots(prog):
         if root.af.waivers.waived("hotpath", root.line):
             continue
-        _scan_hot_body(root.af, root.body, None, root.fn_chain, root,
+        _scan_hot_body(root.af, root.body, root.body_off, root.fn_chain, root,
                        findings, reported)
         visited: set[int] = set()
         worklist: list[tuple[AnalyzedFile, cpp.FunctionDef,

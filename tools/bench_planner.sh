@@ -1,0 +1,34 @@
+#!/bin/sh
+# Captures the runtime-planner ablation into BENCH_planner.json
+# (google-benchmark JSON format).
+#
+# Runs full PM-AReST campaigns from bench/bench_planner with the dispatch
+# pinned to each selector (fixed_cached / fixed_uncached / fixed_tree) and
+# with the cost-model-driven auto planner, at k in {4, 8, 16} on BA and ER
+# graphs plus a million-node binary-substrate point. Read it as: for every
+# (graph, k) row, auto's real_time should sit within a few percent of the
+# best fixed variant and well under the worst (the branch tree where
+# registered, uncached elsewhere). The exact gap is recorded in
+# EXPERIMENTS.md next to the sweep recipe.
+#
+# The million-node point streams a ~250 MB binary graph to /tmp on first
+# use and runs one iteration per variant; expect a few minutes end to end.
+#
+# Usage: tools/bench_planner.sh [build_dir] [out.json]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_planner.json}"
+BIN="$BUILD_DIR/bench/bench_planner"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_planner)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_repetitions="${RECON_BENCH_REPS:-1}" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"
