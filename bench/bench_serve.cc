@@ -1,0 +1,155 @@
+// Campaign-service throughput: the resident `recon serve` daemon versus the
+// per-process CLI pattern it replaces.
+//
+// Both variants run the same N campaigns (identical specs, identical
+// traces). The daemon keeps the expensive state resident — problems built
+// once, one shared ThreadPool, the MPMC injection ring — and runs the
+// campaigns concurrently through a CampaignRegistry. The per-process
+// variant replays what `for s in ...; do recon attack --seed $s; done`
+// costs: every campaign rebuilds its problem from the generator, spins up
+// (and tears down) its own thread pool, and runs alone. The gap captured
+// in BENCH_serve.json (tools/bench_serve.sh) is the point of the daemon:
+// amortized setup plus concurrent drivers over shared immutable state.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/attack.h"
+#include "core/pm_arest.h"
+#include "graph/generators.h"
+#include "service/registry.h"
+#include "sim/problem.h"
+#include "sim/trace_io.h"
+#include "sim/world.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace recon;
+
+constexpr graph::NodeId kNodes = 4000;
+constexpr int kBatch = 4;
+constexpr double kBudget = 16.0;  // 4 rounds per campaign
+
+/// The graph-load + problem-build work a fresh CLI process pays on startup.
+sim::Problem build_problem(int seed) {
+  sim::ProblemOptions opts;
+  opts.num_targets = 60;
+  opts.base_acceptance = 0.4;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  return sim::make_problem(
+      graph::assign_edge_probs(graph::barabasi_albert(kNodes, 4, seed),
+                               graph::EdgeProbModel::uniform(0.3, 0.95),
+                               static_cast<std::uint64_t>(seed) + 1),
+      opts);
+}
+
+service::CampaignSpec spec_for(int i) {
+  service::CampaignSpec spec;
+  spec.problem = "ba";
+  spec.batch_size = kBatch;
+  spec.budget = kBudget;
+  spec.seed = static_cast<std::uint64_t>(1000 + i);
+  // Equal durability on both sides: the per-process `recon attack` pattern
+  // takes no autosnapshots, so the daemon campaigns disable theirs too
+  // (every round would otherwise cost an fsync per generation).
+  spec.checkpoint_every_rounds = 0;
+  return spec;
+}
+
+std::string scratch_dir() {
+  char tmpl[] = "/tmp/recon_bench_serve_XXXXXX";
+  const char* p = ::mkdtemp(tmpl);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+/// Daemon mode: one registry stays resident for the whole benchmark
+/// (problem built once, pool warm); each iteration submits N campaigns and
+/// waits for all of them — concurrent drivers over shared immutable state.
+void BM_ServeDaemon(benchmark::State& state) {
+  const int campaigns = static_cast<int>(state.range(0));
+  static const std::string dir = scratch_dir();
+  static service::CampaignRegistry* registry = [] {
+    auto* r = new service::CampaignRegistry({dir, 0});
+    r->register_problem("ba", build_problem(17));
+    return r;
+  }();
+  double benefit = 0.0;
+  for (auto _ : state) {
+    std::vector<std::string> ids;
+    ids.reserve(static_cast<std::size_t>(campaigns));
+    for (int i = 0; i < campaigns; ++i) {
+      ids.push_back(registry->submit(spec_for(i)));
+    }
+    benefit = 0.0;
+    for (const std::string& id : ids) {
+      const service::CampaignStatus st = registry->wait(id);
+      if (st.state != service::CampaignState::kCompleted) std::abort();
+      benefit += st.benefit;
+    }
+  }
+  state.counters["campaigns_per_s"] = benchmark::Counter(
+      static_cast<double>(campaigns) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["benefit"] = benefit;
+}
+
+/// Per-process CLI pattern: every campaign rebuilds the problem from the
+/// generator, constructs its own thread pool and strategy, runs alone, and
+/// writes its trace file — the cost of `recon attack` once per campaign.
+void BM_ServePerProcess(benchmark::State& state) {
+  const int campaigns = static_cast<int>(state.range(0));
+  static const std::string dir = scratch_dir();
+  double benefit = 0.0;
+  for (auto _ : state) {
+    benefit = 0.0;
+    for (int i = 0; i < campaigns; ++i) {
+      const sim::Problem p = build_problem(17);  // process startup, every time
+      util::ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+      core::PmArestOptions o;
+      o.batch_size = kBatch;
+      o.pool = &pool;
+      core::PmArest strategy(o);
+      const sim::World world(
+          p, util::derive_seed(static_cast<std::uint64_t>(1000 + i), 0));
+      const sim::AttackTrace trace =
+          core::run_attack(p, world, strategy, kBudget);
+      sim::write_traces_file(dir + "/p" + std::to_string(i) + ".trace",
+                             {trace});
+      benefit += trace.total_benefit();
+    }
+  }
+  state.counters["campaigns_per_s"] = benchmark::Counter(
+      static_cast<double>(campaigns) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["benefit"] = benefit;
+}
+
+// UseRealTime: the daemon's work happens on driver threads, so wall clock
+// (not the submitting thread's CPU time) is the comparable number, and the
+// campaigns_per_s rate counters divide by it.
+BENCHMARK(BM_ServeDaemon)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ServePerProcess)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <csignal>
 #include <exception>
+#include <iostream>
 #include <memory>
 #include <ostream>
 
@@ -22,6 +23,8 @@
 #include "graph/io.h"
 #include "graph/metrics.h"
 #include "metrics/rrs.h"
+#include "service/protocol.h"
+#include "service/registry.h"
 #include "sim/fault.h"
 #include "sim/problem.h"
 #include "sim/problem_io.h"
@@ -909,6 +912,33 @@ int cmd_graph(const util::Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+int cmd_serve(const util::Args& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  try {
+    service::CampaignRegistry::Options o;
+    o.state_dir = args.get("state-dir", ".");
+    o.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    service::CampaignRegistry registry(std::move(o));
+    // The daemon's whole point is resident problem state: load the (possibly
+    // mmap-backed) instance once, then every campaign shares it immutably.
+    const std::string name = args.get("name", "default");
+    registry.register_problem(name, load_problem(args));
+    out << "serve: problem '" << name << "' resident; state dir "
+        << registry.options().state_dir << "; pool threads "
+        << registry.pool().size() << "\n";
+    const std::string socket = args.get("socket", "");
+    if (!socket.empty()) {
+      service::serve_unix_socket(socket, registry);
+    } else {
+      service::run_protocol(in, out, registry);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "serve: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmd_crashpoints(std::ostream& out) {
   // One site per line: tools/chaos_sweep.sh iterates this list, arming each
   // site via RECON_CRASH_AT=<site>:<n>.
@@ -964,6 +994,13 @@ void print_usage(std::ostream& out) {
          "                    [--probs const|uniform|beta ...] [--seed S]\n"
          "            (--graph everywhere auto-detects text vs binary;\n"
          "             binary opens add --no-verify to skip checksum+validation)\n"
+         "  serve     campaign service daemon: problem + thread pool stay\n"
+         "            resident; many concurrent campaigns run over a line\n"
+         "            protocol (SUBMIT/STATUS/LIST/PAUSE/RESUME/CANCEL/WAIT/\n"
+         "            SHUTDOWN — see docs/API.md)\n"
+         "            --graph FILE | --problem FILE [--name NAME]\n"
+         "            [--state-dir DIR] [--threads N] [--socket PATH]\n"
+         "            (default: stdin/stdout; --socket serves AF_UNIX)\n"
          "  metrics   compute RRS / RT-RRS from a saved trace file\n"
          "            --traces FILE [--threshold Q] [--delay SECONDS]\n"
          "            [--recover]  (truncate a torn trailing record instead\n"
@@ -987,6 +1024,7 @@ int dispatch(int argc, const char* const* argv, std::ostream& out, std::ostream&
   if (cmd == "metrics") return cmd_metrics(args, out, err);
   if (cmd == "audit") return cmd_audit(args, out, err);
   if (cmd == "graph") return cmd_graph(args, out, err);
+  if (cmd == "serve") return cmd_serve(args, std::cin, out, err);
   if (cmd == "crashpoints") return cmd_crashpoints(out);
   if (cmd == "help" || cmd == "--help") {
     print_usage(out);

@@ -27,6 +27,10 @@ int cmd_attack(const util::Args& args, std::ostream& out, std::ostream& err);
 int cmd_metrics(const util::Args& args, std::ostream& out, std::ostream& err);
 int cmd_audit(const util::Args& args, std::ostream& out, std::ostream& err);
 int cmd_graph(const util::Args& args, std::ostream& out, std::ostream& err);
+/// Campaign service daemon: loads one problem, then serves the line protocol
+/// (service/protocol.h) from `in` — or from a local socket with --socket.
+int cmd_serve(const util::Args& args, std::istream& in, std::ostream& out,
+              std::ostream& err);
 
 /// Prints usage for all commands.
 void print_usage(std::ostream& out);

@@ -201,6 +201,7 @@ sim::AttackTrace run_attack(const sim::Problem& problem, const sim::World& world
     record.cumulative_cost = spent;
     record.select_seconds = select_seconds;
     trace.batches.push_back(std::move(record));
+    if (options.on_round) options.on_round(trace, round + 1);
 
     ++round;
     clock += 1.0;

@@ -56,6 +56,12 @@ struct AttackRunOptions {
   /// match. The resumed run's trace is bit-identical to an uninterrupted
   /// run (modulo select_seconds, which is wall-clock).
   const AttackCheckpoint* resume = nullptr;
+  /// Streaming hook: called after each completed round with the trace so far
+  /// (the newest batch is `trace.batches.back()`) and the 1-based round
+  /// count. The campaign service appends each batch to a per-campaign trace
+  /// file through this. Runs on the attack thread; must not mutate the
+  /// observation or strategy.
+  std::function<void(const sim::AttackTrace&, std::uint64_t round)> on_round;
 };
 
 /// Runs a single attack of total budget `budget` (the paper's K).

@@ -15,6 +15,23 @@ CachedSelector::CachedSelector(const sim::Observation& obs, MarginalPolicy polic
   const NodeId n = obs.problem().graph.num_nodes();
   cached_.assign(n, 0.0);
   dirty_.assign(n, 1);  // everything needs an initial score
+  acct_dirty_.assign(n, 1);
+}
+
+std::vector<NodeId> CachedSelector::accounting_dirty_nodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < static_cast<NodeId>(acct_dirty_.size()); ++u) {
+    if (acct_dirty_[u]) nodes.push_back(u);
+  }
+  return nodes;
+}
+
+void CachedSelector::restore_accounting(const std::vector<NodeId>& dirty_nodes) {
+  acct_dirty_.assign(acct_dirty_.size(), 0);
+  for (const NodeId u : dirty_nodes) {
+    if (static_cast<std::size_t>(u) < acct_dirty_.size()) acct_dirty_[u] = 1;
+  }
+  acct_rescores_ = 0;
 }
 
 double CachedSelector::base_score(NodeId u) {
@@ -31,15 +48,23 @@ double CachedSelector::base_score(NodeId u) {
 void CachedSelector::mark_two_hop_dirty(NodeId u) {
   const auto& g = obs_->problem().graph;
   dirty_[u] = 1;
+  acct_dirty_[u] = 1;
   for (NodeId v : g.neighbors(u)) {
     dirty_[v] = 1;
-    for (NodeId w : g.neighbors(v)) dirty_[w] = 1;
+    acct_dirty_[v] = 1;
+    for (NodeId w : g.neighbors(v)) {
+      dirty_[w] = 1;
+      acct_dirty_[w] = 1;
+    }
   }
 }
 
 void CachedSelector::notify_accept(NodeId u) { mark_two_hop_dirty(u); }
 
-void CachedSelector::notify_reject(NodeId u) { dirty_[u] = 1; }
+void CachedSelector::notify_reject(NodeId u) {
+  dirty_[u] = 1;
+  acct_dirty_[u] = 1;
+}
 
 std::vector<NodeId> CachedSelector::select_batch(int batch_size, bool allow_retries,
                                                  std::uint32_t max_attempts_per_node,
@@ -71,6 +96,17 @@ std::vector<NodeId> CachedSelector::select_batch(int batch_size, bool allow_retr
     }
     if (problem.cost_of(u) > budget) continue;
     candidates.push_back(u);
+  }
+
+  // Accounting pass (sequential, before any real rescoring): every candidate
+  // whose accounting bit is set counts one rescore, then clears its bit —
+  // exactly mirroring what base_score does with the real bitmap over this
+  // same candidate set, but replayable from a checkpoint (see the header).
+  for (const NodeId u : candidates) {
+    if (acct_dirty_[u]) {
+      ++acct_rescores_;
+      acct_dirty_[u] = 0;
+    }
   }
 
   if (pool_ != nullptr) {

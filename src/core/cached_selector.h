@@ -61,6 +61,25 @@ class CachedSelector {
     return rescores_.load(std::memory_order_relaxed);
   }
 
+  /// Checkpointable rescore accounting. `rescore_count()` measures the real
+  /// recomputations, which on a resumed campaign include the one-off cost of
+  /// rebuilding the cache cold — work the uninterrupted run never did, which
+  /// previously made the planner's cached-tier work-ratio EWMA re-learn its
+  /// dirty fraction after resume. The accounting overlay mirrors the dirty
+  /// bitmap (same initial state, same notify marks, cleared for the same
+  /// candidate sets) but is serializable: PmArest checkpoints it and feeds
+  /// the planner accounted deltas, so a resumed campaign observes exactly
+  /// the work counts the warm run would have.
+  std::uint64_t accounted_rescore_count() const noexcept {
+    return acct_rescores_;
+  }
+  /// Sparse list of nodes whose accounting-dirty bit is set (ascending ids).
+  std::vector<graph::NodeId> accounting_dirty_nodes() const;
+  /// Replaces the accounting overlay with a checkpointed one: only the
+  /// listed nodes are accounting-dirty. The real dirty bitmap is untouched
+  /// (a rebuilt cache must still rescore everything for correctness).
+  void restore_accounting(const std::vector<graph::NodeId>& dirty_nodes);
+
  private:
   double base_score(graph::NodeId u);
   void mark_two_hop_dirty(graph::NodeId u);
@@ -72,6 +91,11 @@ class CachedSelector {
   std::vector<double> cached_;        ///< base Δf (cost-adjusted) per node
   std::vector<std::uint8_t> dirty_;   ///< cache invalid flags
   std::atomic<std::uint64_t> rescores_{0};
+  /// Accounting twin of `dirty_` (see accounted_rescore_count). Marked in
+  /// lockstep with the real bitmap, cleared sequentially per batch over the
+  /// candidate set, never read by the parallel rescore pass.
+  std::vector<std::uint8_t> acct_dirty_;
+  std::uint64_t acct_rescores_ = 0;
 };
 
 }  // namespace recon::core

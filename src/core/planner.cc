@@ -61,6 +61,7 @@ bool parse_plan_strategy(const std::string& token, PlanStrategy* out) noexcept {
 
 void ShardCalibration::record_pass(std::uint64_t pass_nanos,
                                    double pass_work) noexcept {
+  if (frozen_.load(std::memory_order_relaxed)) return;
   if (pass_work <= 0.0 || pass_nanos == 0) return;
   const double observed = static_cast<double>(pass_nanos) / pass_work;
   const double old =
@@ -79,7 +80,11 @@ void reset_shard_calibration_for_test() noexcept {
   process_shard_calibration().reset();
 }
 
-ExecutionPlanner::ExecutionPlanner(PlannerOptions options) : options_(options) {}
+ExecutionPlanner::ExecutionPlanner(PlannerOptions options) : options_(options) {
+  // calibrate_time=false promises "no wall-clock mutates checkpointed
+  // state"; the shard EWMA is checkpointed state, so freeze it too.
+  shard_.set_frozen(!options_.calibrate_time);
+}
 
 double ExecutionPlanner::estimate_work(PlanStrategy s,
                                        const PlanFeatures& f) const {
@@ -138,6 +143,14 @@ PlanDecision ExecutionPlanner::plan(const PlanFeatures& f) const {
     if (is_saa_tier(s) && f.scenario_count == 0) return false;
     // branch_tree_select enumerates 2^k branches and refuses k > 20.
     if (s == PlanStrategy::kBranchTree && f.batch_size > 20) return false;
+    // Near-exhausted campaign budget bars the exact B&B tier: with fewer
+    // than two full batches of requests left (unit cost per request), the
+    // most expensive solve would be spent on the final, mostly-truncated
+    // batch. Deterministic campaign state, so plans stay reproducible.
+    if (s == PlanStrategy::kSaaExact && f.remaining_budget > 0.0 &&
+        f.remaining_budget < 2.0 * static_cast<double>(f.batch_size)) {
+      return false;
+    }
     return true;
   };
   const auto fits_deadline = [&](const PlanDecision& d) {

@@ -35,13 +35,17 @@
 //    bit patterns), observation counts, tier position, shard calibration —
 //    round-trips through `save_state()`/`restore_state()` and is embedded in
 //    the hosting Strategy's checkpoint line, so a resumed campaign replans
-//    identically from the restore point. One calibration artifact is
-//    deliberately tolerated: a resumed PM-AReST rebuilds its score cache
-//    cold, so the first cached batch rescores the full frontier (real work
-//    the uninterrupted run never did) and the cached tier's work-ratio EWMA
-//    re-learns its dirty fraction. This cannot alter any selection — cached
-//    and uncached pick identical batches, and the branch tree is gated by
-//    its own 2^k estimate — so traces and strategy choices stay identical.
+//    identically from the restore point. PM-AReST additionally checkpoints
+//    its cache-accounting overlay (core/cached_selector.h), so the cached
+//    tier's work-ratio EWMA — which converges to the cache's dirty fraction
+//    — is fed the same work counts across a resume instead of re-learning
+//    from a cold cache: planner state, not just selections, is bit-identical
+//    after resume (planner_test asserts full save_state() equality).
+//  * `plan()` also consumes the campaign's *remaining budget* when the host
+//    provides it: a near-exhausted campaign (remaining < 2k requests) bars
+//    the exact B&B tier, because spending the most solver time on the final,
+//    mostly-truncated batch is exactly backwards. Remaining budget is a
+//    deterministic campaign quantity, so this gate preserves the contract.
 #pragma once
 
 #include <array>
@@ -86,6 +90,10 @@ struct PlanFeatures {
   /// Configured per-batch wall-clock budget, seconds (0 = none). This is a
   /// configuration constant, not a live deadline measurement.
   double deadline_seconds = 0.0;
+  /// Remaining campaign request budget at plan time (0 = unknown/unlimited).
+  /// Deterministic campaign state, not a clock: the simulator charges unit
+  /// cost per request, so this is the campaign budget minus requests sent.
+  double remaining_budget = 0.0;
 };
 
 /// One planned batch: the chosen strategy plus the model's predictions (kept
@@ -133,8 +141,17 @@ class ShardCalibration {
   }
 
   /// Blends one parallel scoring pass into the EWMA (blended = 0.75 old +
-  /// 0.25 observed, floored at 1 ns/unit).
+  /// 0.25 observed, floored at 1 ns/unit). No-op while frozen.
   void record_pass(std::uint64_t pass_nanos, double pass_work) noexcept;
+
+  /// Freezing stops wall-clock measurements from mutating the EWMA, making
+  /// the serialized value a pure function of checkpointed state. The planner
+  /// freezes its instance when `PlannerOptions::calibrate_time` is false —
+  /// the configuration the determinism suite uses to assert full
+  /// save_state() bit-equality across resume.
+  void set_frozen(bool frozen) noexcept {
+    frozen_.store(frozen, std::memory_order_relaxed);
+  }
 
   void reset() noexcept {
     ewma_nanos_.store(kColdStartNanosPerUnit, std::memory_order_relaxed);
@@ -150,6 +167,7 @@ class ShardCalibration {
 
  private:
   std::atomic<std::uint64_t> ewma_nanos_{kColdStartNanosPerUnit};
+  std::atomic<bool> frozen_{false};
 };
 
 /// The process-wide calibration instance used by `batch_select` callers that

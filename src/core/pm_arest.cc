@@ -62,6 +62,9 @@ void PmArest::begin(const sim::Problem& problem, double budget) {
   cache_.reset();
   cache_obs_ = nullptr;
   last_attempts_.clear();
+  restored_attempts_.clear();
+  restored_acct_dirty_.clear();
+  has_restored_cache_ = false;
   planner_.reset();
   if (options_.max_attempts_per_node != 0) {
     attempt_cap_ = options_.max_attempts_per_node;
@@ -81,6 +84,32 @@ std::string PmArest::save_state() const {
   const auto w = rng_.state_words();
   std::ostringstream ss;
   ss << "pmarest " << w[0] << ' ' << w[1] << ' ' << w[2] << ' ' << w[3];
+  // Cache-accounting section: only written when the planner consumes the
+  // accounted work counts (legacy planner-off blobs stay byte-identical). A
+  // strategy that was restored but never ran a cached batch re-emits the
+  // section it was restored with, so checkpoint→checkpoint round-trips are
+  // lossless.
+  if (planner_.enabled() && (cache_ != nullptr || has_restored_cache_)) {
+    ss << " cache ";
+    if (cache_ != nullptr) {
+      std::size_t pairs = 0;
+      for (const std::uint32_t a : last_attempts_) {
+        if (a != 0) ++pairs;
+      }
+      ss << pairs;
+      for (NodeId u = 0; u < static_cast<NodeId>(last_attempts_.size()); ++u) {
+        if (last_attempts_[u] != 0) ss << ' ' << u << ':' << last_attempts_[u];
+      }
+      const std::vector<NodeId> dirty = cache_->accounting_dirty_nodes();
+      ss << ' ' << dirty.size();
+      for (const NodeId u : dirty) ss << ' ' << u;
+    } else {
+      ss << restored_attempts_.size();
+      for (const auto& [u, a] : restored_attempts_) ss << ' ' << u << ':' << a;
+      ss << ' ' << restored_acct_dirty_.size();
+      for (const NodeId u : restored_acct_dirty_) ss << ' ' << u;
+    }
+  }
   if (planner_.enabled()) ss << ' ' << planner_.save_state();
   return ss.str();
 }
@@ -92,18 +121,68 @@ void PmArest::restore_state(const std::string& blob) {
   if (!(ss >> tag >> w[0] >> w[1] >> w[2] >> w[3]) || tag != "pmarest") {
     throw std::invalid_argument("PmArest::restore_state: bad state blob");
   }
+  std::vector<std::pair<NodeId, std::uint32_t>> attempts;
+  std::vector<NodeId> acct_dirty;
+  bool have_cache = false;
+  std::string token;
+  if (ss >> token && token == "cache") {
+    std::size_t pairs = 0;
+    if (!(ss >> pairs)) {
+      throw std::invalid_argument(
+          "PmArest::restore_state: truncated cache section");
+    }
+    attempts.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      std::string entry;
+      std::uint64_t u = 0;
+      std::uint64_t a = 0;
+      char colon = 0;
+      if (!(ss >> entry)) {
+        throw std::invalid_argument(
+            "PmArest::restore_state: truncated cache section");
+      }
+      std::istringstream es(entry);
+      if (!(es >> u >> colon >> a) || colon != ':' || a == 0 ||
+          u > static_cast<std::uint64_t>(graph::kInvalidNode)) {
+        throw std::invalid_argument(
+            "PmArest::restore_state: bad cache attempt entry");
+      }
+      attempts.emplace_back(static_cast<NodeId>(u),
+                            static_cast<std::uint32_t>(a));
+    }
+    std::size_t dirty = 0;
+    if (!(ss >> dirty)) {
+      throw std::invalid_argument(
+          "PmArest::restore_state: truncated cache section");
+    }
+    acct_dirty.reserve(dirty);
+    for (std::size_t i = 0; i < dirty; ++i) {
+      std::uint64_t u = 0;
+      if (!(ss >> u) || u > static_cast<std::uint64_t>(graph::kInvalidNode)) {
+        throw std::invalid_argument(
+            "PmArest::restore_state: bad cache dirty entry");
+      }
+      acct_dirty.push_back(static_cast<NodeId>(u));
+    }
+    have_cache = true;
+    if (!(ss >> token)) token.clear();
+  }
   if (planner_.enabled()) {
-    std::string rest;
-    std::getline(ss, rest);
-    const std::size_t start = rest.find_first_not_of(' ');
-    if (start == std::string::npos) {
+    if (token != "planner") {
       throw std::invalid_argument(
           "PmArest::restore_state: planner enabled but state blob carries no "
           "planner line");
     }
-    planner_.restore_state(rest.substr(start));
+    std::string rest;
+    std::getline(ss, rest);
+    planner_.restore_state(token + rest);
   }
   rng_.set_state_words(w);
+  restored_attempts_ = std::move(attempts);
+  restored_acct_dirty_ = std::move(acct_dirty);
+  has_restored_cache_ = have_cache;
+  cache_.reset();
+  cache_obs_ = nullptr;
 }
 
 int PmArest::draw_batch_size() {
@@ -121,6 +200,23 @@ void PmArest::sync_cache(const sim::Observation& obs) {
     last_attempts_.assign(obs.problem().graph.num_nodes(), 0);
     // A fresh cache starts all-dirty, so pre-existing observation state is
     // picked up on first scoring; only record current attempt counters.
+    if (has_restored_cache_) {
+      // Resume: re-seed the attempt counters and the accounting overlay from
+      // the checkpoint. The real dirty bitmap stays all-dirty (the rebuilt
+      // cache must rescore everything once for correctness), but the
+      // accounting side replays as if the cache had never been torn down, so
+      // the diff below and the per-batch accounted deltas exactly match the
+      // uninterrupted run's notifications and work counts.
+      for (const auto& [u, a] : restored_attempts_) {
+        if (static_cast<std::size_t>(u) < last_attempts_.size()) {
+          last_attempts_[u] = a;
+        }
+      }
+      cache_->restore_accounting(restored_acct_dirty_);
+      restored_attempts_.clear();
+      restored_acct_dirty_.clear();
+      has_restored_cache_ = false;
+    }
   }
   const NodeId n = obs.problem().graph.num_nodes();
   for (NodeId u = 0; u < n; ++u) {
@@ -160,14 +256,18 @@ std::vector<NodeId> PmArest::planned_batch(const sim::Observation& obs,
   switch (decision.strategy) {
     case PlanStrategy::kCollapsedCached: {
       sync_cache(obs);
-      const std::uint64_t before = cache_->rescore_count();
+      const std::uint64_t before = cache_->accounted_rescore_count();
       batch = cache_->select_batch(k, options_.allow_retries, attempt_cap_,
                                    remaining_budget);
-      // Observed work = candidates actually rescored this batch (the dirty
-      // region), in the same row-walk units as the estimate — the ratio
-      // EWMA converges to the cache's dirty fraction.
+      // Observed work = candidates accounted as rescored this batch (the
+      // dirty region), in the same row-walk units as the estimate — the
+      // ratio EWMA converges to the cache's dirty fraction. The *accounted*
+      // count is checkpointable: unlike the raw rescore counter it excludes
+      // the one-off cold rebuild a resume incurs, so resumed planner state
+      // is bit-identical to the uninterrupted run's.
       actual_work =
-          static_cast<double>(cache_->rescore_count() - before) * row;
+          static_cast<double>(cache_->accounted_rescore_count() - before) *
+          row;
       break;
     }
     case PlanStrategy::kCollapsedUncached: {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/batch_select.h"
@@ -72,8 +73,12 @@ class PmArest : public Strategy {
   void begin(const sim::Problem& problem, double budget) override;
   std::vector<graph::NodeId> next_batch(const sim::Observation& obs,
                                         double remaining_budget) override;
-  /// Checkpoints only the varying-k RNG stream; the cross-batch score cache
-  /// is a pure function of the observation and is rebuilt on resume.
+  /// Checkpoints the varying-k RNG stream, plus — when the planner is on and
+  /// the cached selector has run — the cache-accounting section (sparse
+  /// last-seen attempt counters and the accounting-dirty node set), so a
+  /// resumed campaign feeds the planner the same cached-tier work counts as
+  /// the uninterrupted run. The score cache itself stays a pure function of
+  /// the observation and is rebuilt on resume.
   std::string save_state() const override;
   void restore_state(const std::string& blob) override;
 
@@ -96,14 +101,23 @@ class PmArest : public Strategy {
   std::uint32_t attempt_cap_ = 0;
   util::Rng rng_;
   // lint:ckpt-coverage-ok(cross-batch score cache, a pure function of the
-  // observation; sync_cache rebuilds it on the first post-resume batch)
+  // observation; sync_cache rebuilds it on the first post-resume batch and
+  // re-applies the checkpointed accounting overlay to it)
   std::unique_ptr<CachedSelector> cache_;
   // lint:ckpt-coverage-ok(transient pointer identity of the last-seen
   // observation, only meaningful within one process lifetime)
   const sim::Observation* cache_obs_ = nullptr;
-  // lint:ckpt-coverage-ok(rebuilt by sync_cache diffing the observation's
-  // attempt counters from zero after the cache is reconstructed)
+  // lint:ckpt-coverage-ok(checkpointed via the cache section: save_state
+  // emits the sparse nonzero entries and restore_state parses them into
+  // restored_attempts_, which sync_cache applies when it rebuilds the
+  // selector on the first post-resume batch)
   std::vector<std::uint32_t> last_attempts_;
+  /// Cache section parsed out of a checkpoint blob, held until sync_cache
+  /// rebuilds the selector and can apply it: sparse (node, attempts) pairs
+  /// for last_attempts_ and the accounting-dirty node set.
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> restored_attempts_;
+  std::vector<graph::NodeId> restored_acct_dirty_;
+  bool has_restored_cache_ = false;
   // lint:ckpt-coverage-ok(planner serializes itself; its blob is appended to
   // this strategy's state line when the planner is enabled)
   ExecutionPlanner planner_;

@@ -16,6 +16,31 @@ constexpr const char* kHeader = "#recon-trace v1";
 
 }  // namespace
 
+void write_batch_line(std::ostream& out, const BatchRecord& b,
+                      double prev_cumulative_cost) {
+  out << "batch sel=" << b.select_seconds << " cost=" << b.cost << " reqs=";
+  for (std::size_t i = 0; i < b.requests.size(); ++i) {
+    if (i > 0) out << ',';
+    out << b.requests[i] << ':' << static_cast<int>(b.accepted[i]);
+    // Non-delivered outcomes get a third field; fault-free batches keep
+    // the original two-field entries so old files stay byte-identical.
+    if (i < b.outcome.size() && b.outcome[i] != 0) {
+      out << ':' << static_cast<int>(b.outcome[i]);
+    }
+  }
+  out << " df=" << b.delta.friends << " dx=" << b.delta.fofs
+      << " de=" << b.delta.edges;
+  // Send-time cost accounting (the rolling-window runner charges requests
+  // when they are sent, so mid-trace cumulative cost can run ahead of the
+  // resolved records) gets an explicit field; batches whose cumulative
+  // cost is the plain running sum keep the original line, so synchronous
+  // trace files stay byte-identical.
+  if (b.cumulative_cost != prev_cumulative_cost + b.cost) {
+    out << " ccost=" << b.cumulative_cost;
+  }
+  out << '\n';
+}
+
 void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
   out << kHeader << '\n';
   out.precision(17);
@@ -23,28 +48,8 @@ void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces) {
     out << "trace " << t << '\n';
     double prev_cost = 0.0;
     for (const auto& b : traces[t].batches) {
-      out << "batch sel=" << b.select_seconds << " cost=" << b.cost << " reqs=";
-      for (std::size_t i = 0; i < b.requests.size(); ++i) {
-        if (i > 0) out << ',';
-        out << b.requests[i] << ':' << static_cast<int>(b.accepted[i]);
-        // Non-delivered outcomes get a third field; fault-free batches keep
-        // the original two-field entries so old files stay byte-identical.
-        if (i < b.outcome.size() && b.outcome[i] != 0) {
-          out << ':' << static_cast<int>(b.outcome[i]);
-        }
-      }
-      out << " df=" << b.delta.friends << " dx=" << b.delta.fofs
-          << " de=" << b.delta.edges;
-      // Send-time cost accounting (the rolling-window runner charges requests
-      // when they are sent, so mid-trace cumulative cost can run ahead of the
-      // resolved records) gets an explicit field; batches whose cumulative
-      // cost is the plain running sum keep the original line, so synchronous
-      // trace files stay byte-identical.
-      if (b.cumulative_cost != prev_cost + b.cost) {
-        out << " ccost=" << b.cumulative_cost;
-      }
+      write_batch_line(out, b, prev_cost);
       prev_cost = b.cumulative_cost;
-      out << '\n';
     }
   }
   // Explicit terminator so a truncated file is detectable: a tail cut at a

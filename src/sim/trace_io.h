@@ -23,6 +23,15 @@
 namespace recon::sim {
 
 void write_traces(std::ostream& out, const std::vector<AttackTrace>& traces);
+
+/// Writes one `batch ...` line (with trailing newline) for `b`, given the
+/// previous batch's cumulative cost (0.0 for the first batch of a trace).
+/// This is the exact per-batch grammar of write_traces, exposed so streaming
+/// writers (the campaign service appends one line per completed round) emit
+/// files byte-identical to a whole-document write_traces call. The caller
+/// owns stream formatting; use precision(17) to round-trip doubles.
+void write_batch_line(std::ostream& out, const BatchRecord& b,
+                      double prev_cumulative_cost);
 void write_traces_file(const std::string& path, const std::vector<AttackTrace>& traces);
 
 /// Throws std::runtime_error on malformed input or version mismatch.

@@ -134,6 +134,7 @@ std::vector<NodeId> FallbackStrategy::planned_batch(const sim::Observation& obs,
   }
   f.deadline_seconds =
       options_.exact_deadline_seconds + options_.saa_deadline_seconds;
+  f.remaining_budget = remaining_budget;
 
   const PlanDecision decision = planner_.plan(f);
   RECON_LOG(kInfo) << "fallback: batch " << round_ << " plan="

@@ -121,6 +121,7 @@ std::vector<NodeId> MipBatchStrategy::next_batch(const sim::Observation& obs,
     }
     features.mean_degree /= static_cast<double>(candidates.size());
     features.scenario_count = options_.scenarios_per_batch;
+    features.remaining_budget = remaining_budget;
     decision = planner_.plan(features);
     run_greedy = decision.strategy == PlanStrategy::kSaaGreedy;
   }

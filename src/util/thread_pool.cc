@@ -37,6 +37,13 @@ ThreadPool::~ThreadPool() {
   for (auto& q : queues_) {
     while (TaskFunction* leftover = q.deque.pop_bottom()) delete leftover;
   }
+  // An external submit can slip a task into the injection ring between the
+  // last worker's exit check and its bump of pending_. Destroy such tasks
+  // unrun: their packaged_task promises break, so waiting futures observe
+  // std::future_error{broken_promise} instead of hanging (the shutdown
+  // contract in thread_pool.h, pinned by util_test).
+  TaskFunction* injected = nullptr;
+  while (inject_ring_.try_pop(injected)) delete injected;
 }
 
 void ThreadPool::push_pinned_task(unsigned worker, TaskFunction task) {
@@ -78,8 +85,19 @@ void ThreadPool::push_task(TaskFunction task) {
     queues_[tls_worker_index].deque.push_bottom(
         new TaskFunction(std::move(task)));
   } else {
-    MutexLock lock(inject_mutex_);
-    inject_.push_back(std::move(task));
+    // External submit: lock-free push into the bounded injection ring. A
+    // full ring means workers are saturated; yielding until a slot frees is
+    // backpressure, not contention. If the pool is being torn down the task
+    // is destroyed unrun and its future reports broken_promise (shutdown
+    // contract in thread_pool.h).
+    auto* heap = new TaskFunction(std::move(task));
+    while (!inject_ring_.try_push(heap)) {
+      if (stop_.load(std::memory_order_acquire)) {
+        delete heap;
+        return;
+      }
+      std::this_thread::yield();
+    }
   }
   pending_.fetch_add(1, std::memory_order_release);
   // The empty critical section orders the increment against a worker that is
@@ -120,10 +138,10 @@ bool ThreadPool::try_run_one_task(bool account_busy) {
     }
   }
   if (owned == nullptr && !task) {
-    MutexLock lock(inject_mutex_);
-    if (!inject_.empty()) {
-      task = std::move(inject_.front());
-      inject_.pop_front();
+    TaskFunction* injected = nullptr;
+    if (inject_ring_.try_pop(injected)) {
+      task = std::move(*injected);
+      delete injected;
     }
   }
   for (std::size_t probe = is_worker ? 1 : 0; probe < n && owned == nullptr && !task;

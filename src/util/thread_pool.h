@@ -8,12 +8,18 @@
 // Structure: every worker owns a lock-free Chase-Lev deque
 // (util/chase_lev_deque.h). Workers pop their own deque LIFO and steal FIFO
 // from siblings when empty, so bursts of submissions spread across the pool
-// without funnelling through a lock; the only mutex on the task path is a
-// small injection queue for submissions from threads that are not pool
-// workers (Chase-Lev's bottom end is single-owner). Blocking joins
-// (parallel_for / parallel_reduce) never sleep: the calling thread executes
-// chunks itself and steals unrelated pool tasks while waiting, which makes
-// nested parallel sections deadlock-free.
+// without funnelling through a lock; submissions from threads that are not
+// pool workers (Chase-Lev's bottom end is single-owner) land in a bounded
+// lock-free MPMC injection ring (util/mpmc_ring.h), so many frontend threads
+// — the campaign-service daemon's submitters — never contend on a mutex
+// either. Blocking joins (parallel_for / parallel_reduce) never sleep: the
+// calling thread executes chunks itself and steals unrelated pool tasks
+// while waiting, which makes nested parallel sections deadlock-free.
+//
+// Shutdown contract: a task accepted by submit()/submit_pinned() before the
+// destructor begins either runs to completion or is destroyed unrun, in
+// which case its future reports std::future_error{broken_promise}. Callers
+// never see a silently-dropped future (util_test pins this).
 #pragma once
 
 #include <atomic>
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "util/chase_lev_deque.h"
+#include "util/mpmc_ring.h"
 #include "util/thread_annotations.h"
 
 namespace recon::util {
@@ -326,10 +333,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   // External submissions land here (only a pool worker may push the bottom
   // of its own Chase-Lev deque); workers drain it after their own deque and
-  // before stealing. Uncontended in the hot path: tasks spawned *by* pool
-  // work (nested joins, worker-side submits) go through the lock-free deques.
-  Mutex inject_mutex_;
-  std::deque<TaskFunction> inject_ RECON_GUARDED_BY(inject_mutex_);
+  // before stealing. Lock-free so concurrent frontend submitters never
+  // serialize on a mutex; tasks spawned *by* pool work (nested joins,
+  // worker-side submits) go through the per-worker deques instead. Holds
+  // heap-allocated TaskFunctions (word-sized elements keep the ring cells
+  // trivially movable); push allocates, the executing side deletes.
+  MpmcRing<TaskFunction*> inject_ring_{1024};
   std::atomic<std::size_t> pending_{0};
   // lint:guard-ok(sleep_mutex_ guards no members: it only orders the sleep
   // condition variable against the pending_/stop_ atomics so notifies are

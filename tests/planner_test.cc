@@ -175,6 +175,35 @@ TEST(ExecutionPlannerUnit, DeadlineOverrunDemotesTierThenProbesBack) {
   EXPECT_EQ(p.plan(f).strategy, PlanStrategy::kSaaExact);
 }
 
+TEST(ExecutionPlannerUnit, NearExhaustedBudgetBarsTheExactTier) {
+  PlannerOptions po;
+  po.mode = PlannerMode::kAuto;
+  // SAA tiers only — the MIP host's admissible set.
+  po.admissible = {false, false, false, true, true};
+  ExecutionPlanner p(po);
+  PlanFeatures f;
+  f.batch_size = 4;
+  f.frontier_size = 50;
+  f.mean_degree = 6.0;
+  f.max_degree = 12.0;
+  f.scenario_count = 200;
+
+  f.remaining_budget = 100.0;  // ample: quality-first exact tier
+  EXPECT_EQ(p.plan(f).strategy, PlanStrategy::kSaaExact);
+  f.remaining_budget = 7.0;  // < 2k = 8: the gate demotes deterministically
+  EXPECT_EQ(p.plan(f).strategy, PlanStrategy::kSaaGreedy);
+  f.remaining_budget = 8.0;  // boundary: >= 2k keeps exact admissible
+  EXPECT_EQ(p.plan(f).strategy, PlanStrategy::kSaaExact);
+  f.remaining_budget = 0.0;  // unknown/unlimited: no gate
+  EXPECT_EQ(p.plan(f).strategy, PlanStrategy::kSaaExact);
+
+  // The gate is budget-driven, not deadline-driven: it applies identically
+  // with a deadline configured.
+  f.deadline_seconds = 100.0;
+  f.remaining_budget = 7.0;
+  EXPECT_EQ(p.plan(f).strategy, PlanStrategy::kSaaGreedy);
+}
+
 TEST(ExecutionPlannerUnit, SaveRestoreIsBitExact) {
   ExecutionPlanner p(auto_planner());
   PlanFeatures f;
@@ -381,28 +410,61 @@ TEST(PlannerCheckpoint, PmArestAutoResumeReplansIdentically) {
   expect_traces_equal(full, resumed, "planner resume");
 
   // The resumed planner's decision sequence must equal the uninterrupted
-  // run's suffix: same strategies and same feature-pure work estimates.
-  // The cached tier's *predicted* work is exempt after the resume point:
-  // the rebuilt cache rescores the full frontier once (real work the warm
-  // run never did), so its work-ratio EWMA re-learns the dirty fraction —
-  // a documented calibration artifact that cannot change any selection
-  // (cached and uncached pick identical batches, and the branch tree is
-  // gated by its own 2^k estimate).
+  // run's suffix bit-for-bit — cached tier included. The cache-accounting
+  // overlay (sparse last-seen attempts + accounting-dirty set) rides in the
+  // checkpoint, so the rebuilt cache feeds the planner the same per-batch
+  // work counts the warm run observed instead of re-learning its work-ratio
+  // EWMA from a cold full-frontier rescore.
   const auto tail = plan_records(second_half.planner());
   ASSERT_EQ(first_plans.size() + tail.size(), full_plans.size());
   for (std::size_t i = 0; i < first_plans.size(); ++i) {
     EXPECT_EQ(full_plans[i], first_plans[i]) << "pre-stop decision " << i;
   }
   for (std::size_t i = 0; i < tail.size(); ++i) {
-    const PlanRecord& want = full_plans[first_plans.size() + i];
-    EXPECT_EQ(want.strategy, tail[i].strategy) << "post-resume decision " << i;
-    EXPECT_EQ(want.estimated_work, tail[i].estimated_work)
+    EXPECT_EQ(full_plans[first_plans.size() + i], tail[i])
         << "post-resume decision " << i;
-    if (want.strategy != PlanStrategy::kCollapsedCached) {
-      EXPECT_EQ(want.predicted_work, tail[i].predicted_work)
-          << "post-resume decision " << i;
-    }
   }
+}
+
+TEST(PlannerCheckpoint, PmArestResumeRestoresFullStateBitExact) {
+  const Problem p = ba_problem(34);
+  const sim::World w(p, 304);
+  PmArestOptions o;
+  o.batch_size = 6;
+  o.allow_retries = true;
+  o.planner = auto_planner();
+  // Freeze the wall-clock feeds (ns/unit EWMAs + shard calibration): every
+  // remaining bit of strategy state is then a pure function of the campaign.
+  o.planner.calibrate_time = false;
+
+  PmArest full_strategy(o);
+  const auto full = run_attack(p, w, full_strategy, 45.0);
+
+  TempFile f("recon_planner_fullstate.ckpt");
+  AttackRunOptions stop;
+  stop.stop_after_rounds = 3;
+  stop.checkpoint_path = f.path;
+  PmArest first_half(o);
+  run_attack(p, w, first_half, 45.0, stop);
+
+  const AttackCheckpoint cp = read_checkpoint_file(f.path);
+  const sim::World resumed_world(p, cp.world_seed);
+  AttackRunOptions resume;
+  resume.resume = &cp;
+  PmArest second_half(o);
+  const auto resumed = run_attack(p, resumed_world, second_half, 45.0, resume);
+  expect_traces_equal(full, resumed, "full-state resume");
+
+  // FULL strategy state — varying-k RNG words, the cache-accounting section,
+  // and the planner blob (EWMAs as IEEE-754 bit patterns) — is bit-identical
+  // across the resume, not just the selections it produces.
+  EXPECT_EQ(second_half.save_state(), full_strategy.save_state());
+
+  // Checkpoint -> checkpoint round-trip is lossless even before the rebuilt
+  // cache exists: a freshly restored strategy re-emits the same blob.
+  PmArest reloaded(o);
+  reloaded.restore_state(second_half.save_state());
+  EXPECT_EQ(reloaded.save_state(), second_half.save_state());
 }
 
 TEST(PlannerCheckpoint, PmArestAutoResumeUnderFaultsAndRetries) {
@@ -492,6 +554,9 @@ TEST(PlannerCheckpoint, FallbackAutoResumeReplansIdentically) {
     EXPECT_EQ(full_plans[first_plans.size() + i], tail[i])
         << "post-resume decision " << i;
   }
+  // With calibrate_time frozen the fallback's full state (planner blob)
+  // is bit-identical across the resume as well.
+  EXPECT_EQ(second_half.save_state(), full_strategy.save_state());
 }
 
 TEST(PlannerCheckpoint, StateBlobPresentOnlyWhenEnabled) {
@@ -633,13 +698,30 @@ TEST(PlannerParity, MipFixedTiersMatchLegacyFlags) {
     forced.planner = fixed_planner(PlanStrategy::kSaaGreedy);
     expect_traces_equal(run_mip(legacy), run_mip(forced), "mip fixed:saa");
   }
-  // Auto with no deadline configured keeps the legacy quality-first choice:
-  // every batch runs the exact tier.
+  // Auto with no deadline keeps the legacy quality-first choice — the exact
+  // tier — while the campaign has room, but the remaining-budget gate
+  // deterministically demotes the near-exhausted tail (remaining < 2k unit-
+  // cost requests) to SAA-greedy: spending the most solver time on the
+  // final, mostly-truncated batch is exactly backwards. Budget 6 at k=2
+  // plans at remaining 6, 4, 2 -> exact, exact, greedy.
   {
     solver::MipStrategyOptions auto_opts = base;
     auto_opts.planner = auto_planner();
-    expect_traces_equal(run_mip(base), run_mip(auto_opts),
-                        "mip auto == exact when deadline-free");
+    solver::MipBatchStrategy s(auto_opts);
+    const auto trace = run_attack(p, w, s, 6.0);
+    EXPECT_EQ(trace.batches.size(), 3u);
+    const auto& log = s.planner().decision_log();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0].strategy, PlanStrategy::kSaaExact);
+    EXPECT_EQ(log[1].strategy, PlanStrategy::kSaaExact);
+    EXPECT_EQ(log[2].strategy, PlanStrategy::kSaaGreedy);
+    // Re-running the identical campaign reproduces the same demotion point.
+    solver::MipBatchStrategy again(auto_opts);
+    const auto trace2 = run_attack(p, w, again, 6.0);
+    expect_traces_equal(trace, trace2, "mip auto budget-gate determinism");
+    ASSERT_EQ(again.planner().decision_log().size(), 3u);
+    EXPECT_EQ(again.planner().decision_log()[2].strategy,
+              PlanStrategy::kSaaGreedy);
   }
 }
 

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Captures the campaign-service throughput comparison into BENCH_serve.json
+# (google-benchmark JSON format).
+#
+# Runs bench/bench_serve: the same N campaigns (N in {1, 4, 8}) through the
+# resident `recon serve` daemon (problems built once, one shared ThreadPool
+# with the MPMC injection ring, concurrent drivers) and through the
+# per-process CLI pattern (rebuild the problem, spin up a fresh pool, run
+# alone — once per campaign). Read it as: at every N, BM_ServeDaemon's
+# real_time should sit well under BM_ServePerProcess, and the gap widens
+# with N as the daemon overlaps campaigns the CLI pattern serializes. The
+# `campaigns_per_s` counter is the headline throughput number quoted in
+# EXPERIMENTS.md next to the multi-tenant recipe.
+#
+# Usage: tools/bench_serve.sh [build_dir] [out.json]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_serve.json}"
+BIN="$BUILD_DIR/bench/bench_serve"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_serve)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_repetitions="${RECON_BENCH_REPS:-1}" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"
